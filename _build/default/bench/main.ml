@@ -1,0 +1,509 @@
+(* Reproduction harness: regenerates every table and figure of the
+   paper's evaluation, plus the ablations DESIGN.md calls out and
+   Bechamel micro-benchmarks of the pipeline stages.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- table3    # one experiment
+     dune exec bench/main.exe -- --list    # available experiments
+
+   Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
+
+let machines = Ilp.Machine.all_paper
+let machine_names = List.map (fun (m : Ilp.Machine.t) -> m.name) machines
+
+(* Workloads are prepared once and shared by all experiments. *)
+let prepared : (string, Harness.prepared) Hashtbl.t = Hashtbl.create 16
+
+let prep (w : Workloads.Registry.t) =
+  match Hashtbl.find_opt prepared w.name with
+  | Some p -> p
+  | None ->
+    let p = Harness.prepare w in
+    Hashtbl.add prepared w.name p;
+    p
+
+let fnum = Report.Table.fnum
+
+let harmonic_of column rows =
+  Stdx.Stats.harmonic_mean (List.map (fun r -> List.nth r column) rows)
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  let rows =
+    List.map
+      (fun (w : Workloads.Registry.t) ->
+        [ w.name; w.lang; w.description ])
+      Workloads.Registry.all
+  in
+  print_string
+    (Report.Table.render ~title:"Table 1: Benchmark Programs"
+       ~header:[ "Program"; "Language"; "Description" ]
+       ~align:[ Left; Left; Left ] rows)
+
+let table2 () =
+  let rows =
+    List.map
+      (fun w ->
+        let p = prep w in
+        let bs = Harness.branch_stats p in
+        [ w.Workloads.Registry.name;
+          Printf.sprintf "%.2f" bs.rate;
+          Printf.sprintf "%.1f" bs.instrs_between ])
+      Workloads.Registry.all
+  in
+  print_string
+    (Report.Table.render ~title:"Table 2: Branch Statistics"
+       ~header:
+         [ "Program"; "Prediction Rate";
+           "Dynamic Instructions Between Branches" ]
+       ~align:[ Left; Right; Right ] rows)
+
+let parallelism_row ?(inline = true) ?(unroll = true) w =
+  let p = prep w in
+  List.map
+    (fun m ->
+      (Harness.analyze ~inline ~unroll p m).Ilp.Analyze.parallelism)
+    machines
+
+let table3 () =
+  let non_numeric =
+    List.map
+      (fun w -> (w.Workloads.Registry.name, parallelism_row w))
+      Workloads.Registry.non_numeric
+  in
+  let numeric =
+    List.map
+      (fun w -> (w.Workloads.Registry.name, parallelism_row w))
+      Workloads.Registry.numeric
+  in
+  let hmean =
+    List.mapi (fun i _ -> harmonic_of i (List.map snd non_numeric)) machines
+  in
+  let render_row (name, pars) = name :: List.map fnum pars in
+  let rows =
+    List.map render_row non_numeric
+    @ [ "Harmonic Mean" :: List.map fnum hmean ]
+    @ [ [ "-" ] ]
+    @ List.map render_row numeric
+  in
+  print_string
+    (Report.Table.render
+       ~title:"Table 3: Parallelism for each Machine Model"
+       ~header:("Program" :: machine_names)
+       ~align:(Left :: List.map (fun _ -> Report.Table.Right) machines)
+       rows)
+
+let table4 () =
+  let rows =
+    List.map
+      (fun w ->
+        let with_unroll = parallelism_row ~unroll:true w in
+        let without = parallelism_row ~unroll:false w in
+        let pct =
+          List.map2
+            (fun a b -> Printf.sprintf "%+.0f" (100. *. (a -. b) /. b))
+            with_unroll without
+        in
+        w.Workloads.Registry.name :: pct)
+      Workloads.Registry.all
+  in
+  print_string
+    (Report.Table.render
+       ~title:
+         "Table 4: Percent Change in Parallelism due to Perfect Loop \
+          Unrolling"
+       ~header:("Program" :: machine_names)
+       ~align:(Left :: List.map (fun _ -> Report.Table.Right) machines)
+       rows)
+
+(* Figure 2/3: the worked example.  A reconstruction of the paper's
+   flow graph: a loop containing a data-dependent conditional, followed
+   by control-independent code.  We print the per-machine schedule of a
+   short trace, the analogue of Figure 3. *)
+let figure3 () =
+  let source =
+    {|
+int a[6] = {1, 0, 1, 1, 0, 1};
+int out;
+int side;
+
+int main(void) {
+  int i;
+  int x = 0;
+  for (i = 0; i < 6; i = i + 1) {
+    if (a[i]) x = x + 1;     // node 3: the predicted side
+    else side = side + 1;    // node 4: taken on mispredictions
+  }
+  out = 7;                   // nodes 6,7: control independent of loop
+  return x;
+}
+|}
+  in
+  let p = Harness.prepare_source ~name:"figure2" source in
+  Format.printf
+    "Figure 3 (reconstruction): schedules of the Figure-2-style loop@.";
+  Format.printf
+    "(loop with a data-dependent if, then control-independent code)@.@.";
+  let rows =
+    List.map
+      (fun m ->
+        let r = Harness.analyze p m in
+        [ r.Ilp.Analyze.machine; string_of_int r.counted;
+          string_of_int r.cycles; fnum r.parallelism ])
+      machines
+  in
+  print_string
+    (Report.Table.render ~header:[ "Machine"; "Instrs"; "Cycles"; "Par" ]
+       ~align:[ Left; Right; Right; Right ] rows)
+
+let figure4 () =
+  let rows =
+    List.map
+      (fun w ->
+        let p = prep w in
+        let base = (Harness.analyze p Ilp.Machine.base).parallelism in
+        let cd = (Harness.analyze p Ilp.Machine.cd).parallelism in
+        let cd_mf = (Harness.analyze p Ilp.Machine.cd_mf).parallelism in
+        (w.Workloads.Registry.name, [ base; cd; cd_mf ]))
+      Workloads.Registry.non_numeric
+  in
+  print_string
+    (Report.Chart.grouped_bars
+       ~title:"Figure 4: Parallelism with Control Dependence Analysis"
+       ~group_names:[ "BASE"; "CD"; "CD-MF" ]
+       rows)
+
+let figure5 () =
+  let rows =
+    List.map
+      (fun w ->
+        let p = prep w in
+        let get m = (Harness.analyze p m).Ilp.Analyze.parallelism in
+        ( w.Workloads.Registry.name,
+          [ get Ilp.Machine.base; get Ilp.Machine.sp;
+            get Ilp.Machine.sp_cd; get Ilp.Machine.sp_cd_mf ] ))
+      Workloads.Registry.non_numeric
+  in
+  print_string
+    (Report.Chart.grouped_bars
+       ~title:"Figure 5: Parallelism with Speculative Execution"
+       ~group_names:[ "BASE"; "SP"; "SP-CD"; "SP-CD-MF" ]
+       rows)
+
+let sp_segments w =
+  let p = prep w in
+  (Harness.analyze ~segments:true p Ilp.Machine.sp).Ilp.Analyze.segments
+
+let figure6 () =
+  let curves =
+    List.map
+      (fun w -> Ilp.Stats.cumulative_distances (sp_segments w))
+      Workloads.Registry.non_numeric
+  in
+  print_string
+    (Report.Chart.cdf
+       ~title:
+         "Figure 6: Cumulative Distribution of Misprediction Distances \
+          (one curve per non-numeric program)"
+       ~x_label:"misprediction distance"
+       curves);
+  let all = List.concat_map (fun w ->
+      Array.to_list (sp_segments w)) Workloads.Registry.non_numeric
+  in
+  let under n =
+    let total = List.length all in
+    let c = List.length
+        (List.filter (fun (s : Ilp.Analyze.segment) -> s.length <= n) all)
+    in
+    100. *. float_of_int c /. float_of_int total
+  in
+  Format.printf
+    "@.%.1f%% of mispredictions occur within a distance of 100 \
+     instructions@.(paper: over 80%%); %.1f%% within 1000.@."
+    (under 100) (under 1000)
+
+let figure7 () =
+  let all =
+    Array.concat
+      (List.map sp_segments Workloads.Registry.non_numeric)
+  in
+  let buckets = Ilp.Stats.parallelism_by_distance all in
+  let rows =
+    List.map
+      (fun (b : Ilp.Stats.bucket) ->
+        ( Printf.sprintf "%5d-%-5d %7d segs" b.lo b.hi b.count,
+          b.mean_parallelism ))
+      buckets
+  in
+  print_string
+    (Report.Chart.bars
+       ~title:
+         "Figure 7: Parallelism vs Misprediction Distance (all non-numeric \
+          programs combined; harmonic mean per bucket)"
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations beyond the paper (DESIGN.md §7). *)
+
+let ablation_window () =
+  let windows = [ 32; 128; 512; 2048 ] in
+  let rows =
+    List.map
+      (fun w ->
+        let p = prep w in
+        let get m = (Harness.analyze p m).Ilp.Analyze.parallelism in
+        w.Workloads.Registry.name
+        :: (List.map
+              (fun wsz ->
+                fnum (get (Ilp.Machine.with_window wsz Ilp.Machine.sp_cd_mf)))
+              windows
+           @ [ fnum (get Ilp.Machine.sp_cd_mf) ]))
+      Workloads.Registry.non_numeric
+  in
+  print_string
+    (Report.Table.render
+       ~title:"Ablation: SP-CD-MF under a finite scheduling window"
+       ~header:
+         ("Program"
+         :: (List.map (fun w -> Printf.sprintf "w=%d" w) windows
+            @ [ "unlimited" ]))
+       ~align:(Left :: List.map (fun _ -> Report.Table.Right)
+                 (windows @ [ 0 ]))
+       rows)
+
+let ablation_flows () =
+  let flows = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun w ->
+        let p = prep w in
+        let get m = (Harness.analyze p m).Ilp.Analyze.parallelism in
+        w.Workloads.Registry.name
+        :: (List.map
+              (fun k ->
+                fnum (get (Ilp.Machine.with_flows (Some k) Ilp.Machine.sp_cd)))
+              flows
+           @ [ fnum (get Ilp.Machine.sp_cd_mf) ]))
+      Workloads.Registry.non_numeric
+  in
+  print_string
+    (Report.Table.render
+       ~title:
+         "Ablation: k flows of control between SP-CD (k=1) and SP-CD-MF"
+       ~header:
+         ("Program"
+         :: (List.map (fun k -> Printf.sprintf "k=%d" k) flows
+            @ [ "unbounded" ]))
+       ~align:(Left :: List.map (fun _ -> Report.Table.Right)
+                 (flows @ [ 0 ]))
+       rows)
+
+let ablation_latency () =
+  let rows =
+    List.map
+      (fun w ->
+        let p = prep w in
+        let get m = (Harness.analyze p m).Ilp.Analyze.parallelism in
+        [ w.Workloads.Registry.name;
+          fnum (get Ilp.Machine.sp_cd_mf);
+          fnum
+            (get
+               (Ilp.Machine.with_latencies Ilp.Machine.realistic_latencies
+                  Ilp.Machine.sp_cd_mf));
+          fnum (get Ilp.Machine.oracle);
+          fnum
+            (get
+               (Ilp.Machine.with_latencies Ilp.Machine.realistic_latencies
+                  Ilp.Machine.oracle)) ])
+      Workloads.Registry.all
+  in
+  print_string
+    (Report.Table.render
+       ~title:"Ablation: unit vs realistic operation latencies"
+       ~header:
+         [ "Program"; "SP-CD-MF"; "SP-CD-MF/lat"; "ORACLE"; "ORACLE/lat" ]
+       ~align:[ Left; Right; Right; Right; Right ]
+       rows)
+
+let ablation_predictors () =
+  let rows =
+    List.map
+      (fun w ->
+        let p = prep w in
+        let is_cond = Ilp.Program_info.is_cond_branch p.info in
+        let rate pr = (Predict.Predictor.measure pr ~is_cond p.trace).rate in
+        let sp_with pr =
+          (Harness.analyze ~predictor:pr p Ilp.Machine.sp).Ilp.Analyze
+            .parallelism
+        in
+        let profile = Harness.profile_predictor p in
+        let btfn =
+          Predict.Predictor.backward_taken
+            ~is_backward:(Ilp.Program_info.branch_backward p.flat)
+        in
+        let twobit () = Predict.Predictor.two_bit ~n_static:p.info.n in
+        [ w.Workloads.Registry.name;
+          Printf.sprintf "%.1f" (rate profile);
+          Printf.sprintf "%.1f" (rate btfn);
+          Printf.sprintf "%.1f" (rate (twobit ()));
+          fnum (sp_with profile);
+          fnum (sp_with btfn);
+          fnum (sp_with (twobit ())) ])
+      Workloads.Registry.all
+  in
+  print_string
+    (Report.Table.render
+       ~title:
+         "Ablation: branch predictors (accuracy %, and SP parallelism)"
+       ~header:
+         [ "Program"; "profile"; "btfn"; "2-bit"; "SP/profile"; "SP/btfn";
+           "SP/2-bit" ]
+       ~align:[ Left; Right; Right; Right; Right; Right; Right ]
+       rows)
+
+let ablation_inline () =
+  let rows =
+    List.map
+      (fun w ->
+        let with_i = parallelism_row ~inline:true w in
+        let without = parallelism_row ~inline:false w in
+        let pct =
+          List.map2
+            (fun a b -> Printf.sprintf "%+.0f" (100. *. (a -. b) /. b))
+            with_i without
+        in
+        w.Workloads.Registry.name :: pct)
+      Workloads.Registry.all
+  in
+  print_string
+    (Report.Table.render
+       ~title:
+         "Ablation: percent change in parallelism due to perfect inlining"
+       ~header:("Program" :: machine_names)
+       ~align:(Left :: List.map (fun _ -> Report.Table.Right) machines)
+       rows)
+
+let ablation_guarded () =
+  let rows =
+    List.map
+      (fun w ->
+        let both options =
+          let p = Harness.prepare ~options w in
+          let r = Harness.analyze ~segments:true p Ilp.Machine.sp in
+          let mean_dist =
+            if Array.length r.segments = 0 then 0.
+            else
+              float_of_int r.counted /. float_of_int (Array.length r.segments)
+          in
+          (r.Ilp.Analyze.parallelism, r.mispredicts, mean_dist)
+        in
+        let par0, mp0, d0 = both Codegen.Compile.default_options in
+        let par1, mp1, d1 = both { Codegen.Compile.if_convert = true } in
+        [ w.Workloads.Registry.name;
+          fnum par0; string_of_int mp0; Printf.sprintf "%.1f" d0;
+          fnum par1; string_of_int mp1; Printf.sprintf "%.1f" d1 ])
+      Workloads.Registry.non_numeric
+  in
+  print_string
+    (Report.Table.render
+       ~title:
+         "Ablation: guarded instructions (if-conversion to movn), SP \
+          machine.  Guarding removes branches, so mispredictions drop \
+          and the mean distance between them grows (paper \u{00a7}6)."
+       ~header:
+         [ "Program"; "SP"; "mispredicts"; "mean dist"; "SP/guarded";
+           "mispredicts"; "mean dist" ]
+       ~align:[ Left; Right; Right; Right; Right; Right; Right ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the pipeline stages. *)
+
+let microbench () =
+  let open Bechamel in
+  let w = Workloads.Registry.find "eqntott" in
+  let p = prep w in
+  let predictor = Harness.profile_predictor p in
+  let analyze_test (m : Ilp.Machine.t) =
+    Test.make ~name:("analyze-" ^ m.name)
+      (Staged.stage (fun () ->
+           let cfg = Ilp.Analyze.config m predictor in
+           ignore (Ilp.Analyze.run cfg p.info p.trace)))
+  in
+  let compile_test =
+    Test.make ~name:"compile-eqntott"
+      (Staged.stage (fun () ->
+           ignore (Codegen.Compile.compile_flat w.source)))
+  in
+  let cfg_test =
+    Test.make ~name:"static-analysis-eqntott"
+      (Staged.stage (fun () -> ignore (Cfg.Analysis.analyze p.flat)))
+  in
+  let vm_test =
+    Test.make ~name:"vm-execute-eqntott"
+      (Staged.stage (fun () ->
+           ignore (Vm.Exec.run ~fuel:w.fuel p.flat)))
+  in
+  let tests =
+    Test.make_grouped ~name:"pipeline"
+      [ compile_test; cfg_test; vm_test;
+        analyze_test Ilp.Machine.base; analyze_test Ilp.Machine.sp_cd_mf;
+        analyze_test Ilp.Machine.oracle ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 10) ()
+    in
+    Benchmark.all cfg instances tests
+  in
+  let results = benchmark () in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false
+         ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock results
+  in
+  Format.printf "Micro-benchmarks (ns per run, OLS fit):@.";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.printf "  %-28s %12.0f ns@." name est
+      | _ -> Format.printf "  %-28s (no estimate)@." name)
+    ols
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("table1", table1); ("table2", table2); ("table3", table3);
+    ("table4", table4); ("figure3", figure3); ("figure4", figure4);
+    ("figure5", figure5); ("figure6", figure6); ("figure7", figure7);
+    ("ablation-window", ablation_window);
+    ("ablation-flows", ablation_flows);
+    ("ablation-latency", ablation_latency);
+    ("ablation-predictors", ablation_predictors);
+    ("ablation-inline", ablation_inline);
+    ("ablation-guarded", ablation_guarded);
+    ("microbench", microbench) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] ->
+    List.iter (fun (name, _) -> print_endline name) experiments
+  | [] ->
+    List.iter
+      (fun (name, f) ->
+        Format.printf "@.### %s ###@.@." name;
+        f ())
+      experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          prerr_endline ("unknown experiment: " ^ name);
+          exit 1)
+      names

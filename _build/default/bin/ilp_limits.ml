@@ -1,0 +1,270 @@
+(* ilp-limits: command-line driver for the reproduction.
+
+   Subcommands:
+     list        the benchmark suite (paper Table 1)
+     run         parallelism limits for chosen workloads and machines
+     stats       branch statistics (Table 2) and misprediction distances
+     disasm      compiled assembly of a workload
+     blocks      basic blocks, control dependences and loops
+     trace       the head of a dynamic trace *)
+
+let machine_of_name name =
+  let canon = String.lowercase_ascii name in
+  let all =
+    List.map (fun (m : Ilp.Machine.t) -> (String.lowercase_ascii m.name, m))
+      Ilp.Machine.all_paper
+  in
+  match List.assoc_opt canon all with
+  | Some m -> Ok m
+  | None ->
+    Error
+      (Printf.sprintf "unknown machine %S (expected one of %s)" name
+         (String.concat ", "
+            (List.map (fun (m : Ilp.Machine.t) -> m.name)
+               Ilp.Machine.all_paper)))
+
+let workloads_of_names names =
+  match names with
+  | [] -> Ok Workloads.Registry.all
+  | _ ->
+    let pick name =
+      match Workloads.Registry.find name with
+      | w -> Ok w
+      | exception Not_found ->
+        Error
+          (Printf.sprintf "unknown workload %S (try the 'list' command)" name)
+    in
+    let rec all acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+        match pick n with Ok w -> all (w :: acc) rest | Error e -> Error e)
+    in
+    all [] names
+
+(* ------------------------------------------------------------------ *)
+
+let cmd_list () =
+  let rows =
+    List.map
+      (fun (w : Workloads.Registry.t) ->
+        [ w.name; w.lang; (if w.numeric then "numeric" else "non-numeric");
+          w.description ])
+      Workloads.Registry.all
+  in
+  print_string
+    (Report.Table.render ~title:"Benchmark programs (Table 1)"
+       ~header:[ "Program"; "Language"; "Class"; "Description" ]
+       ~align:[ Left; Left; Left; Left ] rows);
+  Ok ()
+
+let cmd_run names machine_names no_inline no_unroll fuel =
+  let ( let* ) = Result.bind in
+  let* ws = workloads_of_names names in
+  let* machines =
+    match machine_names with
+    | [] -> Ok Ilp.Machine.all_paper
+    | names ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+          match machine_of_name n with
+          | Ok m -> go (m :: acc) rest
+          | Error e -> Error e)
+      in
+      go [] names
+  in
+  let header =
+    "Program"
+    :: List.map (fun (m : Ilp.Machine.t) -> m.name) machines
+  in
+  let rows =
+    List.map
+      (fun w ->
+        let p = Harness.prepare ?fuel w in
+        let results =
+          Harness.analyze_all ~inline:(not no_inline) ~unroll:(not no_unroll)
+            p machines
+        in
+        w.Workloads.Registry.name
+        :: List.map
+             (fun (r : Ilp.Analyze.result) -> Report.Table.fnum r.parallelism)
+             results)
+      ws
+  in
+  print_string
+    (Report.Table.render ~title:"Parallelism limits"
+       ~header
+       ~align:(Left :: List.map (fun _ -> Report.Table.Right) machines)
+       rows);
+  Ok ()
+
+let cmd_stats names =
+  let ( let* ) = Result.bind in
+  let* ws = workloads_of_names names in
+  let rows =
+    List.map
+      (fun w ->
+        let p = Harness.prepare w in
+        let bs = Harness.branch_stats p in
+        let sp =
+          Harness.analyze ~segments:true p Ilp.Machine.sp
+        in
+        let dists = Ilp.Stats.cumulative_distances sp.segments in
+        let under n =
+          let rec last acc = function
+            | [] -> acc
+            | (d, f) :: rest -> if d <= n then last f rest else acc
+          in
+          100. *. last 0. dists
+        in
+        [ w.Workloads.Registry.name;
+          Printf.sprintf "%.2f" bs.rate;
+          Printf.sprintf "%.1f" bs.instrs_between;
+          string_of_int sp.mispredicts;
+          Printf.sprintf "%.1f" (under 100);
+          Printf.sprintf "%.1f" (under 1000) ])
+      ws
+  in
+  print_string
+    (Report.Table.render ~title:"Branch statistics (Table 2 + Figure 6)"
+       ~header:
+         [ "Program"; "Prediction %"; "Instrs/branch"; "Mispredicts";
+           "dist<=100 %"; "dist<=1000 %" ]
+       ~align:[ Left; Right; Right; Right; Right; Right ]
+       rows);
+  Ok ()
+
+let cmd_disasm name =
+  match Workloads.Registry.find name with
+  | exception Not_found -> Error (Printf.sprintf "unknown workload %S" name)
+  | w ->
+    let flat = Workloads.Registry.compile w in
+    Format.printf "%a@." Asm.Program.pp_flat flat;
+    Ok ()
+
+let cmd_blocks name =
+  match Workloads.Registry.find name with
+  | exception Not_found -> Error (Printf.sprintf "unknown workload %S" name)
+  | w ->
+    let flat = Workloads.Registry.compile w in
+    let cfg = Cfg.Analysis.analyze flat in
+    Format.printf "%a@." Cfg.Graph.pp cfg.graph;
+    Array.iteri
+      (fun b deps ->
+        if Array.length deps > 0 then
+          Format.printf "block %d control dependent on branches of %s@." b
+            (String.concat ","
+               (List.map string_of_int (Array.to_list deps))))
+      cfg.rdf;
+    List.iter
+      (fun (l : Cfg.Loops.loop) ->
+        Format.printf "loop header=%d blocks=[%s] induction=[%s]@." l.header
+          (String.concat "," (List.map string_of_int l.body))
+          (String.concat ","
+             (List.map
+                (fun r -> Format.asprintf "%a" Risc.Reg.pp_uid r)
+                l.induction)))
+      cfg.loops.loops;
+    Ok ()
+
+let cmd_trace name count =
+  match Workloads.Registry.find name with
+  | exception Not_found -> Error (Printf.sprintf "unknown workload %S" name)
+  | w ->
+    let flat, outcome = Workloads.Registry.run w in
+    let trace = outcome.trace in
+    let n = min count (Vm.Trace.length trace) in
+    for i = 0 to n - 1 do
+      let pc = Vm.Trace.pc trace i in
+      Format.printf "%8d  %4d  %-30s %s@." i pc
+        (Format.asprintf "%a" Risc.Insn.pp_resolved flat.code.(pc))
+        (let aux = Vm.Trace.aux trace i in
+         if aux < 0 then ""
+         else
+           match Risc.Insn.kind flat.code.(pc) with
+           | Risc.Insn.Cond_branch ->
+             if aux = 1 then "taken" else "not-taken"
+           | _ -> Printf.sprintf "addr=%d" aux)
+    done;
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let handle = function
+  | Ok () -> 0
+  | Error msg ->
+    prerr_endline ("ilp-limits: " ^ msg);
+    1
+
+let workloads_arg =
+  Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME"
+         ~doc:"Workload to use (repeatable; default: all).")
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (Table 1).")
+    Term.(const (fun () -> handle (cmd_list ())) $ const ())
+
+let run_cmd =
+  let machines =
+    Arg.(value & opt_all string [] & info [ "m"; "machine" ] ~docv:"MACHINE"
+           ~doc:"Machine model (repeatable; default: all seven).")
+  in
+  let no_inline =
+    Arg.(value & flag & info [ "no-inline" ]
+           ~doc:"Disable simulated perfect inlining.")
+  in
+  let no_unroll =
+    Arg.(value & flag & info [ "no-unroll" ]
+           ~doc:"Disable simulated perfect loop unrolling.")
+  in
+  let fuel =
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+           ~doc:"Cap the trace at N instructions.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Measure parallelism limits (Table 3).")
+    Term.(
+      const (fun ws ms ni nu f -> handle (cmd_run ws ms ni nu f))
+      $ workloads_arg $ machines $ no_inline $ no_unroll $ fuel)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Branch prediction statistics and misprediction distances.")
+    Term.(const (fun ws -> handle (cmd_stats ws)) $ workloads_arg)
+
+let name_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let disasm_cmd =
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a compiled workload.")
+    Term.(const (fun n -> handle (cmd_disasm n)) $ name_pos)
+
+let blocks_cmd =
+  Cmd.v
+    (Cmd.info "blocks"
+       ~doc:"Dump basic blocks, control dependences and loops.")
+    Term.(const (fun n -> handle (cmd_blocks n)) $ name_pos)
+
+let trace_cmd =
+  let count =
+    Arg.(value & opt int 200 & info [ "n" ] ~docv:"N"
+           ~doc:"Number of trace entries to print.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Print the head of a dynamic trace.")
+    Term.(const (fun n c -> handle (cmd_trace n c)) $ name_pos $ count)
+
+let () =
+  let info =
+    Cmd.info "ilp-limits" ~version:"1.0.0"
+      ~doc:
+        "Limits of control flow on parallelism (Lam & Wilson, ISCA 1992): \
+         trace-driven limit analysis over seven abstract machines."
+  in
+  let group =
+    Cmd.group info
+      [ list_cmd; run_cmd; stats_cmd; disasm_cmd; blocks_cmd; trace_cmd ]
+  in
+  exit (Cmd.eval' group)

@@ -1,0 +1,1 @@
+examples/compiler_pipeline.ml: Array Asm Cfg Codegen Format Fun Ilp List Minic Predict Report Risc String Vm

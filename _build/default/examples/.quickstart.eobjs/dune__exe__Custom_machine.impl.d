@@ -1,0 +1,1 @@
+examples/custom_machine.ml: Harness Ilp List Printf Report Workloads

@@ -1,0 +1,1 @@
+examples/mispredict_explorer.ml: Array Format Harness Ilp List Printf Report Sys Workloads

@@ -1,0 +1,1 @@
+examples/mispredict_explorer.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Harness Ilp List Report

@@ -1,0 +1,88 @@
+(* A tour of the substrate: every stage the reproduction builds on the
+   way from Mini-C source to a parallelism number — tokens, AST, target
+   assembly, basic blocks, control dependence, loop analysis, dynamic
+   trace, and the analyzers.
+
+     dune exec examples/compiler_pipeline.exe *)
+
+let source =
+  {|
+int a[8] = {5, 3, 8, 1, 9, 2, 7, 4};
+
+int main(void) {
+  int i;
+  int j;
+  int n = 8;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n - 1 - i; j = j + 1) {
+      if (a[j] > a[j + 1]) {
+        int t = a[j];
+        a[j] = a[j + 1];
+        a[j + 1] = t;
+      }
+    }
+  }
+  return a[0] * 1000 + a[7];
+}
+|}
+
+let () =
+  Format.printf "=== 1. tokens (first ten) ===@.";
+  let tokens = Minic.Lexer.tokenize source in
+  List.iteri
+    (fun i (t : Minic.Lexer.t) ->
+      if i < 10 then Format.printf "  line %d: %a@." t.line
+        Minic.Lexer.pp_token t.tok)
+    tokens;
+
+  Format.printf "@.=== 2. parse and type check ===@.";
+  let ast = Minic.Parser.parse source in
+  ignore (Minic.Sema.check ast);
+  Format.printf "  %d globals, %d functions; main has %d statements@."
+    (List.length ast.globals) (List.length ast.funcs)
+    (List.length (List.hd ast.funcs).body);
+
+  Format.printf "@.=== 3. generated assembly ===@.";
+  let flat = Asm.Program.resolve (Codegen.Compile.program ast) in
+  Format.printf "%a@." Asm.Program.pp_flat flat;
+
+  Format.printf "=== 4. static analysis ===@.";
+  let cfg = Cfg.Analysis.analyze flat in
+  Format.printf "  %d basic blocks, %d natural loops@."
+    (Array.length cfg.graph.blocks)
+    (List.length cfg.loops.loops);
+  List.iter
+    (fun (l : Cfg.Loops.loop) ->
+      Format.printf "  loop at block %d: induction registers [%s]@."
+        l.header
+        (String.concat ", "
+           (List.map
+              (fun r -> Format.asprintf "%a" Risc.Reg.pp_uid r)
+              l.induction)))
+    cfg.loops.loops;
+  let overhead = Array.to_list cfg.loops.overhead in
+  Format.printf "  %d instructions marked as loop overhead@."
+    (List.length (List.filter Fun.id overhead));
+
+  Format.printf "@.=== 5. execution and trace ===@.";
+  let outcome = Vm.Exec.run flat in
+  (match outcome.status with
+  | Vm.Exec.Halted v -> Format.printf "  bubble sort result: %d@." v
+  | _ -> Format.printf "  did not halt!@.");
+  Format.printf "  %d dynamic instructions@." outcome.steps;
+
+  Format.printf "@.=== 6. the seven machines ===@.";
+  let info = Ilp.Program_info.of_flat flat cfg in
+  let predictor =
+    Predict.Predictor.profile ~n_static:info.n
+      ~is_cond:(Ilp.Program_info.is_cond_branch info)
+      outcome.trace
+  in
+  List.iter
+    (fun machine ->
+      let config = Ilp.Analyze.config machine predictor in
+      let r = Ilp.Analyze.run config info outcome.trace in
+      Format.printf "  %-9s %6d instructions in %6d cycles: %sx@." r.machine
+        r.counted r.cycles
+        (Report.Table.fnum r.parallelism))
+    Ilp.Machine.all_paper

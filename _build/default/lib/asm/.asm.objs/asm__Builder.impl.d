@@ -1,0 +1,1 @@
+lib/asm/builder.ml: List Printf Program

@@ -1,0 +1,43 @@
+type t = {
+  entry : string;
+  mutable counter : int;
+  mutable procs_rev : Program.proc list;
+  mutable current : (string * Program.item list) option;  (* items reversed *)
+  mutable data_rev : (int * Program.cell array) list;
+}
+
+let create ~entry =
+  { entry; counter = 0; procs_rev = []; current = None; data_rev = [] }
+
+let fresh_label b hint =
+  b.counter <- b.counter + 1;
+  Printf.sprintf "%s$%d" hint b.counter
+
+let begin_proc b name =
+  match b.current with
+  | Some _ -> invalid_arg "Builder.begin_proc: procedure already open"
+  | None -> b.current <- Some (name, [])
+
+let with_current b f =
+  match b.current with
+  | None -> invalid_arg "Builder: no open procedure"
+  | Some (name, items) -> b.current <- Some (name, f items)
+
+let end_proc b =
+  match b.current with
+  | None -> invalid_arg "Builder.end_proc: no open procedure"
+  | Some (name, items_rev) ->
+    b.procs_rev <- { Program.name; body = List.rev items_rev } :: b.procs_rev;
+    b.current <- None
+
+let ins b i = with_current b (fun items -> Program.Ins i :: items)
+let place_label b l = with_current b (fun items -> Program.Label l :: items)
+let add_data b ~base cells = b.data_rev <- (base, cells) :: b.data_rev
+
+let finish b =
+  match b.current with
+  | Some _ -> invalid_arg "Builder.finish: procedure still open"
+  | None ->
+    { Program.procs = List.rev b.procs_rev;
+      data = List.rev b.data_rev;
+      entry = b.entry }

@@ -1,0 +1,30 @@
+(** Imperative helper for emitting assembly procedures.
+
+    The code generator creates one builder per compilation unit, emits
+    instructions and labels procedure by procedure, and finally calls
+    [finish].  Fresh labels are unique across the whole unit. *)
+
+type t
+
+val create : entry:string -> t
+
+val fresh_label : t -> string -> string
+(** [fresh_label b hint] is a new unique label containing [hint]. *)
+
+val begin_proc : t -> string -> unit
+(** Starts a procedure.  @raise Invalid_argument when one is open. *)
+
+val end_proc : t -> unit
+(** Finishes the open procedure.  @raise Invalid_argument otherwise. *)
+
+val ins : t -> string Risc.Insn.t -> unit
+(** Appends an instruction to the open procedure. *)
+
+val place_label : t -> string -> unit
+(** Places a label at the current position of the open procedure. *)
+
+val add_data : t -> base:int -> Program.cell array -> unit
+(** Registers an initialized data block. *)
+
+val finish : t -> Program.t
+(** @raise Invalid_argument when a procedure is still open. *)

@@ -1,0 +1,1 @@
+lib/cfg/analysis.mli: Asm Graph Loops

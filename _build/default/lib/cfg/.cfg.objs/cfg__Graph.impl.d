@@ -1,0 +1,1 @@
+lib/cfg/graph.ml: Array Asm Format Hashtbl List Risc String

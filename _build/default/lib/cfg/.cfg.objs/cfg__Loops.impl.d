@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Array Dom Graph Hashtbl Int List Risc Set

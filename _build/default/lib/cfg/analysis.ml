@@ -1,0 +1,64 @@
+type t = {
+  graph : Graph.t;
+  loops : Loops.t;
+  rdf : int array array;
+}
+
+(* Reverse dominance frontier of one procedure.  The reverse CFG gets a
+   virtual exit node (local index [n_local]) as entry; its successors in
+   the reverse graph are the procedure's exit blocks. *)
+let proc_rdf (g : Graph.t) rdf proc_blocks =
+  let n_local = Array.length proc_blocks in
+  if n_local > 0 then begin
+    let local_of = Hashtbl.create 16 in
+    Array.iteri (fun l gid -> Hashtbl.add local_of gid l) proc_blocks;
+    let local gid = Hashtbl.find local_of gid in
+    let in_proc gid = Hashtbl.mem local_of gid in
+    let cfg_succs l =
+      List.filter_map
+        (fun s -> if in_proc s then Some (local s) else None)
+        g.blocks.(proc_blocks.(l)).succs
+    in
+    let cfg_preds l =
+      List.filter_map
+        (fun p -> if in_proc p then Some (local p) else None)
+        g.blocks.(proc_blocks.(l)).preds
+    in
+    let exit = n_local in
+    let is_exit l = cfg_succs l = [] in
+    let exits =
+      List.filter is_exit (List.init n_local (fun l -> l))
+    in
+    (* Reverse graph: edges flipped, virtual exit as entry. *)
+    let rev_succs node = if node = exit then exits else cfg_preds node in
+    let rev_preds node =
+      if node = exit then []
+      else begin
+        let ss = cfg_succs node in
+        if is_exit node then exit :: ss else ss
+      end
+    in
+    let pdom =
+      Dom.compute ~n:(n_local + 1) ~entry:exit ~succs:rev_succs
+        ~preds:rev_preds
+    in
+    let df = Dom.frontier pdom ~n:(n_local + 1) ~preds:rev_preds in
+    let set l deps =
+      let gids =
+        List.filter_map
+          (fun d -> if d = exit then None else Some proc_blocks.(d))
+          deps
+      in
+      rdf.(proc_blocks.(l)) <- Array.of_list gids
+    in
+    List.iteri (fun l _ -> set l df.(l)) (Array.to_list proc_blocks)
+  end
+
+let analyze flat =
+  let graph = Graph.build flat in
+  let loops = Loops.analyze graph in
+  let rdf = Array.make (Array.length graph.blocks) [||] in
+  Array.iter (proc_rdf graph rdf) graph.proc_blocks;
+  { graph; loops; rdf }
+
+let rdf_of_pc t pc = t.rdf.(t.graph.block_of.(pc))

@@ -1,0 +1,19 @@
+(** Complete static analysis of a resolved program.
+
+    Combines basic blocks, postdominators, reverse dominance frontiers
+    (immediate control dependences, computed per procedure exactly as in
+    the paper's §4.4.1), and the loop-overhead marking of §4.2. *)
+
+type t = {
+  graph : Graph.t;
+  loops : Loops.t;
+  rdf : int array array;
+  (** per global block: global ids of the branch blocks it is
+      immediately control dependent on *)
+}
+
+val analyze : Asm.Program.flat -> t
+
+val rdf_of_pc : t -> int -> int array
+(** Immediate control-dependence branch blocks of the block containing an
+    instruction. *)

@@ -1,0 +1,91 @@
+type t = {
+  idom : int array;
+  rpo : int array;
+}
+
+(* Iterative DFS postorder from [entry]; reversed it gives the RPO
+   sequence the dataflow iteration visits. *)
+let postorder ~n ~entry ~succs =
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec go node =
+    if not visited.(node) then begin
+      visited.(node) <- true;
+      List.iter go (succs node);
+      order := node :: !order
+    end
+  in
+  go entry;
+  (* !order is already reverse postorder. *)
+  Array.of_list !order
+
+let compute ~n ~entry ~succs ~preds =
+  let rpo_seq = postorder ~n ~entry ~succs in
+  let rpo = Array.make n (-1) in
+  Array.iteri (fun i node -> rpo.(node) <- i) rpo_seq;
+  let idom = Array.make n (-1) in
+  idom.(entry) <- entry;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo.(a) > rpo.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let visit node =
+      if node <> entry then begin
+        let fold acc p =
+          if rpo.(p) < 0 || idom.(p) < 0 then acc
+          else match acc with
+            | None -> Some p
+            | Some a -> Some (intersect a p)
+        in
+        match List.fold_left fold None (preds node) with
+        | None -> ()
+        | Some d ->
+          if idom.(node) <> d then begin
+            idom.(node) <- d;
+            changed := true
+          end
+      end
+    in
+    Array.iter visit rpo_seq
+  done;
+  { idom; rpo }
+
+let dominates d a b =
+  if d.rpo.(a) < 0 || d.rpo.(b) < 0 then false
+  else begin
+    let rec up node =
+      if node = a then true
+      else if node = d.idom.(node) then false
+      else up d.idom.(node)
+    in
+    up b
+  end
+
+let frontier d ~n ~preds =
+  let df = Array.make n [] in
+  let add node x =
+    if not (List.mem x df.(node)) then df.(node) <- x :: df.(node)
+  in
+  (* For a join node b, walk each predecessor's dominator chain up to
+     idom(b).  The walk terminates: idom(b) dominates every predecessor
+     of b, so it lies on each chain. *)
+  for b = 0 to n - 1 do
+    if d.rpo.(b) >= 0 && d.idom.(b) >= 0 then begin
+      let ps = List.filter (fun p -> d.rpo.(p) >= 0) (preds b) in
+      if List.length ps >= 2 then begin
+        let walk p =
+          let runner = ref p in
+          while !runner <> d.idom.(b) do
+            add !runner b;
+            runner := d.idom.(!runner)
+          done
+        in
+        List.iter walk ps
+      end
+    end
+  done;
+  df

@@ -1,0 +1,27 @@
+(** Dominator computation on explicit graphs.
+
+    Implements the iterative algorithm of Cooper, Harvey and Kennedy
+    ("A Simple, Fast Dominance Algorithm").  The same routine computes
+    postdominators when run on the reversed graph. *)
+
+type t = {
+  idom : int array;
+  (** immediate dominator of each node; [idom.(entry) = entry]; [-1] for
+      nodes unreachable from the entry *)
+  rpo : int array;
+  (** reverse-postorder number of each node, [-1] when unreachable *)
+}
+
+val compute :
+  n:int -> entry:int -> succs:(int -> int list) -> preds:(int -> int list)
+  -> t
+
+val dominates : t -> int -> int -> bool
+(** [dominates d a b] — does [a] dominate [b]?  Reflexive.  [false] when
+    either node is unreachable. *)
+
+val frontier :
+  t -> n:int -> preds:(int -> int list) -> int list array
+(** Dominance frontier of every node (Cooper-Harvey-Kennedy).  When run
+    with postdominators and the reversed graph this yields the reverse
+    dominance frontier, i.e. the control-dependence sources. *)

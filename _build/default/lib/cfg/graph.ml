@@ -1,0 +1,133 @@
+type block = {
+  id : int;
+  start : int;
+  stop : int;
+  proc : int;
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = {
+  flat : Asm.Program.flat;
+  blocks : block array;
+  block_of : int array;
+  proc_blocks : int array array;
+}
+
+let ends_block (insn : int Risc.Insn.t) =
+  match Risc.Insn.kind insn with
+  | Cond_branch | Jump | Computed_jump | Call | Ret | Stop -> true
+  | Plain -> false
+
+(* Branch targets within a procedure make their target a leader. *)
+let targets (insn : int Risc.Insn.t) =
+  match insn with
+  | B (_, _, _, t) | Bi (_, _, _, t) -> [ t ]
+  | J t -> [ t ]
+  | Jtab (_, table) -> Array.to_list table
+  | Jal _ (* interprocedural; not a leader inside this procedure *)
+  | Alu _ | Alui _ | Li _ | Fli _ | Lw _ | Sw _ | Flw _ | Fsw _ | Falu _
+  | Fcmp _ | Movn _ | Fmov _ | I2f _ | F2i _ | Jr _ | Halt ->
+    []
+
+let build (flat : Asm.Program.flat) =
+  let n = Array.length flat.code in
+  let leader = Array.make (n + 1) false in
+  let mark_leaders (start, stop) =
+    leader.(start) <- true;
+    for pc = start to stop - 1 do
+      let insn = flat.code.(pc) in
+      List.iter (fun t -> leader.(t) <- true) (targets insn);
+      if ends_block insn && pc + 1 < stop then leader.(pc + 1) <- true
+    done
+  in
+  Array.iter mark_leaders flat.proc_bounds;
+  (* Cut blocks. *)
+  let blocks_rev = ref [] in
+  let n_blocks = ref 0 in
+  let block_of = Array.make n (-1) in
+  let cut_proc proc (start, stop) =
+    let block_start = ref start in
+    for pc = start to stop - 1 do
+      let last = pc = stop - 1 || leader.(pc + 1) in
+      block_of.(pc) <- !n_blocks;
+      if last then begin
+        blocks_rev :=
+          { id = !n_blocks; start = !block_start; stop = pc + 1; proc;
+            succs = []; preds = [] }
+          :: !blocks_rev;
+        incr n_blocks;
+        block_start := pc + 1
+      end
+    done
+  in
+  Array.iteri cut_proc flat.proc_bounds;
+  let blocks = Array.of_list (List.rev !blocks_rev) in
+  (* Edges. *)
+  let add_edge a b =
+    if not (List.mem b blocks.(a).succs) then begin
+      blocks.(a).succs <- b :: blocks.(a).succs;
+      blocks.(b).preds <- a :: blocks.(b).preds
+    end
+  in
+  let connect b =
+    let last = b.stop - 1 in
+    let fallthrough () =
+      if b.stop < n && blocks.(block_of.(b.stop)).proc = b.proc then
+        add_edge b.id block_of.(b.stop)
+    in
+    match (flat.code.(last) : int Risc.Insn.t) with
+    | B (_, _, _, t) | Bi (_, _, _, t) ->
+      add_edge b.id block_of.(t);
+      fallthrough ()
+    | J t -> add_edge b.id block_of.(t)
+    | Jtab (_, table) ->
+      let seen = Hashtbl.create 8 in
+      let tgt t =
+        let blk = block_of.(t) in
+        if not (Hashtbl.mem seen blk) then begin
+          Hashtbl.add seen blk ();
+          add_edge b.id blk
+        end
+      in
+      Array.iter tgt table
+    | Jal _ -> fallthrough ()
+    | Jr _ | Halt -> ()
+    | Alu _ | Alui _ | Li _ | Fli _ | Lw _ | Sw _ | Flw _ | Fsw _ | Falu _
+    | Fcmp _ | Movn _ | Fmov _ | I2f _ | F2i _ ->
+      fallthrough ()
+  in
+  Array.iter connect blocks;
+  let proc_blocks =
+    Array.map
+      (fun (start, stop) ->
+        let ids = ref [] in
+        Array.iter
+          (fun b -> if b.start >= start && b.stop <= stop then ids := b.id :: !ids)
+          blocks;
+        Array.of_list (List.rev !ids))
+      flat.proc_bounds
+  in
+  { flat; blocks; block_of; proc_blocks }
+
+let term_pc g b = g.blocks.(b).stop - 1
+
+let terminator g b =
+  let blk = g.blocks.(b) in
+  if blk.stop > blk.start then Some g.flat.code.(blk.stop - 1) else None
+
+let is_branch_block g b =
+  match terminator g b with
+  | Some insn -> (
+    match Risc.Insn.kind insn with
+    | Cond_branch | Computed_jump -> true
+    | Plain | Jump | Call | Ret | Stop -> false)
+  | None -> false
+
+let pp ppf g =
+  let block b =
+    Format.fprintf ppf "block %d (proc %s) [%d,%d) succs=[%s]@." b.id
+      g.flat.proc_names.(b.proc) b.start b.stop
+      (String.concat "," (List.map string_of_int b.succs))
+  in
+  Array.iter block g.blocks

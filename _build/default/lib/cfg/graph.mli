@@ -1,0 +1,44 @@
+(** Basic blocks and per-procedure control-flow graphs over resolved
+    assembly.
+
+    Blocks are numbered globally across all procedures; a block never
+    spans a procedure boundary.  Following pixie's convention, a block
+    ends at any control transfer ({i including} calls: a call block's
+    fall-through successor is the return point).  A [Jal] edge goes to
+    the fall-through block, not into the callee — the CFG is
+    intraprocedural; interprocedural control dependence is handled
+    dynamically by the trace analyzer.
+
+    Each procedure additionally gets a {e virtual exit} node collecting
+    its return ([Jr]) and [Halt] blocks, used as the entry of the
+    postdominator computation. *)
+
+type block = {
+  id : int;  (** global block id *)
+  start : int;  (** first instruction index *)
+  stop : int;  (** one past the last instruction *)
+  proc : int;  (** procedure index *)
+  mutable succs : int list;  (** global ids of CFG successors *)
+  mutable preds : int list;
+}
+
+type t = {
+  flat : Asm.Program.flat;
+  blocks : block array;
+  block_of : int array;  (** instruction index -> global block id *)
+  proc_blocks : int array array;  (** per procedure: its block ids, entry first *)
+}
+
+val build : Asm.Program.flat -> t
+
+val terminator : t -> int -> int Risc.Insn.t option
+(** [terminator g b] is the last instruction of block [b], when the block
+    is non-empty. *)
+
+val term_pc : t -> int -> int
+(** Instruction index of the last instruction of block [b]. *)
+
+val is_branch_block : t -> int -> bool
+(** Does block [b] end in a conditional branch or computed jump? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,155 @@
+type loop = {
+  header : int;
+  body : int list;
+  latches : int list;
+  induction : int list;
+}
+
+type t = {
+  loops : loop list;
+  overhead : bool array;
+}
+
+module Int_set = Set.Make (Int)
+
+(* Natural loop of back edge [latch -> header]: header, latch, and every
+   node that reaches the latch without passing through the header. *)
+let natural_loop (g : Graph.t) ~header ~latch =
+  let body = ref (Int_set.singleton header) in
+  let stack = ref [ latch ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | node :: rest ->
+      stack := rest;
+      if not (Int_set.mem node !body) then begin
+        body := Int_set.add node !body;
+        List.iter (fun p -> stack := p :: !stack) g.blocks.(node).preds
+      end
+  done;
+  !body
+
+let analyze (g : Graph.t) =
+  let n_insns = Array.length g.flat.code in
+  let overhead = Array.make n_insns false in
+  let all_loops = ref [] in
+  let analyze_proc proc_blocks =
+    let n_local = Array.length proc_blocks in
+    if n_local > 0 then begin
+      let local_of = Hashtbl.create 16 in
+      Array.iteri (fun l gid -> Hashtbl.add local_of gid l) proc_blocks;
+      let local gid = Hashtbl.find local_of gid in
+      let in_proc gid = Hashtbl.mem local_of gid in
+      let succs l =
+        List.filter_map
+          (fun s -> if in_proc s then Some (local s) else None)
+          g.blocks.(proc_blocks.(l)).succs
+      in
+      let preds l =
+        List.filter_map
+          (fun p -> if in_proc p then Some (local p) else None)
+          g.blocks.(proc_blocks.(l)).preds
+      in
+      let dom = Dom.compute ~n:n_local ~entry:0 ~succs ~preds in
+      (* Back edges: latch -> header with header dominating latch. *)
+      let headers = Hashtbl.create 8 in
+      for l = 0 to n_local - 1 do
+        let edge s =
+          if Dom.dominates dom s l then begin
+            let latches =
+              match Hashtbl.find_opt headers s with
+              | Some ls -> ls
+              | None -> []
+            in
+            Hashtbl.replace headers s (l :: latches)
+          end
+        in
+        List.iter edge (succs l)
+      done;
+      let handle_loop header latches =
+        let body =
+          List.fold_left
+            (fun acc latch ->
+              Int_set.union acc
+                (natural_loop g ~header:proc_blocks.(header)
+                   ~latch:proc_blocks.(latch)))
+            Int_set.empty latches
+        in
+        (* Static writes per unified register within the loop body. *)
+        let writes = Array.make Risc.Reg.n_unified 0 in
+        let iter_insns f =
+          Int_set.iter
+            (fun gid ->
+              let b = g.blocks.(gid) in
+              for pc = b.start to b.stop - 1 do
+                f pc g.flat.code.(pc)
+              done)
+            body
+        in
+        iter_insns (fun _ insn ->
+            List.iter (fun r -> writes.(r) <- writes.(r) + 1)
+              (Risc.Insn.defs insn));
+        let invariant r = r = Risc.Reg.zero || writes.(r) = 0 in
+        (* Induction candidates: [r <- r +/- const], unique write of r in
+           the loop, in a block executing every iteration (dominating all
+           latches). *)
+        let dominates_latches gid =
+          List.for_all
+            (fun latch -> Dom.dominates dom (local gid) latch)
+            latches
+        in
+        let induction = ref [] in
+        let update_pcs = ref [] in
+        iter_insns (fun pc insn ->
+            match (insn : int Risc.Insn.t) with
+            | Alui ((Add | Sub), rd, rs, _)
+              when rd = rs && rd <> Risc.Reg.zero && writes.(rd) = 1
+                   && dominates_latches g.block_of.(pc) ->
+              induction := rd :: !induction;
+              update_pcs := pc :: !update_pcs
+            | _ -> ());
+        let induction = !induction in
+        let is_ind r = List.mem r induction in
+        let ind_vs_inv rs rt =
+          (is_ind rs && invariant rt) || (is_ind rt && invariant rs)
+        in
+        (* Comparisons of induction registers with invariants, and the
+           unique in-loop definition sites feeding zero-compare branches. *)
+        let cmp_def = Hashtbl.create 8 in
+        iter_insns (fun pc insn ->
+            match (insn : int Risc.Insn.t) with
+            | Alu ((Slt | Sle | Seq | Sne), rd, rs, rt)
+              when ind_vs_inv rs rt && writes.(rd) = 1 ->
+              overhead.(pc) <- true;
+              Hashtbl.replace cmp_def rd pc
+            | Alui ((Slt | Sle | Seq | Sne), rd, rs, _)
+              when is_ind rs && writes.(rd) = 1 ->
+              overhead.(pc) <- true;
+              Hashtbl.replace cmp_def rd pc
+            | _ -> ());
+        iter_insns (fun pc insn ->
+            match (insn : int Risc.Insn.t) with
+            | B (_, rs, rt, _) when ind_vs_inv rs rt -> overhead.(pc) <- true
+            | B (_, rs, rt, _)
+              when rt = Risc.Reg.zero && Hashtbl.mem cmp_def rs ->
+              overhead.(pc) <- true
+            | B (_, rs, rt, _)
+              when rs = Risc.Reg.zero && Hashtbl.mem cmp_def rt ->
+              overhead.(pc) <- true
+            | Bi (_, rs, _, _) when is_ind rs -> overhead.(pc) <- true
+            | Bi (_, rs, _, _) when Hashtbl.mem cmp_def rs ->
+              overhead.(pc) <- true
+            | _ -> ());
+        List.iter (fun pc -> overhead.(pc) <- true) !update_pcs;
+        all_loops :=
+          { header = proc_blocks.(header);
+            body = Int_set.elements body;
+            latches = List.map (fun l -> proc_blocks.(l)) latches;
+            induction }
+          :: !all_loops
+      in
+      Hashtbl.iter handle_loop headers
+    end
+  in
+  Array.iter analyze_proc g.proc_blocks;
+  { loops = !all_loops; overhead }

@@ -1,0 +1,30 @@
+(** Natural loops and loop-overhead discovery for simulated perfect
+    unrolling.
+
+    Following the paper (§4.2), for each natural loop we find registers
+    that are incremented by a constant exactly once per iteration (loop
+    index and induction variables), then mark
+
+    - the increment instructions themselves,
+    - comparisons of an induction register against loop-invariant values,
+    - conditional branches consuming such comparisons (directly, or
+      through a compare instruction that is the register's unique
+      definition in the loop).
+
+    The trace analyzer deletes marked instructions from the timed trace,
+    which removes both the iteration-carried data dependence and the loop
+    branch's control dependence — the effect of perfect unrolling. *)
+
+type loop = {
+  header : int;  (** global block id *)
+  body : int list;  (** global block ids, including the header *)
+  latches : int list;  (** back-edge sources *)
+  induction : int list;  (** unified register ids of induction variables *)
+}
+
+type t = {
+  loops : loop list;
+  overhead : bool array;  (** per instruction: part of loop overhead *)
+}
+
+val analyze : Graph.t -> t

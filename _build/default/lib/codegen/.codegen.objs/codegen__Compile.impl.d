@@ -1,0 +1,1 @@
+lib/codegen/compile.ml: Array Asm Char Format Hashtbl List Minic Option Printf Risc String

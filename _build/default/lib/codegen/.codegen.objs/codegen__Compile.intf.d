@@ -1,0 +1,1 @@
+lib/codegen/compile.mli: Asm Minic

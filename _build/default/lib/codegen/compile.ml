@@ -1,0 +1,1209 @@
+module A = Minic.Ast
+module I = Risc.Insn
+module R = Risc.Reg
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Code-generation options.  [if_convert] enables guarded-instruction
+   if-conversion (paper §6): simple conditional assignments compile to
+   branch-free conditional moves, trading a control dependence for a
+   data dependence and lengthening the distance between mispredicted
+   branches. *)
+type options = { if_convert : bool }
+
+let default_options = { if_convert = false }
+
+(* Where a Mini-C variable lives. *)
+type storage =
+  | Sreg of int  (* integer callee-saved register *)
+  | Fsreg of int  (* float callee-saved register *)
+  | Slot of int  (* frame slot (int, float, or array-parameter address) *)
+  | Arr_slot of int  (* local array: contents at sp + slot *)
+  | Global_scalar of int  (* absolute address *)
+  | Global_arr of int  (* absolute base address *)
+
+type var = {
+  v_storage : storage;
+  v_ty : A.typ;
+}
+
+(* Per-compilation-unit state. *)
+type unit_state = {
+  mutable label_counter : int;
+  mutable next_addr : int;  (* next free global word address *)
+  globals : (string, var) Hashtbl.t;
+  mutable data : (int * Asm.Program.cell array) list;
+  fsigs : (string, Minic.Sema.func_sig) Hashtbl.t;
+}
+
+(* Per-function state. *)
+type fstate = {
+  us : unit_state;
+  opts : options;
+  fname : string;
+  ret : A.typ;
+  mutable items_rev : Asm.Program.item list;
+  mutable scopes : (string * var) list list;
+  mutable next_slot : int;
+  mutable used_sregs : int;
+  mutable used_fsregs : int;
+  mutable idepth : int;  (* live int expression temps *)
+  mutable fdepth : int;  (* live float expression temps *)
+  ispill : (int, int) Hashtbl.t;  (* temp depth -> frame slot *)
+  fspill : (int, int) Hashtbl.t;
+  csave_i : (int, int) Hashtbl.t;  (* temp index -> call-save slot *)
+  csave_f : (int, int) Hashtbl.t;
+  mutable leaf : bool;
+  mutable break_labels : string list;
+  mutable continue_labels : string list;
+  epilogue : string;
+}
+
+let ins st i = st.items_rev <- Asm.Program.Ins i :: st.items_rev
+let place st l = st.items_rev <- Asm.Program.Label l :: st.items_rev
+
+let fresh st hint =
+  st.us.label_counter <- st.us.label_counter + 1;
+  Printf.sprintf "%s$%s$%d" st.fname hint st.us.label_counter
+
+let alloc_slot st n =
+  let slot = st.next_slot in
+  st.next_slot <- st.next_slot + n;
+  slot
+
+let spill_slot st tbl depth =
+  match Hashtbl.find_opt tbl depth with
+  | Some slot -> slot
+  | None ->
+    let slot = alloc_slot st 1 in
+    Hashtbl.add tbl depth slot;
+    slot
+
+(* ------------------------------------------------------------------ *)
+(* Expression temporaries: depth [d] lives in a register for d < 8 and
+   in a frame spill slot beyond that. *)
+
+let iread st d scratch =
+  if d < R.n_tmp_regs then R.tmp d
+  else begin
+    ins st (I.Lw (scratch, R.sp, spill_slot st st.ispill d));
+    scratch
+  end
+
+let iwrite st d make =
+  if d < R.n_tmp_regs then ins st (make (R.tmp d))
+  else begin
+    ins st (make R.scratch0);
+    ins st (I.Sw (R.scratch0, R.sp, spill_slot st st.ispill d))
+  end
+
+let fread st d scratch =
+  if d < R.n_ftmp_regs then R.ftmp d
+  else begin
+    ins st (I.Flw (scratch, R.sp, spill_slot st st.fspill d));
+    scratch
+  end
+
+let fwrite st d make =
+  if d < R.n_ftmp_regs then ins st (make (R.ftmp d))
+  else begin
+    ins st (make R.fscratch);
+    ins st (I.Fsw (R.fscratch, R.sp, spill_slot st st.fspill d))
+  end
+
+let pop_ty st (ty : A.typ) =
+  match ty with
+  | A.Tfloat -> st.fdepth <- st.fdepth - 1
+  | A.Tint | A.Tarr _ -> st.idepth <- st.idepth - 1
+  | A.Tvoid -> ()
+
+(* Convert the value on top of the stacks from [from] to [target]. *)
+let convert st ~from ~target =
+  match ((from : A.typ), (target : A.typ)) with
+  | A.Tint, A.Tfloat ->
+    let src = iread st (st.idepth - 1) R.scratch0 in
+    st.idepth <- st.idepth - 1;
+    fwrite st st.fdepth (fun fd -> I.I2f (fd, src));
+    st.fdepth <- st.fdepth + 1
+  | A.Tfloat, A.Tint ->
+    let src = fread st (st.fdepth - 1) R.fscratch in
+    st.fdepth <- st.fdepth - 1;
+    iwrite st st.idepth (fun rd -> I.F2i (rd, src));
+    st.idepth <- st.idepth + 1
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Variable lookup. *)
+
+let lookup st name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some v -> Some v
+      | None -> in_scopes rest)
+  in
+  match in_scopes st.scopes with
+  | Some v -> v
+  | None -> (
+    match Hashtbl.find_opt st.us.globals name with
+    | Some v -> v
+    | None -> error "codegen: unbound variable %S (sema should reject)" name)
+
+let declare st name v =
+  match st.scopes with
+  | scope :: rest -> st.scopes <- ((name, v) :: scope) :: rest
+  | [] -> error "codegen: no open scope"
+
+let alloc_local st (ty : A.typ) =
+  match ty with
+  | A.Tint | A.Tarr _ ->
+    (* Array parameters hold a base address, an integer. *)
+    if st.used_sregs < R.n_sav_regs then begin
+      let r = R.sav st.used_sregs in
+      st.used_sregs <- st.used_sregs + 1;
+      Sreg r
+    end
+    else Slot (alloc_slot st 1)
+  | A.Tfloat ->
+    if st.used_fsregs < R.n_fsav_regs then begin
+      let r = R.fsav st.used_fsregs in
+      st.used_fsregs <- st.used_fsregs + 1;
+      Fsreg r
+    end
+    else Slot (alloc_slot st 1)
+  | A.Tvoid -> error "codegen: void local"
+
+(* ------------------------------------------------------------------ *)
+(* Simple operands: values available without evaluation, used to fold
+   register/immediate operands directly into ALU and branch forms. *)
+
+type simple =
+  | Simm of int
+  | Sreg_val of int  (* an integer register holding the value *)
+
+let simple_int st (e : A.expr) =
+  match e.desc with
+  | A.Int_lit n -> Some (Simm n)
+  | A.Var name -> (
+    match lookup st name with
+    | { v_storage = Sreg r; v_ty = A.Tint } -> Some (Sreg_val r)
+    | _ -> None)
+  | _ -> None
+
+let alu_of_binop : A.binop -> I.alu option = function
+  | A.Add -> Some I.Add
+  | A.Sub -> Some I.Sub
+  | A.Mul -> Some I.Mul
+  | A.Div -> Some I.Div
+  | A.Rem -> Some I.Rem
+  | A.Band -> Some I.And
+  | A.Bor -> Some I.Or
+  | A.Bxor -> Some I.Xor
+  | A.Shl -> Some I.Sll
+  | A.Shr -> Some I.Sra
+  | A.Eq | A.Ne | A.Lt | A.Le | A.Gt | A.Ge | A.Land | A.Lor -> None
+
+(* Comparison operators as set-on-compare ALU ops; Gt/Ge swap operands. *)
+let cmp_alu : A.binop -> (I.alu * bool) option = function
+  | A.Eq -> Some (I.Seq, false)
+  | A.Ne -> Some (I.Sne, false)
+  | A.Lt -> Some (I.Slt, false)
+  | A.Le -> Some (I.Sle, false)
+  | A.Gt -> Some (I.Slt, true)
+  | A.Ge -> Some (I.Sle, true)
+  | _ -> None
+
+let cond_of_cmp : A.binop -> I.cond option = function
+  | A.Eq -> Some I.Eq
+  | A.Ne -> Some I.Ne
+  | A.Lt -> Some I.Lt
+  | A.Le -> Some I.Le
+  | A.Gt -> Some I.Gt
+  | A.Ge -> Some I.Ge
+  | _ -> None
+
+let negate_cond : I.cond -> I.cond = function
+  | I.Eq -> I.Ne
+  | I.Ne -> I.Eq
+  | I.Lt -> I.Ge
+  | I.Ge -> I.Lt
+  | I.Le -> I.Gt
+  | I.Gt -> I.Le
+
+let mirror_cond : I.cond -> I.cond = function
+  | I.Eq -> I.Eq
+  | I.Ne -> I.Ne
+  | I.Lt -> I.Gt
+  | I.Gt -> I.Lt
+  | I.Le -> I.Ge
+  | I.Ge -> I.Le
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation.  [compile_expr] pushes exactly one value of
+   the expression's annotated type (nothing for void calls). *)
+
+let rec compile_expr st (e : A.expr) =
+  match e.desc with
+  | A.Int_lit n ->
+    iwrite st st.idepth (fun rd -> I.Li (rd, n));
+    st.idepth <- st.idepth + 1
+  | A.Float_lit x ->
+    fwrite st st.fdepth (fun fd -> I.Fli (fd, x));
+    st.fdepth <- st.fdepth + 1
+  | A.Var name -> compile_var_read st name
+  | A.Index (name, idx) -> compile_index_read st name idx
+  | A.Call (fname, args) -> compile_call st fname args
+  | A.Unop (op, sub) -> compile_unop st op sub e.ty
+  | A.Binop ((A.Land | A.Lor), _, _) -> compile_bool_value st e
+  | A.Binop (op, lhs, rhs) -> (
+    match cmp_alu op with
+    | Some _ when e.ty = A.Tint && lhs.ty = A.Tint && rhs.ty = A.Tint ->
+      compile_int_cmp_value st op lhs rhs
+    | Some _ -> compile_float_cmp_value st op lhs rhs
+    | None ->
+      if e.ty = A.Tfloat then compile_float_binop st op lhs rhs
+      else compile_int_binop st op lhs rhs)
+  | A.Assign (lv, rhs) -> compile_assign st lv rhs ~want:true
+
+and compile_var_read st name =
+  let v = lookup st name in
+  match (v.v_storage, v.v_ty) with
+  | Sreg r, _ ->
+    iwrite st st.idepth (fun rd -> I.Alui (I.Add, rd, r, 0));
+    st.idepth <- st.idepth + 1
+  | Fsreg f, _ ->
+    fwrite st st.fdepth (fun fd -> I.Fmov (fd, f));
+    st.fdepth <- st.fdepth + 1
+  | Slot s, A.Tfloat ->
+    fwrite st st.fdepth (fun fd -> I.Flw (fd, R.sp, s));
+    st.fdepth <- st.fdepth + 1
+  | Slot s, _ ->
+    iwrite st st.idepth (fun rd -> I.Lw (rd, R.sp, s));
+    st.idepth <- st.idepth + 1
+  | Arr_slot s, _ ->
+    (* A local array used as a value: push its address. *)
+    iwrite st st.idepth (fun rd -> I.Alui (I.Add, rd, R.sp, s));
+    st.idepth <- st.idepth + 1
+  | Global_scalar a, A.Tfloat ->
+    fwrite st st.fdepth (fun fd -> I.Flw (fd, R.zero, a));
+    st.fdepth <- st.fdepth + 1
+  | Global_scalar a, _ ->
+    iwrite st st.idepth (fun rd -> I.Lw (rd, R.zero, a));
+    st.idepth <- st.idepth + 1
+  | Global_arr a, _ ->
+    iwrite st st.idepth (fun rd -> I.Li (rd, a));
+    st.idepth <- st.idepth + 1
+
+(* Leave (base register, constant offset) for element [idx] of array
+   [name] on the side, consuming the pushed index if one was needed.
+   The returned base register may be a scratch; use it immediately. *)
+and compile_element_addr st name idx =
+  let v = lookup st name in
+  let elem_ty =
+    match v.v_ty with
+    | A.Tarr t -> t
+    | _ -> error "codegen: %S is not an array" name
+  in
+  match (v.v_storage, simple_int st idx) with
+  | Global_arr a, Some (Simm n) -> (elem_ty, R.zero, a + n)
+  | Global_arr a, Some (Sreg_val r) -> (elem_ty, r, a)
+  | Global_arr a, None ->
+    compile_expr st idx;
+    let ireg = iread st (st.idepth - 1) R.scratch0 in
+    st.idepth <- st.idepth - 1;
+    (elem_ty, ireg, a)
+  | Arr_slot s, Some (Simm n) -> (elem_ty, R.sp, s + n)
+  | Arr_slot s, Some (Sreg_val r) ->
+    ins st (I.Alu (I.Add, R.scratch1, R.sp, r));
+    (elem_ty, R.scratch1, s)
+  | Arr_slot s, None ->
+    compile_expr st idx;
+    let ireg = iread st (st.idepth - 1) R.scratch0 in
+    st.idepth <- st.idepth - 1;
+    ins st (I.Alu (I.Add, R.scratch1, R.sp, ireg));
+    (elem_ty, R.scratch1, s)
+  | (Sreg _ | Slot _), _ ->
+    (* Array parameter: base address held in an int storage. *)
+    let base =
+      match v.v_storage with
+      | Sreg r -> r
+      | Slot s ->
+        ins st (I.Lw (R.scratch1, R.sp, s));
+        R.scratch1
+      | _ -> assert false
+    in
+    (match simple_int st idx with
+    | Some (Simm n) -> (elem_ty, base, n)
+    | Some (Sreg_val r) ->
+      ins st (I.Alu (I.Add, R.scratch1, base, r));
+      (elem_ty, R.scratch1, 0)
+    | None ->
+      compile_expr st idx;
+      let ireg = iread st (st.idepth - 1) R.scratch0 in
+      st.idepth <- st.idepth - 1;
+      ins st (I.Alu (I.Add, R.scratch1, base, ireg));
+      (elem_ty, R.scratch1, 0))
+  | (Fsreg _ | Global_scalar _), _ -> error "codegen: %S is not an array" name
+
+and compile_index_read st name idx =
+  let elem_ty, base, off = compile_element_addr st name idx in
+  match elem_ty with
+  | A.Tfloat ->
+    fwrite st st.fdepth (fun fd -> I.Flw (fd, base, off));
+    st.fdepth <- st.fdepth + 1
+  | _ ->
+    iwrite st st.idepth (fun rd -> I.Lw (rd, base, off));
+    st.idepth <- st.idepth + 1
+
+and compile_int_binop st op lhs rhs =
+  let alu =
+    match alu_of_binop op with
+    | Some alu -> alu
+    | None -> error "codegen: not an int ALU op"
+  in
+  (* Shr on int is arithmetic shift, C-style on signed ints. *)
+  match (simple_int st lhs, simple_int st rhs) with
+  | Some (Sreg_val lr), Some (Simm n) ->
+    iwrite st st.idepth (fun rd -> I.Alui (alu, rd, lr, n));
+    st.idepth <- st.idepth + 1
+  | Some (Sreg_val lr), Some (Sreg_val rr) ->
+    iwrite st st.idepth (fun rd -> I.Alu (alu, rd, lr, rr));
+    st.idepth <- st.idepth + 1
+  | Some (Simm l), Some (Simm r) ->
+    let v =
+      try I.eval_alu alu l r
+      with Division_by_zero -> error "codegen: constant division by zero"
+    in
+    iwrite st st.idepth (fun rd -> I.Li (rd, v));
+    st.idepth <- st.idepth + 1
+  | Some (Simm l), Some (Sreg_val rr) ->
+    iwrite st st.idepth (fun rd -> I.Li (rd, l));
+    st.idepth <- st.idepth + 1;
+    let lreg = iread st (st.idepth - 1) R.scratch0 in
+    iwrite st (st.idepth - 1) (fun rd -> I.Alu (alu, rd, lreg, rr))
+  | _, Some (Simm n) ->
+    compile_int_operand st lhs;
+    let lreg = iread st (st.idepth - 1) R.scratch0 in
+    iwrite st (st.idepth - 1) (fun rd -> I.Alui (alu, rd, lreg, n))
+  | _, Some (Sreg_val rr) ->
+    compile_int_operand st lhs;
+    let lreg = iread st (st.idepth - 1) R.scratch0 in
+    iwrite st (st.idepth - 1) (fun rd -> I.Alu (alu, rd, lreg, rr))
+  | Some (Sreg_val lr), None ->
+    compile_int_operand st rhs;
+    let rreg = iread st (st.idepth - 1) R.scratch0 in
+    iwrite st (st.idepth - 1) (fun rd -> I.Alu (alu, rd, lr, rreg))
+  | Some (Simm l), None ->
+    iwrite st st.idepth (fun rd -> I.Li (rd, l));
+    st.idepth <- st.idepth + 1;
+    compile_int_operand st rhs;
+    let rreg = iread st (st.idepth - 1) R.scratch1 in
+    let lreg = iread st (st.idepth - 2) R.scratch0 in
+    st.idepth <- st.idepth - 2;
+    iwrite st st.idepth (fun rd -> I.Alu (alu, rd, lreg, rreg));
+    st.idepth <- st.idepth + 1
+  | None, None ->
+    compile_int_operand st lhs;
+    compile_int_operand st rhs;
+    let rreg = iread st (st.idepth - 1) R.scratch1 in
+    let lreg = iread st (st.idepth - 2) R.scratch0 in
+    st.idepth <- st.idepth - 2;
+    iwrite st st.idepth (fun rd -> I.Alu (alu, rd, lreg, rreg));
+    st.idepth <- st.idepth + 1
+
+(* Compile a subexpression that must end up on the int stack (it may be
+   annotated float only in mixed arithmetic, which doesn't reach here). *)
+and compile_int_operand st (e : A.expr) = compile_expr st e
+
+and compile_float_operand st (e : A.expr) =
+  compile_expr st e;
+  if e.ty = A.Tint then convert st ~from:A.Tint ~target:A.Tfloat
+
+and compile_float_binop st op lhs rhs =
+  let falu =
+    match op with
+    | A.Add -> I.Fadd
+    | A.Sub -> I.Fsub
+    | A.Mul -> I.Fmul
+    | A.Div -> I.Fdiv
+    | _ -> error "codegen: not a float ALU op"
+  in
+  compile_float_operand st lhs;
+  compile_float_operand st rhs;
+  let rreg = fread st (st.fdepth - 1) R.fscratch1 in
+  let lreg = fread st (st.fdepth - 2) R.fscratch in
+  st.fdepth <- st.fdepth - 2;
+  fwrite st st.fdepth (fun fd -> I.Falu (falu, fd, lreg, rreg));
+  st.fdepth <- st.fdepth + 1
+
+and compile_int_cmp_value st op lhs rhs =
+  let alu, swap =
+    match cmp_alu op with Some x -> x | None -> assert false
+  in
+  let lhs, rhs = if swap then (rhs, lhs) else (lhs, rhs) in
+  match (simple_int st lhs, simple_int st rhs) with
+  | Some (Sreg_val lr), Some (Simm n) ->
+    iwrite st st.idepth (fun rd -> I.Alui (alu, rd, lr, n));
+    st.idepth <- st.idepth + 1
+  | Some (Sreg_val lr), Some (Sreg_val rr) ->
+    iwrite st st.idepth (fun rd -> I.Alu (alu, rd, lr, rr));
+    st.idepth <- st.idepth + 1
+  | _, Some (Simm n) ->
+    compile_int_operand st lhs;
+    let lreg = iread st (st.idepth - 1) R.scratch0 in
+    iwrite st (st.idepth - 1) (fun rd -> I.Alui (alu, rd, lreg, n))
+  | _ ->
+    compile_int_operand st lhs;
+    compile_int_operand st rhs;
+    let rreg = iread st (st.idepth - 1) R.scratch1 in
+    let lreg = iread st (st.idepth - 2) R.scratch0 in
+    st.idepth <- st.idepth - 2;
+    iwrite st st.idepth (fun rd -> I.Alu (alu, rd, lreg, rreg));
+    st.idepth <- st.idepth + 1
+
+and compile_float_cmp_value st op lhs rhs =
+  let fcmp, swap, invert =
+    match op with
+    | A.Lt -> (I.Flt, false, false)
+    | A.Le -> (I.Fle, false, false)
+    | A.Gt -> (I.Flt, true, false)
+    | A.Ge -> (I.Fle, true, false)
+    | A.Eq -> (I.Feq, false, false)
+    | A.Ne -> (I.Feq, false, true)
+    | _ -> error "codegen: not a comparison"
+  in
+  let lhs, rhs = if swap then (rhs, lhs) else (lhs, rhs) in
+  compile_float_operand st lhs;
+  compile_float_operand st rhs;
+  let rreg = fread st (st.fdepth - 1) R.fscratch1 in
+  let lreg = fread st (st.fdepth - 2) R.fscratch in
+  st.fdepth <- st.fdepth - 2;
+  iwrite st st.idepth (fun rd -> I.Fcmp (fcmp, rd, lreg, rreg));
+  st.idepth <- st.idepth + 1;
+  if invert then begin
+    let reg = iread st (st.idepth - 1) R.scratch0 in
+    iwrite st (st.idepth - 1) (fun rd -> I.Alui (I.Xor, rd, reg, 1))
+  end
+
+and compile_unop st op sub ty =
+  match (op, (ty : A.typ)) with
+  | A.Neg, A.Tfloat ->
+    compile_float_operand st sub;
+    ins st (I.Fli (R.fscratch1, 0.));
+    let reg = fread st (st.fdepth - 1) R.fscratch in
+    iwrite_float_neg st reg
+  | A.Neg, _ ->
+    compile_int_operand st sub;
+    let reg = iread st (st.idepth - 1) R.scratch0 in
+    iwrite st (st.idepth - 1) (fun rd -> I.Alu (I.Sub, rd, R.zero, reg))
+  | A.Lnot, _ ->
+    if sub.ty = A.Tfloat then begin
+      compile_float_operand st sub;
+      ins st (I.Fli (R.fscratch1, 0.));
+      let reg = fread st (st.fdepth - 1) R.fscratch in
+      st.fdepth <- st.fdepth - 1;
+      iwrite st st.idepth (fun rd -> I.Fcmp (I.Feq, rd, reg, R.fscratch1));
+      st.idepth <- st.idepth + 1
+    end
+    else begin
+      compile_int_operand st sub;
+      let reg = iread st (st.idepth - 1) R.scratch0 in
+      iwrite st (st.idepth - 1) (fun rd -> I.Alui (I.Seq, rd, reg, 0))
+    end
+  | A.Bnot, _ ->
+    compile_int_operand st sub;
+    let reg = iread st (st.idepth - 1) R.scratch0 in
+    iwrite st (st.idepth - 1) (fun rd -> I.Alui (I.Xor, rd, reg, -1))
+
+and iwrite_float_neg st reg =
+  (* 0.0 is in fscratch1; negate [reg] into the same float depth. *)
+  fwrite st (st.fdepth - 1) (fun fd -> I.Falu (I.Fsub, fd, R.fscratch1, reg))
+
+(* Booleans via control flow: && and || in value position. *)
+and compile_bool_value st (e : A.expr) =
+  let false_l = fresh st "bfalse" in
+  let end_l = fresh st "bend" in
+  compile_cond st e ~when_true:false ~target:false_l;
+  iwrite st st.idepth (fun rd -> I.Li (rd, 1));
+  ins st (I.J end_l);
+  place st false_l;
+  iwrite st st.idepth (fun rd -> I.Li (rd, 0));
+  place st end_l;
+  st.idepth <- st.idepth + 1
+
+(* Branch to [target] when the condition's truth equals [when_true]. *)
+and compile_cond st (e : A.expr) ~when_true ~target =
+  match e.desc with
+  | A.Int_lit n ->
+    if n <> 0 = when_true then ins st (I.J target)
+  | A.Unop (A.Lnot, sub) ->
+    compile_cond st sub ~when_true:(not when_true) ~target
+  | A.Binop (A.Land, a, b) ->
+    if when_true then begin
+      let skip = fresh st "and" in
+      compile_cond st a ~when_true:false ~target:skip;
+      compile_cond st b ~when_true:true ~target;
+      place st skip
+    end
+    else begin
+      compile_cond st a ~when_true:false ~target;
+      compile_cond st b ~when_true:false ~target
+    end
+  | A.Binop (A.Lor, a, b) ->
+    if when_true then begin
+      compile_cond st a ~when_true:true ~target;
+      compile_cond st b ~when_true:true ~target
+    end
+    else begin
+      let skip = fresh st "or" in
+      compile_cond st a ~when_true:true ~target:skip;
+      compile_cond st b ~when_true:false ~target;
+      place st skip
+    end
+  | A.Binop (op, lhs, rhs) when cond_of_cmp op <> None ->
+    if lhs.ty = A.Tfloat || rhs.ty = A.Tfloat then begin
+      compile_float_cmp_value st op lhs rhs;
+      let reg = iread st (st.idepth - 1) R.scratch0 in
+      st.idepth <- st.idepth - 1;
+      let c = if when_true then I.Ne else I.Eq in
+      ins st (I.Bi (c, reg, 0, target))
+    end
+    else begin
+      let c = Option.get (cond_of_cmp op) in
+      let c = if when_true then c else negate_cond c in
+      compile_int_cond_branch st c lhs rhs target
+    end
+  | _ ->
+    compile_expr st e;
+    if e.ty = A.Tfloat then begin
+      ins st (I.Fli (R.fscratch1, 0.));
+      let reg = fread st (st.fdepth - 1) R.fscratch in
+      st.fdepth <- st.fdepth - 1;
+      iwrite st st.idepth (fun rd -> I.Fcmp (I.Feq, rd, reg, R.fscratch1));
+      st.idepth <- st.idepth + 1;
+      let reg = iread st (st.idepth - 1) R.scratch0 in
+      st.idepth <- st.idepth - 1;
+      (* Feq yields 1 when the value is zero (false). *)
+      let c = if when_true then I.Eq else I.Ne in
+      ins st (I.Bi (c, reg, 0, target))
+    end
+    else begin
+      let reg = iread st (st.idepth - 1) R.scratch0 in
+      st.idepth <- st.idepth - 1;
+      let c = if when_true then I.Ne else I.Eq in
+      ins st (I.Bi (c, reg, 0, target))
+    end
+
+and compile_int_cond_branch st c lhs rhs target =
+  match (simple_int st lhs, simple_int st rhs) with
+  | Some (Simm l), Some (Simm r) ->
+    if I.eval_cond c l r then ins st (I.J target)
+  | Some (Sreg_val lr), Some (Simm n) -> ins st (I.Bi (c, lr, n, target))
+  | Some (Simm l), Some (Sreg_val rr) ->
+    ins st (I.Bi (mirror_cond c, rr, l, target))
+  | Some (Sreg_val lr), Some (Sreg_val rr) -> ins st (I.B (c, lr, rr, target))
+  | _, Some (Simm n) ->
+    compile_int_operand st lhs;
+    let reg = iread st (st.idepth - 1) R.scratch0 in
+    st.idepth <- st.idepth - 1;
+    ins st (I.Bi (c, reg, n, target))
+  | _, Some (Sreg_val rr) ->
+    compile_int_operand st lhs;
+    let reg = iread st (st.idepth - 1) R.scratch0 in
+    st.idepth <- st.idepth - 1;
+    ins st (I.B (c, reg, rr, target))
+  | Some (Sreg_val lr), None ->
+    compile_int_operand st rhs;
+    let reg = iread st (st.idepth - 1) R.scratch0 in
+    st.idepth <- st.idepth - 1;
+    ins st (I.B (c, lr, reg, target))
+  | Some (Simm l), None ->
+    compile_int_operand st rhs;
+    let reg = iread st (st.idepth - 1) R.scratch0 in
+    st.idepth <- st.idepth - 1;
+    ins st (I.Bi (mirror_cond c, reg, l, target))
+  | None, None ->
+    compile_int_operand st lhs;
+    compile_int_operand st rhs;
+    let rreg = iread st (st.idepth - 1) R.scratch1 in
+    let lreg = iread st (st.idepth - 2) R.scratch0 in
+    st.idepth <- st.idepth - 2;
+    ins st (I.B (c, lreg, rreg, target))
+
+(* ------------------------------------------------------------------ *)
+(* Calls. *)
+
+and compile_call st fname args =
+  st.leaf <- false;
+  let fsig =
+    match Hashtbl.find_opt st.us.fsigs fname with
+    | Some s -> s
+    | None -> error "codegen: unknown function %S" fname
+  in
+  let d0_int = st.idepth and d0_float = st.fdepth in
+  (* Evaluate arguments left to right onto the expression stacks,
+     remembering where each landed. *)
+  let locate arg pty =
+    match (pty : A.typ) with
+    | A.Tfloat ->
+      compile_float_operand st arg;
+      `F (st.fdepth - 1)
+    | A.Tint ->
+      compile_expr st arg;
+      if arg.A.ty = A.Tfloat then convert st ~from:A.Tfloat ~target:A.Tint;
+      `I (st.idepth - 1)
+    | A.Tarr _ ->
+      compile_expr st arg;
+      `I (st.idepth - 1)
+    | A.Tvoid -> error "codegen: void argument"
+  in
+  let places = List.map2 locate args fsig.sparams in
+  (* Move argument values into the argument registers. *)
+  let next_int = ref 0 and next_float = ref 0 in
+  let move place =
+    match place with
+    | `I d ->
+      if !next_int >= R.n_arg_regs then
+        error "codegen: %S takes too many integer arguments" fname;
+      let dst = R.arg !next_int in
+      incr next_int;
+      let src = iread st d dst in
+      if src <> dst then ins st (I.Alui (I.Add, dst, src, 0))
+    | `F d ->
+      if !next_float >= 4 then
+        error "codegen: %S takes too many float arguments" fname;
+      let dst = R.farg !next_float in
+      incr next_float;
+      let src = fread st d dst in
+      if src <> dst then ins st (I.Fmov (dst, src))
+  in
+  List.iter move places;
+  (* Arguments are consumed. *)
+  st.idepth <- d0_int;
+  st.fdepth <- d0_float;
+  (* Save the live caller-saved temps below the arguments. *)
+  let save_i = min d0_int R.n_tmp_regs and save_f = min d0_float R.n_ftmp_regs in
+  for d = 0 to save_i - 1 do
+    let slot = spill_slot st st.csave_i d in
+    ins st (I.Sw (R.tmp d, R.sp, slot))
+  done;
+  for d = 0 to save_f - 1 do
+    let slot = spill_slot st st.csave_f d in
+    ins st (I.Fsw (R.ftmp d, R.sp, slot))
+  done;
+  ins st (I.Jal fname);
+  for d = 0 to save_i - 1 do
+    ins st (I.Lw (R.tmp d, R.sp, Hashtbl.find st.csave_i d))
+  done;
+  for d = 0 to save_f - 1 do
+    ins st (I.Flw (R.ftmp d, R.sp, Hashtbl.find st.csave_f d))
+  done;
+  (* Push the result. *)
+  match fsig.sret with
+  | A.Tint ->
+    iwrite st st.idepth (fun rd -> I.Alui (I.Add, rd, R.rv, 0));
+    st.idepth <- st.idepth + 1
+  | A.Tfloat ->
+    fwrite st st.fdepth (fun fd -> I.Fmov (fd, R.frv));
+    st.fdepth <- st.fdepth + 1
+  | A.Tvoid -> ()
+  | A.Tarr _ -> error "codegen: array return"
+
+(* ------------------------------------------------------------------ *)
+(* Assignment. *)
+
+and compile_assign st lv rhs ~want =
+  (* The induction idiom: [v = v + c] with v in a register becomes a
+     single in-place ALU-immediate, the pattern the unrolling analysis
+     recognizes. *)
+  let in_place =
+    match lv with
+    | A.Lvar name -> (
+      match lookup st name with
+      | { v_storage = Sreg r; v_ty = A.Tint } -> (
+        match rhs.A.desc with
+        | A.Binop (A.Add, { desc = A.Var n'; _ }, { desc = A.Int_lit c; _ })
+          when n' = name ->
+          Some (r, c)
+        | A.Binop (A.Add, { desc = A.Int_lit c; _ }, { desc = A.Var n'; _ })
+          when n' = name ->
+          Some (r, c)
+        | A.Binop (A.Sub, { desc = A.Var n'; _ }, { desc = A.Int_lit c; _ })
+          when n' = name ->
+          Some (r, -c)
+        | _ -> None)
+      | _ -> None)
+    | A.Lindex _ -> None
+  in
+  match in_place with
+  | Some (r, c) ->
+    ins st (I.Alui (I.Add, r, r, c));
+    if want then begin
+      iwrite st st.idepth (fun rd -> I.Alui (I.Add, rd, r, 0));
+      st.idepth <- st.idepth + 1
+    end
+  | None -> (
+    match lv with
+    | A.Lvar name ->
+      let v = lookup st name in
+      let lty =
+        match v.v_ty with
+        | A.Tarr _ -> error "codegen: assigning to array %S" name
+        | ty -> ty
+      in
+      compile_expr st rhs;
+      convert st ~from:rhs.A.ty ~target:lty;
+      (match (v.v_storage, lty) with
+      | Sreg r, _ ->
+        let src = iread st (st.idepth - 1) r in
+        if src <> r then ins st (I.Alui (I.Add, r, src, 0))
+      | Fsreg f, _ ->
+        let src = fread st (st.fdepth - 1) f in
+        if src <> f then ins st (I.Fmov (f, src))
+      | Slot s, A.Tfloat ->
+        let src = fread st (st.fdepth - 1) R.fscratch in
+        ins st (I.Fsw (src, R.sp, s))
+      | Slot s, _ ->
+        let src = iread st (st.idepth - 1) R.scratch0 in
+        ins st (I.Sw (src, R.sp, s))
+      | Global_scalar a, A.Tfloat ->
+        let src = fread st (st.fdepth - 1) R.fscratch in
+        ins st (I.Fsw (src, R.zero, a))
+      | Global_scalar a, _ ->
+        let src = iread st (st.idepth - 1) R.scratch0 in
+        ins st (I.Sw (src, R.zero, a))
+      | (Arr_slot _ | Global_arr _), _ ->
+        error "codegen: assigning to array %S" name);
+      if not want then pop_ty st lty
+    | A.Lindex (name, idx) ->
+      let v = lookup st name in
+      let elem_ty =
+        match v.v_ty with
+        | A.Tarr t -> t
+        | _ -> error "codegen: %S is not an array" name
+      in
+      compile_expr st rhs;
+      convert st ~from:rhs.A.ty ~target:elem_ty;
+      let _, base, off = compile_element_addr st name idx in
+      (match elem_ty with
+      | A.Tfloat ->
+        let src = fread st (st.fdepth - 1) R.fscratch in
+        ins st (I.Fsw (src, base, off))
+      | _ ->
+        let src = iread st (st.idepth - 1) R.scratch0 in
+        ins st (I.Sw (src, base, off)));
+      if not want then pop_ty st elem_ty)
+
+(* ------------------------------------------------------------------ *)
+(* If-conversion (guarded instructions).
+
+   [if (c) v = e;] with [v] an integer register variable and [c], [e]
+   branch-free and side-effect-free compiles to
+
+     <c into tc> ; <e into te> ; movn v, te, tc
+
+   and the two-armed form [if (c) v = e1; else v = e2;] to an
+   unconditional move of [e2] followed by the same guarded move.  The
+   guard must not be able to fault, so division and array indexing are
+   excluded. *)
+
+let rec guardable st (e : A.expr) =
+  e.ty = A.Tint
+  &&
+  match e.desc with
+  | A.Int_lit _ -> true
+  | A.Var name -> (
+    match (lookup st name).v_ty with A.Tint -> true | _ -> false)
+  | A.Unop ((A.Neg | A.Bnot | A.Lnot), sub) ->
+    sub.ty = A.Tint && guardable st sub
+  | A.Binop ((A.Div | A.Rem | A.Land | A.Lor), _, _) -> false
+  | A.Binop (_, a, b) -> guardable st a && guardable st b
+  | A.Index _ | A.Call _ | A.Assign _ | A.Float_lit _ -> false
+
+(* Match [v = e] (possibly wrapped in a block) where v lives in an
+   integer callee-saved register. *)
+let guarded_assign st (s : A.stmt) =
+  let unwrap = function A.Block [ single ] -> single | s -> s in
+  match unwrap s with
+  | A.Expr { desc = A.Assign (A.Lvar v, rhs); _ } -> (
+    match lookup st v with
+    | { v_storage = Sreg r; v_ty = A.Tint } when guardable st rhs ->
+      Some (r, rhs)
+    | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Statements. *)
+
+let rec compile_stmt st (s : A.stmt) =
+  match s with
+  | A.Decl (ty, name, size, init) -> (
+    match size with
+    | Some n ->
+      let slot = alloc_slot st n in
+      declare st name { v_storage = Arr_slot slot; v_ty = A.Tarr ty }
+    | None ->
+      let storage = alloc_local st ty in
+      declare st name { v_storage = storage; v_ty = ty };
+      (match init with
+      | Some e ->
+        ignore
+          (compile_assign st (A.Lvar name) e ~want:false)
+      | None -> ()))
+  | A.Expr e -> compile_expr_stmt st e
+  | A.If (c, then_s, else_s)
+    when st.opts.if_convert && guardable st c
+         && guarded_assign st then_s <> None
+         && (match else_s with
+            | None -> true
+            | Some e -> (
+              match (guarded_assign st then_s, guarded_assign st e) with
+              | Some (r1, _), Some (r2, _) -> r1 = r2
+              | _ -> false)) -> (
+    match guarded_assign st then_s with
+    | None -> assert false
+    | Some (reg, rhs) ->
+      (* Evaluate guard and both arms before touching [reg]: the arms
+         may read the variable being assigned. *)
+      compile_expr st c;
+      compile_expr st rhs;
+      (match else_s with
+      | Some e -> (
+        match guarded_assign st e with
+        | Some (_, rhs2) ->
+          compile_expr st rhs2;
+          (* v = e2 unconditionally; the guarded move overrides it. *)
+          let src = iread st (st.idepth - 1) R.scratch0 in
+          st.idepth <- st.idepth - 1;
+          ins st (I.Alui (I.Add, reg, src, 0))
+        | None -> assert false)
+      | None -> ());
+      let rs = iread st (st.idepth - 1) R.scratch0 in
+      let guard = iread st (st.idepth - 2) R.scratch1 in
+      st.idepth <- st.idepth - 2;
+      ins st (I.Movn (reg, rs, guard)))
+  | A.If (c, then_s, else_s) -> (
+    match else_s with
+    | None ->
+      let end_l = fresh st "endif" in
+      compile_cond st c ~when_true:false ~target:end_l;
+      in_scope st (fun () -> compile_stmt st then_s);
+      place st end_l
+    | Some else_s ->
+      let else_l = fresh st "else" in
+      let end_l = fresh st "endif" in
+      compile_cond st c ~when_true:false ~target:else_l;
+      in_scope st (fun () -> compile_stmt st then_s);
+      ins st (I.J end_l);
+      place st else_l;
+      in_scope st (fun () -> compile_stmt st else_s);
+      place st end_l)
+  | A.While (c, body) ->
+    let test_l = fresh st "wtest" in
+    let body_l = fresh st "wbody" in
+    let end_l = fresh st "wend" in
+    ins st (I.J test_l);
+    place st body_l;
+    st.break_labels <- end_l :: st.break_labels;
+    st.continue_labels <- test_l :: st.continue_labels;
+    in_scope st (fun () -> compile_stmt st body);
+    st.break_labels <- List.tl st.break_labels;
+    st.continue_labels <- List.tl st.continue_labels;
+    place st test_l;
+    compile_cond st c ~when_true:true ~target:body_l;
+    place st end_l
+  | A.For (init, c, step, body) ->
+    Option.iter (fun e -> compile_expr_stmt st e) init;
+    let test_l = fresh st "ftest" in
+    let body_l = fresh st "fbody" in
+    let cont_l = fresh st "fcont" in
+    let end_l = fresh st "fend" in
+    ins st (I.J test_l);
+    place st body_l;
+    st.break_labels <- end_l :: st.break_labels;
+    st.continue_labels <- cont_l :: st.continue_labels;
+    in_scope st (fun () -> compile_stmt st body);
+    st.break_labels <- List.tl st.break_labels;
+    st.continue_labels <- List.tl st.continue_labels;
+    place st cont_l;
+    Option.iter (fun e -> compile_expr_stmt st e) step;
+    place st test_l;
+    (match c with
+    | Some c -> compile_cond st c ~when_true:true ~target:body_l
+    | None -> ins st (I.J body_l));
+    place st end_l
+  | A.Switch (scrut, cases, default) -> compile_switch st scrut cases default
+  | A.Break _ -> (
+    match st.break_labels with
+    | l :: _ -> ins st (I.J l)
+    | [] -> error "codegen: break outside loop")
+  | A.Continue _ -> (
+    match st.continue_labels with
+    | l :: _ -> ins st (I.J l)
+    | [] -> error "codegen: continue outside loop")
+  | A.Return (value, _) ->
+    (match (value, st.ret) with
+    | Some e, A.Tfloat ->
+      compile_float_operand st e;
+      let src = fread st (st.fdepth - 1) R.frv in
+      st.fdepth <- st.fdepth - 1;
+      if src <> R.frv then ins st (I.Fmov (R.frv, src))
+    | Some e, _ ->
+      compile_expr st e;
+      if e.ty = A.Tfloat then convert st ~from:A.Tfloat ~target:A.Tint;
+      let src = iread st (st.idepth - 1) R.rv in
+      st.idepth <- st.idepth - 1;
+      if src <> R.rv then ins st (I.Alui (I.Add, R.rv, src, 0))
+    | None, _ -> ());
+    ins st (I.J st.epilogue)
+  | A.Block body -> in_scope st (fun () -> List.iter (compile_stmt st) body)
+
+and compile_expr_stmt st (e : A.expr) =
+  match e.desc with
+  | A.Assign (lv, rhs) -> compile_assign st lv rhs ~want:false
+  | _ ->
+    compile_expr st e;
+    pop_ty st e.ty
+
+and in_scope st f =
+  st.scopes <- [] :: st.scopes;
+  f ();
+  st.scopes <- List.tl st.scopes
+
+and compile_switch st scrut cases default =
+  let end_l = fresh st "swend" in
+  let default_l =
+    match default with Some _ -> fresh st "swdef" | None -> end_l
+  in
+  compile_expr st scrut;
+  let reg = iread st (st.idepth - 1) R.scratch0 in
+  st.idepth <- st.idepth - 1;
+  let case_labels =
+    List.map (fun (values, _) -> (values, fresh st "case")) cases
+  in
+  let all_values = List.concat_map fst cases in
+  (match all_values with
+  | [] -> ins st (I.J default_l)
+  | v0 :: _ ->
+    let vmin = List.fold_left min v0 all_values in
+    let vmax = List.fold_left max v0 all_values in
+    let span = vmax - vmin + 1 in
+    let dense = span <= max 16 (3 * List.length all_values) in
+    if dense then begin
+      (* Bounds-checked jump table: a computed jump, as the paper's
+         "computed jumps we do not attempt to predict". *)
+      let idx =
+        if vmin = 0 then reg
+        else begin
+          ins st (I.Alui (I.Sub, R.scratch1, reg, vmin));
+          R.scratch1
+        end
+      in
+      ins st (I.Bi (I.Lt, idx, 0, default_l));
+      ins st (I.Bi (I.Ge, idx, span, default_l));
+      let table = Array.make span default_l in
+      List.iter2
+        (fun (values, _) (_, label) ->
+          List.iter (fun v -> table.(v - vmin) <- label) values)
+        cases case_labels;
+      ins st (I.Jtab (idx, table))
+    end
+    else begin
+      List.iter
+        (fun (values, label) ->
+          List.iter (fun v -> ins st (I.Bi (I.Eq, reg, v, label))) values)
+        (List.map (fun ((vs, _), (_, l)) -> (vs, l))
+           (List.combine cases case_labels));
+      ins st (I.J default_l)
+    end);
+  st.break_labels <- end_l :: st.break_labels;
+  List.iter2
+    (fun (_, body) (_, label) ->
+      place st label;
+      in_scope st (fun () -> List.iter (compile_stmt st) body))
+    cases case_labels;
+  (match default with
+  | Some body ->
+    place st default_l;
+    in_scope st (fun () -> List.iter (compile_stmt st) body)
+  | None -> ());
+  st.break_labels <- List.tl st.break_labels;
+  place st end_l
+
+(* ------------------------------------------------------------------ *)
+(* Functions and globals. *)
+
+let compile_func us opts (f : A.func) =
+  let st =
+    { us;
+      opts;
+      fname = f.fname;
+      ret = f.ret;
+      items_rev = [];
+      scopes = [ [] ];
+      next_slot = 0;
+      used_sregs = 0;
+      used_fsregs = 0;
+      idepth = 0;
+      fdepth = 0;
+      ispill = Hashtbl.create 8;
+      fspill = Hashtbl.create 8;
+      csave_i = Hashtbl.create 8;
+      csave_f = Hashtbl.create 8;
+      leaf = true;
+      break_labels = [];
+      continue_labels = [];
+      epilogue = Printf.sprintf "%s$epilogue" f.fname }
+  in
+  (* Parameters: copy argument registers into local storage. *)
+  let next_int = ref 0 and next_float = ref 0 in
+  let param (p : A.param) =
+    let storage = alloc_local st p.ptyp in
+    declare st p.pname { v_storage = storage; v_ty = p.ptyp };
+    match p.ptyp with
+    | A.Tfloat ->
+      if !next_float >= 4 then
+        error "codegen: %S has too many float parameters" f.fname;
+      let src = R.farg !next_float in
+      incr next_float;
+      (match storage with
+      | Fsreg r -> ins st (I.Fmov (r, src))
+      | Slot s -> ins st (I.Fsw (src, R.sp, s))
+      | _ -> assert false)
+    | A.Tint | A.Tarr _ ->
+      if !next_int >= R.n_arg_regs then
+        error "codegen: %S has too many parameters" f.fname;
+      let src = R.arg !next_int in
+      incr next_int;
+      (match storage with
+      | Sreg r -> ins st (I.Alui (I.Add, r, src, 0))
+      | Slot s -> ins st (I.Sw (src, R.sp, s))
+      | _ -> assert false)
+    | A.Tvoid -> assert false
+  in
+  List.iter param f.params;
+  List.iter (compile_stmt st) f.body;
+  (* Fall-through return: ints return 0. *)
+  if f.ret = A.Tint then ins st (I.Li (R.rv, 0));
+  place st st.epilogue;
+  let body_rev = st.items_rev in
+  (* Now that register and slot usage is known, build the prologue. *)
+  let ra_slot = if st.leaf then None else Some (alloc_slot st 1) in
+  let sreg_slots =
+    List.init st.used_sregs (fun i -> (R.sav i, alloc_slot st 1))
+  in
+  let fsreg_slots =
+    List.init st.used_fsregs (fun i -> (R.fsav i, alloc_slot st 1))
+  in
+  let frame = st.next_slot in
+  let prologue =
+    (if frame > 0 then [ Asm.Program.Ins (I.Alui (I.Add, R.sp, R.sp, -frame)) ]
+     else [])
+    @ (match ra_slot with
+      | Some s -> [ Asm.Program.Ins (I.Sw (R.ra, R.sp, s)) ]
+      | None -> [])
+    @ List.map
+        (fun (r, s) -> Asm.Program.Ins (I.Sw (r, R.sp, s)))
+        sreg_slots
+    @ List.map
+        (fun (r, s) -> Asm.Program.Ins (I.Fsw (r, R.sp, s)))
+        fsreg_slots
+  in
+  let epilogue_items =
+    List.map (fun (r, s) -> Asm.Program.Ins (I.Lw (r, R.sp, s))) sreg_slots
+    @ List.map
+        (fun (r, s) -> Asm.Program.Ins (I.Flw (r, R.sp, s)))
+        fsreg_slots
+    @ (match ra_slot with
+      | Some s -> [ Asm.Program.Ins (I.Lw (R.ra, R.sp, s)) ]
+      | None -> [])
+    @ (if frame > 0 then
+         [ Asm.Program.Ins (I.Alui (I.Add, R.sp, R.sp, frame)) ]
+       else [])
+    @ [ Asm.Program.Ins (I.Jr R.ra) ]
+  in
+  { Asm.Program.name = f.fname;
+    body = prologue @ List.rev_append body_rev epilogue_items }
+
+let const_float (e : A.expr) =
+  let rec value (e : A.expr) =
+    match e.desc with
+    | A.Int_lit n -> float_of_int n
+    | A.Float_lit x -> x
+    | A.Unop (A.Neg, sub) -> -.value sub
+    | _ -> error "codegen: global initializer must be constant"
+  in
+  value e
+
+let const_int (e : A.expr) =
+  let rec value (e : A.expr) =
+    match e.desc with
+    | A.Int_lit n -> n
+    | A.Float_lit x -> int_of_float x
+    | A.Unop (A.Neg, sub) -> -value sub
+    | _ -> error "codegen: global initializer must be constant"
+  in
+  value e
+
+let layout_global us (g : A.global) =
+  let words = match g.gsize with Some n -> n | None -> 1 in
+  let addr = us.next_addr in
+  us.next_addr <- us.next_addr + words;
+  let cell e =
+    if g.gtyp = A.Tfloat then Asm.Program.Float_cell (const_float e)
+    else Asm.Program.Int_cell (const_int e)
+  in
+  (match g.ginit with
+  | Some (A.Gscalar e) -> us.data <- (addr, [| cell e |]) :: us.data
+  | Some (A.Glist es) ->
+    us.data <- (addr, Array.of_list (List.map cell es)) :: us.data
+  | Some (A.Gstring s) ->
+    let cells =
+      Array.init
+        (String.length s + 1)
+        (fun i ->
+          if i < String.length s then
+            Asm.Program.Int_cell (Char.code s.[i])
+          else Asm.Program.Int_cell 0)
+    in
+    us.data <- (addr, cells) :: us.data
+  | None -> ());
+  let v =
+    match g.gsize with
+    | Some _ -> { v_storage = Global_arr addr; v_ty = A.Tarr g.gtyp }
+    | None -> { v_storage = Global_scalar addr; v_ty = g.gtyp }
+  in
+  Hashtbl.add us.globals g.gname v
+
+let program ?(options = default_options) (prog : A.program) =
+  let us =
+    { label_counter = 0;
+      next_addr = 16;
+      globals = Hashtbl.create 64;
+      data = [];
+      fsigs = Hashtbl.create 64 }
+  in
+  let fsig (f : A.func) =
+    Hashtbl.add us.fsigs f.fname
+      { Minic.Sema.sret = f.ret;
+        sparams = List.map (fun (p : A.param) -> p.ptyp) f.params }
+  in
+  List.iter fsig prog.funcs;
+  List.iter (layout_global us) prog.globals;
+  let start =
+    { Asm.Program.name = "__start";
+      body = [ Asm.Program.Ins (I.Jal "main"); Asm.Program.Ins I.Halt ] }
+  in
+  let procs = start :: List.map (compile_func us options) prog.funcs in
+  { Asm.Program.procs; data = List.rev us.data; entry = "__start" }
+
+let compile ?options source =
+  let ast = Minic.Parser.parse source in
+  ignore (Minic.Sema.check ast);
+  program ?options ast
+
+let compile_flat ?options source =
+  Asm.Program.resolve (compile ?options source)

@@ -1,0 +1,48 @@
+type prepared = {
+  workload : Workloads.Registry.t;
+  flat : Asm.Program.flat;
+  info : Ilp.Program_info.t;
+  trace : Vm.Trace.t;
+  steps : int;
+  halted : int option;
+}
+
+let prepare ?options ?fuel w =
+  let flat, outcome = Workloads.Registry.run ?options ?fuel w in
+  let info = Ilp.Program_info.analyze_flat flat in
+  let halted =
+    match outcome.status with
+    | Vm.Exec.Halted v -> Some v
+    | Out_of_fuel -> None
+    | Fault _ -> None
+  in
+  { workload = w; flat; info; trace = outcome.trace;
+    steps = outcome.steps; halted }
+
+let prepare_source ?(fuel = 10_000_000) ~name source =
+  let w =
+    { Workloads.Registry.name; description = "ad hoc source"; lang = "C";
+      numeric = false; source; fuel; expected_result = None }
+  in
+  prepare w
+
+let profile_predictor p =
+  Predict.Predictor.profile ~n_static:p.info.n
+    ~is_cond:(Ilp.Program_info.is_cond_branch p.info)
+    p.trace
+
+let analyze ?(inline = true) ?(unroll = true) ?(segments = false) ?predictor
+    p machine =
+  let predictor =
+    match predictor with Some pr -> pr | None -> profile_predictor p
+  in
+  let cfg =
+    Ilp.Analyze.config ~inline ~unroll ~collect_segments:segments
+      ~mem_words:Vm.Exec.default_mem_words machine predictor
+  in
+  Ilp.Analyze.run cfg p.info p.trace
+
+let analyze_all ?inline ?unroll p machines =
+  List.map (analyze ?inline ?unroll p) machines
+
+let branch_stats p = Ilp.Stats.branch_stats p.info (profile_predictor p) p.trace

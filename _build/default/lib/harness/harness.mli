@@ -1,0 +1,48 @@
+(** Convenience layer tying the pipeline together: compile a workload,
+    trace it once, and analyze the trace under any machine model.  The
+    trace and static analysis are shared across machine models, as in
+    the paper's simulator. *)
+
+type prepared = {
+  workload : Workloads.Registry.t;
+  flat : Asm.Program.flat;
+  info : Ilp.Program_info.t;
+  trace : Vm.Trace.t;
+  steps : int;
+  halted : int option;  (** the program's return value, when it halted *)
+}
+
+val prepare :
+  ?options:Codegen.Compile.options ->
+  ?fuel:int ->
+  Workloads.Registry.t ->
+  prepared
+(** Compile (optionally with if-conversion), statically analyze, and
+    execute one workload. *)
+
+val prepare_source : ?fuel:int -> name:string -> string -> prepared
+(** Same for an arbitrary Mini-C source string. *)
+
+val profile_predictor : prepared -> Predict.Predictor.t
+(** The paper's predictor: profile statistics from this same trace. *)
+
+val analyze :
+  ?inline:bool ->
+  ?unroll:bool ->
+  ?segments:bool ->
+  ?predictor:Predict.Predictor.t ->
+  prepared ->
+  Ilp.Machine.t ->
+  Ilp.Analyze.result
+(** Run one machine model over the prepared trace.  Defaults follow the
+    paper: perfect inlining and unrolling on, profile prediction. *)
+
+val analyze_all :
+  ?inline:bool ->
+  ?unroll:bool ->
+  prepared ->
+  Ilp.Machine.t list ->
+  Ilp.Analyze.result list
+
+val branch_stats : prepared -> Ilp.Stats.branch_stats
+(** Table 2 statistics for the prepared trace. *)

@@ -1,0 +1,1 @@
+lib/ilp/analyze.ml: Array Machine Predict Program_info Risc Stdx Vm

@@ -1,0 +1,1 @@
+lib/ilp/analyze.mli: Machine Predict Program_info Vm

@@ -1,0 +1,1 @@
+lib/ilp/machine.ml: Printf Program_info

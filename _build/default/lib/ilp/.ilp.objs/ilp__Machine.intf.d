@@ -1,0 +1,1 @@
+lib/ilp/machine.mli: Program_info

@@ -1,0 +1,1 @@
+lib/ilp/program_info.ml: Array Asm Cfg Risc

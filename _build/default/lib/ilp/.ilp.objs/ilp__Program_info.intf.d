@@ -1,0 +1,1 @@
+lib/ilp/program_info.mli: Asm Cfg Risc

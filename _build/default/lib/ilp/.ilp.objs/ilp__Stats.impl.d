@@ -1,0 +1,1 @@
+lib/ilp/stats.ml: Analyze Array Hashtbl List Predict Program_info Stdx Vm

@@ -1,0 +1,1 @@
+lib/ilp/stats.mli: Analyze Predict Program_info Vm

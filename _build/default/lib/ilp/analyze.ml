@@ -1,0 +1,297 @@
+type config = {
+  machine : Machine.t;
+  inline : bool;
+  unroll : bool;
+  predictor : Predict.Predictor.t;
+  collect_segments : bool;
+  mem_words : int;
+}
+
+let config ?(inline = true) ?(unroll = true) ?(collect_segments = false)
+    ?(mem_words = 1024) machine predictor =
+  { machine; inline; unroll; predictor; collect_segments; mem_words }
+
+type segment = {
+  length : int;
+  cycles : int;
+}
+
+type result = {
+  machine : string;
+  counted : int;
+  seq_cycles : int;
+  cycles : int;
+  parallelism : float;
+  dyn_branches : int;
+  mispredicts : int;
+  segments : segment array;
+}
+
+(* Last-write table for memory, auto-growing so synthetic tests can use
+   tiny address spaces while VM traces use the full memory. *)
+module Mem_table = struct
+  type t = { mutable times : int array }
+
+  let create words = { times = Array.make (max words 16) 0 }
+
+  let rec grow t addr =
+    let n = Array.length t.times in
+    if addr >= n then begin
+      let bigger = Array.make (2 * n) 0 in
+      Array.blit t.times 0 bigger 0 n;
+      t.times <- bigger;
+      grow t addr
+    end
+
+  let get t addr =
+    if addr >= Array.length t.times then 0 else t.times.(addr)
+
+  let set t addr time =
+    if addr >= Array.length t.times then grow t addr;
+    t.times.(addr) <- time
+end
+
+(* One procedure activation of the interprocedural control-dependence
+   stack (paper §4.4.1). *)
+type frame = {
+  f_entry : int;  (* sequence number of the activation's first block *)
+  f_ctx_seq : int;  (* call site's resolved control dependence *)
+  f_ctx_time : int;
+  f_ctx_mchain : int;
+}
+
+let run (cfg : config) (info : Program_info.t) trace =
+  let m = cfg.machine in
+  let n_trace = Vm.Trace.length trace in
+  let reg_time = Array.make Risc.Reg.n_unified 0 in
+  let mem = Mem_table.create cfg.mem_words in
+  (* Per static block: data of the most recently *executed* branch
+     instance terminating it.  [cand_seq] is that instance's block
+     sequence number; 0 = no instance yet. *)
+  let cand_seq = Array.make (max info.n_blocks 1) 0 in
+  let b_time = Array.make (max info.n_blocks 1) 0 in
+  let b_mchain = Array.make (max info.n_blocks 1) 0 in
+  let b_proc = Array.make (max info.n_blocks 1) 0 in
+  let seq_counter = ref 0 in
+  let cur_block_seq = ref 0 in
+  (* Current activation; saved frames below it. *)
+  let stack = ref [] in
+  let cur_entry = ref 1 in
+  let ctx_seq = ref 0 and ctx_time = ref 0 and ctx_mchain = ref 0 in
+  let last_branch_time = ref 0 in
+  let last_mispred_time = ref 0 in
+  let flow_time =
+    match m.flows with Some k -> Array.make (max k 1) 0 | None -> [||]
+  in
+  let window =
+    match m.window with Some w -> Array.make (max w 1) 0 | None -> [||]
+  in
+  let win_pos = ref 0 in
+  let counted = ref 0 and seq_cycles = ref 0 and max_time = ref 0 in
+  let dyn_branches = ref 0 and mispredicts = ref 0 in
+  let seg_len = ref 0 and seg_base = ref 0 and seg_max = ref 0 in
+  let segments = Stdx.Vec.create ~dummy:{ length = 0; cycles = 0 } () in
+  (* Control-dependence resolution: the call-site context or the most
+     recent valid RDF branch instance, whichever is newer; dropped
+     entirely when an instance from a newer activation (recursion) is
+     seen.  Results through refs to keep the hot loop allocation-free. *)
+  let r_seq = ref 0 and r_time = ref 0 and r_mchain = ref 0 in
+  let resolve blk =
+    r_seq := !ctx_seq;
+    r_time := !ctx_time;
+    r_mchain := !ctx_mchain;
+    let recursion = ref false in
+    let rdf = info.rdf.(blk) in
+    for k = 0 to Array.length rdf - 1 do
+      let c = rdf.(k) in
+      if cand_seq.(c) > 0 then begin
+        if b_proc.(c) > !cur_entry then recursion := true
+        else if b_proc.(c) = !cur_entry && cand_seq.(c) > !r_seq then begin
+          r_seq := cand_seq.(c);
+          r_time := b_time.(c);
+          r_mchain := b_mchain.(c)
+        end
+      end
+    done;
+    if !recursion then begin
+      r_seq := 0;
+      r_time := 0;
+      r_mchain := 0
+    end
+  in
+  for i = 0 to n_trace - 1 do
+    let pc = Vm.Trace.pc trace i in
+    let blk = info.block_of.(pc) in
+    if pc = info.block_start.(blk) then begin
+      incr seq_counter;
+      cur_block_seq := !seq_counter
+    end;
+    let kind = info.kind.(pc) in
+    (* Interprocedural stack maintenance happens whether or not the call
+       and return instructions themselves are timed. *)
+    (match kind with
+    | Call ->
+      if m.control_dep then resolve blk
+      else begin
+        r_seq := 0;
+        r_time := 0;
+        r_mchain := 0
+      end;
+      stack :=
+        { f_entry = !cur_entry; f_ctx_seq = !ctx_seq;
+          f_ctx_time = !ctx_time; f_ctx_mchain = !ctx_mchain }
+        :: !stack;
+      cur_entry := !seq_counter + 1;
+      ctx_seq := !r_seq;
+      ctx_time := !r_time;
+      ctx_mchain := !r_mchain
+    | Ret -> (
+      match !stack with
+      | f :: rest ->
+        stack := rest;
+        cur_entry := f.f_entry;
+        ctx_seq := f.f_ctx_seq;
+        ctx_time := f.f_ctx_time;
+        ctx_mchain := f.f_ctx_mchain
+      | [] ->
+        cur_entry := 1;
+        ctx_seq := 0;
+        ctx_time := 0;
+        ctx_mchain := 0)
+    | Plain | Cond_branch | Jump | Computed_jump | Stop -> ());
+    let removed =
+      (match kind with
+      | Stop -> true
+      | Call | Ret -> cfg.inline
+      | Plain | Cond_branch | Jump | Computed_jump -> false)
+      || (cfg.inline && info.sp_adjust.(pc))
+      || (cfg.unroll && info.loop_overhead.(pc))
+    in
+    if removed then begin
+      (* A removed loop branch passes its own control dependence through
+         to its dependents (unrolling an inner loop leaves its body
+         dependent on the enclosing branch). *)
+      if kind = Risc.Insn.Cond_branch && m.control_dep then begin
+        resolve blk;
+        cand_seq.(blk) <- !cur_block_seq;
+        b_proc.(blk) <- !cur_entry;
+        b_time.(blk) <- !r_time;
+        b_mchain.(blk) <- !r_mchain
+      end
+    end
+    else begin
+      let is_cbr = kind = Risc.Insn.Cond_branch in
+      let is_cjump =
+        kind = Risc.Insn.Computed_jump
+        || ((not cfg.inline) && kind = Risc.Insn.Ret)
+      in
+      if m.control_dep then resolve blk;
+      let ctrl =
+        if m.oracle then 0
+        else if m.speculate && m.control_dep then !r_mchain
+        else if m.speculate then !last_mispred_time
+        else if m.control_dep then !r_time
+        else !last_branch_time
+      in
+      (* True data dependences. *)
+      let data = ref 0 in
+      let uses = info.uses.(pc) in
+      for k = 0 to Array.length uses - 1 do
+        let time = reg_time.(uses.(k)) in
+        if time > !data then data := time
+      done;
+      (match info.mem.(pc) with
+      | Mem_load ->
+        let time = Mem_table.get mem (Vm.Trace.addr trace i) in
+        if time > !data then data := time
+      | No_mem | Mem_store -> ());
+      let t = ref (1 + max ctrl !data) in
+      (* Branch prediction. *)
+      let mispred = ref false in
+      if is_cbr then begin
+        incr dyn_branches;
+        let taken = Vm.Trace.taken trace i in
+        let predicted = cfg.predictor.predict ~pc ~taken in
+        mispred := predicted <> taken
+      end
+      else if is_cjump then mispred := true;
+      (* Serializing branches compete for the machine's flows of
+         control: one such branch per flow per cycle. *)
+      let serializing =
+        (is_cbr || is_cjump)
+        && (not m.oracle)
+        && ((not m.speculate) || !mispred)
+      in
+      let flow_idx = ref (-1) in
+      if serializing && Array.length flow_time > 0 then begin
+        let best = ref 0 in
+        for k = 1 to Array.length flow_time - 1 do
+          if flow_time.(k) < flow_time.(!best) then best := k
+        done;
+        flow_idx := !best;
+        if flow_time.(!best) + 1 > !t then t := flow_time.(!best) + 1
+      end;
+      (* Finite scheduling window: an instruction cannot issue before
+         the one [w] earlier has issued. *)
+      if Array.length window > 0 then begin
+        if window.(!win_pos) > !t then t := window.(!win_pos);
+        window.(!win_pos) <- !t;
+        win_pos := (!win_pos + 1) mod Array.length window
+      end;
+      let lat =
+        match m.latencies with None -> 1 | Some f -> f info.lat.(pc)
+      in
+      let completion = !t + lat - 1 in
+      (* Record results. *)
+      let defs = info.defs.(pc) in
+      for k = 0 to Array.length defs - 1 do
+        reg_time.(defs.(k)) <- completion
+      done;
+      (match info.mem.(pc) with
+      | Mem_store -> Mem_table.set mem (Vm.Trace.addr trace i) completion
+      | No_mem | Mem_load -> ());
+      incr counted;
+      seq_cycles := !seq_cycles + lat;
+      if completion > !max_time then max_time := completion;
+      if cfg.collect_segments then begin
+        incr seg_len;
+        if completion > !seg_max then seg_max := completion
+      end;
+      if is_cbr || is_cjump then begin
+        cand_seq.(blk) <- !cur_block_seq;
+        b_proc.(blk) <- !cur_entry;
+        b_time.(blk) <- completion;
+        b_mchain.(blk) <- (if !mispred then completion else !r_mchain);
+        last_branch_time := completion;
+        if serializing && !flow_idx >= 0 then
+          flow_time.(!flow_idx) <- completion;
+        if !mispred then begin
+          incr mispredicts;
+          last_mispred_time := completion;
+          if cfg.collect_segments then begin
+            Stdx.Vec.push segments
+              { length = !seg_len;
+                cycles = max 1 (!seg_max - !seg_base) };
+            seg_len := 0;
+            seg_base := completion;
+            seg_max := completion
+          end
+        end
+      end
+    end
+  done;
+  if cfg.collect_segments && !seg_len > 0 then
+    Stdx.Vec.push segments
+      { length = !seg_len; cycles = max 1 (!seg_max - !seg_base) };
+  let parallelism =
+    if !max_time = 0 then 1.
+    else float_of_int !seq_cycles /. float_of_int !max_time
+  in
+  { machine = m.name;
+    counted = !counted;
+    seq_cycles = !seq_cycles;
+    cycles = !max_time;
+    parallelism;
+    dyn_branches = !dyn_branches;
+    mispredicts = !mispredicts;
+    segments = Stdx.Vec.to_array segments }

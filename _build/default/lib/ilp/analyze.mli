@@ -1,0 +1,74 @@
+(** The trace-driven limit analyzer (paper §4.4).
+
+    One pass over a dynamic trace assigns each counted instruction an
+    execution cycle [t = 1 + max(constraints)], where the constraints
+    are:
+
+    - true data dependences: the completion times of the last writers of
+      the registers read and, for loads, of the last store to the same
+      address (perfect disambiguation via trace addresses; anti- and
+      output dependences are ignored — a store only {e sets} the
+      address's time);
+    - the machine's control-flow constraint (see {!Machine});
+    - for serializing branches on a machine with [k] flows of control,
+      availability of a flow (one serializing branch per flow per
+      cycle);
+    - optionally, a finite scheduling window.
+
+    Simulated transformations:
+
+    - {e perfect inlining} removes calls, returns and stack-pointer
+      adjustments from the timed trace; callee instructions inherit the
+      call site's control dependence through an interprocedural stack,
+      with the paper's recursion cutoff (control dependence dropped when
+      an RDF instance stems from a newer procedure activation);
+    - {e perfect unrolling} removes loop-overhead instructions; a
+      removed loop branch passes its own control-dependence constraint
+      through to its dependents, so unrolling an inner loop leaves the
+      body control dependent on the enclosing loop's branch.
+
+    Parallelism is (sequential cycles) / (parallel cycles); with unit
+    latencies the sequential cycles equal the number of counted
+    instructions, exactly as in the paper. *)
+
+type config = {
+  machine : Machine.t;
+  inline : bool;
+  unroll : bool;
+  predictor : Predict.Predictor.t;
+  collect_segments : bool;
+  (** record inter-misprediction segments (Figures 6 and 7) *)
+  mem_words : int;  (** initial size of the memory last-write table *)
+}
+
+val config :
+  ?inline:bool ->
+  ?unroll:bool ->
+  ?collect_segments:bool ->
+  ?mem_words:int ->
+  Machine.t ->
+  Predict.Predictor.t ->
+  config
+(** Defaults: [inline = true], [unroll = true],
+    [collect_segments = false]. *)
+
+(** A run of counted instructions between two consecutive mispredicted
+    branches (the closing branch included).  [length] is the paper's
+    misprediction distance; [length/cycles] its degree of parallelism. *)
+type segment = {
+  length : int;
+  cycles : int;
+}
+
+type result = {
+  machine : string;
+  counted : int;  (** counted (timed) trace instructions *)
+  seq_cycles : int;  (** sequential time; [counted] under unit latency *)
+  cycles : int;  (** parallel execution time *)
+  parallelism : float;
+  dyn_branches : int;  (** dynamic conditional branches counted *)
+  mispredicts : int;  (** mispredicted dynamic branches (incl. computed jumps) *)
+  segments : segment array;  (** empty unless [collect_segments] *)
+}
+
+val run : config -> Program_info.t -> Vm.Trace.t -> result

@@ -1,0 +1,60 @@
+type t = {
+  name : string;
+  oracle : bool;
+  control_dep : bool;
+  speculate : bool;
+  flows : int option;
+  window : int option;
+  latencies : (Program_info.lat_class -> int) option;
+}
+
+let make name ~oracle ~control_dep ~speculate ~flows =
+  { name; oracle; control_dep; speculate; flows; window = None;
+    latencies = None }
+
+let base =
+  make "BASE" ~oracle:false ~control_dep:false ~speculate:false
+    ~flows:(Some 1)
+
+let cd =
+  make "CD" ~oracle:false ~control_dep:true ~speculate:false ~flows:(Some 1)
+
+let cd_mf =
+  make "CD-MF" ~oracle:false ~control_dep:true ~speculate:false ~flows:None
+
+let sp =
+  make "SP" ~oracle:false ~control_dep:false ~speculate:true ~flows:(Some 1)
+
+let sp_cd =
+  make "SP-CD" ~oracle:false ~control_dep:true ~speculate:true
+    ~flows:(Some 1)
+
+let sp_cd_mf =
+  make "SP-CD-MF" ~oracle:false ~control_dep:true ~speculate:true
+    ~flows:None
+
+let oracle =
+  make "ORACLE" ~oracle:true ~control_dep:false ~speculate:false ~flows:None
+
+let all_paper = [ base; cd; cd_mf; sp; sp_cd; sp_cd_mf; oracle ]
+
+let with_window w m =
+  { m with window = Some w; name = Printf.sprintf "%s/w%d" m.name w }
+
+let with_flows flows m =
+  let suffix =
+    match flows with None -> "/mf" | Some k -> Printf.sprintf "/%df" k
+  in
+  { m with flows; name = m.name ^ suffix }
+
+let with_latencies latencies m =
+  { m with latencies = Some latencies; name = m.name ^ "/lat" }
+
+let realistic_latencies = function
+  | Program_info.Lat_int -> 1
+  | Lat_mul -> 4
+  | Lat_div -> 16
+  | Lat_mem -> 2
+  | Lat_fadd -> 3
+  | Lat_fmul -> 5
+  | Lat_fdiv -> 19

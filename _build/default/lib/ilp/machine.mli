@@ -1,0 +1,50 @@
+(** Abstract machine models (paper §3).
+
+    A machine is described by how it relaxes control-flow constraints:
+
+    - [oracle]: perfect branch prediction — no control constraints at
+      all (the ORACLE machine);
+    - [control_dep]: perfect control-dependence information — an
+      instruction waits only for branches it is control dependent on;
+    - [speculate]: speculative execution along the predicted path — only
+      {e mispredicted} branches constrain execution;
+    - [flows]: how many flows of control the machine can follow at once.
+      [Some 1] is a von Neumann uniprocessor: the serializing branches
+      (all branches without speculation, mispredicted branches with it)
+      execute one per cycle, in order.  [None] is the MF limit
+      (unbounded flows); intermediate [Some k] models a k-processor
+      machine and is an extension beyond the paper.
+
+    [window] and [latencies] are ablation knobs, [None] for the paper's
+    idealized setting (unlimited scheduling window, unit latencies). *)
+
+type t = {
+  name : string;
+  oracle : bool;
+  control_dep : bool;
+  speculate : bool;
+  flows : int option;
+  window : int option;
+  latencies : (Program_info.lat_class -> int) option;
+}
+
+val base : t
+val cd : t
+val cd_mf : t
+val sp : t
+val sp_cd : t
+val sp_cd_mf : t
+val oracle : t
+
+val all_paper : t list
+(** The seven machines, in the paper's Table 3 column order. *)
+
+val with_window : int -> t -> t
+
+val with_flows : int option -> t -> t
+
+val with_latencies : (Program_info.lat_class -> int) -> t -> t
+
+val realistic_latencies : Program_info.lat_class -> int
+(** A representative early-90s latency set: int 1, load/store 2, mul 4,
+    div 16, FP add 3, FP mul 5, FP div 19. *)

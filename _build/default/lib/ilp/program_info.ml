@@ -1,0 +1,72 @@
+type lat_class =
+  | Lat_int
+  | Lat_mul
+  | Lat_div
+  | Lat_mem
+  | Lat_fadd
+  | Lat_fmul
+  | Lat_fdiv
+
+type mem_kind = No_mem | Mem_load | Mem_store
+
+type t = {
+  n : int;
+  kind : Risc.Insn.kind array;
+  uses : int array array;
+  defs : int array array;
+  mem : mem_kind array;
+  sp_adjust : bool array;
+  loop_overhead : bool array;
+  lat : lat_class array;
+  block_of : int array;
+  block_start : int array;
+  n_blocks : int;
+  rdf : int array array;
+}
+
+let lat_class_of (insn : int Risc.Insn.t) =
+  match insn with
+  | Alu (Mul, _, _, _) | Alui (Mul, _, _, _) -> Lat_mul
+  | Alu ((Div | Rem), _, _, _) | Alui ((Div | Rem), _, _, _) -> Lat_div
+  | Lw _ | Sw _ | Flw _ | Fsw _ -> Lat_mem
+  | Falu (Fmul, _, _, _) -> Lat_fmul
+  | Falu (Fdiv, _, _, _) -> Lat_fdiv
+  | Falu ((Fadd | Fsub), _, _, _) | Fcmp _ | Fmov _ | I2f _ | F2i _
+  | Fli _ ->
+    Lat_fadd
+  | Alu _ | Alui _ | Li _ | Movn _ | B _ | Bi _ | J _ | Jal _ | Jr _
+  | Jtab _ | Halt ->
+    Lat_int
+
+let of_flat (flat : Asm.Program.flat) (cfg : Cfg.Analysis.t) =
+  let n = Array.length flat.code in
+  let g = cfg.graph in
+  let n_blocks = Array.length g.blocks in
+  { n;
+    kind = Array.map Risc.Insn.kind flat.code;
+    uses = Array.map (fun i -> Array.of_list (Risc.Insn.uses i)) flat.code;
+    defs = Array.map (fun i -> Array.of_list (Risc.Insn.defs i)) flat.code;
+    mem =
+      Array.map
+        (fun i ->
+          if Risc.Insn.is_load i then Mem_load
+          else if Risc.Insn.is_store i then Mem_store
+          else No_mem)
+        flat.code;
+    sp_adjust = Array.map Risc.Insn.writes_sp flat.code;
+    loop_overhead = cfg.loops.overhead;
+    lat = Array.map lat_class_of flat.code;
+    block_of = g.block_of;
+    block_start = Array.map (fun b -> b.Cfg.Graph.start) g.blocks;
+    n_blocks;
+    rdf = cfg.rdf }
+
+let analyze_flat flat = of_flat flat (Cfg.Analysis.analyze flat)
+
+let is_cond_branch info pc = info.kind.(pc) = Risc.Insn.Cond_branch
+
+let branch_backward (flat : Asm.Program.flat) pc =
+  match flat.code.(pc) with
+  | Risc.Insn.B (_, _, _, target) | Risc.Insn.Bi (_, _, _, target) ->
+    target <= pc
+  | _ -> false

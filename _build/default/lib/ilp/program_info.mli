@@ -1,0 +1,47 @@
+(** Static program information consumed by the limit analyzer.
+
+    This is deliberately a plain record of arrays so that unit tests can
+    construct small synthetic programs directly; [of_flat] derives it
+    from a resolved program and its CFG analysis. *)
+
+(** Latency class, used only by the non-unit-latency ablation. *)
+type lat_class =
+  | Lat_int  (** simple integer ALU, branches, moves *)
+  | Lat_mul
+  | Lat_div
+  | Lat_mem  (** loads and stores *)
+  | Lat_fadd  (** FP add/sub/compare/convert *)
+  | Lat_fmul
+  | Lat_fdiv
+
+type mem_kind = No_mem | Mem_load | Mem_store
+
+type t = {
+  n : int;  (** number of static instructions *)
+  kind : Risc.Insn.kind array;
+  uses : int array array;  (** unified register ids read *)
+  defs : int array array;  (** unified register ids written *)
+  mem : mem_kind array;
+  sp_adjust : bool array;
+  (** writes the stack pointer: removed by perfect inlining *)
+  loop_overhead : bool array;
+  (** loop index/induction overhead: removed by perfect unrolling *)
+  lat : lat_class array;
+  block_of : int array;  (** instruction -> global block id *)
+  block_start : int array;  (** per block: first instruction *)
+  n_blocks : int;
+  rdf : int array array;
+  (** per block: blocks whose terminating branches it is immediately
+      control dependent on *)
+}
+
+val of_flat : Asm.Program.flat -> Cfg.Analysis.t -> t
+
+val analyze_flat : Asm.Program.flat -> t
+(** [of_flat] composed with {!Cfg.Analysis.analyze}. *)
+
+val is_cond_branch : t -> int -> bool
+
+val branch_backward : Asm.Program.flat -> int -> bool
+(** Is the conditional branch at this pc backward (target <= pc)?  Used
+    by the BTFN predictor. *)

@@ -1,0 +1,76 @@
+type branch_stats = {
+  dyn_branches : int;
+  trace_len : int;
+  rate : float;
+  instrs_between : float;
+}
+
+let branch_stats info (predictor : Predict.Predictor.t) trace =
+  let dyn = ref 0 and correct = ref 0 in
+  let entry ~pc ~aux =
+    if Program_info.is_cond_branch info pc then begin
+      incr dyn;
+      let taken = aux = 1 in
+      if predictor.predict ~pc ~taken = taken then incr correct
+    end
+  in
+  Vm.Trace.iter entry trace;
+  let len = Vm.Trace.length trace in
+  { dyn_branches = !dyn;
+    trace_len = len;
+    rate =
+      (if !dyn = 0 then 100.
+       else 100. *. float_of_int !correct /. float_of_int !dyn);
+    instrs_between =
+      (if !dyn = 0 then float_of_int len
+       else float_of_int len /. float_of_int !dyn) }
+
+let distance_histogram segments =
+  let hist = Hashtbl.create 256 in
+  let seg (s : Analyze.segment) =
+    let count =
+      match Hashtbl.find_opt hist s.length with Some c -> c | None -> 0
+    in
+    Hashtbl.replace hist s.length (count + 1)
+  in
+  Array.iter seg segments;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) hist []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let cumulative_distances segments =
+  Stdx.Stats.cumulative (distance_histogram segments)
+
+type bucket = {
+  lo : int;
+  hi : int;
+  count : int;
+  mean_parallelism : float;
+}
+
+let bucket_index len =
+  (* 1 -> 0; 2 -> 1; 3-4 -> 2; 5-8 -> 3; ... *)
+  let rec go idx hi = if len <= hi then idx else go (idx + 1) (hi * 2) in
+  go 0 1
+
+let bucket_bounds idx =
+  if idx = 0 then (1, 1) else ((1 lsl (idx - 1)) + 1, 1 lsl idx)
+
+let parallelism_by_distance segments =
+  let table : (int, float list) Hashtbl.t = Hashtbl.create 32 in
+  let seg (s : Analyze.segment) =
+    let idx = bucket_index s.length in
+    let par = float_of_int s.length /. float_of_int s.cycles in
+    let existing =
+      match Hashtbl.find_opt table idx with Some l -> l | None -> []
+    in
+    Hashtbl.replace table idx (par :: existing)
+  in
+  Array.iter seg segments;
+  Hashtbl.fold
+    (fun idx pars acc ->
+      let lo, hi = bucket_bounds idx in
+      { lo; hi; count = List.length pars;
+        mean_parallelism = Stdx.Stats.harmonic_mean pars }
+      :: acc)
+    table []
+  |> List.sort (fun a b -> compare a.lo b.lo)

@@ -1,0 +1,30 @@
+(** Statistics the paper reports alongside the parallelism limits. *)
+
+(** Table 2: conditional-branch prediction rate and dynamic density. *)
+type branch_stats = {
+  dyn_branches : int;  (** dynamic conditional branches in the trace *)
+  trace_len : int;  (** dynamic instructions in the trace *)
+  rate : float;  (** percent predicted correctly *)
+  instrs_between : float;  (** dynamic instructions per conditional branch *)
+}
+
+val branch_stats :
+  Program_info.t -> Predict.Predictor.t -> Vm.Trace.t -> branch_stats
+
+val distance_histogram : Analyze.segment array -> (int * int) list
+(** Misprediction-distance histogram [(distance, occurrences)], sorted. *)
+
+val cumulative_distances : Analyze.segment array -> (int * float) list
+(** Figure 6: cumulative distribution of misprediction distances. *)
+
+(** One Figure 7 bucket: segments whose length falls in [lo..hi]. *)
+type bucket = {
+  lo : int;
+  hi : int;
+  count : int;
+  mean_parallelism : float;  (** harmonic mean of length/cycles *)
+}
+
+val parallelism_by_distance : Analyze.segment array -> bucket list
+(** Figure 7: harmonic-mean segment parallelism per power-of-two
+    misprediction-distance bucket. *)

@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Array Ast Char Format Hashtbl List Option Risc String

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Ast Buffer Format Lexer List String

@@ -1,0 +1,111 @@
+(* Abstract syntax of Mini-C, the small C-like language the benchmark
+   programs are written in.
+
+   The language has [int] and [float] scalars, one-dimensional arrays,
+   functions with scalar and array parameters, the usual statement forms
+   (if/while/for/switch/break/continue/return), short-circuit booleans,
+   and C operator precedence.  Arrays do not nest, there are no pointers
+   (array parameters are passed by reference), and [string] literals are
+   only allowed as global [int] array initializers (character codes plus
+   a 0 terminator). *)
+
+type typ =
+  | Tint
+  | Tfloat
+  | Tvoid
+  | Tarr of typ  (* element type; arrays are always one-dimensional *)
+
+type unop = Neg | Lnot | Bnot
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land
+  | Lor
+
+type expr = {
+  desc : expr_desc;
+  mutable ty : typ;  (* filled in by semantic analysis; Tvoid initially *)
+  line : int;
+}
+
+and expr_desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr
+  | Call of string * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of lvalue * expr
+
+and lvalue =
+  | Lvar of string
+  | Lindex of string * expr
+
+type stmt =
+  | Decl of typ * string * int option * expr option
+    (* type, name, array size, scalar initializer *)
+  | Expr of expr
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | For of expr option * expr option * expr option * stmt
+  | Switch of expr * (int list * stmt list) list * stmt list option
+    (* scrutinee, cases (labels, body), default body *)
+  | Break of int  (* line *)
+  | Continue of int  (* line *)
+  | Return of expr option * int
+  | Block of stmt list
+
+type ginit =
+  | Gscalar of expr
+  | Glist of expr list
+  | Gstring of string
+
+type global = {
+  gtyp : typ;
+  gname : string;
+  gsize : int option;  (* None for scalars; Some n for arrays *)
+  ginit : ginit option;
+  gline : int;
+}
+
+type param = {
+  ptyp : typ;  (* Tarr elem for array parameters *)
+  pname : string;
+}
+
+type func = {
+  ret : typ;
+  fname : string;
+  params : param list;
+  body : stmt list;
+  fline : int;
+}
+
+type program = {
+  globals : global list;
+  funcs : func list;
+}
+
+let rec pp_typ ppf = function
+  | Tint -> Format.fprintf ppf "int"
+  | Tfloat -> Format.fprintf ppf "float"
+  | Tvoid -> Format.fprintf ppf "void"
+  | Tarr t -> Format.fprintf ppf "%a[]" pp_typ t
+
+let mk ?(line = 0) desc = { desc; ty = Tvoid; line }

@@ -1,0 +1,366 @@
+exception Runtime_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type value =
+  | Vint of int
+  | Vfloat of float
+
+(* Array storage matches the typed memory of the VM: int and float
+   arrays are distinct. *)
+type slot =
+  | Scalar of value ref
+  | Int_arr of int array
+  | Float_arr of float array
+
+type state = {
+  globals : (string, slot) Hashtbl.t;
+  funcs : (string, Ast.func) Hashtbl.t;
+  mutable fuel : int;
+}
+
+exception Return_exc of value option
+exception Break_exc
+exception Continue_exc
+
+let tick st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then err "out of fuel"
+
+let to_int = function
+  | Vint n -> n
+  | Vfloat x -> int_of_float x
+
+let to_float = function
+  | Vint n -> float_of_int n
+  | Vfloat x -> x
+
+let truthy v = to_int (match v with Vint _ -> v | Vfloat x -> Vint (if x <> 0. then 1 else 0)) <> 0
+
+(* Scoped local environment: a stack of association lists. *)
+type env = {
+  mutable scopes : (string * slot) list list;
+}
+
+let push_scope env = env.scopes <- [] :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+let declare env name slot =
+  match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, slot) :: scope) :: rest
+  | [] -> err "no scope"
+
+let lookup st env name =
+  let rec find = function
+    | [] -> (
+      match Hashtbl.find_opt st.globals name with
+      | Some s -> s
+      | None -> err "unbound variable %s" name)
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some s -> s
+      | None -> find rest)
+  in
+  find env.scopes
+
+let alu_of_binop : Ast.binop -> Risc.Insn.alu option = function
+  | Ast.Add -> Some Risc.Insn.Add
+  | Ast.Sub -> Some Risc.Insn.Sub
+  | Ast.Mul -> Some Risc.Insn.Mul
+  | Ast.Div -> Some Risc.Insn.Div
+  | Ast.Rem -> Some Risc.Insn.Rem
+  | Ast.Band -> Some Risc.Insn.And
+  | Ast.Bor -> Some Risc.Insn.Or
+  | Ast.Bxor -> Some Risc.Insn.Xor
+  | Ast.Shl -> Some Risc.Insn.Sll
+  | Ast.Shr -> Some Risc.Insn.Sra
+  | Ast.Eq -> Some Risc.Insn.Seq
+  | Ast.Ne -> Some Risc.Insn.Sne
+  | Ast.Lt -> Some Risc.Insn.Slt
+  | Ast.Le -> Some Risc.Insn.Sle
+  | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor -> None
+
+let float_cmp op a b =
+  let r =
+    match (op : Ast.binop) with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+    | _ -> err "not a comparison"
+  in
+  Vint (if r then 1 else 0)
+
+let rec eval st env (e : Ast.expr) : value =
+  tick st;
+  match e.desc with
+  | Int_lit n -> Vint n
+  | Float_lit x -> Vfloat x
+  | Var name -> (
+    match lookup st env name with
+    | Scalar r -> !r
+    | Int_arr _ | Float_arr _ -> err "array %s used as a value" name)
+  | Index (name, idx) -> (
+    let i = to_int (eval st env idx) in
+    match lookup st env name with
+    | Int_arr a ->
+      if i < 0 || i >= Array.length a then err "index out of bounds";
+      Vint a.(i)
+    | Float_arr a ->
+      if i < 0 || i >= Array.length a then err "index out of bounds";
+      Vfloat a.(i)
+    | Scalar _ -> err "%s is not an array" name)
+  | Call (fname, args) -> call st env fname args
+  | Unop (op, sub) -> (
+    let v = eval st env sub in
+    match (op, v) with
+    | Ast.Neg, Vint n -> Vint (-n)
+    | Ast.Neg, Vfloat x -> Vfloat (-.x)
+    | Ast.Lnot, v -> Vint (if truthy v then 0 else 1)
+    | Ast.Bnot, Vint n -> Vint (lnot n)
+    | Ast.Bnot, Vfloat _ -> err "~ on float")
+  | Binop (Ast.Land, a, b) ->
+    if truthy (eval st env a) then
+      if truthy (eval st env b) then Vint 1 else Vint 0
+    else Vint 0
+  | Binop (Ast.Lor, a, b) ->
+    if truthy (eval st env a) then Vint 1
+    else if truthy (eval st env b) then Vint 1
+    else Vint 0
+  | Binop (op, a, b) -> (
+    let va = eval st env a in
+    let vb = eval st env b in
+    match (va, vb) with
+    | Vint x, Vint y -> (
+      let op, x, y =
+        (* Gt/Ge mirror to Lt/Le as the code generator does. *)
+        match op with
+        | Ast.Gt -> (Ast.Lt, y, x)
+        | Ast.Ge -> (Ast.Le, y, x)
+        | _ -> (op, x, y)
+      in
+      match alu_of_binop op with
+      | Some alu -> (
+        match Risc.Insn.eval_alu alu x y with
+        | v -> Vint v
+        | exception Division_by_zero -> err "division by zero")
+      | None -> err "bad int binop")
+    | _ ->
+      let x = to_float va and y = to_float vb in
+      (match op with
+      | Ast.Add -> Vfloat (x +. y)
+      | Ast.Sub -> Vfloat (x -. y)
+      | Ast.Mul -> Vfloat (x *. y)
+      | Ast.Div -> Vfloat (x /. y)
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+        float_cmp op x y
+      | _ -> err "bad float binop"))
+  | Assign (lv, rhs) ->
+    let v = eval st env rhs in
+    assign st env lv v
+
+and assign st env lv v =
+  match lv with
+  | Ast.Lvar name -> (
+    match lookup st env name with
+    | Scalar r ->
+      let stored =
+        match !r with
+        | Vint _ -> Vint (to_int v)
+        | Vfloat _ -> Vfloat (to_float v)
+      in
+      r := stored;
+      stored
+    | Int_arr _ | Float_arr _ -> err "cannot assign to array %s" name)
+  | Ast.Lindex (name, idx) -> (
+    let i = to_int (eval st env idx) in
+    match lookup st env name with
+    | Int_arr a ->
+      if i < 0 || i >= Array.length a then err "index out of bounds";
+      a.(i) <- to_int v;
+      Vint a.(i)
+    | Float_arr a ->
+      if i < 0 || i >= Array.length a then err "index out of bounds";
+      a.(i) <- to_float v;
+      Vfloat a.(i)
+    | Scalar _ -> err "%s is not an array" name)
+
+and call st env fname args =
+  let f =
+    match Hashtbl.find_opt st.funcs fname with
+    | Some f -> f
+    | None -> err "unknown function %s" fname
+  in
+  let bind (p : Ast.param) arg =
+    match p.ptyp with
+    | Ast.Tarr _ -> (
+      (* Pass arrays by reference. *)
+      match arg with
+      | { Ast.desc = Ast.Var name; _ } -> (
+        match lookup st env name with
+        | (Int_arr _ | Float_arr _) as slot -> (p.pname, slot)
+        | Scalar _ -> err "argument %s is not an array" name)
+      | _ -> err "array argument must be a variable")
+    | Ast.Tint -> (p.pname, Scalar (ref (Vint (to_int (eval st env arg)))))
+    | Ast.Tfloat ->
+      (p.pname, Scalar (ref (Vfloat (to_float (eval st env arg)))))
+    | Ast.Tvoid -> err "void parameter"
+  in
+  let bindings = List.map2 bind f.params args in
+  let fenv = { scopes = [ bindings ] } in
+  match List.iter (exec st fenv) f.body with
+  | () -> (
+    match f.ret with
+    | Ast.Tint -> Vint 0  (* fall-through default, as compiled code *)
+    | _ -> Vint 0)
+  | exception Return_exc v -> (
+    match (v, f.ret) with
+    | Some v, Ast.Tint -> Vint (to_int v)
+    | Some v, Ast.Tfloat -> Vfloat (to_float v)
+    | _, _ -> Vint 0)
+
+and exec st env (s : Ast.stmt) =
+  tick st;
+  match s with
+  | Decl (ty, name, size, init) -> (
+    match (size, ty) with
+    | Some n, Ast.Tint -> declare env name (Int_arr (Array.make n 0))
+    | Some n, Ast.Tfloat -> declare env name (Float_arr (Array.make n 0.))
+    | Some _, _ -> err "bad array type"
+    | None, _ ->
+      let default =
+        match ty with Ast.Tfloat -> Vfloat 0. | _ -> Vint 0
+      in
+      let r = ref default in
+      declare env name (Scalar r);
+      (match init with
+      | Some e ->
+        let v = eval st env e in
+        r := (match ty with
+             | Ast.Tfloat -> Vfloat (to_float v)
+             | _ -> Vint (to_int v))
+      | None -> ()))
+  | Expr e -> ignore (eval st env e)
+  | If (c, then_s, else_s) ->
+    if truthy (eval st env c) then in_scope env (fun () -> exec st env then_s)
+    else Option.iter (fun s -> in_scope env (fun () -> exec st env s)) else_s
+  | While (c, body) -> (
+    try
+      while truthy (eval st env c) do
+        try in_scope env (fun () -> exec st env body)
+        with Continue_exc -> ()
+      done
+    with Break_exc -> ())
+  | For (init, c, step, body) -> (
+    Option.iter (fun e -> ignore (eval st env e)) init;
+    let cond () =
+      match c with Some c -> truthy (eval st env c) | None -> true
+    in
+    try
+      while cond () do
+        (try in_scope env (fun () -> exec st env body)
+         with Continue_exc -> ());
+        Option.iter (fun e -> ignore (eval st env e)) step
+      done
+    with Break_exc -> ())
+  | Switch (scrut, cases, default) -> (
+    let v = to_int (eval st env scrut) in
+    (* Find the matching case (or default) and fall through. *)
+    let bodies = List.map snd cases in
+    let rec find idx = function
+      | [] -> None
+      | (labels, _) :: rest ->
+        if List.mem v labels then Some idx else find (idx + 1) rest
+    in
+    let run_from idx =
+      let rec go i = function
+        | [] -> Option.iter (List.iter (exec st env)) default
+        | body :: rest ->
+          if i >= idx then List.iter (exec st env) body;
+          go (i + 1) rest
+      in
+      go 0 bodies
+    in
+    try
+      in_scope env (fun () ->
+          match find 0 cases with
+          | Some idx -> run_from idx
+          | None -> Option.iter (List.iter (exec st env)) default)
+    with Break_exc -> ())
+  | Break _ -> raise Break_exc
+  | Continue _ -> raise Continue_exc
+  | Return (e, _) ->
+    let v = Option.map (eval st env) e in
+    raise (Return_exc v)
+  | Block body -> in_scope env (fun () -> List.iter (exec st env) body)
+
+and in_scope env f =
+  push_scope env;
+  (try f ()
+   with e ->
+     pop_scope env;
+     raise e);
+  pop_scope env
+
+let init_global st (g : Ast.global) =
+  let const_int (e : Ast.expr) =
+    let rec v (e : Ast.expr) =
+      match e.desc with
+      | Int_lit n -> n
+      | Float_lit x -> int_of_float x
+      | Unop (Ast.Neg, s) -> -v s
+      | _ -> err "non-constant global initializer"
+    in
+    v e
+  in
+  let const_float (e : Ast.expr) =
+    let rec v (e : Ast.expr) =
+      match e.desc with
+      | Int_lit n -> float_of_int n
+      | Float_lit x -> x
+      | Unop (Ast.Neg, s) -> -.v s
+      | _ -> err "non-constant global initializer"
+    in
+    v e
+  in
+  let slot =
+    match (g.gsize, g.gtyp) with
+    | None, Ast.Tfloat ->
+      let x =
+        match g.ginit with
+        | Some (Gscalar e) -> const_float e
+        | _ -> 0.
+      in
+      Scalar (ref (Vfloat x))
+    | None, _ ->
+      let n =
+        match g.ginit with Some (Gscalar e) -> const_int e | _ -> 0
+      in
+      Scalar (ref (Vint n))
+    | Some n, Ast.Tfloat ->
+      let a = Array.make n 0. in
+      (match g.ginit with
+      | Some (Glist es) -> List.iteri (fun i e -> a.(i) <- const_float e) es
+      | _ -> ());
+      Float_arr a
+    | Some n, _ ->
+      let a = Array.make n 0 in
+      (match g.ginit with
+      | Some (Glist es) -> List.iteri (fun i e -> a.(i) <- const_int e) es
+      | Some (Gstring s) ->
+        String.iteri (fun i c -> a.(i) <- Char.code c) s
+      | _ -> ());
+      Int_arr a
+  in
+  Hashtbl.add st.globals g.gname slot
+
+let run ?(fuel = 10_000_000) (prog : Ast.program) =
+  let st =
+    { globals = Hashtbl.create 64; funcs = Hashtbl.create 64; fuel }
+  in
+  List.iter (init_global st) prog.globals;
+  List.iter (fun (f : Ast.func) -> Hashtbl.add st.funcs f.fname f) prog.funcs;
+  let env = { scopes = [ [] ] } in
+  to_int (call st env "main" [])

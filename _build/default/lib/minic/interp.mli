@@ -1,0 +1,15 @@
+(** Reference interpreter for Mini-C.
+
+    Evaluates the type-checked AST directly, with the same arithmetic
+    semantics as the target ISA (shared via {!Risc.Insn.eval_alu}).
+    Used as the oracle in differential tests of the code generator and
+    VM: for any program, [run ast] must equal executing the compiled
+    code. *)
+
+exception Runtime_error of string
+(** Division by zero, out-of-bounds access, or fuel exhaustion. *)
+
+val run : ?fuel:int -> Ast.program -> int
+(** Interprets [main].  [fuel] (default 10 million) bounds the number of
+    statements and expression nodes evaluated.
+    @raise Runtime_error on a dynamic error. *)

@@ -1,0 +1,174 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Kw of string
+  | Punct of string
+  | Eof
+
+type t = {
+  tok : token;
+  line : int;
+}
+
+exception Error of string * int
+
+let keywords =
+  [ "int"; "float"; "void"; "if"; "else"; "while"; "for"; "switch";
+    "case"; "default"; "break"; "continue"; "return" ]
+
+(* Multi-character operators first, so the longest match wins. *)
+let puncts =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "+"; "-"; "*"; "/";
+    "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "="; "("; ")"; "{"; "}";
+    "["; "]"; ";"; ","; ":" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_digit c || is_alpha c
+
+let escape_char line = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> raise (Error (Printf.sprintf "bad escape '\\%c'" c, line))
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let out = ref [] in
+  let emit tok = out := { tok; line = !line } :: !out in
+  let peek off = if !pos + off < n then src.[!pos + off] else '\000' in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && peek 1 = '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then raise (Error ("unterminated comment", !line))
+    end
+    else if is_digit c || (c = '.' && is_digit (peek 1)) then begin
+      let start = !pos in
+      while is_digit (peek 0) do
+        incr pos
+      done;
+      let is_float = ref false in
+      if peek 0 = '.' then begin
+        is_float := true;
+        incr pos;
+        while is_digit (peek 0) do
+          incr pos
+        done
+      end;
+      if peek 0 = 'e' || peek 0 = 'E' then begin
+        is_float := true;
+        incr pos;
+        if peek 0 = '+' || peek 0 = '-' then incr pos;
+        while is_digit (peek 0) do
+          incr pos
+        done
+      end;
+      let text = String.sub src start (!pos - start) in
+      if !is_float then emit (Float (float_of_string text))
+      else emit (Int (int_of_string text))
+    end
+    else if is_alpha c then begin
+      let start = !pos in
+      while is_alnum (peek 0) do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      if List.mem text keywords then emit (Kw text) else emit (Ident text)
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let ch =
+        if peek 0 = '\\' then begin
+          incr pos;
+          let e = escape_char !line (peek 0) in
+          incr pos;
+          e
+        end
+        else begin
+          let ch = peek 0 in
+          incr pos;
+          ch
+        end
+      in
+      if peek 0 <> '\'' then raise (Error ("unterminated char literal", !line));
+      incr pos;
+      emit (Int (Char.code ch))
+    end
+    else if c = '"' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        let d = src.[!pos] in
+        if d = '"' then begin
+          closed := true;
+          incr pos
+        end
+        else if d = '\\' then begin
+          incr pos;
+          Buffer.add_char buf (escape_char !line (peek 0));
+          incr pos
+        end
+        else begin
+          if d = '\n' then incr line;
+          Buffer.add_char buf d;
+          incr pos
+        end
+      done;
+      if not !closed then raise (Error ("unterminated string", !line));
+      emit (String (Buffer.contents buf))
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun p ->
+            let len = String.length p in
+            !pos + len <= n && String.sub src !pos len = p)
+          puncts
+      in
+      match matched with
+      | Some p ->
+        pos := !pos + String.length p;
+        emit (Punct p)
+      | None -> raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  emit Eof;
+  List.rev !out
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Int i -> Format.fprintf ppf "integer %d" i
+  | Float x -> Format.fprintf ppf "float %g" x
+  | String s -> Format.fprintf ppf "string %S" s
+  | Kw s -> Format.fprintf ppf "keyword %S" s
+  | Punct s -> Format.fprintf ppf "%S" s
+  | Eof -> Format.fprintf ppf "end of input"

@@ -1,0 +1,22 @@
+(** Hand-written lexer for Mini-C. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Kw of string  (** keywords: int float void if else while for ... *)
+  | Punct of string  (** operators and punctuation, longest match *)
+  | Eof
+
+type t = {
+  tok : token;
+  line : int;
+}
+
+exception Error of string * int  (** message, line *)
+
+val tokenize : string -> t list
+(** @raise Error on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

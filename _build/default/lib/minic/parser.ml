@@ -1,0 +1,470 @@
+exception Error of string * int
+
+type state = {
+  mutable toks : Lexer.t list;
+}
+
+let err st fmt =
+  let line = match st.toks with [] -> 0 | t :: _ -> t.Lexer.line in
+  Format.kasprintf (fun s -> raise (Error (s, line))) fmt
+
+let peek st =
+  match st.toks with [] -> Lexer.Eof | t :: _ -> t.Lexer.tok
+
+let peek2 st =
+  match st.toks with _ :: t :: _ -> t.Lexer.tok | _ -> Lexer.Eof
+
+let line st = match st.toks with [] -> 0 | t :: _ -> t.Lexer.line
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_punct st p =
+  match peek st with
+  | Lexer.Punct q when q = p -> advance st
+  | tok -> err st "expected %S, found %a" p Lexer.pp_token tok
+
+let expect_kw st k =
+  match peek st with
+  | Lexer.Kw q when q = k -> advance st
+  | tok -> err st "expected %S, found %a" k Lexer.pp_token tok
+
+let expect_ident st =
+  match peek st with
+  | Lexer.Ident name ->
+    advance st;
+    name
+  | tok -> err st "expected identifier, found %a" Lexer.pp_token tok
+
+let expect_int st =
+  match peek st with
+  | Lexer.Int i ->
+    advance st;
+    i
+  | Lexer.Punct "-" -> (
+    advance st;
+    match peek st with
+    | Lexer.Int i ->
+      advance st;
+      -i
+    | tok -> err st "expected integer, found %a" Lexer.pp_token tok)
+  | tok -> err st "expected integer, found %a" Lexer.pp_token tok
+
+let is_type_kw = function
+  | Lexer.Kw ("int" | "float" | "void") -> true
+  | _ -> false
+
+let base_type st =
+  match peek st with
+  | Lexer.Kw "int" ->
+    advance st;
+    Ast.Tint
+  | Lexer.Kw "float" ->
+    advance st;
+    Ast.Tfloat
+  | Lexer.Kw "void" ->
+    advance st;
+    Ast.Tvoid
+  | tok -> err st "expected a type, found %a" Lexer.pp_token tok
+
+(* Binary operator precedence, loosest first (C levels). *)
+let bin_levels : (string * Ast.binop) list list =
+  [ [ ("||", Ast.Lor) ];
+    [ ("&&", Ast.Land) ];
+    [ ("|", Ast.Bor) ];
+    [ ("^", Ast.Bxor) ];
+    [ ("&", Ast.Band) ];
+    [ ("==", Ast.Eq); ("!=", Ast.Ne) ];
+    [ ("<=", Ast.Le); (">=", Ast.Ge); ("<", Ast.Lt); (">", Ast.Gt) ];
+    [ ("<<", Ast.Shl); (">>", Ast.Shr) ];
+    [ ("+", Ast.Add); ("-", Ast.Sub) ];
+    [ ("*", Ast.Mul); ("/", Ast.Div); ("%", Ast.Rem) ] ]
+
+let rec expr st = assignment st
+
+and assignment st =
+  (* lvalue '=' expr, detected by lookahead; otherwise a binary expr. *)
+  match (peek st, peek2 st) with
+  | Lexer.Ident name, Lexer.Punct "=" ->
+    let ln = line st in
+    advance st;
+    advance st;
+    let rhs = assignment st in
+    Ast.mk ~line:ln (Ast.Assign (Ast.Lvar name, rhs))
+  | Lexer.Ident name, Lexer.Punct "[" ->
+    (* Could be an indexed assignment or an indexing expression; parse
+       the index, then decide. *)
+    let ln = line st in
+    advance st;
+    advance st;
+    let idx = expr st in
+    expect_punct st "]";
+    if peek st = Lexer.Punct "=" then begin
+      advance st;
+      let rhs = assignment st in
+      Ast.mk ~line:ln (Ast.Assign (Ast.Lindex (name, idx), rhs))
+    end
+    else begin
+      let base = Ast.mk ~line:ln (Ast.Index (name, idx)) in
+      binary_from st 0 (postfix_continue st base)
+    end
+  | _ -> binary st 0
+
+and binary st level = binary_from st level (unary st)
+
+and binary_from st level lhs =
+  if level >= List.length bin_levels then lhs
+  else begin
+    let lhs = binary_from st (level + 1) lhs in
+    let ops = List.nth bin_levels level in
+    let rec loop lhs =
+      match peek st with
+      | Lexer.Punct p when List.mem_assoc p ops ->
+        let ln = line st in
+        advance st;
+        let rhs = binary st (level + 1) in
+        loop (Ast.mk ~line:ln (Ast.Binop (List.assoc p ops, lhs, rhs)))
+      | _ -> lhs
+    in
+    loop lhs
+  end
+
+and unary st =
+  let ln = line st in
+  match peek st with
+  | Lexer.Punct "-" ->
+    advance st;
+    Ast.mk ~line:ln (Ast.Unop (Ast.Neg, unary st))
+  | Lexer.Punct "!" ->
+    advance st;
+    Ast.mk ~line:ln (Ast.Unop (Ast.Lnot, unary st))
+  | Lexer.Punct "~" ->
+    advance st;
+    Ast.mk ~line:ln (Ast.Unop (Ast.Bnot, unary st))
+  | _ -> primary st
+
+and primary st =
+  let ln = line st in
+  match peek st with
+  | Lexer.Int i ->
+    advance st;
+    Ast.mk ~line:ln (Ast.Int_lit i)
+  | Lexer.Float x ->
+    advance st;
+    Ast.mk ~line:ln (Ast.Float_lit x)
+  | Lexer.Punct "(" ->
+    advance st;
+    let e = expr st in
+    expect_punct st ")";
+    postfix_continue st e
+  | Lexer.Ident name -> (
+    advance st;
+    match peek st with
+    | Lexer.Punct "(" ->
+      advance st;
+      let args = call_args st in
+      postfix_continue st (Ast.mk ~line:ln (Ast.Call (name, args)))
+    | Lexer.Punct "[" ->
+      advance st;
+      let idx = expr st in
+      expect_punct st "]";
+      postfix_continue st (Ast.mk ~line:ln (Ast.Index (name, idx)))
+    | _ -> Ast.mk ~line:ln (Ast.Var name))
+  | tok -> err st "expected an expression, found %a" Lexer.pp_token tok
+
+and postfix_continue _st e = e
+(* Arrays don't nest and calls don't chain in Mini-C, so there is no
+   postfix continuation today; kept as an extension point. *)
+
+and call_args st =
+  if peek st = Lexer.Punct ")" then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let e = expr st in
+      match peek st with
+      | Lexer.Punct "," ->
+        advance st;
+        loop (e :: acc)
+      | Lexer.Punct ")" ->
+        advance st;
+        List.rev (e :: acc)
+      | tok -> err st "expected ',' or ')', found %a" Lexer.pp_token tok
+    in
+    loop []
+  end
+
+let rec stmt st : Ast.stmt =
+  match peek st with
+  | Lexer.Kw ("int" | "float") -> local_decl st
+  | Lexer.Punct "{" ->
+    advance st;
+    let body = stmt_list_until st "}" in
+    Ast.Block body
+  | Lexer.Punct ";" ->
+    advance st;
+    Ast.Block []
+  | Lexer.Kw "if" ->
+    advance st;
+    expect_punct st "(";
+    let c = expr st in
+    expect_punct st ")";
+    let then_s = stmt st in
+    if peek st = Lexer.Kw "else" then begin
+      advance st;
+      Ast.If (c, then_s, Some (stmt st))
+    end
+    else Ast.If (c, then_s, None)
+  | Lexer.Kw "while" ->
+    advance st;
+    expect_punct st "(";
+    let c = expr st in
+    expect_punct st ")";
+    Ast.While (c, stmt st)
+  | Lexer.Kw "for" ->
+    advance st;
+    expect_punct st "(";
+    let init = if peek st = Lexer.Punct ";" then None else Some (expr st) in
+    expect_punct st ";";
+    let cond = if peek st = Lexer.Punct ";" then None else Some (expr st) in
+    expect_punct st ";";
+    let step = if peek st = Lexer.Punct ")" then None else Some (expr st) in
+    expect_punct st ")";
+    Ast.For (init, cond, step, stmt st)
+  | Lexer.Kw "switch" -> switch st
+  | Lexer.Kw "break" ->
+    let ln = line st in
+    advance st;
+    expect_punct st ";";
+    Ast.Break ln
+  | Lexer.Kw "continue" ->
+    let ln = line st in
+    advance st;
+    expect_punct st ";";
+    Ast.Continue ln
+  | Lexer.Kw "return" ->
+    let ln = line st in
+    advance st;
+    if peek st = Lexer.Punct ";" then begin
+      advance st;
+      Ast.Return (None, ln)
+    end
+    else begin
+      let e = expr st in
+      expect_punct st ";";
+      Ast.Return (Some e, ln)
+    end
+  | _ ->
+    let e = expr st in
+    expect_punct st ";";
+    Ast.Expr e
+
+and local_decl st =
+  let ty = base_type st in
+  let name = expect_ident st in
+  if peek st = Lexer.Punct "[" then begin
+    advance st;
+    let size = expect_int st in
+    expect_punct st "]";
+    expect_punct st ";";
+    Ast.Decl (ty, name, Some size, None)
+  end
+  else if peek st = Lexer.Punct "=" then begin
+    advance st;
+    let e = expr st in
+    expect_punct st ";";
+    Ast.Decl (ty, name, None, Some e)
+  end
+  else begin
+    expect_punct st ";";
+    Ast.Decl (ty, name, None, None)
+  end
+
+and switch st =
+  expect_kw st "switch";
+  expect_punct st "(";
+  let scrutinee = expr st in
+  expect_punct st ")";
+  expect_punct st "{";
+  let cases = ref [] in
+  let default = ref None in
+  let rec case_labels acc =
+    match peek st with
+    | Lexer.Kw "case" ->
+      advance st;
+      let v = expect_int st in
+      expect_punct st ":";
+      case_labels (v :: acc)
+    | _ -> List.rev acc
+  in
+  let rec body acc =
+    match peek st with
+    | Lexer.Kw "case" | Lexer.Kw "default" | Lexer.Punct "}" -> List.rev acc
+    | _ -> body (stmt st :: acc)
+  in
+  let rec loop () =
+    match peek st with
+    | Lexer.Punct "}" -> advance st
+    | Lexer.Kw "case" ->
+      let labels = case_labels [] in
+      let stmts = body [] in
+      cases := (labels, stmts) :: !cases;
+      loop ()
+    | Lexer.Kw "default" ->
+      advance st;
+      expect_punct st ":";
+      let stmts = body [] in
+      if !default <> None then err st "duplicate default case";
+      default := Some stmts;
+      loop ()
+    | tok -> err st "expected 'case', 'default' or '}', found %a"
+               Lexer.pp_token tok
+  in
+  loop ();
+  Ast.Switch (scrutinee, List.rev !cases, !default)
+
+and stmt_list_until st closer =
+  let rec loop acc =
+    match peek st with
+    | Lexer.Punct p when p = closer ->
+      advance st;
+      List.rev acc
+    | Lexer.Eof -> err st "unexpected end of input, expected %S" closer
+    | _ -> loop (stmt st :: acc)
+  in
+  loop []
+
+let params st =
+  expect_punct st "(";
+  match peek st with
+  | Lexer.Punct ")" ->
+    advance st;
+    []
+  | Lexer.Kw "void" when peek2 st = Lexer.Punct ")" ->
+    advance st;
+    advance st;
+    []
+  | _ ->
+    let rec loop acc =
+      let ty = base_type st in
+      let name = expect_ident st in
+      let ty =
+        if peek st = Lexer.Punct "[" then begin
+          advance st;
+          expect_punct st "]";
+          Ast.Tarr ty
+        end
+        else ty
+      in
+      let p = { Ast.ptyp = ty; pname = name } in
+      match peek st with
+      | Lexer.Punct "," ->
+        advance st;
+        loop (p :: acc)
+      | Lexer.Punct ")" ->
+        advance st;
+        List.rev (p :: acc)
+      | tok -> err st "expected ',' or ')', found %a" Lexer.pp_token tok
+    in
+    loop []
+
+let global_init st =
+  match peek st with
+  | Lexer.String s ->
+    advance st;
+    (* C-style adjacent string literal concatenation. *)
+    let buf = Buffer.create (String.length s) in
+    Buffer.add_string buf s;
+    let rec more () =
+      match peek st with
+      | Lexer.String s2 ->
+        advance st;
+        Buffer.add_string buf s2;
+        more ()
+      | _ -> ()
+    in
+    more ();
+    Ast.Gstring (Buffer.contents buf)
+  | Lexer.Punct "{" ->
+    advance st;
+    let rec loop acc =
+      let e = expr st in
+      match peek st with
+      | Lexer.Punct "," ->
+        advance st;
+        loop (e :: acc)
+      | Lexer.Punct "}" ->
+        advance st;
+        List.rev (e :: acc)
+      | tok -> err st "expected ',' or '}', found %a" Lexer.pp_token tok
+    in
+    Ast.Glist (loop [])
+  | _ -> Ast.Gscalar (expr st)
+
+let topdecl st (globals, funcs) =
+  let ln = line st in
+  let ty = base_type st in
+  let name = expect_ident st in
+  match peek st with
+  | Lexer.Punct "(" ->
+    let ps = params st in
+    expect_punct st "{";
+    let body = stmt_list_until st "}" in
+    ( globals,
+      { Ast.ret = ty; fname = name; params = ps; body; fline = ln } :: funcs )
+  | Lexer.Punct "[" ->
+    advance st;
+    let size =
+      if peek st = Lexer.Punct "]" then None else Some (expect_int st)
+    in
+    expect_punct st "]";
+    let init =
+      if peek st = Lexer.Punct "=" then begin
+        advance st;
+        Some (global_init st)
+      end
+      else None
+    in
+    expect_punct st ";";
+    let size =
+      match (size, init) with
+      | Some n, _ -> Some n
+      | None, Some (Ast.Glist es) -> Some (List.length es)
+      | None, Some (Ast.Gstring s) -> Some (String.length s + 1)
+      | None, _ -> err st "array %S needs a size or an initializer" name
+    in
+    ( { Ast.gtyp = ty; gname = name; gsize = size; ginit = init; gline = ln }
+      :: globals,
+      funcs )
+  | _ ->
+    let init =
+      if peek st = Lexer.Punct "=" then begin
+        advance st;
+        Some (Ast.Gscalar (expr st))
+      end
+      else None
+    in
+    expect_punct st ";";
+    ( { Ast.gtyp = ty; gname = name; gsize = None; ginit = init; gline = ln }
+      :: globals,
+      funcs )
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    match peek st with
+    | Lexer.Eof -> acc
+    | tok when is_type_kw tok -> loop (topdecl st acc)
+    | tok -> err st "expected a declaration, found %a" Lexer.pp_token tok
+  in
+  let globals, funcs = loop ([], []) in
+  { Ast.globals = List.rev globals; funcs = List.rev funcs }
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = expr st in
+  match peek st with
+  | Lexer.Eof -> e
+  | tok -> err st "trailing input after expression: %a" Lexer.pp_token tok

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for Mini-C with C operator precedence. *)
+
+exception Error of string * int  (** message, line *)
+
+val parse : string -> Ast.program
+(** @raise Error on a syntax error.
+    @raise Lexer.Error on a lexical error. *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a single expression; used by unit tests. *)

@@ -1,0 +1,272 @@
+exception Error of string * int
+
+let err line fmt = Format.kasprintf (fun s -> raise (Error (s, line))) fmt
+
+type func_sig = {
+  sret : Ast.typ;
+  sparams : Ast.typ list;
+}
+
+type env = {
+  globals_tbl : (string, Ast.typ) Hashtbl.t;
+  funcs_tbl : (string, func_sig) Hashtbl.t;
+}
+
+type scope = {
+  env : env;
+  mutable locals : (string * Ast.typ) list;  (* innermost first *)
+  fsig : func_sig;
+  fname : string;
+  mutable loop_depth : int;
+  mutable switch_depth : int;
+}
+
+let lookup_var sc line name =
+  match List.assoc_opt name sc.locals with
+  | Some ty -> ty
+  | None -> (
+    match Hashtbl.find_opt sc.env.globals_tbl name with
+    | Some ty -> ty
+    | None -> err line "undefined variable %S" name)
+
+let numeric line ty what =
+  match (ty : Ast.typ) with
+  | Tint | Tfloat -> ()
+  | Tvoid | Tarr _ -> err line "%s must be numeric, got %a" what Ast.pp_typ ty
+
+(* The type a binary operation computes in, given operand types. *)
+let join line a b =
+  match ((a : Ast.typ), (b : Ast.typ)) with
+  | Tint, Tint -> Ast.Tint
+  | (Tint | Tfloat), (Tint | Tfloat) -> Ast.Tfloat
+  | _ -> err line "numeric operands required (%a, %a)" Ast.pp_typ a Ast.pp_typ b
+
+let int_only_op = function
+  | Ast.Rem | Band | Bor | Bxor | Shl | Shr -> true
+  | Add | Sub | Mul | Div | Eq | Ne | Lt | Le | Gt | Ge | Land | Lor -> false
+
+let rec expr sc (e : Ast.expr) =
+  let ty =
+    match e.desc with
+    | Int_lit _ -> Ast.Tint
+    | Float_lit _ -> Ast.Tfloat
+    | Var name ->
+      (* Arrays type as [Tarr]; every scalar context rejects them via the
+         [numeric] checks, so bare array names only survive as call
+         arguments (pass-by-reference). *)
+      lookup_var sc e.line name
+    | Index (name, idx) -> (
+      let ity = expr sc idx in
+      if ity <> Ast.Tint then err idx.line "array index must be int";
+      match lookup_var sc e.line name with
+      | Tarr elem -> elem
+      | ty -> err e.line "%S is not an array (type %a)" name Ast.pp_typ ty)
+    | Call (fname, args) -> (
+      match Hashtbl.find_opt sc.env.funcs_tbl fname with
+      | None -> err e.line "undefined function %S" fname
+      | Some fs ->
+        if List.length args <> List.length fs.sparams then
+          err e.line "function %S expects %d arguments, got %d" fname
+            (List.length fs.sparams) (List.length args);
+        let check_arg arg pty =
+          let aty = expr sc arg in
+          match ((pty : Ast.typ), (aty : Ast.typ)) with
+          | Tarr pe, Tarr ae when pe = ae -> ()
+          | Tarr _, _ ->
+            err arg.line "argument of %S must be an array of type %a" fname
+              Ast.pp_typ pty
+          | (Tint | Tfloat), (Tint | Tfloat) -> ()
+          | _ ->
+            err arg.line "argument type mismatch in call to %S (%a vs %a)"
+              fname Ast.pp_typ pty Ast.pp_typ aty
+        in
+        List.iter2 check_arg args fs.sparams;
+        fs.sret)
+    | Unop (op, sub) -> (
+      let sty = expr sc sub in
+      numeric e.line sty "operand";
+      match op with
+      | Neg -> sty
+      | Lnot -> Ast.Tint
+      | Bnot ->
+        if sty <> Ast.Tint then err e.line "operand of ~ must be int";
+        Ast.Tint)
+    | Binop (op, lhs, rhs) -> (
+      let lt = expr sc lhs and rt = expr sc rhs in
+      numeric lhs.line lt "operand";
+      numeric rhs.line rt "operand";
+      let j = join e.line lt rt in
+      if int_only_op op && j <> Ast.Tint then
+        err e.line "operator requires int operands";
+      match op with
+      | Add | Sub | Mul | Div | Rem | Band | Bor | Bxor | Shl | Shr -> j
+      | Eq | Ne | Lt | Le | Gt | Ge | Land | Lor -> Ast.Tint)
+    | Assign (lv, rhs) ->
+      let lty = lvalue sc e.line lv in
+      let rty = expr sc rhs in
+      numeric e.line rty "assigned value";
+      numeric e.line lty "assignment target";
+      lty
+  in
+  e.ty <- ty;
+  ty
+
+and lvalue sc line = function
+  | Ast.Lvar name -> (
+    match lookup_var sc line name with
+    | Tarr _ -> err line "cannot assign to array %S" name
+    | ty -> ty)
+  | Ast.Lindex (name, idx) -> (
+    let ity = expr sc idx in
+    if ity <> Ast.Tint then err idx.line "array index must be int";
+    match lookup_var sc line name with
+    | Tarr elem -> elem
+    | ty -> err line "%S is not an array (type %a)" name Ast.pp_typ ty)
+
+let rec stmt sc (s : Ast.stmt) =
+  match s with
+  | Decl (ty, name, size, init) ->
+    if ty = Ast.Tvoid then err 0 "void variable %S" name;
+    (match size with
+    | Some n when n <= 0 -> err 0 "array %S must have positive size" name
+    | _ -> ());
+    (match init with
+    | Some e ->
+      let ety = expr sc e in
+      numeric e.line ety "initializer"
+    | None -> ());
+    let vty = match size with Some _ -> Ast.Tarr ty | None -> ty in
+    sc.locals <- (name, vty) :: sc.locals
+  | Expr e -> ignore (expr sc e)
+  | If (c, then_s, else_s) ->
+    cond sc c;
+    in_scope sc (fun () -> stmt sc then_s);
+    Option.iter (fun s -> in_scope sc (fun () -> stmt sc s)) else_s
+  | While (c, body) ->
+    cond sc c;
+    sc.loop_depth <- sc.loop_depth + 1;
+    in_scope sc (fun () -> stmt sc body);
+    sc.loop_depth <- sc.loop_depth - 1
+  | For (init, c, step, body) ->
+    Option.iter (fun e -> ignore (expr sc e)) init;
+    Option.iter (cond sc) c;
+    Option.iter (fun e -> ignore (expr sc e)) step;
+    sc.loop_depth <- sc.loop_depth + 1;
+    in_scope sc (fun () -> stmt sc body);
+    sc.loop_depth <- sc.loop_depth - 1
+  | Switch (scrut, cases, default) ->
+    let sty = expr sc scrut in
+    if sty <> Ast.Tint then err scrut.line "switch scrutinee must be int";
+    let seen = Hashtbl.create 8 in
+    let case (labels, body) =
+      let label v =
+        if Hashtbl.mem seen v then err scrut.line "duplicate case %d" v;
+        Hashtbl.add seen v ()
+      in
+      List.iter label labels;
+      sc.switch_depth <- sc.switch_depth + 1;
+      in_scope sc (fun () -> List.iter (stmt sc) body);
+      sc.switch_depth <- sc.switch_depth - 1
+    in
+    List.iter case cases;
+    Option.iter
+      (fun body ->
+        sc.switch_depth <- sc.switch_depth + 1;
+        in_scope sc (fun () -> List.iter (stmt sc) body);
+        sc.switch_depth <- sc.switch_depth - 1)
+      default
+  | Break line ->
+    if sc.loop_depth = 0 && sc.switch_depth = 0 then
+      err line "break outside loop or switch"
+  | Continue line ->
+    if sc.loop_depth = 0 then err line "continue outside loop"
+  | Return (value, line) -> (
+    match (value, sc.fsig.sret) with
+    | None, Tvoid -> ()
+    | None, _ -> err line "function %S must return a value" sc.fname
+    | Some _, Tvoid -> err line "void function %S returns a value" sc.fname
+    | Some e, _ ->
+      let ety = expr sc e in
+      numeric e.line ety "return value")
+  | Block body -> in_scope sc (fun () -> List.iter (stmt sc) body)
+
+and cond sc c =
+  let ty = expr sc c in
+  if ty <> Ast.Tint then err c.line "condition must be int"
+
+and in_scope sc f =
+  let saved = sc.locals in
+  f ();
+  sc.locals <- saved
+
+let const_expr (e : Ast.expr) =
+  (* Global initializers must be literal constants (possibly negated). *)
+  let rec ok (e : Ast.expr) =
+    match e.desc with
+    | Int_lit _ | Float_lit _ -> true
+    | Unop (Ast.Neg, sub) -> ok sub
+    | _ -> false
+  in
+  if not (ok e) then err e.line "global initializer must be a constant"
+
+let check (prog : Ast.program) =
+  let env =
+    { globals_tbl = Hashtbl.create 64; funcs_tbl = Hashtbl.create 64 }
+  in
+  let global (g : Ast.global) =
+    if Hashtbl.mem env.globals_tbl g.gname then
+      err g.gline "duplicate global %S" g.gname;
+    if g.gtyp = Ast.Tvoid then err g.gline "void global %S" g.gname;
+    let ty =
+      match g.gsize with Some _ -> Ast.Tarr g.gtyp | None -> g.gtyp
+    in
+    (match (g.ginit, g.gsize) with
+    | Some (Gscalar e), None -> const_expr e
+    | Some (Gscalar _), Some _ ->
+      err g.gline "array %S needs a list or string initializer" g.gname
+    | Some (Glist es), Some n ->
+      if List.length es > n then
+        err g.gline "too many initializers for %S" g.gname;
+      List.iter const_expr es
+    | Some (Glist _), None ->
+      err g.gline "scalar %S cannot take a list initializer" g.gname
+    | Some (Gstring s), Some n ->
+      if g.gtyp <> Ast.Tint then
+        err g.gline "string initializer requires an int array";
+      if String.length s + 1 > n then
+        err g.gline "string too long for array %S" g.gname
+    | Some (Gstring _), None ->
+      err g.gline "scalar %S cannot take a string initializer" g.gname
+    | None, _ -> ());
+    Hashtbl.add env.globals_tbl g.gname ty
+  in
+  List.iter global prog.globals;
+  let signature (f : Ast.func) =
+    if Hashtbl.mem env.funcs_tbl f.fname then
+      err f.fline "duplicate function %S" f.fname;
+    let ptype (p : Ast.param) =
+      match p.ptyp with
+      | Tvoid -> err f.fline "void parameter in %S" f.fname
+      | Tarr Tvoid | Tarr (Tarr _) ->
+        err f.fline "bad array parameter in %S" f.fname
+      | ty -> ty
+    in
+    Hashtbl.add env.funcs_tbl f.fname
+      { sret = f.ret; sparams = List.map ptype f.params }
+  in
+  List.iter signature prog.funcs;
+  let func (f : Ast.func) =
+    let fsig = Hashtbl.find env.funcs_tbl f.fname in
+    let sc =
+      { env;
+        locals = List.map (fun (p : Ast.param) -> (p.pname, p.ptyp)) f.params;
+        fsig; fname = f.fname; loop_depth = 0; switch_depth = 0 }
+    in
+    List.iter (stmt sc) f.body
+  in
+  List.iter func prog.funcs;
+  (match Hashtbl.find_opt env.funcs_tbl "main" with
+  | Some { sret = Tint; sparams = [] } -> ()
+  | Some _ -> err 0 "main must be 'int main(void)'"
+  | None -> err 0 "missing function main");
+  env

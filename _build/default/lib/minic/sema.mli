@@ -1,0 +1,30 @@
+(** Semantic analysis: name resolution, type checking, and type
+    annotation.
+
+    Mini-C follows C's implicit numeric conversions: mixed int/float
+    arithmetic is performed in float, assignments and argument passing
+    convert between [int] and [float] (truncating on float-to-int), and
+    every condition is an [int].  Array parameters are by-reference and
+    must receive an array of the same element type.
+
+    On success every expression node's [ty] field is filled in, which the
+    code generator relies on. *)
+
+exception Error of string * int  (** message, line *)
+
+type func_sig = {
+  sret : Ast.typ;
+  sparams : Ast.typ list;
+}
+
+type env = {
+  globals_tbl : (string, Ast.typ) Hashtbl.t;
+  (** scalar globals have their scalar type; array globals [Tarr elem] *)
+  funcs_tbl : (string, func_sig) Hashtbl.t;
+}
+
+val check : Ast.program -> env
+(** Type-checks a program in place (filling [ty] fields) and returns the
+    global environment.
+    @raise Error on any semantic violation, including a missing
+    [int main(void)]. *)

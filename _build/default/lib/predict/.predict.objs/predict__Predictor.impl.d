@@ -1,0 +1,1 @@
+lib/predict/predictor.ml: Array Vm

@@ -1,0 +1,61 @@
+type t = {
+  name : string;
+  predict : pc:int -> taken:bool -> bool;
+}
+
+let perfect = { name = "perfect"; predict = (fun ~pc:_ ~taken -> taken) }
+
+let always_taken =
+  { name = "always-taken"; predict = (fun ~pc:_ ~taken:_ -> true) }
+
+let backward_taken ~is_backward =
+  { name = "btfn"; predict = (fun ~pc ~taken:_ -> is_backward pc) }
+
+let profile ~n_static ~is_cond trace =
+  let taken_count = Array.make n_static 0 in
+  let total_count = Array.make n_static 0 in
+  let entry ~pc ~aux =
+    if is_cond pc then begin
+      total_count.(pc) <- total_count.(pc) + 1;
+      if aux = 1 then taken_count.(pc) <- taken_count.(pc) + 1
+    end
+  in
+  Vm.Trace.iter entry trace;
+  let predicted_taken =
+    Array.init n_static (fun pc -> 2 * taken_count.(pc) > total_count.(pc))
+  in
+  { name = "profile";
+    predict = (fun ~pc ~taken:_ -> predicted_taken.(pc)) }
+
+let two_bit ~n_static =
+  (* 0,1 predict not taken; 2,3 predict taken.  Initialized to 1. *)
+  let counters = Array.make n_static 1 in
+  let predict ~pc ~taken =
+    let prediction = counters.(pc) >= 2 in
+    if taken then counters.(pc) <- min 3 (counters.(pc) + 1)
+    else counters.(pc) <- max 0 (counters.(pc) - 1);
+    prediction
+  in
+  { name = "2-bit"; predict }
+
+type stats = {
+  branches : int;
+  correct : int;
+  rate : float;
+}
+
+let measure p ~is_cond trace =
+  let branches = ref 0 and correct = ref 0 in
+  let entry ~pc ~aux =
+    if is_cond pc then begin
+      incr branches;
+      let taken = aux = 1 in
+      if p.predict ~pc ~taken = taken then incr correct
+    end
+  in
+  Vm.Trace.iter entry trace;
+  let rate =
+    if !branches = 0 then 100.
+    else 100. *. float_of_int !correct /. float_of_int !branches
+  in
+  { branches = !branches; correct = !correct; rate }

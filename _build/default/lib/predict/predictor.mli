@@ -1,0 +1,45 @@
+(** Branch predictors.
+
+    The paper uses static prediction from profile information gathered on
+    the same input (§4.4.2), an upper bound for static prediction.  The
+    analyzer consults the predictor on every dynamic conditional branch
+    through [predict], which returns the predicted direction and may
+    update internal state (allowing dynamic predictors as an extension).
+
+    Computed jumps are never predicted; the analyzer treats them as
+    always mispredicted, as in the paper. *)
+
+type t = {
+  name : string;
+  predict : pc:int -> taken:bool -> bool;
+  (** [predict ~pc ~taken] is the predicted direction for this dynamic
+      instance; [taken] is the actual outcome, provided so that dynamic
+      predictors can train themselves after predicting. *)
+}
+
+val perfect : t
+(** Always right — the ORACLE machine's predictor. *)
+
+val always_taken : t
+
+val backward_taken : is_backward:(int -> bool) -> t
+(** Static BTFN heuristic: backward branches predicted taken, forward
+    branches predicted not taken. *)
+
+val profile : n_static:int -> is_cond:(int -> bool) -> Vm.Trace.t -> t
+(** Majority direction per static branch, measured on the given trace —
+    the paper's predictor.  Branches never seen in the profiling trace
+    are predicted not taken. *)
+
+val two_bit : n_static:int -> t
+(** Classic saturating 2-bit counter per static branch, initialized to
+    weakly not-taken.  Stateful: create a fresh one per simulation. *)
+
+type stats = {
+  branches : int;
+  correct : int;
+  rate : float;  (** percent correct *)
+}
+
+val measure : t -> is_cond:(int -> bool) -> Vm.Trace.t -> stats
+(** Runs the predictor over all conditional branches of a trace. *)

@@ -1,0 +1,131 @@
+let bar_of ~width ~scale v =
+  let n = int_of_float (Float.round (scale v *. float_of_int width)) in
+  String.make (max n 0) '#'
+
+let with_title ?title body =
+  match title with
+  | Some t -> t ^ "\n" ^ String.make (String.length t) '=' ^ "\n" ^ body
+  | None -> body
+
+let bars ?title ?(width = 50) ?(log_scale = false) series =
+  let vmax =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-9 series
+  in
+  let scale v =
+    if log_scale then
+      let v = Float.max v 1. in
+      Float.log v /. Float.max (Float.log vmax) 1e-9
+    else v /. vmax
+  in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+  in
+  let line (label, v) =
+    Printf.sprintf "%-*s |%s %s" label_w label
+      (bar_of ~width ~scale v) (Table.fnum v)
+  in
+  with_title ?title (String.concat "\n" (List.map line series) ^ "\n")
+
+let grouped_bars ?title ?(width = 44) ~group_names rows =
+  let vmax =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left Float.max acc vs)
+      1e-9 rows
+  in
+  (* Wide dynamic ranges are the norm here (Figure 5 spans 2..400), so
+     scale by log. *)
+  let scale v =
+    let v = Float.max v 1. in
+    Float.log v /. Float.max (Float.log (Float.max vmax 2.)) 1e-9
+  in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let group_w =
+    List.fold_left (fun acc g -> max acc (String.length g)) 0 group_names
+  in
+  let buf = Buffer.create 1024 in
+  let row (label, vs) =
+    List.iteri
+      (fun i v ->
+        let g = List.nth group_names i in
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s %-*s |%s %s\n"
+             label_w
+             (if i = 0 then label else "")
+             group_w g
+             (bar_of ~width ~scale v)
+             (Table.fnum v)))
+      vs;
+    Buffer.add_char buf '\n'
+  in
+  List.iter row rows;
+  with_title ?title (Buffer.contents buf)
+
+let cdf ?title ?(width = 64) ?(height = 16) ?(x_label = "x") curves =
+  (* Log-scaled x axis covering all curves; y in [0, 1]. *)
+  let all_x =
+    List.concat_map (fun c -> List.map (fun (x, _) -> x) c) curves
+  in
+  let xmax = List.fold_left max 1 all_x in
+  let lxmax = Float.log (float_of_int (max xmax 2)) in
+  let col_of x =
+    let lx = Float.log (float_of_int (max x 1)) in
+    min (width - 1)
+      (int_of_float (lx /. lxmax *. float_of_int (width - 1)))
+  in
+  let grid = Array.make_matrix height width ' ' in
+  let marks = [| '*'; 'o'; '+'; 'x'; '~'; '^'; '%'; '@'; '='; '&' |] in
+  let plot idx curve =
+    let mark = marks.(idx mod Array.length marks) in
+    (* Step-interpolate each curve across the columns. *)
+    let frac_at col =
+      (* largest fraction whose x maps to a column <= col *)
+      List.fold_left
+        (fun acc (x, f) -> if col_of x <= col then Float.max acc f else acc)
+        0. curve
+    in
+    for col = 0 to width - 1 do
+      let f = frac_at col in
+      if f > 0. then begin
+        let row =
+          height - 1 - int_of_float (f *. float_of_int (height - 1))
+        in
+        let row = max 0 (min (height - 1) row) in
+        if grid.(row).(col) = ' ' then grid.(row).(col) <- mark
+      end
+    done
+  in
+  List.iteri plot curves;
+  let buf = Buffer.create 2048 in
+  Array.iteri
+    (fun i row ->
+      let y = 1. -. (float_of_int i /. float_of_int (height - 1)) in
+      Buffer.add_string buf (Printf.sprintf "%4.2f |" y);
+      Buffer.add_string buf (String.init width (fun j -> row.(j)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("     +" ^ String.make width '-' ^ "\n");
+  (* Log-scale tick labels at powers of ten. *)
+  let ticks = Buffer.create width in
+  Buffer.add_string ticks "      ";
+  let tick_positions =
+    List.filter (fun p -> p <= xmax)
+      [ 1; 10; 100; 1000; 10_000; 100_000 ]
+  in
+  let last_col = ref (-10) in
+  List.iter
+    (fun p ->
+      let col = col_of p in
+      if col > !last_col + 5 then begin
+        let cur = Buffer.length ticks - 6 in
+        if col >= cur then begin
+          Buffer.add_string ticks (String.make (col - cur) ' ');
+          Buffer.add_string ticks (string_of_int p);
+          last_col := col
+        end
+      end)
+    tick_positions;
+  Buffer.add_string buf (Buffer.contents ticks);
+  Buffer.add_string buf ("  (" ^ x_label ^ ", log scale)\n");
+  with_title ?title (Buffer.contents buf)

@@ -1,0 +1,31 @@
+(** ASCII charts: horizontal bars (Figures 4, 5, 7) and cumulative
+    distribution curves (Figure 6). *)
+
+val bars :
+  ?title:string ->
+  ?width:int ->
+  ?log_scale:bool ->
+  (string * float) list ->
+  string
+(** [bars series] renders one labelled horizontal bar per entry, scaled
+    to the maximum (or to its log when [log_scale], for the wide dynamic
+    ranges of Figure 5). *)
+
+val grouped_bars :
+  ?title:string ->
+  ?width:int ->
+  group_names:string list ->
+  (string * float list) list ->
+  string
+(** [grouped_bars ~group_names rows] renders one bar per (row, group)
+    pair, the layout of the paper's per-benchmark comparison figures. *)
+
+val cdf :
+  ?title:string ->
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  (int * float) list list ->
+  string
+(** [cdf curves] plots cumulative distributions (fraction in 0..1
+    against a log-scaled x axis), one character per curve. *)

@@ -1,0 +1,75 @@
+type align = Left | Right
+
+let fnum x =
+  if Float.abs x >= 100. then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.2f" x
+
+let render ?title ~header ~align rows =
+  let ncols = List.length header in
+  let width col =
+    let cell_w row =
+      match row with
+      | [ "-" ] -> 0
+      | _ -> (
+        match List.nth_opt row col with
+        | Some s -> String.length s
+        | None -> 0)
+    in
+    List.fold_left
+      (fun acc row -> max acc (cell_w row))
+      (String.length (List.nth header col))
+      rows
+  in
+  let widths = List.init ncols width in
+  let buf = Buffer.create 1024 in
+  let pad align w s =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let rstrip s =
+    let rec last i = if i > 0 && s.[i - 1] = ' ' then last (i - 1) else i in
+    String.sub s 0 (last (String.length s))
+  in
+  let emit_row cells aligns =
+    let padded =
+      List.map2 (fun (w, a) c -> pad a w c) (List.combine widths aligns)
+        cells
+    in
+    Buffer.add_string buf (rstrip (String.concat "  " padded));
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    List.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  (match title with
+  | Some t ->
+    Buffer.add_string buf t;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make (max total_width (String.length t)) '=');
+    Buffer.add_char buf '\n'
+  | None -> ());
+  let aligns =
+    if List.length align = ncols then align
+    else List.init ncols (fun _ -> Right)
+  in
+  emit_row header aligns;
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  let row r =
+    match r with
+    | [ "-" ] ->
+      Buffer.add_string buf (String.make total_width '-');
+      Buffer.add_char buf '\n'
+    | _ ->
+      let cells =
+        List.init ncols (fun i ->
+            match List.nth_opt r i with Some c -> c | None -> "")
+      in
+      emit_row cells aligns
+  in
+  List.iter row rows;
+  Buffer.contents buf

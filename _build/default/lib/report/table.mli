@@ -1,0 +1,16 @@
+(** Aligned ASCII tables for the reproduction harness output. *)
+
+type align = Left | Right
+
+val render :
+  ?title:string ->
+  header:string list ->
+  align:align list ->
+  string list list ->
+  string
+(** [render ~header ~align rows] lays the table out with column rule
+    separators.  A row of [["-"]] becomes a horizontal rule. *)
+
+val fnum : float -> string
+(** Formats parallelism numbers the way the paper's Table 3 does: two
+    decimals below 100, whole numbers above. *)

@@ -1,0 +1,1 @@
+lib/risc/insn.ml: Array Format List Reg

@@ -1,0 +1,1 @@
+lib/risc/insn.mli: Format Reg

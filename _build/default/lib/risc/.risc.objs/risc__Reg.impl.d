@@ -1,0 +1,1 @@
+lib/risc/reg.ml: Format

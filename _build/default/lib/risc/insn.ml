@@ -1,0 +1,245 @@
+type alu =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Slt
+  | Sle
+  | Seq
+  | Sne
+
+type falu = Fadd | Fsub | Fmul | Fdiv
+type fcmp = Flt | Fle | Feq
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type 'lab t =
+  | Alu of alu * Reg.t * Reg.t * Reg.t
+  | Alui of alu * Reg.t * Reg.t * int
+  | Li of Reg.t * int
+  | Fli of Reg.f * float
+  | Lw of Reg.t * Reg.t * int
+  | Sw of Reg.t * Reg.t * int
+  | Flw of Reg.f * Reg.t * int
+  | Fsw of Reg.f * Reg.t * int
+  | Falu of falu * Reg.f * Reg.f * Reg.f
+  | Fcmp of fcmp * Reg.t * Reg.f * Reg.f
+  | Movn of Reg.t * Reg.t * Reg.t
+  | Fmov of Reg.f * Reg.f
+  | I2f of Reg.f * Reg.t
+  | F2i of Reg.t * Reg.f
+  | B of cond * Reg.t * Reg.t * 'lab
+  | Bi of cond * Reg.t * int * 'lab
+  | J of 'lab
+  | Jal of 'lab
+  | Jr of Reg.t
+  | Jtab of Reg.t * 'lab array
+  | Halt
+
+type kind =
+  | Plain
+  | Cond_branch
+  | Jump
+  | Computed_jump
+  | Call
+  | Ret
+  | Stop
+
+let kind = function
+  | B _ | Bi _ -> Cond_branch
+  | J _ -> Jump
+  | Jal _ -> Call
+  | Jr _ -> Ret
+  | Jtab _ -> Computed_jump
+  | Halt -> Stop
+  | Alu _ | Alui _ | Li _ | Fli _ | Lw _ | Sw _ | Flw _ | Fsw _ | Falu _
+  | Fcmp _ | Movn _ | Fmov _ | I2f _ | F2i _ ->
+    Plain
+
+(* Unified ids: integer register r has id r; float register f has 32+f.
+   r0 never appears in dependence lists. *)
+let ints rs = List.filter (fun r -> r <> Reg.zero) rs
+let f uid = Reg.uid_of_float uid
+
+let uses = function
+  | Alu (_, _, rs, rt) -> ints [ rs; rt ]
+  | Alui (_, _, rs, _) -> ints [ rs ]
+  | Li _ | Fli _ -> []
+  | Lw (_, base, _) -> ints [ base ]
+  | Sw (rsrc, base, _) -> ints [ rsrc; base ]
+  | Flw (_, base, _) -> ints [ base ]
+  | Fsw (fsrc, base, _) -> f fsrc :: ints [ base ]
+  | Falu (_, _, fs, ft) -> [ f fs; f ft ]
+  | Fcmp (_, _, fs, ft) -> [ f fs; f ft ]
+  | Movn (rd, rs, rguard) -> ints [ rd; rs; rguard ]
+  | Fmov (_, fs) -> [ f fs ]
+  | I2f (_, rs) -> ints [ rs ]
+  | F2i (_, fs) -> [ f fs ]
+  | B (_, rs, rt, _) -> ints [ rs; rt ]
+  | Bi (_, rs, _, _) -> ints [ rs ]
+  | J _ | Jal _ | Halt -> []
+  | Jr rs -> ints [ rs ]
+  | Jtab (rs, _) -> ints [ rs ]
+
+let defs = function
+  | Alu (_, rd, _, _) | Alui (_, rd, _, _) | Li (rd, _) | Lw (rd, _, _)
+  | Fcmp (_, rd, _, _)
+  | Movn (rd, _, _)
+  | F2i (rd, _) ->
+    ints [ rd ]
+  | Fli (fd, _) | Flw (fd, _, _) | Falu (_, fd, _, _) | Fmov (fd, _)
+  | I2f (fd, _) ->
+    [ f fd ]
+  | Sw _ | Fsw _ | B _ | Bi _ | J _ | Jr _ | Jtab _ | Halt -> []
+  | Jal _ -> [ Reg.ra ]
+
+let writes_sp i = List.mem Reg.sp (defs i)
+
+let is_load = function Lw _ | Flw _ -> true | _ -> false
+let is_store = function Sw _ | Fsw _ -> true | _ -> false
+
+let map_label fn = function
+  | Alu (op, a, b, c) -> Alu (op, a, b, c)
+  | Alui (op, a, b, i) -> Alui (op, a, b, i)
+  | Li (a, i) -> Li (a, i)
+  | Fli (a, x) -> Fli (a, x)
+  | Lw (a, b, o) -> Lw (a, b, o)
+  | Sw (a, b, o) -> Sw (a, b, o)
+  | Flw (a, b, o) -> Flw (a, b, o)
+  | Fsw (a, b, o) -> Fsw (a, b, o)
+  | Falu (op, a, b, c) -> Falu (op, a, b, c)
+  | Fcmp (op, a, b, c) -> Fcmp (op, a, b, c)
+  | Movn (a, b, c) -> Movn (a, b, c)
+  | Fmov (a, b) -> Fmov (a, b)
+  | I2f (a, b) -> I2f (a, b)
+  | F2i (a, b) -> F2i (a, b)
+  | B (c, a, b, l) -> B (c, a, b, fn l)
+  | Bi (c, a, i, l) -> Bi (c, a, i, fn l)
+  | J l -> J (fn l)
+  | Jal l -> Jal (fn l)
+  | Jr r -> Jr r
+  | Jtab (r, ls) -> Jtab (r, Array.map fn ls)
+  | Halt -> Halt
+
+let eval_alu op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> a / b
+  | Rem -> a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Sll -> a lsl (b land 31)
+  | Srl -> a lsr (b land 31)
+  | Sra -> a asr (b land 31)
+  | Slt -> if a < b then 1 else 0
+  | Sle -> if a <= b then 1 else 0
+  | Seq -> if a = b then 1 else 0
+  | Sne -> if a <> b then 1 else 0
+
+let eval_falu op a b =
+  match op with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+
+let eval_fcmp op a b =
+  let r =
+    match op with Flt -> a < b | Fle -> a <= b | Feq -> a = b
+  in
+  if r then 1 else 0
+
+let eval_cond c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Seq -> "seq"
+  | Sne -> "sne"
+
+let falu_name = function
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+
+let fcmp_name = function Flt -> "flt" | Fle -> "fle" | Feq -> "feq"
+
+let cond_name = function
+  | Eq -> "beq"
+  | Ne -> "bne"
+  | Lt -> "blt"
+  | Le -> "ble"
+  | Gt -> "bgt"
+  | Ge -> "bge"
+
+let pp ~pp_lab ppf insn =
+  let r = Reg.pp and fr = Reg.pp_f in
+  match insn with
+  | Alu (op, rd, rs, rt) ->
+    Format.fprintf ppf "%s %a, %a, %a" (alu_name op) r rd r rs r rt
+  | Alui (op, rd, rs, imm) ->
+    Format.fprintf ppf "%si %a, %a, %d" (alu_name op) r rd r rs imm
+  | Li (rd, imm) -> Format.fprintf ppf "li %a, %d" r rd imm
+  | Fli (fd, x) -> Format.fprintf ppf "fli %a, %g" fr fd x
+  | Lw (rd, base, off) ->
+    Format.fprintf ppf "lw %a, %d(%a)" r rd off r base
+  | Sw (rsrc, base, off) ->
+    Format.fprintf ppf "sw %a, %d(%a)" r rsrc off r base
+  | Flw (fd, base, off) ->
+    Format.fprintf ppf "flw %a, %d(%a)" fr fd off r base
+  | Fsw (fsrc, base, off) ->
+    Format.fprintf ppf "fsw %a, %d(%a)" fr fsrc off r base
+  | Falu (op, fd, fs, ft) ->
+    Format.fprintf ppf "%s %a, %a, %a" (falu_name op) fr fd fr fs fr ft
+  | Fcmp (op, rd, fs, ft) ->
+    Format.fprintf ppf "%s %a, %a, %a" (fcmp_name op) r rd fr fs fr ft
+  | Movn (rd, rs, rg) ->
+    Format.fprintf ppf "movn %a, %a, %a" r rd r rs r rg
+  | Fmov (fd, fs) -> Format.fprintf ppf "fmov %a, %a" fr fd fr fs
+  | I2f (fd, rs) -> Format.fprintf ppf "i2f %a, %a" fr fd r rs
+  | F2i (rd, fs) -> Format.fprintf ppf "f2i %a, %a" r rd fr fs
+  | B (c, rs, rt, lab) ->
+    Format.fprintf ppf "%s %a, %a, %a" (cond_name c) r rs r rt pp_lab lab
+  | Bi (c, rs, imm, lab) ->
+    Format.fprintf ppf "%si %a, %d, %a" (cond_name c) r rs imm pp_lab lab
+  | J lab -> Format.fprintf ppf "j %a" pp_lab lab
+  | Jal lab -> Format.fprintf ppf "jal %a" pp_lab lab
+  | Jr rs -> Format.fprintf ppf "jr %a" r rs
+  | Jtab (rs, labs) ->
+    Format.fprintf ppf "jtab %a, [%a]" r rs
+      (Format.pp_print_array
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         pp_lab)
+      labs
+  | Halt -> Format.fprintf ppf "halt"
+
+let pp_string ppf insn = pp ~pp_lab:Format.pp_print_string ppf insn
+let pp_resolved ppf insn = pp ~pp_lab:Format.pp_print_int ppf insn

@@ -1,0 +1,108 @@
+(** Instructions of the MIPS-like target ISA.
+
+    The instruction type is polymorphic in the label representation:
+    the assembler works on [string t] and resolves labels into absolute
+    code indices, producing [int t] for the VM and the analyzers.
+
+    Memory is word addressed: loads and stores move one cell between a
+    register and [mem.(base + offset)].  Integer and floating point
+    accesses share one address space (an address denotes the same
+    variable regardless of access width), which is what dependence
+    analysis cares about. *)
+
+type alu =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Slt
+  | Sle
+  | Seq
+  | Sne
+
+type falu = Fadd | Fsub | Fmul | Fdiv
+
+type fcmp = Flt | Fle | Feq
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type 'lab t =
+  | Alu of alu * Reg.t * Reg.t * Reg.t  (** [rd <- rs op rt] *)
+  | Alui of alu * Reg.t * Reg.t * int  (** [rd <- rs op imm] *)
+  | Li of Reg.t * int  (** [rd <- imm] *)
+  | Fli of Reg.f * float  (** [fd <- imm] *)
+  | Lw of Reg.t * Reg.t * int  (** [rd <- mem[rs + off]] *)
+  | Sw of Reg.t * Reg.t * int  (** [mem[rs + off] <- rsrc]; [Sw (rsrc, rs, off)] *)
+  | Flw of Reg.f * Reg.t * int  (** [fd <- mem[rs + off]] *)
+  | Fsw of Reg.f * Reg.t * int  (** [mem[rs + off] <- fsrc] *)
+  | Falu of falu * Reg.f * Reg.f * Reg.f  (** [fd <- fs op ft] *)
+  | Fcmp of fcmp * Reg.t * Reg.f * Reg.f  (** [rd <- fs cmp ft], 0 or 1 *)
+  | Movn of Reg.t * Reg.t * Reg.t
+    (** guarded move: [rd <- rs] when [rguard <> 0], else [rd] keeps its
+        value.  The dataflow merge reads the old [rd], so dependence
+        analysis sees a data dependence where a branch would have been a
+        control dependence — the paper's "guarded instruction". *)
+  | Fmov of Reg.f * Reg.f  (** [fd <- fs] *)
+  | I2f of Reg.f * Reg.t  (** [fd <- float rs] *)
+  | F2i of Reg.t * Reg.f  (** [rd <- trunc fs] *)
+  | B of cond * Reg.t * Reg.t * 'lab  (** branch to label when [rs cond rt] *)
+  | Bi of cond * Reg.t * int * 'lab  (** branch to label when [rs cond imm] *)
+  | J of 'lab  (** unconditional direct jump *)
+  | Jal of 'lab  (** call: [ra <- return pc]; jump *)
+  | Jr of Reg.t  (** indirect jump through a register (returns) *)
+  | Jtab of Reg.t * 'lab array  (** computed jump: [pc <- table.(rs)] *)
+  | Halt
+
+(** Instruction classification used by the trace analyzers. *)
+type kind =
+  | Plain  (** ordinary computation *)
+  | Cond_branch  (** a conditional branch *)
+  | Jump  (** unconditional direct jump; never serializes control *)
+  | Computed_jump  (** jump-table dispatch; never predicted *)
+  | Call
+  | Ret
+  | Stop
+
+val kind : 'lab t -> kind
+
+val uses : 'lab t -> int list
+(** Unified register ids read by the instruction.  [r0] is omitted (it is
+    a constant, not a dependence). *)
+
+val defs : 'lab t -> int list
+(** Unified register ids written by the instruction.  Writes to [r0] are
+    omitted. *)
+
+val writes_sp : 'lab t -> bool
+(** True when the instruction writes the stack pointer; these are the
+    frame-adjustment instructions removed by simulated perfect inlining. *)
+
+val is_load : 'lab t -> bool
+
+val is_store : 'lab t -> bool
+
+val map_label : ('a -> 'b) -> 'a t -> 'b t
+
+val eval_alu : alu -> int -> int -> int
+(** Integer ALU semantics shared by the VM and constant folding.
+    @raise Division_by_zero on [Div]/[Rem] by zero. *)
+
+val eval_falu : falu -> float -> float -> float
+
+val eval_fcmp : fcmp -> float -> float -> int
+
+val eval_cond : cond -> int -> int -> bool
+
+val pp : pp_lab:(Format.formatter -> 'lab -> unit) -> Format.formatter
+  -> 'lab t -> unit
+
+val pp_string : Format.formatter -> string t -> unit
+
+val pp_resolved : Format.formatter -> int t -> unit

@@ -1,0 +1,47 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let harmonic_mean = function
+  | [] -> invalid_arg "Stats.harmonic_mean: empty"
+  | xs ->
+    let add acc x =
+      if x <= 0. then invalid_arg "Stats.harmonic_mean: non-positive"
+      else acc +. (1. /. x)
+    in
+    let s = List.fold_left add 0. xs in
+    float_of_int (List.length xs) /. s
+
+let geometric_mean = function
+  | [] -> invalid_arg "Stats.geometric_mean: empty"
+  | xs ->
+    let add acc x =
+      if x <= 0. then invalid_arg "Stats.geometric_mean: non-positive"
+      else acc +. log x
+    in
+    let s = List.fold_left add 0. xs in
+    exp (s /. float_of_int (List.length xs))
+
+let percentile p xs =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 1. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  let frac = pos -. floor pos in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let cumulative hist =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) hist in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 sorted in
+  if total = 0 then []
+  else begin
+    let running = ref 0 in
+    let entry (v, c) =
+      running := !running + c;
+      (v, float_of_int !running /. float_of_int total)
+    in
+    List.map entry sorted
+  end

@@ -1,0 +1,19 @@
+(** Small statistics helpers used by the evaluation harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean.  @raise Invalid_argument on the empty list. *)
+
+val harmonic_mean : float list -> float
+(** Harmonic mean, the aggregate the paper reports for parallelism.
+    @raise Invalid_argument on an empty list or a non-positive element. *)
+
+val geometric_mean : float list -> float
+(** @raise Invalid_argument on an empty list or a non-positive element. *)
+
+val percentile : float -> float array -> float
+(** [percentile p xs] with [0. <= p <= 1.] on an unsorted non-empty array,
+    using linear interpolation between order statistics. *)
+
+val cumulative : (int * int) list -> (int * float) list
+(** [cumulative hist] turns a histogram [(value, count)] into a cumulative
+    distribution [(value, fraction <= value)], sorted by value. *)

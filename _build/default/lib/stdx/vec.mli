@@ -1,0 +1,42 @@
+(** Growable vectors.
+
+    A tiny dynamic-array implementation used throughout the project for
+    trace buffers and work lists.  Elements are stored in a plain [array];
+    pushing beyond the capacity doubles the storage. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty vector.  [dummy] fills unused capacity
+    and is never observable through the API. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element.  @raise Invalid_argument when [i] is
+    out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val last : 'a t -> 'a
+(** @raise Invalid_argument on an empty vector. *)
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element.
+    @raise Invalid_argument on an empty vector. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+
+val of_array : dummy:'a -> 'a array -> 'a t

@@ -1,0 +1,1 @@
+lib/vm/exec.ml: Array Asm List Printf Risc Trace

@@ -1,0 +1,125 @@
+type status =
+  | Halted of int
+  | Out_of_fuel
+  | Fault of string
+
+type outcome = {
+  status : status;
+  trace : Trace.t;
+  steps : int;
+}
+
+let default_mem_words = 1 lsl 21
+
+let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
+    ?(record = true) (flat : Asm.Program.flat) =
+  let open Risc.Insn in
+  let code = flat.code in
+  let n_code = Array.length code in
+  let regs = Array.make 32 0 in
+  let fregs = Array.make 32 0. in
+  let mem_i = Array.make mem_words 0 in
+  let mem_f = Array.make mem_words 0. in
+  let init_data (base, cells) =
+    let cell i = function
+      | Asm.Program.Int_cell v -> mem_i.(base + i) <- v
+      | Asm.Program.Float_cell v -> mem_f.(base + i) <- v
+    in
+    Array.iteri cell cells
+  in
+  List.iter init_data flat.flat_data;
+  regs.(Risc.Reg.sp) <- mem_words - 8;
+  let trace = Trace.create () in
+  let pc = ref flat.entry_pc in
+  let steps = ref 0 in
+  let fault = ref None in
+  let halted = ref false in
+  let die msg = fault := Some msg in
+  let addr_ok a = a >= 0 && a < mem_words in
+  let wr rd v = if rd <> 0 then regs.(rd) <- v in
+  (* The interpreter records a trace entry for every retired instruction,
+     including the faulting one's predecessors only (a faulting
+     instruction does not retire). *)
+  while (not !halted) && !fault = None && !steps < fuel do
+    let cur = !pc in
+    if cur < 0 || cur >= n_code then die "pc out of code range"
+    else begin
+      let insn = code.(cur) in
+      let next = ref (cur + 1) in
+      let aux = ref (-1) in
+      (match insn with
+      | Alu (op, rd, rs, rt) -> (
+        match eval_alu op regs.(rs) regs.(rt) with
+        | v -> wr rd v
+        | exception Division_by_zero -> die "integer division by zero")
+      | Alui (op, rd, rs, imm) -> (
+        match eval_alu op regs.(rs) imm with
+        | v -> wr rd v
+        | exception Division_by_zero -> die "integer division by zero")
+      | Li (rd, imm) -> wr rd imm
+      | Fli (fd, x) -> fregs.(fd) <- x
+      | Lw (rd, base, off) ->
+        let a = regs.(base) + off in
+        if addr_ok a then begin
+          aux := a;
+          wr rd mem_i.(a)
+        end
+        else die "load address out of range"
+      | Sw (rsrc, base, off) ->
+        let a = regs.(base) + off in
+        if addr_ok a then begin
+          aux := a;
+          mem_i.(a) <- regs.(rsrc)
+        end
+        else die "store address out of range"
+      | Flw (fd, base, off) ->
+        let a = regs.(base) + off in
+        if addr_ok a then begin
+          aux := a;
+          fregs.(fd) <- mem_f.(a)
+        end
+        else die "load address out of range"
+      | Fsw (fsrc, base, off) ->
+        let a = regs.(base) + off in
+        if addr_ok a then begin
+          aux := a;
+          mem_f.(a) <- fregs.(fsrc)
+        end
+        else die "store address out of range"
+      | Falu (op, fd, fs, ft) -> fregs.(fd) <- eval_falu op fregs.(fs) fregs.(ft)
+      | Fcmp (op, rd, fs, ft) -> wr rd (eval_fcmp op fregs.(fs) fregs.(ft))
+      | Movn (rd, rs, rg) -> if regs.(rg) <> 0 then wr rd regs.(rs)
+      | Fmov (fd, fs) -> fregs.(fd) <- fregs.(fs)
+      | I2f (fd, rs) -> fregs.(fd) <- float_of_int regs.(rs)
+      | F2i (rd, fs) -> wr rd (int_of_float fregs.(fs))
+      | B (c, rs, rt, target) ->
+        let taken = eval_cond c regs.(rs) regs.(rt) in
+        aux := (if taken then 1 else 0);
+        if taken then next := target
+      | Bi (c, rs, imm, target) ->
+        let taken = eval_cond c regs.(rs) imm in
+        aux := (if taken then 1 else 0);
+        if taken then next := target
+      | J target -> next := target
+      | Jal target ->
+        wr Risc.Reg.ra (cur + 1);
+        next := target
+      | Jr rs -> next := regs.(rs)
+      | Jtab (rs, table) ->
+        let i = regs.(rs) in
+        if i >= 0 && i < Array.length table then next := table.(i)
+        else die "jump table index out of range"
+      | Halt -> halted := true);
+      if !fault = None then begin
+        if record then Trace.push trace ~pc:cur ~aux:!aux;
+        incr steps;
+        pc := !next
+      end
+    end
+  done;
+  let status =
+    match !fault with
+    | Some msg -> Fault (Printf.sprintf "%s at pc %d" msg !pc)
+    | None -> if !halted then Halted regs.(Risc.Reg.rv) else Out_of_fuel
+  in
+  { status; trace; steps = !steps }

@@ -1,0 +1,35 @@
+(** Interpreter for resolved assembly programs.
+
+    Executes a {!Asm.Program.flat} program and records a {!Trace.t}.
+    Memory is word addressed; integer and floating-point cells live in
+    parallel arrays sharing one address space (the typed Mini-C code
+    generator never accesses one address with both widths).  The stack
+    pointer starts near the top of memory and grows down; the data
+    segment occupies low addresses.
+
+    Execution is deterministic.  It stops at [Halt], when [fuel]
+    instructions have retired (the paper similarly truncates traces at
+    100M instructions), or on a fault. *)
+
+type status =
+  | Halted of int  (** value of the return-value register at [Halt] *)
+  | Out_of_fuel
+  | Fault of string
+
+type outcome = {
+  status : status;
+  trace : Trace.t;
+  steps : int;
+}
+
+val default_mem_words : int
+
+val run :
+  ?mem_words:int ->
+  ?fuel:int ->
+  ?record:bool ->
+  Asm.Program.flat ->
+  outcome
+(** [run flat] executes the program from its entry point.  [fuel]
+    defaults to 10 million retired instructions; [record] (default
+    [true]) controls whether a trace is captured. *)

@@ -1,0 +1,23 @@
+type t = {
+  pcs : int Stdx.Vec.t;
+  auxs : int Stdx.Vec.t;
+}
+
+let create () =
+  { pcs = Stdx.Vec.create ~capacity:4096 ~dummy:0 ();
+    auxs = Stdx.Vec.create ~capacity:4096 ~dummy:0 () }
+
+let push t ~pc ~aux =
+  Stdx.Vec.push t.pcs pc;
+  Stdx.Vec.push t.auxs aux
+
+let length t = Stdx.Vec.length t.pcs
+let pc t i = Stdx.Vec.get t.pcs i
+let aux t i = Stdx.Vec.get t.auxs i
+let addr = aux
+let taken t i = Stdx.Vec.get t.auxs i = 1
+
+let iter f t =
+  for i = 0 to length t - 1 do
+    f ~pc:(Stdx.Vec.get t.pcs i) ~aux:(Stdx.Vec.get t.auxs i)
+  done

@@ -1,0 +1,33 @@
+(** Dynamic instruction traces.
+
+    One entry per executed instruction.  [pc] is the static code index.
+    [aux] carries per-entry dynamic information whose meaning depends on
+    the static instruction's kind:
+    - loads/stores: the effective word address (always [>= 0]);
+    - conditional branches: 1 when taken, 0 when fall-through;
+    - everything else: [-1].
+
+    This is the information the paper obtained from [pixie]: instruction
+    identity, memory addresses for perfect disambiguation, and branch
+    outcomes for the prediction study. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> pc:int -> aux:int -> unit
+
+val length : t -> int
+
+val pc : t -> int -> int
+
+val aux : t -> int -> int
+
+val addr : t -> int -> int
+(** Same as [aux]; named accessor for memory entries. *)
+
+val taken : t -> int -> bool
+(** Branch outcome of entry [i]; meaningful only for conditional
+    branches. *)
+
+val iter : (pc:int -> aux:int -> unit) -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/mat300.ml:

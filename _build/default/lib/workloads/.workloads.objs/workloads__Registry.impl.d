@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Awklite Ccomlite Codegen Eqnlite Esprlite Gcclite Irsimlite List Mat300 Printf Spicelite Texlite Tomlite Vm

@@ -1,0 +1,171 @@
+(* awk analogue: table-driven pattern scanning.
+
+   Scans an embedded multi-line corpus with a set of glob patterns
+   ([*], [?], literal characters), splits lines into fields, and
+   accumulates match counts and field statistics — the kind of
+   character-at-a-time data-dependent control flow that dominates awk. *)
+
+let name = "awk"
+let description = "pattern scanning (glob matcher over a text corpus)"
+let lang = "C"
+let numeric = false
+let fuel = 3_000_000
+
+(* Filled in from a reference run; guards VM determinism in tests. *)
+let expected_result : int option = Some 205_956_073
+
+let source =
+  {|
+// awklite: glob pattern scanning over an embedded corpus.
+
+int text[4096];
+int ntext;
+
+int pat0[] = "th*";
+int pat1[] = "*ing";
+int pat2[] = "?u*k";
+int pat3[] = "*o?er*";
+int pat4[] = "l*y";
+int pat5[] = "*a*a*";
+
+int match_counts[6];
+int field_total;
+int word_len_hist[16];
+
+// Build a larger working text by repeating a seed corpus with
+// deterministic mutations, so that scanning is not trivially periodic.
+int lines[] =
+  "while the compiler was running the simulator kept polling\n"
+  "every branch in the trace was resolved before the window moved\n"
+  "parallel machines follow many flows of control at once\n"
+  "a superscalar processor speculates along the predicted path\n"
+  "misprediction distances stay short for integer programs\n"
+  "the oracle machine knows each branch outcome in advance\n"
+  "dataflow execution enforces only true dependences\n"
+  "loop unrolling removes induction variable updates\n"
+  "control dependence analysis finds global parallelism\n"
+  "quick brown foxes jump over lazy dogs in every corpus\n";
+
+int salt;
+
+// Position-hashed pseudo-random data, a stand-in for reading an input
+// file: a pure function of the position, so generating the data does
+// not introduce a serial dependence the real program would not have.
+int hash_rand(int k) {
+  int h = (k + salt) * 2654435761;
+  h = h ^ (h >> 13);
+  h = (h * 1103515245 + 12345) & 1048575;
+  return h ^ (h >> 7);
+}
+
+void build_text(int reps) {
+  int r;
+  int i;
+  int c;
+  ntext = 0;
+  for (r = 0; r < reps; r = r + 1) {
+    i = 0;
+    while (lines[i] != 0) {
+      c = lines[i];
+      // Occasionally rotate a letter to vary the text between copies.
+      if (c >= 'a' && c <= 'z') {
+        if ((hash_rand(r * 4096 + i) & 31) == 0) {
+          c = 'a' + ((c - 'a' + r) % 26);
+        }
+      }
+      if (ntext < 4095) {
+        text[ntext] = c;
+        ntext = ntext + 1;
+      }
+      i = i + 1;
+    }
+  }
+  text[ntext] = 0;
+}
+
+// Recursive glob match: does pattern p (from pi) match string s
+// (from si up to the line terminator)?
+int glob(int p[], int pi, int si) {
+  int pc = p[pi];
+  int sc = text[si];
+  if (sc == '\n') sc = 0;
+  if (pc == 0) {
+    if (sc == 0) return 1;
+    return 0;
+  }
+  if (pc == '*') {
+    if (glob(p, pi + 1, si)) return 1;
+    if (sc != 0) return glob(p, pi, si + 1);
+    return 0;
+  }
+  if (sc == 0) return 0;
+  if (pc == '?') return glob(p, pi + 1, si + 1);
+  if (pc == sc) return glob(p, pi + 1, si + 1);
+  return 0;
+}
+
+// Try every pattern against the line starting at position [start];
+// glob anchored at the start of the line, plus floating occurrences
+// for patterns beginning with a literal.
+void scan_line(int start) {
+  if (glob(pat0, 0, start)) match_counts[0] = match_counts[0] + 1;
+  if (glob(pat1, 0, start)) match_counts[1] = match_counts[1] + 1;
+  if (glob(pat2, 0, start)) match_counts[2] = match_counts[2] + 1;
+  if (glob(pat3, 0, start)) match_counts[3] = match_counts[3] + 1;
+  if (glob(pat4, 0, start)) match_counts[4] = match_counts[4] + 1;
+  if (glob(pat5, 0, start)) match_counts[5] = match_counts[5] + 1;
+}
+
+// Field splitting: count space-separated fields and histogram word
+// lengths, awk's bread and butter.
+int split_fields(int start) {
+  int i = start;
+  int fields = 0;
+  int wlen = 0;
+  while (text[i] != 0 && text[i] != '\n') {
+    if (text[i] == ' ') {
+      if (wlen > 0) {
+        fields = fields + 1;
+        if (wlen < 16) word_len_hist[wlen] = word_len_hist[wlen] + 1;
+      }
+      wlen = 0;
+    } else {
+      wlen = wlen + 1;
+    }
+    i = i + 1;
+  }
+  if (wlen > 0) {
+    fields = fields + 1;
+    if (wlen < 16) word_len_hist[wlen] = word_len_hist[wlen] + 1;
+  }
+  return fields;
+}
+
+int main(void) {
+  int i;
+  int start;
+  int checksum = 0;
+  salt = 42;
+  build_text(14);
+  start = 0;
+  i = 0;
+  {
+  int n = ntext;
+  while (i <= n) {
+    if (text[i] == '\n' || text[i] == 0) {
+      scan_line(start);
+      field_total = field_total + split_fields(start);
+      start = i + 1;
+    }
+    i = i + 1;
+  }
+  }
+  for (i = 0; i < 6; i = i + 1) {
+    checksum = checksum * 31 + match_counts[i];
+  }
+  for (i = 0; i < 16; i = i + 1) {
+    checksum = checksum + i * word_len_hist[i];
+  }
+  return checksum + field_total;
+}
+|}

@@ -1,0 +1,292 @@
+(* ccom analogue: a compiler front end.
+
+   Tokenizes and parses (recursive descent) a stream of expression
+   statements, emits stack code, runs a peephole constant folder over
+   the emitted code, and finally interprets it with a switch-dispatched
+   stack machine (a computed jump, like a real front end's automaton
+   dispatch).  Deeply recursive and branchy, like ccom. *)
+
+let name = "ccom"
+let description = "compiler front end (parse, fold, interpret stack code)"
+let lang = "C"
+let numeric = false
+let fuel = 3_000_000
+(* Filled in from a reference run; guards VM determinism in tests. *)
+let expected_result : int option = Some 193_575_718
+
+let source =
+  {|
+// ccomlite: expression compiler and stack interpreter.
+
+int program[] =
+  "1+2*(3-4/2); (10*x-y)*(z+4); x*x+y*y-z*z;"
+  "((1+2)*(3+4)-(5+6))*w; -x+-y--z; 2*3*4*5*6-7*8*9;"
+  "x%(y+1)+z%(w+1); (x<<2)+(y>>1); (x&y)|(z^w);"
+  "1000/(x+1)/(y+1); ((((x)))); 5; -5; x-1-2-3-4-5;"
+  "(x+y)*(x-y); w*w*w; 1+(2+(3+(4+(5+(6+(7+(8+9)))))));"
+  ;
+
+// Variable values for x, y, z, w.
+int vars[4];
+
+// Token stream.
+int tk_kind[512];   // 0=num 1=var 2..9 operators, 10 lparen 11 rparen 12 semi
+int tk_val[512];
+int ntok;
+
+// Emitted stack code: opcode + operand pairs.
+int em_op[1024];    // 0=PUSH 1=LOAD 2=ADD 3=SUB 4=MUL 5=DIV 6=REM 7=SHL 8=SHR 9=AND 10=OR 11=XOR 12=NEG
+int em_arg[1024];
+int nem;
+
+int pos;            // parser cursor into the token stream
+
+int stack[256];
+
+void tokenize(void) {
+  int i = 0;
+  int c;
+  ntok = 0;
+  while (program[i] != 0) {
+    c = program[i];
+    if (c >= '0' && c <= '9') {
+      int v = 0;
+      while (program[i] >= '0' && program[i] <= '9') {
+        v = v * 10 + (program[i] - '0');
+        i = i + 1;
+      }
+      tk_kind[ntok] = 0;
+      tk_val[ntok] = v;
+      ntok = ntok + 1;
+      continue;
+    }
+    if (c == 'x' || c == 'y' || c == 'z' || c == 'w') {
+      tk_kind[ntok] = 1;
+      if (c == 'x') tk_val[ntok] = 0;
+      if (c == 'y') tk_val[ntok] = 1;
+      if (c == 'z') tk_val[ntok] = 2;
+      if (c == 'w') tk_val[ntok] = 3;
+      ntok = ntok + 1;
+      i = i + 1;
+      continue;
+    }
+    if (c == '+') { tk_kind[ntok] = 2; ntok = ntok + 1; }
+    if (c == '-') { tk_kind[ntok] = 3; ntok = ntok + 1; }
+    if (c == '*') { tk_kind[ntok] = 4; ntok = ntok + 1; }
+    if (c == '/') { tk_kind[ntok] = 5; ntok = ntok + 1; }
+    if (c == '%') { tk_kind[ntok] = 6; ntok = ntok + 1; }
+    if (c == '<') { tk_kind[ntok] = 7; ntok = ntok + 1; i = i + 1; }
+    if (c == '>') { tk_kind[ntok] = 8; ntok = ntok + 1; i = i + 1; }
+    if (c == '&') { tk_kind[ntok] = 9; ntok = ntok + 1; }
+    if (c == '|') { tk_kind[ntok] = 10; ntok = ntok + 1; }
+    if (c == '^') { tk_kind[ntok] = 11; ntok = ntok + 1; }
+    if (c == '(') { tk_kind[ntok] = 12; ntok = ntok + 1; }
+    if (c == ')') { tk_kind[ntok] = 13; ntok = ntok + 1; }
+    if (c == ';') { tk_kind[ntok] = 14; ntok = ntok + 1; }
+    i = i + 1;
+  }
+  tk_kind[ntok] = 15;  // EOF
+}
+
+void emit(int op, int arg) {
+  em_op[nem] = op;
+  em_arg[nem] = arg;
+  nem = nem + 1;
+}
+
+// Recursive-descent parser emitting postfix code.  Mini-C resolves
+// function names after parsing the whole unit, so the mutual recursion
+// between parse_factor and parse_expr needs no forward declaration.
+void parse_factor(void) {
+  int k = tk_kind[pos];
+  if (k == 3) {            // unary minus
+    pos = pos + 1;
+    parse_factor();
+    emit(12, 0);
+    return;
+  }
+  if (k == 0) {
+    emit(0, tk_val[pos]);
+    pos = pos + 1;
+    return;
+  }
+  if (k == 1) {
+    emit(1, tk_val[pos]);
+    pos = pos + 1;
+    return;
+  }
+  if (k == 12) {
+    pos = pos + 1;
+    parse_expr();
+    if (tk_kind[pos] == 13) pos = pos + 1;
+    return;
+  }
+  // Error recovery: skip the token.
+  pos = pos + 1;
+}
+
+void parse_term(void) {
+  parse_factor();
+  while (tk_kind[pos] == 4 || tk_kind[pos] == 5 || tk_kind[pos] == 6) {
+    int op = tk_kind[pos];
+    pos = pos + 1;
+    parse_factor();
+    if (op == 4) emit(4, 0);
+    if (op == 5) emit(5, 0);
+    if (op == 6) emit(6, 0);
+  }
+}
+
+void parse_shift(void) {
+  parse_term();
+  while (tk_kind[pos] == 2 || tk_kind[pos] == 3) {
+    int op = tk_kind[pos];
+    pos = pos + 1;
+    parse_term();
+    if (op == 2) emit(2, 0);
+    if (op == 3) emit(3, 0);
+  }
+}
+
+void parse_expr(void) {
+  parse_shift();
+  while (tk_kind[pos] >= 7 && tk_kind[pos] <= 11) {
+    int op = tk_kind[pos];
+    pos = pos + 1;
+    parse_shift();
+    emit(op, 0);
+  }
+}
+
+// Peephole constant folding over the emitted code: PUSH a; PUSH b; OP
+// becomes PUSH (a OP b).  Runs until a fixed point.
+int fold_pass(void) {
+  int changed = 0;
+  int i = 0;
+  int j = 0;
+  int n = nem;
+  while (i < n) {
+    int folded = 0;
+    if (i + 2 < n && em_op[i] == 0 && em_op[i + 1] == 0) {
+      int op = em_op[i + 2];
+      int a = em_arg[i];
+      int b = em_arg[i + 1];
+      int v = 0;
+      int ok = 1;
+      if (op == 2) v = a + b;
+      else if (op == 3) v = a - b;
+      else if (op == 4) v = a * b;
+      else if (op == 5) { if (b != 0) v = a / b; else ok = 0; }
+      else if (op == 6) { if (b != 0) v = a % b; else ok = 0; }
+      else ok = 0;
+      if (ok) {
+        em_op[j] = 0;
+        em_arg[j] = v;
+        j = j + 1;
+        i = i + 3;
+        folded = 1;
+        changed = 1;
+      }
+    }
+    if (!folded) {
+      em_op[j] = em_op[i];
+      em_arg[j] = em_arg[i];
+      j = j + 1;
+      i = i + 1;
+    }
+  }
+  nem = j;
+  return changed;
+}
+
+// Stack-machine interpreter with switch dispatch (a computed jump).
+int interpret(int from, int to) {
+  int sp = 0;
+  int i;
+  int a;
+  int b;
+  for (i = from; i < to; i = i + 1) {
+    switch (em_op[i]) {
+      case 0:
+        stack[sp] = em_arg[i];
+        sp = sp + 1;
+        break;
+      case 1:
+        stack[sp] = vars[em_arg[i]];
+        sp = sp + 1;
+        break;
+      case 2:
+        b = stack[sp - 1]; a = stack[sp - 2];
+        stack[sp - 2] = a + b; sp = sp - 1;
+        break;
+      case 3:
+        b = stack[sp - 1]; a = stack[sp - 2];
+        stack[sp - 2] = a - b; sp = sp - 1;
+        break;
+      case 4:
+        b = stack[sp - 1]; a = stack[sp - 2];
+        stack[sp - 2] = a * b; sp = sp - 1;
+        break;
+      case 5:
+        b = stack[sp - 1]; a = stack[sp - 2];
+        if (b == 0) b = 1;
+        stack[sp - 2] = a / b; sp = sp - 1;
+        break;
+      case 6:
+        b = stack[sp - 1]; a = stack[sp - 2];
+        if (b == 0) b = 1;
+        stack[sp - 2] = a % b; sp = sp - 1;
+        break;
+      case 7:
+        b = stack[sp - 1]; a = stack[sp - 2];
+        stack[sp - 2] = a << (b & 15); sp = sp - 1;
+        break;
+      case 8:
+        b = stack[sp - 1]; a = stack[sp - 2];
+        stack[sp - 2] = a >> (b & 15); sp = sp - 1;
+        break;
+      case 9:
+        b = stack[sp - 1]; a = stack[sp - 2];
+        stack[sp - 2] = a & b; sp = sp - 1;
+        break;
+      case 10:
+        b = stack[sp - 1]; a = stack[sp - 2];
+        stack[sp - 2] = a | b; sp = sp - 1;
+        break;
+      case 11:
+        b = stack[sp - 1]; a = stack[sp - 2];
+        stack[sp - 2] = a ^ b; sp = sp - 1;
+        break;
+      case 12:
+        stack[sp - 1] = -stack[sp - 1];
+        break;
+    }
+  }
+  if (sp > 0) return stack[sp - 1];
+  return 0;
+}
+
+int main(void) {
+  int rep;
+  int checksum = 0;
+  tokenize();
+  for (rep = 0; rep < 40; rep = rep + 1) {
+    vars[0] = rep + 1;
+    vars[1] = rep * 2 + 3;
+    vars[2] = (rep * rep) % 17;
+    vars[3] = 29 - (rep % 13);
+    nem = 0;
+    pos = 0;
+    while (tk_kind[pos] != 15) {
+      int start = nem;
+      parse_expr();
+      if (tk_kind[pos] == 14) pos = pos + 1;
+      checksum = checksum * 7 + interpret(start, nem);
+      checksum = checksum & 268435455;
+    }
+    while (fold_pass()) { }
+    checksum = checksum + nem;
+  }
+  return checksum;
+}
+|}

@@ -1,0 +1,138 @@
+(* eqntott analogue: truth-table generation dominated by quicksort.
+
+   Builds the truth table of a synthetic multi-output boolean function
+   over 11 inputs, then sorts the 2048 wide rows with a recursive
+   quicksort under a lexicographic comparator and counts distinct
+   output patterns — eqntott spends most of its time in exactly this
+   kind of sort. *)
+
+let name = "eqntott"
+let description = "truth table generation (quicksort over wide rows)"
+let lang = "C"
+let numeric = false
+let fuel = 4_000_000
+
+(* Filled in from a reference run; guards VM determinism in tests. *)
+let expected_result : int option = Some 6_309
+
+let source =
+  {|
+// eqnlite: truth table build + recursive quicksort.
+
+int NVARS;
+int NROWS;
+
+// Row keys: two words per row (outputs, then input pattern).
+int key0[2048];
+int key1[2048];
+
+// Permutation being sorted.
+int perm[2048];
+
+// Evaluate a fixed synthetic PLA: three output bits from the input
+// minterm, chosen to be branchy and irregular.
+int eval_outputs(int m) {
+  int o0 = 0;
+  int o1 = 0;
+  int o2 = 0;
+  int a = m & 1;
+  int b = (m >> 1) & 1;
+  int c = (m >> 2) & 1;
+  int d = (m >> 3) & 1;
+  int e = (m >> 4) & 1;
+  if (a && !b) o0 = 1;
+  if (c ^ d) o0 = o0 ^ 1;
+  if ((m & 96) == 96) o0 = 1;
+  if (b && c && !e) o1 = 1;
+  if ((m % 7) == 3) o1 = o1 ^ 1;
+  if ((m >> 5) > (m & 31)) o2 = 1;
+  if ((m & 585) == 520) o2 = o2 ^ 1;
+  return o0 + o1 * 2 + o2 * 4;
+}
+
+int compare(int i, int j) {
+  // Lexicographic comparison of two-word keys; returns -1/0/1.
+  if (key0[i] < key0[j]) return -1;
+  if (key0[i] > key0[j]) return 1;
+  if (key1[i] < key1[j]) return -1;
+  if (key1[i] > key1[j]) return 1;
+  return 0;
+}
+
+void swap(int i, int j) {
+  int t = perm[i];
+  perm[i] = perm[j];
+  perm[j] = t;
+}
+
+// Recursive quicksort on the permutation, median-of-three pivot.
+void quicksort(int lo, int hi) {
+  int i;
+  int j;
+  int pivot;
+  int mid;
+  if (hi - lo < 8) {
+    // Insertion sort for small ranges, like a production qsort.
+    for (i = lo + 1; i <= hi; i = i + 1) {
+      j = i;
+      while (j > lo && compare(perm[j - 1], perm[j]) > 0) {
+        swap(j - 1, j);
+        j = j - 1;
+      }
+    }
+    return;
+  }
+  mid = lo + (hi - lo) / 2;
+  if (compare(perm[lo], perm[mid]) > 0) swap(lo, mid);
+  if (compare(perm[lo], perm[hi]) > 0) swap(lo, hi);
+  if (compare(perm[mid], perm[hi]) > 0) swap(mid, hi);
+  swap(mid, hi - 1);
+  pivot = perm[hi - 1];
+  i = lo;
+  j = hi - 1;
+  while (1) {
+    i = i + 1;
+    while (compare(perm[i], pivot) < 0) i = i + 1;
+    j = j - 1;
+    while (compare(perm[j], pivot) > 0) j = j - 1;
+    if (i >= j) break;
+    swap(i, j);
+  }
+  swap(i, hi - 1);
+  quicksort(lo, i - 1);
+  quicksort(i + 1, hi);
+}
+
+int main(void) {
+  int m;
+  int i;
+  int rep;
+  int distinct;
+  int checksum = 0;
+  NVARS = 11;
+  NROWS = 2048;
+  for (rep = 0; rep < 1; rep = rep + 1) {
+    // Build the table; vary the second pass by xoring the minterm.
+    int nrows = NROWS;
+    for (m = 0; m < nrows; m = m + 1) {
+      int probe = m ^ (rep * 733);
+      key0[m] = eval_outputs(probe & 2047);
+      key1[m] = probe & 2047;
+      perm[m] = m;
+    }
+    quicksort(0, NROWS - 1);
+    // Count distinct output groups and verify sortedness on the fly.
+    distinct = 1;
+    for (i = 1; i < nrows; i = i + 1) {
+      if (compare(perm[i - 1], perm[i]) > 0) return -1;  // sort bug
+      if (key0[perm[i]] != key0[perm[i - 1]]) distinct = distinct + 1;
+    }
+    checksum = checksum * 131 + distinct;
+    for (i = 0; i < nrows; i = i + 256) {
+      checksum = checksum + key1[perm[i]];
+    }
+    checksum = checksum & 268435455;
+  }
+  return checksum;
+}
+|}

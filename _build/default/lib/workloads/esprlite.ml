@@ -1,0 +1,228 @@
+(* espresso analogue: set-oriented logic minimization over bit
+   matrices.
+
+   Represents a cover of cubes in the positional-cube notation (two
+   bits per input variable), then runs the classic containment /
+   single-cube-containment / consensus sweeps until a fixed point,
+   all bitwise word operations with data-dependent early exits. *)
+
+let name = "espresso"
+let description = "logic minimization (cube containment and consensus)"
+let lang = "C"
+let numeric = false
+let fuel = 4_000_000
+
+(* Filled in from a reference run; guards VM determinism in tests. *)
+let expected_result : int option = Some 225_171_436
+
+let source =
+  {|
+// esprlite: cube-cover minimization in positional cube notation.
+// Each cube has W words; each input variable occupies 2 bits
+// (01 = positive literal, 10 = negative, 11 = don't care).
+
+int MAXCUBES;
+int W;
+
+int cube[4096];      // MAXCUBES x W words
+int alive[512];
+int ncubes;
+
+int salt;
+
+// Position-hashed pseudo-random data, a stand-in for reading an input
+// file: a pure function of the position, so generating the data does
+// not introduce a serial dependence the real program would not have.
+int hash_rand(int k) {
+  int h = (k + salt) * 2654435761;
+  h = h ^ (h >> 13);
+  h = (h * 1103515245 + 12345) & 1048575;
+  return h ^ (h >> 7);
+}
+
+int widx(int c, int w) {
+  return c * W + w;
+}
+
+// Generate a random cover of cubes over 28 variables (2 words of 56
+// bits per cube in our encoding: 28 vars x 2 bits).
+void gen_cover(int n) {
+  int c;
+  int v;
+  ncubes = n;
+  for (c = 0; c < n; c = c + 1) {
+    int w0 = 0;
+    int w1 = 0;
+    for (v = 0; v < 14; v = v + 1) {
+      int r = hash_rand(c * 64 + v) % 10;
+      int bits = 3;               // don't care
+      if (r < 4) bits = 1;        // positive
+      else if (r < 7) bits = 2;   // negative
+      w0 = w0 | (bits << (2 * v));
+    }
+    for (v = 0; v < 14; v = v + 1) {
+      int r = hash_rand(c * 64 + 32 + v) % 10;
+      int bits = 3;
+      if (r < 4) bits = 1;
+      else if (r < 7) bits = 2;
+      w1 = w1 | (bits << (2 * v));
+    }
+    cube[widx(c, 0)] = w0;
+    cube[widx(c, 1)] = w1;
+    alive[c] = 1;
+  }
+}
+
+// Does cube a contain cube b?  a covers b iff b's literal set is a
+// subset in every variable: (a | b) == a.
+int contains(int a, int b) {
+  int w;
+  int nw = W;
+  for (w = 0; w < nw; w = w + 1) {
+    int aw = cube[widx(a, w)];
+    int bw = cube[widx(b, w)];
+    if ((aw | bw) != aw) return 0;
+  }
+  return 1;
+}
+
+// Is the cube empty (some variable with 00 = no allowed value)?
+int is_empty_words(int w0, int w1) {
+  int v;
+  for (v = 0; v < 14; v = v + 1) {
+    if (((w0 >> (2 * v)) & 3) == 0) return 1;
+  }
+  for (v = 0; v < 14; v = v + 1) {
+    if (((w1 >> (2 * v)) & 3) == 0) return 1;
+  }
+  return 0;
+}
+
+// Distance between two cubes: number of variables whose intersection
+// is empty.  Consensus exists only at distance exactly 1.
+int distance(int a, int b) {
+  int w;
+  int d = 0;
+  int nw = W;
+  for (w = 0; w < nw; w = w + 1) {
+    int x = cube[widx(a, w)] & cube[widx(b, w)];
+    int v;
+    for (v = 0; v < 14; v = v + 1) {
+      if (((x >> (2 * v)) & 3) == 0) d = d + 1;
+      if (d > 1) return d;
+    }
+  }
+  return d;
+}
+
+// Single containment sweep: kill cubes covered by another live cube.
+int contain_sweep(void) {
+  int i;
+  int j;
+  int killed = 0;
+  int n = ncubes;
+  for (i = 0; i < n; i = i + 1) {
+    if (!alive[i]) continue;
+    for (j = 0; j < n; j = j + 1) {
+      if (i == j || !alive[j]) continue;
+      if (contains(i, j)) {
+        // Prefer keeping the earlier cube on ties.
+        if (contains(j, i) && j < i) continue;
+        alive[j] = 0;
+        killed = killed + 1;
+      }
+    }
+  }
+  return killed;
+}
+
+// One consensus pass: for distance-1 pairs, add the consensus cube if
+// it is not already contained in a live cube and there is room.
+int consensus_pass(void) {
+  int i;
+  int j;
+  int added = 0;
+  int n0 = ncubes;
+  for (i = 0; i < n0; i = i + 1) {
+    if (!alive[i]) continue;
+    for (j = i + 1; j < n0; j = j + 1) {
+      if (!alive[j]) continue;
+      if (ncubes >= MAXCUBES) return added;
+      if (distance(i, j) == 1) {
+        int w;
+        int k;
+        int dup = 0;
+        // Consensus: union in the conflicting variable, intersection
+        // elsewhere; with 2-bit fields, (a&b) | conflict-repair.
+        for (w = 0; w < W; w = w + 1) {
+          int aw = cube[widx(i, w)];
+          int bw = cube[widx(j, w)];
+          int inter = aw & bw;
+          int v;
+          int repaired = inter;
+          for (v = 0; v < 14; v = v + 1) {
+            if (((inter >> (2 * v)) & 3) == 0) {
+              repaired = repaired | (3 << (2 * v));
+            }
+          }
+          cube[widx(ncubes, w)] = repaired;
+        }
+        if (is_empty_words(cube[widx(ncubes, 0)], cube[widx(ncubes, 1)])) {
+          continue;
+        }
+        int nc = ncubes;
+        for (k = 0; k < nc; k = k + 1) {
+          if (alive[k] && contains(k, ncubes)) {
+            dup = 1;
+            break;
+          }
+        }
+        if (!dup) {
+          alive[ncubes] = 1;
+          ncubes = ncubes + 1;
+          added = added + 1;
+        }
+      }
+    }
+  }
+  return added;
+}
+
+int live_count(void) {
+  int i;
+  int n = 0;
+  int nc = ncubes;
+  for (i = 0; i < nc; i = i + 1) {
+    if (alive[i]) n = n + 1;
+  }
+  return n;
+}
+
+int main(void) {
+  int round;
+  int checksum = 0;
+  int i;
+  MAXCUBES = 320;
+  W = 2;
+  salt = 7;
+  gen_cover(56);
+  for (round = 0; round < 4; round = round + 1) {
+    int killed = contain_sweep();
+    int added = consensus_pass();
+    checksum = checksum * 37 + killed * 100 + added;
+    checksum = checksum & 268435455;
+    if (added == 0 && killed == 0) break;
+  }
+  checksum = checksum * 1000 + live_count();
+  {
+  int nc = ncubes;
+  for (i = 0; i < nc; i = i + 1) {
+    if (alive[i]) {
+      checksum = checksum + (cube[widx(i, 0)] ^ cube[widx(i, 1)]);
+      checksum = checksum & 268435455;
+    }
+  }
+  }
+  return checksum;
+}
+|}

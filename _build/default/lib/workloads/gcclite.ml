@@ -1,0 +1,303 @@
+(* gcc (cc1) analogue: a sequence of small data-dependent optimizer
+   passes over a linear IR.
+
+   Generates a synthetic three-address IR with an LCG, then iterates
+   constant propagation, copy propagation, algebraic peephole
+   simplification and dead-code elimination to a fixed point — many
+   short, branchy passes over irregular data, the cc1 profile. *)
+
+let name = "gcc"
+let description = "optimizer passes over a linear three-address IR"
+let lang = "C"
+let numeric = false
+let fuel = 4_000_000
+
+(* Filled in from a reference run; guards VM determinism in tests. *)
+let expected_result : int option = Some 118_571_052
+
+let source =
+  {|
+// gcclite: const-prop / copy-prop / peephole / DCE over linear IR.
+//
+// Instruction forms (op):
+//   0 LI    d <- imm(a)
+//   1 MOV   d <- r(a)
+//   2 ADD   d <- r(a) + r(b)
+//   3 SUB   d <- r(a) - r(b)
+//   4 MUL   d <- r(a) * r(b)
+//   5 AND   d <- r(a) & r(b)
+//   6 XOR   d <- r(a) ^ r(b)
+//   7 USE   sink(r(a))          -- keeps a live
+//   8 NOP
+
+int NINSN;
+int NREG;
+
+int ir_op[800];
+int ir_a[800];
+int ir_b[800];
+int ir_d[800];
+
+int const_known[64];
+int const_val[64];
+int copy_of[64];
+int live[64];
+int needed[800];
+
+int salt;
+
+// Position-hashed pseudo-random data, a stand-in for reading an input
+// file: a pure function of the position, so generating the data does
+// not introduce a serial dependence the real program would not have.
+int hash_rand(int k) {
+  int h = (k + salt) * 2654435761;
+  h = h ^ (h >> 13);
+  h = (h * 1103515245 + 12345) & 1048575;
+  return h ^ (h >> 7);
+}
+
+void gen_ir(void) {
+  int i;
+  int n = NINSN;
+  for (i = 0; i < n; i = i + 1) {
+    int r = hash_rand(i * 8) % 100;
+    ir_d[i] = hash_rand(i * 8 + 1) % NREG;
+    ir_a[i] = hash_rand(i * 8 + 2) % NREG;
+    ir_b[i] = hash_rand(i * 8 + 3) % NREG;
+    if (r < 22) {
+      ir_op[i] = 0;                       // LI
+      ir_a[i] = hash_rand(i * 8 + 4) % 64;
+    }
+    else if (r < 38) ir_op[i] = 1;        // MOV
+    else if (r < 58) ir_op[i] = 2;        // ADD
+    else if (r < 70) ir_op[i] = 3;        // SUB
+    else if (r < 80) ir_op[i] = 4;        // MUL
+    else if (r < 86) ir_op[i] = 5;        // AND
+    else if (r < 92) ir_op[i] = 6;        // XOR
+    else ir_op[i] = 7;                    // USE
+  }
+  // Make sure something is observable at the end.
+  ir_op[NINSN - 1] = 7;
+  ir_a[NINSN - 1] = 0;
+  ir_op[NINSN - 2] = 7;
+  ir_a[NINSN - 2] = 1;
+}
+
+// Constant propagation: forward walk tracking known constants.
+int constprop(void) {
+  int i;
+  int r;
+  int changed = 0;
+  int n = NINSN;
+  int nr = NREG;
+  for (r = 0; r < nr; r = r + 1) const_known[r] = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int op = ir_op[i];
+    switch (op) {
+      case 0:
+        const_known[ir_d[i]] = 1;
+        const_val[ir_d[i]] = ir_a[i];
+        break;
+      case 1:
+        if (const_known[ir_a[i]]) {
+          ir_op[i] = 0;
+          ir_a[i] = const_val[ir_a[i]];
+          changed = 1;
+          const_known[ir_d[i]] = 1;
+          const_val[ir_d[i]] = ir_a[i];
+        } else {
+          const_known[ir_d[i]] = 0;
+        }
+        break;
+      case 2:
+      case 3:
+      case 4:
+      case 5:
+      case 6:
+        if (const_known[ir_a[i]] && const_known[ir_b[i]]) {
+          int a = const_val[ir_a[i]];
+          int b = const_val[ir_b[i]];
+          int v = 0;
+          if (op == 2) v = a + b;
+          if (op == 3) v = a - b;
+          if (op == 4) v = a * b;
+          if (op == 5) v = a & b;
+          if (op == 6) v = a ^ b;
+          ir_op[i] = 0;
+          ir_a[i] = v;
+          changed = 1;
+          const_known[ir_d[i]] = 1;
+          const_val[ir_d[i]] = ir_a[i];
+        } else {
+          const_known[ir_d[i]] = 0;
+        }
+        break;
+      case 7:
+        break;
+      case 8:
+        break;
+    }
+  }
+  return changed;
+}
+
+// Copy propagation: replace uses of registers that are pure copies.
+int copyprop(void) {
+  int i;
+  int r;
+  int changed = 0;
+  int n = NINSN;
+  int nr = NREG;
+  for (r = 0; r < nr; r = r + 1) copy_of[r] = r;
+  for (i = 0; i < n; i = i + 1) {
+    int op = ir_op[i];
+    if (op >= 1 && op <= 7) {
+      if (copy_of[ir_a[i]] != ir_a[i]) {
+        ir_a[i] = copy_of[ir_a[i]];
+        changed = 1;
+      }
+    }
+    if (op >= 2 && op <= 6) {
+      if (copy_of[ir_b[i]] != ir_b[i]) {
+        ir_b[i] = copy_of[ir_b[i]];
+        changed = 1;
+      }
+    }
+    if (op != 7 && op != 8) {
+      // Writing d invalidates copies of and through d.
+      for (r = 0; r < nr; r = r + 1) {
+        if (copy_of[r] == ir_d[i]) copy_of[r] = r;
+      }
+      if (op == 1 && ir_a[i] != ir_d[i]) copy_of[ir_d[i]] = ir_a[i];
+      else copy_of[ir_d[i]] = ir_d[i];
+    }
+  }
+  return changed;
+}
+
+// Algebraic peephole: x+0, x-0, x*1, x*0, x&x, x^x ...
+int peephole(void) {
+  int i;
+  int changed = 0;
+  int n = NINSN;
+  for (i = 0; i < n; i = i + 1) {
+    int op = ir_op[i];
+    if (op == 2 || op == 3) {
+      // r + 0 / r - 0 when b holds a known zero LI immediately before.
+      if (i > 0 && ir_op[i - 1] == 0 && ir_a[i - 1] == 0
+          && ir_d[i - 1] == ir_b[i]) {
+        ir_op[i] = 1;
+        changed = 1;
+      }
+    }
+    if (op == 4) {
+      if (i > 0 && ir_op[i - 1] == 0 && ir_a[i - 1] == 1
+          && ir_d[i - 1] == ir_b[i]) {
+        ir_op[i] = 1;
+        changed = 1;
+      }
+      if (i > 0 && ir_op[i - 1] == 0 && ir_a[i - 1] == 0
+          && ir_d[i - 1] == ir_b[i]) {
+        ir_op[i] = 0;
+        ir_a[i] = 0;
+        changed = 1;
+      }
+    }
+    if (op == 6 && ir_a[i] == ir_b[i]) {
+      ir_op[i] = 0;
+      ir_a[i] = 0;
+      changed = 1;
+    }
+    if (op == 5 && ir_a[i] == ir_b[i]) {
+      ir_op[i] = 1;
+      changed = 1;
+    }
+  }
+  return changed;
+}
+
+// Dead code elimination: backward liveness; dead defs become NOPs.
+int dce(void) {
+  int i;
+  int r;
+  int changed = 0;
+  int nr = NREG;
+  for (r = 0; r < nr; r = r + 1) live[r] = 0;
+  for (i = NINSN - 1; i >= 0; i = i - 1) {
+    int op = ir_op[i];
+    if (op == 7) {
+      live[ir_a[i]] = 1;
+      needed[i] = 1;
+      continue;
+    }
+    if (op == 8) {
+      needed[i] = 0;
+      continue;
+    }
+    if (!live[ir_d[i]]) {
+      ir_op[i] = 8;
+      needed[i] = 0;
+      changed = 1;
+      continue;
+    }
+    needed[i] = 1;
+    live[ir_d[i]] = 0;
+    if (op >= 1 && op <= 6) live[ir_a[i]] = 1;
+    if (op >= 2 && op <= 6) live[ir_b[i]] = 1;
+  }
+  return changed;
+}
+
+// Execute the (optimized) IR to produce an observable checksum.
+int run_ir(void) {
+  int regs[64];
+  int i;
+  int sink = 0;
+  int n = NINSN;
+  int nr = NREG;
+  for (i = 0; i < nr; i = i + 1) regs[i] = 0;
+  for (i = 0; i < n; i = i + 1) {
+    switch (ir_op[i]) {
+      case 0: regs[ir_d[i]] = ir_a[i]; break;
+      case 1: regs[ir_d[i]] = regs[ir_a[i]]; break;
+      case 2: regs[ir_d[i]] = regs[ir_a[i]] + regs[ir_b[i]]; break;
+      case 3: regs[ir_d[i]] = regs[ir_a[i]] - regs[ir_b[i]]; break;
+      case 4: regs[ir_d[i]] = regs[ir_a[i]] * regs[ir_b[i]]; break;
+      case 5: regs[ir_d[i]] = regs[ir_a[i]] & regs[ir_b[i]]; break;
+      case 6: regs[ir_d[i]] = regs[ir_a[i]] ^ regs[ir_b[i]]; break;
+      case 7: sink = (sink * 31 + regs[ir_a[i]]) & 268435455; break;
+      case 8: break;
+    }
+  }
+  return sink;
+}
+
+int main(void) {
+  int unit;
+  int checksum = 0;
+  NINSN = 700;
+  NREG = 24;
+  salt = 2023;
+  for (unit = 0; unit < 4; unit = unit + 1) {
+    int before;
+    int after;
+    int rounds = 0;
+    salt = 2023 + unit * 65536;
+    gen_ir();
+    before = run_ir();
+    while (rounds < 12) {
+      int c = 0;
+      if (constprop()) c = 1;
+      if (copyprop()) c = 1;
+      if (peephole()) c = 1;
+      if (dce()) c = 1;
+      rounds = rounds + 1;
+      if (!c) break;
+    }
+    after = run_ir();
+    if (before != after) return -1;  // optimizer must preserve semantics
+    checksum = (checksum * 131 + after + rounds) & 268435455;
+  }
+  return checksum;
+}
+|}

@@ -1,0 +1,190 @@
+(* irsim analogue: an event-driven switch-level simulator.
+
+   Simulates a randomly generated combinational/sequential netlist of
+   two-input gates with per-gate delays using a timing wheel of event
+   queues (linked lists through arrays).  Event-driven propagation with
+   fanout lists is the classic irsim inner loop: highly data-dependent
+   branching and index chasing. *)
+
+let name = "irsim"
+let description = "event-driven gate-level simulator on a timing wheel"
+let lang = "C"
+let numeric = false
+let fuel = 4_000_000
+
+(* Filled in from a reference run; guards VM determinism in tests. *)
+let expected_result : int option = Some 25_551_242_479
+
+let source =
+  {|
+// irsimlite: event-driven logic simulation.
+
+int NNETS;
+int NGATES;
+int NINPUTS;
+int WHEEL;     // timing wheel size (power of two)
+
+int net_val[400];
+
+int gate_type[700];   // 0=AND 1=OR 2=NAND 3=NOR 4=XOR 5=NOT
+int gate_in1[700];
+int gate_in2[700];
+int gate_out[700];
+int gate_delay[700];
+
+// Fanout in CSR form: gates driven by each net.
+int fan_start[401];
+int fan_gate[1400];
+
+// Timing wheel: per-slot singly linked list of pending events.
+// An event sets net [ev_net] to [ev_val] at its slot's time.
+int wheel_head[256];
+int ev_net[4096];
+int ev_val[4096];
+int ev_next[4096];
+int ev_free;          // free-list head
+
+int events_processed;
+int toggles;
+
+int salt;
+
+// Position-hashed pseudo-random data, a stand-in for reading an input
+// file: a pure function of the position, so generating the data does
+// not introduce a serial dependence the real program would not have.
+int hash_rand(int k) {
+  int h = (k + salt) * 2654435761;
+  h = h ^ (h >> 13);
+  h = (h * 1103515245 + 12345) & 1048575;
+  return h ^ (h >> 7);
+}
+
+void build_netlist(void) {
+  int g;
+  int n;
+  int count[400];
+  // Nets 0..NINPUTS-1 are primary inputs; each gate drives one net.
+  for (g = 0; g < NGATES; g = g + 1) {
+    gate_type[g] = hash_rand(g * 8) % 6;
+    // Inputs come from strictly earlier nets to keep it acyclic apart
+    // from a few feedback nets added below.
+    int limit = NINPUTS + g;
+    if (limit > NNETS - 1) limit = NNETS - 1;
+    gate_in1[g] = hash_rand(g * 8 + 1) % limit;
+    gate_in2[g] = hash_rand(g * 8 + 2) % limit;
+    gate_out[g] = NINPUTS + (g % (NNETS - NINPUTS));
+    gate_delay[g] = 1 + (hash_rand(g * 8 + 3) % 5);
+  }
+  // A little feedback for sequential flavour.
+  for (g = 0; g < 8; g = g + 1) {
+    gate_in2[g * 9 + 3] = NINPUTS + ((g * 31) % (NNETS - NINPUTS));
+  }
+  // Build the CSR fanout: count then prefix-sum then fill.
+  for (n = 0; n <= NNETS; n = n + 1) fan_start[n] = 0;
+  for (n = 0; n < NNETS; n = n + 1) count[n] = 0;
+  for (g = 0; g < NGATES; g = g + 1) {
+    count[gate_in1[g]] = count[gate_in1[g]] + 1;
+    count[gate_in2[g]] = count[gate_in2[g]] + 1;
+  }
+  fan_start[0] = 0;
+  for (n = 0; n < NNETS; n = n + 1) {
+    fan_start[n + 1] = fan_start[n] + count[n];
+    count[n] = 0;
+  }
+  for (g = 0; g < NGATES; g = g + 1) {
+    int a = gate_in1[g];
+    int b = gate_in2[g];
+    fan_gate[fan_start[a] + count[a]] = g;
+    count[a] = count[a] + 1;
+    fan_gate[fan_start[b] + count[b]] = g;
+    count[b] = count[b] + 1;
+  }
+}
+
+int eval_gate(int g) {
+  int a = net_val[gate_in1[g]];
+  int b = net_val[gate_in2[g]];
+  int t = gate_type[g];
+  if (t == 0) return a & b;
+  if (t == 1) return a | b;
+  if (t == 2) return 1 - (a & b);
+  if (t == 3) return 1 - (a | b);
+  if (t == 4) return a ^ b;
+  return 1 - a;
+}
+
+void init_events(void) {
+  int i;
+  for (i = 0; i < WHEEL; i = i + 1) wheel_head[i] = -1;
+  for (i = 0; i < 4095; i = i + 1) ev_next[i] = i + 1;
+  ev_next[4095] = -1;
+  ev_free = 0;
+}
+
+void schedule(int t, int net, int val) {
+  int slot = t & (WHEEL - 1);
+  int e = ev_free;
+  if (e < 0) return;  // event pool exhausted: drop (bounded sim)
+  ev_free = ev_next[e];
+  ev_net[e] = net;
+  ev_val[e] = val;
+  ev_next[e] = wheel_head[slot];
+  wheel_head[slot] = e;
+}
+
+// Process all events at time t; schedule consequences.
+void step(int t) {
+  int slot = t & (WHEEL - 1);
+  int e = wheel_head[slot];
+  wheel_head[slot] = -1;
+  while (e >= 0) {
+    int nxt = ev_next[e];
+    int net = ev_net[e];
+    int val = ev_val[e];
+    ev_next[e] = ev_free;
+    ev_free = e;
+    events_processed = events_processed + 1;
+    if (net_val[net] != val) {
+      int k;
+      net_val[net] = val;
+      toggles = toggles + 1;
+      for (k = fan_start[net]; k < fan_start[net + 1]; k = k + 1) {
+        int g = fan_gate[k];
+        int out = eval_gate(g);
+        if (out != net_val[gate_out[g]]) {
+          schedule(t + gate_delay[g], gate_out[g], out);
+        }
+      }
+    }
+    e = nxt;
+  }
+}
+
+int main(void) {
+  int t;
+  int i;
+  int checksum = 0;
+  NNETS = 400;
+  NGATES = 700;
+  NINPUTS = 24;
+  WHEEL = 256;
+  salt = 99;
+  build_netlist();
+  init_events();
+  for (i = 0; i < NNETS; i = i + 1) net_val[i] = 0;
+  // Drive the inputs with deterministic stimulus; run the wheel.
+  for (t = 0; t < 900; t = t + 1) {
+    if ((t & 15) == 0) {
+      for (i = 0; i < NINPUTS; i = i + 1) {
+        if (((t >> 4) + i) & 1) schedule(t, i, 1 - net_val[i]);
+      }
+    }
+    step(t);
+    if (events_processed > 6000) break;
+  }
+  for (i = 0; i < NNETS; i = i + 1) {
+    checksum = (checksum * 2 + net_val[i]) & 268435455;
+  }
+  return checksum * 100 + (toggles % 100) + events_processed;
+}
+|}

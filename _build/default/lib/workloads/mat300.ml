@@ -1,0 +1,123 @@
+(* matrix300 analogue: dense double-precision matrix multiplication.
+
+   Repeated N x N matrix products (plain and transposed access
+   patterns, as matrix300 exercised different strides), entirely
+   data-independent control flow — the paper's example of a program
+   whose parallelism explodes once induction-variable dependences are
+   unrolled away. *)
+
+let name = "matrix300"
+let description = "dense FP matrix multiply (several access patterns)"
+let lang = "FORTRAN"
+let numeric = true
+let fuel = 4_000_000
+
+(* Filled in from a reference run; guards VM determinism in tests. *)
+let expected_result : int option = Some 6_191
+
+let source =
+  {|
+// mat300: dense matrix multiply, plain and transposed variants.
+
+int N;
+
+float a[1296];   // 36 x 36
+float b[1296];
+float c[1296];
+float bt[1296];
+
+void init(void) {
+  int i;
+  int j;
+  int n = N;
+  for (i = 0; i < n; i = i + 1) {
+    int row = i * n;
+    for (j = 0; j < n; j = j + 1) {
+      a[row + j] = (i * 3 + j * 7) % 13 - 6.0;
+      b[row + j] = (i * 5 + j * 11) % 17 - 8.0;
+    }
+  }
+}
+
+void transpose_b(void) {
+  int i;
+  int j;
+  int n = N;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      bt[j * n + i] = b[i * n + j];
+    }
+  }
+}
+
+// c = a * b, row-major inner product.
+void matmul_ij(void) {
+  int i;
+  int j;
+  int k;
+  int n = N;
+  for (i = 0; i < n; i = i + 1) {
+    int row = i * n;
+    for (j = 0; j < n; j = j + 1) {
+      float sum = 0.0;
+      for (k = 0; k < n; k = k + 1) {
+        sum = sum + a[row + k] * b[k * n + j];
+      }
+      c[row + j] = sum;
+    }
+  }
+}
+
+// c = a * b using the transposed copy (unit-stride inner loop).
+void matmul_trans(void) {
+  int i;
+  int j;
+  int k;
+  int n = N;
+  for (i = 0; i < n; i = i + 1) {
+    int row = i * n;
+    for (j = 0; j < n; j = j + 1) {
+      float sum = 0.0;
+      int trow = j * n;
+      for (k = 0; k < n; k = k + 1) {
+        sum = sum + a[row + k] * bt[trow + k];
+      }
+      c[row + j] = sum;
+    }
+  }
+}
+
+// saxpy-style update: b = b + 0.5 * c.
+void saxpy_update(void) {
+  int i;
+  int nn = N * N;
+  for (i = 0; i < nn; i = i + 1) {
+    b[i] = b[i] + 0.5 * c[i];
+  }
+}
+
+int main(void) {
+  int i;
+  float trace = 0.0;
+  float norm = 0.0;
+  N = 36;
+  init();
+  matmul_ij();
+  saxpy_update();
+  transpose_b();
+  matmul_trans();
+  {
+  int n = N;
+  int nn = N * N;
+  for (i = 0; i < n; i = i + 1) {
+    trace = trace + c[i * n + i];
+  }
+  for (i = 0; i < nn; i = i + 4) {
+    float v = c[i];
+    if (v < 0.0) v = -v;
+    norm = norm + v;
+  }
+  }
+  return trace * 10.0 + norm / 100.0;
+}
+|}

@@ -1,0 +1,63 @@
+type t = {
+  name : string;
+  description : string;
+  lang : string;
+  numeric : bool;
+  source : string;
+  fuel : int;
+  expected_result : int option;
+}
+
+let of_module ~name ~description ~lang ~numeric ~source ~fuel
+    ~expected_result =
+  { name; description; lang; numeric; source; fuel; expected_result }
+
+let all =
+  [ of_module ~name:Awklite.name ~description:Awklite.description
+      ~lang:Awklite.lang ~numeric:Awklite.numeric ~source:Awklite.source
+      ~fuel:Awklite.fuel ~expected_result:Awklite.expected_result;
+    of_module ~name:Ccomlite.name ~description:Ccomlite.description
+      ~lang:Ccomlite.lang ~numeric:Ccomlite.numeric ~source:Ccomlite.source
+      ~fuel:Ccomlite.fuel ~expected_result:Ccomlite.expected_result;
+    of_module ~name:Eqnlite.name ~description:Eqnlite.description
+      ~lang:Eqnlite.lang ~numeric:Eqnlite.numeric ~source:Eqnlite.source
+      ~fuel:Eqnlite.fuel ~expected_result:Eqnlite.expected_result;
+    of_module ~name:Esprlite.name ~description:Esprlite.description
+      ~lang:Esprlite.lang ~numeric:Esprlite.numeric ~source:Esprlite.source
+      ~fuel:Esprlite.fuel ~expected_result:Esprlite.expected_result;
+    of_module ~name:Gcclite.name ~description:Gcclite.description
+      ~lang:Gcclite.lang ~numeric:Gcclite.numeric ~source:Gcclite.source
+      ~fuel:Gcclite.fuel ~expected_result:Gcclite.expected_result;
+    of_module ~name:Irsimlite.name ~description:Irsimlite.description
+      ~lang:Irsimlite.lang ~numeric:Irsimlite.numeric
+      ~source:Irsimlite.source ~fuel:Irsimlite.fuel
+      ~expected_result:Irsimlite.expected_result;
+    of_module ~name:Texlite.name ~description:Texlite.description
+      ~lang:Texlite.lang ~numeric:Texlite.numeric ~source:Texlite.source
+      ~fuel:Texlite.fuel ~expected_result:Texlite.expected_result;
+    of_module ~name:Mat300.name ~description:Mat300.description
+      ~lang:Mat300.lang ~numeric:Mat300.numeric ~source:Mat300.source
+      ~fuel:Mat300.fuel ~expected_result:Mat300.expected_result;
+    of_module ~name:Spicelite.name ~description:Spicelite.description
+      ~lang:Spicelite.lang ~numeric:Spicelite.numeric
+      ~source:Spicelite.source ~fuel:Spicelite.fuel
+      ~expected_result:Spicelite.expected_result;
+    of_module ~name:Tomlite.name ~description:Tomlite.description
+      ~lang:Tomlite.lang ~numeric:Tomlite.numeric ~source:Tomlite.source
+      ~fuel:Tomlite.fuel ~expected_result:Tomlite.expected_result ]
+
+let non_numeric = List.filter (fun w -> not w.numeric) all
+let numeric = List.filter (fun w -> w.numeric) all
+
+let find name = List.find (fun w -> w.name = name) all
+
+let compile ?options w = Codegen.Compile.compile_flat ?options w.source
+
+let run ?options ?fuel w =
+  let fuel = match fuel with Some f -> f | None -> w.fuel in
+  let flat = compile ?options w in
+  let outcome = Vm.Exec.run ~fuel flat in
+  (match outcome.status with
+  | Vm.Exec.Fault msg -> failwith (Printf.sprintf "%s: VM fault: %s" w.name msg)
+  | Halted _ | Out_of_fuel -> ());
+  (flat, outcome)

@@ -1,0 +1,37 @@
+(** The benchmark suite (paper Table 1), as compilable Mini-C programs.
+
+    Each workload is an analogue of one benchmark from the paper chosen
+    to match its control-flow character (see DESIGN.md §5). *)
+
+type t = {
+  name : string;  (** the paper's benchmark name *)
+  description : string;
+  lang : string;  (** the original's language, "C" or "FORTRAN" *)
+  numeric : bool;  (** the paper's numeric (FORTRAN) group *)
+  source : string;  (** Mini-C source *)
+  fuel : int;  (** instruction budget for the VM run *)
+  expected_result : int option;
+  (** reference return value, when recorded; guards determinism *)
+}
+
+val all : t list
+(** All ten workloads, in the paper's Table 1 order. *)
+
+val non_numeric : t list
+
+val numeric : t list
+
+val find : string -> t
+(** @raise Not_found for an unknown name. *)
+
+val compile : ?options:Codegen.Compile.options -> t -> Asm.Program.flat
+(** Compile the workload's Mini-C source. *)
+
+val run :
+  ?options:Codegen.Compile.options ->
+  ?fuel:int ->
+  t ->
+  Asm.Program.flat * Vm.Exec.outcome
+(** Compile and execute, returning the flat program and the VM outcome
+    (trace included).
+    @raise Failure when the VM faults. *)

@@ -1,0 +1,197 @@
+(* spice2g6 analogue: sparse-matrix circuit solution with nonlinear
+   device evaluation.
+
+   Newton-style outer loop: evaluate piecewise device models (branchy,
+   voltage-region dependent, like diode/transistor model code), stamp a
+   sparse CSR conductance matrix, then run Gauss-Seidel until the
+   residual converges.  The control flow is highly data dependent —
+   the paper's point is that spice behaves like the non-numeric codes
+   despite being FORTRAN floating point. *)
+
+let name = "spice2g6"
+let description = "sparse circuit solve with piecewise device models"
+let lang = "FORTRAN"
+let numeric = true
+let fuel = 4_000_000
+
+(* Filled in from a reference run; guards VM determinism in tests. *)
+let expected_result : int option = Some 1_181_271_119
+
+let source =
+  {|
+// spicelite: CSR Gauss-Seidel with nonlinear device stamps.
+
+int NN;        // nodes
+int NDEV;      // nonlinear two-terminal devices
+
+// CSR structure of the (fixed) linear part.
+int row_start[161];
+int col_idx[1600];
+float mat_val[1600];
+float diag[160];
+float rhs[160];
+float volt[160];
+
+// Devices: node pair + state.
+int dev_a[220];
+int dev_b[220];
+float dev_g[220];     // current linearized conductance
+int dev_region[220];  // last operating region (for region-change count)
+
+int region_changes;
+int salt;
+
+// Position-hashed pseudo-random data, a stand-in for reading an input
+// file: a pure function of the position, so generating the data does
+// not introduce a serial dependence the real program would not have.
+int hash_rand(int k) {
+  int h = (k + salt) * 2654435761;
+  h = h ^ (h >> 13);
+  h = (h * 1103515245 + 12345) & 1048575;
+  return h ^ (h >> 7);
+}
+
+// Build a diagonally dominant sparse matrix: ring + random chords.
+void build_matrix(void) {
+  int i;
+  int k;
+  int nnz = 0;
+  for (i = 0; i < NN; i = i + 1) {
+    int deg = 2 + (hash_rand(i * 8) % 3);
+    row_start[i] = nnz;
+    diag[i] = 4.0 + (hash_rand(i * 8 + 1) % 100) / 25.0;
+    // Ring neighbours.
+    col_idx[nnz] = (i + 1) % NN;
+    mat_val[nnz] = -1.0;
+    nnz = nnz + 1;
+    col_idx[nnz] = (i + NN - 1) % NN;
+    mat_val[nnz] = -1.0;
+    nnz = nnz + 1;
+    for (k = 2; k < deg; k = k + 1) {
+      int j = hash_rand(i * 8 + 2 + k) % NN;
+      if (j != i) {
+        col_idx[nnz] = j;
+        mat_val[nnz] = -0.5;
+        nnz = nnz + 1;
+        diag[i] = diag[i] + 0.5;
+      }
+    }
+    rhs[i] = ((hash_rand(i * 8 + 7) % 200) - 100) / 10.0;
+  }
+  row_start[NN] = nnz;
+}
+
+void build_devices(void) {
+  int d;
+  for (d = 0; d < NDEV; d = d + 1) {
+    dev_a[d] = hash_rand(100000 + d * 4) % NN;
+    dev_b[d] = hash_rand(100000 + d * 4 + 1) % NN;
+    if (dev_b[d] == dev_a[d]) dev_b[d] = (dev_a[d] + 1) % NN;
+    dev_g[d] = 0.1;
+    dev_region[d] = 0;
+  }
+}
+
+// Piecewise device model: conductance depends on the voltage region,
+// like a diode's off / linear / saturated regions.
+void eval_devices(void) {
+  int d;
+  int nd = NDEV;
+  for (d = 0; d < nd; d = d + 1) {
+    float v = volt[dev_a[d]] - volt[dev_b[d]];
+    int region;
+    float g;
+    if (v < -1.5) {
+      region = 0;          // reverse: tiny leakage
+      g = 0.01;
+    } else if (v < 0.5) {
+      region = 1;          // off-ish: weak
+      g = 0.05 + 0.02 * (v + 1.5);
+    } else if (v < 2.0) {
+      region = 2;          // linear region
+      g = 0.2 + 0.3 * (v - 0.5);
+    } else {
+      region = 3;          // saturated: strong clamp
+      g = 0.65 + 0.05 * (v - 2.0);
+      if (g > 0.9) g = 0.9;
+    }
+    if (region != dev_region[d]) {
+      region_changes = region_changes + 1;
+      dev_region[d] = region;
+    }
+    dev_g[d] = g;
+  }
+}
+
+// One Gauss-Seidel sweep including device conductances on the fly;
+// returns (scaled) max residual as an int for the convergence test.
+int gs_sweep(void) {
+  int i;
+  int d;
+  int nn = NN;
+  int nd = NDEV;
+  float maxres = 0.0;
+  for (i = 0; i < nn; i = i + 1) {
+    float acc = rhs[i];
+    float dg = diag[i];
+    int k;
+    for (k = row_start[i]; k < row_start[i + 1]; k = k + 1) {
+      acc = acc - mat_val[k] * volt[col_idx[k]];
+    }
+    // Device stamps touching node i (linear scan, as spice does over
+    // its element lists).
+    for (d = 0; d < nd; d = d + 1) {
+      if (dev_a[d] == i) {
+        acc = acc + dev_g[d] * volt[dev_b[d]];
+        dg = dg + dev_g[d];
+      } else if (dev_b[d] == i) {
+        acc = acc + dev_g[d] * volt[dev_a[d]];
+        dg = dg + dev_g[d];
+      }
+    }
+    {
+      float nv = acc / dg;
+      float r = nv - volt[i];
+      if (r < 0.0) r = -r;
+      if (r > maxres) maxres = r;
+      volt[i] = nv;
+    }
+  }
+  return maxres * 100000.0;
+}
+
+int main(void) {
+  int newton;
+  int iter;
+  int i;
+  int checksum = 0;
+  int total_sweeps = 0;
+  NN = 96;
+  NDEV = 48;
+  salt = 31415;
+  build_matrix();
+  build_devices();
+  for (i = 0; i < NN; i = i + 1) volt[i] = 0.0;
+  for (newton = 0; newton < 6; newton = newton + 1) {
+    eval_devices();
+    iter = 0;
+    while (iter < 40) {
+      int res = gs_sweep();
+      total_sweeps = total_sweeps + 1;
+      iter = iter + 1;
+      if (res < 20) break;   // converged to 2e-4
+    }
+    checksum = (checksum * 17 + iter) & 268435455;
+  }
+  for (i = 0; i < NN; i = i + 8) {
+    checksum = (checksum + volt_scaled(i)) & 268435455;
+  }
+  return checksum * 100 + region_changes + total_sweeps;
+}
+
+int volt_scaled(int i) {
+  float v = volt[i];
+  if (v < 0.0) v = -v;
+  return v * 1000.0;
+}
+|}

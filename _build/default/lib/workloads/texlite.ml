@@ -1,0 +1,200 @@
+(* latex analogue: paragraph formatting.
+
+   Splits an embedded text into words, then typesets paragraphs:
+   greedy line filling with a character-class width table, discretionary
+   hyphenation of long words at vowel boundaries, and a second
+   dynamic-programming pass that minimizes total badness, TeX-style.
+   Table lookups and data-dependent scanning throughout. *)
+
+let name = "latex"
+let description = "paragraph line breaking with hyphenation and badness"
+let lang = "C"
+let numeric = false
+let fuel = 4_000_000
+
+(* Filled in from a reference run; guards VM determinism in tests. *)
+let expected_result : int option = Some 96_004_350
+
+let source =
+  {|
+// texlite: line breaking with hyphenation and badness minimization.
+
+int text[] =
+  "the assumption that instruction level parallelism is plentiful "
+  "rests on machines that can resolve control flow early enough to "
+  "matter when branches arrive every handful of instructions the "
+  "window between mispredictions is short and the schedule collapses "
+  "into serial bursts speculative execution recovers some slack by "
+  "running ahead along the predicted path while control dependence "
+  "analysis frees statements that never depended on the branch at "
+  "all only a machine following many flows of control however can "
+  "execute disjoint regions concurrently and approach the oracle "
+  "bound measured for these traces under perfect renaming and "
+  "disambiguation the remaining distance to that bound is a property "
+  "of the algorithms themselves not of the fetch or decode hardware ";
+
+int wstart[600];
+int wlen[600];
+int nwords;
+
+int char_width[128];
+
+// Hyphenation points per word (at most 4), as offsets into the word.
+int hyph[600];
+
+int line_words[80];
+int line_count;
+
+void build_width_table(void) {
+  int c;
+  for (c = 0; c < 128; c = c + 1) char_width[c] = 10;
+  char_width['i'] = 4; char_width['l'] = 4; char_width['j'] = 5;
+  char_width['t'] = 6; char_width['f'] = 6; char_width['r'] = 7;
+  char_width['m'] = 15; char_width['w'] = 14;
+  char_width[' '] = 5;
+}
+
+void split_words(void) {
+  int i = 0;
+  int start = -1;
+  nwords = 0;
+  while (text[i] != 0) {
+    if (text[i] != ' ') {
+      if (start < 0) start = i;
+    } else {
+      if (start >= 0) {
+        wstart[nwords] = start;
+        wlen[nwords] = i - start;
+        nwords = nwords + 1;
+        start = -1;
+      }
+    }
+    i = i + 1;
+  }
+  if (start >= 0) {
+    wstart[nwords] = start;
+    wlen[nwords] = i - start;
+    nwords = nwords + 1;
+  }
+}
+
+int is_vowel(int c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+// A crude hyphenation rule: after the first vowel-consonant pair that
+// leaves at least two characters on each side.
+void find_hyphens(void) {
+  int w;
+  int n = nwords;
+  for (w = 0; w < n; w = w + 1) {
+    int k;
+    int hi = wlen[w] - 2;
+    hyph[w] = 0;
+    if (wlen[w] < 6) continue;
+    for (k = 2; k < hi; k = k + 1) {
+      int a = text[wstart[w] + k - 1];
+      int b = text[wstart[w] + k];
+      if (is_vowel(a) && !is_vowel(b)) {
+        hyph[w] = k;
+        break;
+      }
+    }
+  }
+}
+
+int word_width(int w) {
+  int k;
+  int width = 0;
+  int len = wlen[w];
+  for (k = 0; k < len; k = k + 1) {
+    width = width + char_width[text[wstart[w] + k] & 127];
+  }
+  return width;
+}
+
+int badness(int used, int target) {
+  int slack = target - used;
+  if (slack < 0) slack = -slack * 3;  // overfull boxes hurt more
+  return slack * slack / 4;
+}
+
+// Greedy (first-fit) paragraph fill; returns total badness.
+int greedy_fill(int target) {
+  int w = 0;
+  int total = 0;
+  int n = nwords;
+  line_count = 0;
+  while (w < n) {
+    int used = 0;
+    int first = 1;
+    while (w < n) {
+      int ww = word_width(w);
+      int need = ww;
+      if (!first) need = need + char_width[' '];
+      if (used + need > target && !first) {
+        // Try to hyphenate the overflowing word.
+        if (hyph[w] > 0) {
+          int k;
+          int part = 0;
+          for (k = 0; k < hyph[w]; k = k + 1) {
+            part = part + char_width[text[wstart[w] + k] & 127];
+          }
+          if (used + char_width[' '] + part + 10 <= target) {
+            used = used + char_width[' '] + part + 10;  // 10 = hyphen
+          }
+        }
+        break;
+      }
+      used = used + need;
+      first = 0;
+      w = w + 1;
+    }
+    total = total + badness(used, target);
+    line_words[line_count & 63] = w;
+    line_count = line_count + 1;
+  }
+  return total;
+}
+
+// Dynamic programming over break points (TeX's optimal fit),
+// quadratic in the number of words with an early width cutoff.
+int best_fit(int target) {
+  int cost[600];
+  int j;
+  int w;
+  int n = nwords;
+  cost[0] = 0;
+  for (w = 1; w <= n; w = w + 1) cost[w] = 1000000000;
+  for (w = 0; w < n; w = w + 1) {
+    int used = 0;
+    if (cost[w] >= 1000000000) continue;
+    for (j = w; j < n; j = j + 1) {
+      int ww = word_width(j);
+      if (j > w) used = used + char_width[' '];
+      used = used + ww;
+      if (used > target + 60 && j > w) break;
+      {
+        int c = cost[w] + badness(used, target);
+        if (c < cost[j + 1]) cost[j + 1] = c;
+      }
+    }
+  }
+  return cost[n];
+}
+
+int main(void) {
+  int rep;
+  int checksum = 0;
+  build_width_table();
+  split_words();
+  find_hyphens();
+  for (rep = 0; rep < 7; rep = rep + 1) {
+    int target = 400 + rep * 35;
+    int g = greedy_fill(target);
+    int b = best_fit(target);
+    checksum = (checksum * 31 + g + b + line_count) & 268435455;
+  }
+  return checksum;
+}
+|}

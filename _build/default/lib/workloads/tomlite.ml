@@ -1,0 +1,135 @@
+(* tomcatv analogue: vectorizable mesh generation.
+
+   Jacobi-style relaxation of two coupled grids with five-point
+   stencils, residual reduction and a boundary condition pass per
+   iteration — regular, data-independent loop nests like tomcatv's. *)
+
+let name = "tomcatv"
+let description = "mesh relaxation with coupled 2-D stencils"
+let lang = "FORTRAN"
+let numeric = true
+let fuel = 4_000_000
+
+(* Filled in from a reference run; guards VM determinism in tests. *)
+let expected_result : int option = Some 12_890
+
+let source =
+  {|
+// tomlite: coupled 2-D grid relaxation.
+
+int N;         // grid side
+
+float x[2304];    // 48 x 48
+float y[2304];
+float rx[2304];
+float ry[2304];
+
+int idx(int i, int j) {
+  return i * N + j;
+}
+
+void init_grids(void) {
+  int i;
+  int j;
+  int n = N;
+  for (i = 0; i < n; i = i + 1) {
+    int row = i * n;
+    for (j = 0; j < n; j = j + 1) {
+      x[row + j] = i + 0.25 * j;
+      y[row + j] = j - 0.125 * i;
+    }
+  }
+}
+
+// Compute residuals with a five-point stencil on both grids.
+void residuals(void) {
+  int i;
+  int j;
+  int n = N;
+  int m = N - 1;
+  for (i = 1; i < m; i = i + 1) {
+    int row = i * n;
+    for (j = 1; j < m; j = j + 1) {
+      int p = row + j;
+      float xc = x[p];
+      float yc = y[p];
+      rx[p] = 0.25 * (x[p - n] + x[p + n] + x[p - 1] + x[p + 1]) - xc
+              + 0.05 * yc;
+      ry[p] = 0.25 * (y[p - n] + y[p + n] + y[p - 1] + y[p + 1]) - yc
+              - 0.05 * xc;
+    }
+  }
+}
+
+// Add the scaled residuals back (Jacobi update).
+void update(void) {
+  int i;
+  int j;
+  int n = N;
+  int m = N - 1;
+  for (i = 1; i < m; i = i + 1) {
+    int row = i * n;
+    for (j = 1; j < m; j = j + 1) {
+      int p = row + j;
+      x[p] = x[p] + 0.9 * rx[p];
+      y[p] = y[p] + 0.9 * ry[p];
+    }
+  }
+}
+
+// Pin the boundary: mesh edges stay put, tomcatv style.
+void boundary(void) {
+  int k;
+  int n = N;
+  for (k = 0; k < n; k = k + 1) {
+    x[idx(0, k)] = 0.25 * k;
+    x[idx(N - 1, k)] = N - 1 + 0.25 * k;
+    y[idx(k, 0)] = -0.125 * k;
+    y[idx(k, N - 1)] = N - 1 - 0.125 * k;
+  }
+}
+
+float max_residual(void) {
+  int i;
+  int j;
+  float m = 0.0;
+  int n = N;
+  int hi = N - 1;
+  for (i = 1; i < hi; i = i + 1) {
+    int row = i * n;
+    for (j = 1; j < hi; j = j + 1) {
+      float a = rx[row + j];
+      float b = ry[row + j];
+      if (a < 0.0) a = -a;
+      if (b < 0.0) b = -b;
+      if (a > m) m = a;
+      if (b > m) m = b;
+    }
+  }
+  return m;
+}
+
+int main(void) {
+  int iter;
+  int i;
+  int checksum = 0;
+  float res = 0.0;
+  N = 48;
+  init_grids();
+  for (iter = 0; iter < 6; iter = iter + 1) {
+    residuals();
+    update();
+    boundary();
+  }
+  residuals();
+  res = max_residual();
+  for (i = 0; i < 2304; i = i + 97) {
+    float v = x[i] - y[i];
+    int vi;
+    if (v < 0.0) v = -v;
+    vi = v * 16.0;
+    checksum = (checksum + vi) & 268435455;
+  }
+  return checksum + res * 1000.0;
+}
+|}

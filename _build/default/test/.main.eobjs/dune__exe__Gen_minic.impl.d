@@ -1,0 +1,1 @@
+test/gen_minic.ml: Printf QCheck String

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_analyze Test_asm Test_cfg Test_codegen Test_minic Test_predict Test_props Test_report Test_risc Test_stdx Test_vm Test_workloads

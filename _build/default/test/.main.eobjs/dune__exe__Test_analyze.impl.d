@@ -1,0 +1,1 @@
+test/test_analyze.ml: Alcotest Array Ilp List Predict Risc Vm

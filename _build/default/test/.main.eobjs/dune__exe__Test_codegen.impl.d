@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Codegen Gen_minic List Minic QCheck QCheck_alcotest Risc Vm

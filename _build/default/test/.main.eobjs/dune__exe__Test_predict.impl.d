@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Harness Ilp List Predict Vm Workloads

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Gen_minic Harness Ilp Lazy List Predict QCheck QCheck_alcotest Risc Vm Workloads

@@ -1,0 +1,1 @@
+test/test_risc.ml: Alcotest Format Risc String

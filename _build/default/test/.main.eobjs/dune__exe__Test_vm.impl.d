@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Asm List Risc Vm Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cfg Fun Harness Ilp List Stdx Vm Workloads

@@ -1,0 +1,76 @@
+(* QCheck generator for random Mini-C programs.
+
+   Produces int-only programs built from four scalar variables, one
+   global array accessed through a masked index, bounded [for] loops,
+   and nested conditionals — guaranteed to terminate, so they can be
+   run through the interpreter, the VM, and all seven analyzers. *)
+
+let gen_program =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c"; "d" ] in
+  let rec expr depth =
+    if depth = 0 then
+      oneof [ map string_of_int (int_range (-20) 20); var ]
+    else
+      frequency
+        [ (2, map string_of_int (int_range (-20) 20));
+          (3, var);
+          (3,
+           map3
+             (fun op l r -> Printf.sprintf "(%s %s %s)" l op r)
+             (oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ])
+             (expr (depth - 1)) (expr (depth - 1)));
+          (1,
+           map3
+             (fun op l r -> Printf.sprintf "(%s %s %s)" l op r)
+             (oneofl [ "<"; "<="; "=="; "!=" ])
+             (expr (depth - 1)) (expr (depth - 1)));
+          (1,
+           map
+             (fun e -> Printf.sprintf "(g[(%s) & 7])" e)
+             (expr (depth - 1))) ]
+  in
+  let assign =
+    map2 (fun v e -> Printf.sprintf "%s = %s;" v e) var (expr 2)
+  in
+  let arr_assign =
+    map2
+      (fun i e -> Printf.sprintf "g[(%s) & 7] = %s;" i e)
+      (expr 1) (expr 2)
+  in
+  let rec stmt depth =
+    if depth = 0 then oneof [ assign; arr_assign ]
+    else
+      frequency
+        [ (4, assign);
+          (2, arr_assign);
+          (2,
+           map2
+             (fun c body -> Printf.sprintf "if (%s) { %s }" c body)
+             (expr 2) (block (depth - 1)));
+          (1,
+           map2
+             (fun c (body, e) ->
+               Printf.sprintf "if (%s) { %s } else { %s }" c body e)
+             (expr 2)
+             (pair (block (depth - 1)) (block (depth - 1))));
+          (1,
+           map
+             (fun body ->
+               Printf.sprintf "for (t = 0; t < 5; t = t + 1) { %s }" body)
+             (block (depth - 1))) ]
+  and block depth =
+    map (String.concat " ") (list_size (int_range 1 4) (stmt depth))
+  in
+  map
+    (fun body ->
+      Printf.sprintf
+        {|int g[8];
+          int main(void) {
+            int a = 1; int b = 2; int c = 3; int d = 4; int t = 0;
+            %s
+            return (a & 65535) + (b & 65535) + (c & 65535)
+                 + (d & 65535) + g[0] + (g[7] & 255);
+          }|}
+        body)
+    (block 2)

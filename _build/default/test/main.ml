@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "ilplimits"
+    [ ("stdx", Test_stdx.suite);
+      ("risc", Test_risc.suite);
+      ("asm", Test_asm.suite);
+      ("vm", Test_vm.suite);
+      ("minic", Test_minic.suite);
+      ("codegen", Test_codegen.suite);
+      ("cfg", Test_cfg.suite);
+      ("predict", Test_predict.suite);
+      ("analyze", Test_analyze.suite);
+      ("properties", Test_props.suite);
+      ("workloads", Test_workloads.suite);
+      ("report", Test_report.suite) ]

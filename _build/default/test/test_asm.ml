@@ -1,0 +1,130 @@
+(* Tests of assembly program representation, linking, and the builder. *)
+
+module I = Risc.Insn
+module P = Asm.Program
+
+let simple_program () =
+  { P.procs =
+      [ { P.name = "__start";
+          body = [ P.Ins (I.Jal "main"); P.Ins I.Halt ] };
+        { P.name = "main";
+          body =
+            [ P.Ins (I.Li (2, 5));
+              P.Label "loop";
+              P.Ins (I.Alui (I.Add, 2, 2, -1));
+              P.Ins (I.Bi (I.Gt, 2, 0, "loop"));
+              P.Ins (I.Jr 31) ] } ];
+    data = [ (16, [| P.Int_cell 7 |]) ];
+    entry = "__start" }
+
+let test_resolve () =
+  let flat = P.resolve (simple_program ()) in
+  Alcotest.(check int) "code size" 6 (Array.length flat.code);
+  Alcotest.(check int) "entry pc" 0 flat.entry_pc;
+  (match flat.code.(0) with
+  | I.Jal 2 -> ()
+  | _ -> Alcotest.fail "jal resolves to main at 2");
+  (match flat.code.(4) with
+  | I.Bi (I.Gt, 2, 0, 3) -> ()
+  | _ -> Alcotest.fail "backward branch resolves to loop at 3");
+  Alcotest.(check string) "proc of 0" "__start" (P.proc_of_pc flat 0);
+  Alcotest.(check string) "proc of 4" "main" (P.proc_of_pc flat 4);
+  Alcotest.(check (list (pair string int))) "bounds"
+    [ ("__start", 0); ("main", 2) ]
+    (Array.to_list
+       (Array.map2
+          (fun n (s, _) -> (n, s))
+          flat.proc_names flat.proc_bounds))
+
+let test_duplicate_label () =
+  let prog =
+    { P.procs =
+        [ { P.name = "main";
+            body = [ P.Label "x"; P.Ins I.Halt; P.Label "x" ] } ];
+      data = [];
+      entry = "main" }
+  in
+  match P.resolve prog with
+  | exception P.Link_error msg ->
+    Alcotest.(check bool) "mentions label" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected Link_error"
+
+let test_undefined_label () =
+  let prog =
+    { P.procs = [ { P.name = "main"; body = [ P.Ins (I.J "nowhere") ] } ];
+      data = [];
+      entry = "main" }
+  in
+  match P.resolve prog with
+  | exception P.Link_error _ -> ()
+  | _ -> Alcotest.fail "expected Link_error"
+
+let test_missing_entry () =
+  let prog =
+    { P.procs = [ { P.name = "main"; body = [ P.Ins I.Halt ] } ];
+      data = [];
+      entry = "start" }
+  in
+  match P.resolve prog with
+  | exception P.Link_error _ -> ()
+  | _ -> Alcotest.fail "expected Link_error"
+
+let test_empty_program () =
+  let prog = { P.procs = []; data = []; entry = "main" } in
+  match P.resolve prog with
+  | exception P.Link_error _ -> ()
+  | _ -> Alcotest.fail "expected Link_error"
+
+let test_builder () =
+  let b = Asm.Builder.create ~entry:"main" in
+  Asm.Builder.begin_proc b "main";
+  let l1 = Asm.Builder.fresh_label b "x" in
+  let l2 = Asm.Builder.fresh_label b "x" in
+  Alcotest.(check bool) "fresh labels distinct" true (l1 <> l2);
+  Asm.Builder.ins b (I.Li (2, 1));
+  Asm.Builder.place_label b l1;
+  Asm.Builder.ins b (I.J l1);
+  Asm.Builder.end_proc b;
+  Asm.Builder.add_data b ~base:20 [| P.Int_cell 1 |];
+  let prog = Asm.Builder.finish b in
+  Alcotest.(check int) "one proc" 1 (List.length prog.procs);
+  Alcotest.(check int) "data blocks" 1 (List.length prog.data);
+  let flat = P.resolve prog in
+  match flat.code.(1) with
+  | I.J 1 -> ()
+  | _ -> Alcotest.fail "label placed after first instruction"
+
+let test_builder_misuse () =
+  let b = Asm.Builder.create ~entry:"main" in
+  Alcotest.check_raises "ins without proc"
+    (Invalid_argument "Builder: no open procedure") (fun () ->
+      Asm.Builder.ins b I.Halt);
+  Asm.Builder.begin_proc b "main";
+  Alcotest.check_raises "nested begin"
+    (Invalid_argument "Builder.begin_proc: procedure already open")
+    (fun () -> Asm.Builder.begin_proc b "other");
+  Alcotest.check_raises "finish with open proc"
+    (Invalid_argument "Builder.finish: procedure still open") (fun () ->
+      ignore (Asm.Builder.finish b))
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_disassembly_listing () =
+  let flat = P.resolve (simple_program ()) in
+  let text = Format.asprintf "%a" P.pp_flat flat in
+  Alcotest.(check bool) "mentions main" true (contains text "main:");
+  Alcotest.(check bool) "mentions halt" true (contains text "halt")
+
+let suite =
+  [ Alcotest.test_case "resolve" `Quick test_resolve;
+    Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+    Alcotest.test_case "undefined label" `Quick test_undefined_label;
+    Alcotest.test_case "missing entry" `Quick test_missing_entry;
+    Alcotest.test_case "empty program" `Quick test_empty_program;
+    Alcotest.test_case "builder" `Quick test_builder;
+    Alcotest.test_case "builder misuse" `Quick test_builder_misuse;
+    Alcotest.test_case "disassembly" `Quick test_disassembly_listing ]

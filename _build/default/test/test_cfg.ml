@@ -1,0 +1,248 @@
+(* Static analysis tests: basic blocks, dominators, reverse dominance
+   frontiers (control dependence), loops and induction variables. *)
+
+module I = Risc.Insn
+module P = Asm.Program
+module R = Risc.Reg
+
+let flat_of items =
+  P.resolve
+    { P.procs = [ { P.name = "main"; body = items } ];
+      data = [];
+      entry = "main" }
+
+(* if (r8) r9 = 1; else r9 = 2; r10 = 3; halt *)
+let diamond () =
+  flat_of
+    [ P.Ins (I.Bi (I.Eq, 8, 0, "else"));  (* block 0 *)
+      P.Ins (I.Li (9, 1));                (* block 1 *)
+      P.Ins (I.J "join");
+      P.Label "else";
+      P.Ins (I.Li (9, 2));                (* block 2 *)
+      P.Label "join";
+      P.Ins (I.Li (10, 3));               (* block 3 *)
+      P.Ins I.Halt ]
+
+let test_blocks_diamond () =
+  let g = Cfg.Graph.build (diamond ()) in
+  Alcotest.(check int) "four blocks" 4 (Array.length g.blocks);
+  let succs b = List.sort compare g.blocks.(b).succs in
+  Alcotest.(check (list int)) "branch succs" [ 1; 2 ] (succs 0);
+  Alcotest.(check (list int)) "then to join" [ 3 ] (succs 1);
+  Alcotest.(check (list int)) "else to join" [ 3 ] (succs 2);
+  Alcotest.(check (list int)) "join exits" [] (succs 3);
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ]
+    (List.sort compare g.blocks.(3).preds);
+  Alcotest.(check bool) "block 0 is branch block" true
+    (Cfg.Graph.is_branch_block g 0);
+  Alcotest.(check bool) "block 1 is not" false (Cfg.Graph.is_branch_block g 1)
+
+let test_rdf_diamond () =
+  let cfg = Cfg.Analysis.analyze (diamond ()) in
+  (* Both arms are control dependent on the branch; the join is not. *)
+  Alcotest.(check (list int)) "then arm CD" [ 0 ]
+    (Array.to_list cfg.rdf.(1));
+  Alcotest.(check (list int)) "else arm CD" [ 0 ]
+    (Array.to_list cfg.rdf.(2));
+  Alcotest.(check (list int)) "join independent" []
+    (Array.to_list cfg.rdf.(3));
+  Alcotest.(check (list int)) "branch itself independent" []
+    (Array.to_list cfg.rdf.(0))
+
+(* A counted loop with an if inside, and code after the loop:
+     r16 = 0; loop: if (r16 >= 10) goto done;
+     if (r8) r9 = 1; r16 += 1; goto loop; done: r10 = 1; halt *)
+let loop_program () =
+  flat_of
+    [ P.Ins (I.Li (16, 0));                 (* b0 *)
+      P.Label "loop";
+      P.Ins (I.Bi (I.Ge, 16, 10, "done"));  (* b1: loop branch *)
+      P.Ins (I.Bi (I.Eq, 8, 0, "skip"));    (* b2: inner if *)
+      P.Ins (I.Li (9, 1));                  (* b3 *)
+      P.Label "skip";
+      P.Ins (I.Alui (I.Add, 16, 16, 1));    (* b4: induction update *)
+      P.Ins (I.J "loop");
+      P.Label "done";
+      P.Ins (I.Li (10, 1));                 (* b5 *)
+      P.Ins I.Halt ]
+
+let test_loop_detection () =
+  let cfg = Cfg.Analysis.analyze (loop_program ()) in
+  Alcotest.(check int) "one loop" 1 (List.length cfg.loops.loops);
+  let l = List.hd cfg.loops.loops in
+  Alcotest.(check int) "header is loop branch block" 1 l.header;
+  Alcotest.(check bool) "body contains inner if" true (List.mem 2 l.body);
+  Alcotest.(check bool) "body contains latch" true (List.mem 4 l.body);
+  Alcotest.(check bool) "body excludes exit" false (List.mem 5 l.body)
+
+let test_induction_marking () =
+  let flat = loop_program () in
+  let cfg = Cfg.Analysis.analyze flat in
+  let l = List.hd cfg.loops.loops in
+  Alcotest.(check (list int)) "r16 is induction" [ 16 ] l.induction;
+  (* The update (pc 4) and the loop branch (pc 1) are overhead; the
+     inner data-dependent branch (pc 2) is not. *)
+  Alcotest.(check bool) "update marked" true cfg.loops.overhead.(4);
+  Alcotest.(check bool) "loop branch marked" true cfg.loops.overhead.(1);
+  Alcotest.(check bool) "inner branch unmarked" false cfg.loops.overhead.(2);
+  Alcotest.(check bool) "init unmarked" false cfg.loops.overhead.(0)
+
+let test_rdf_loop () =
+  let cfg = Cfg.Analysis.analyze (loop_program ()) in
+  let sorted b = List.sort compare (Array.to_list cfg.rdf.(b)) in
+  (* The loop body is control dependent on the loop branch (b1); the
+     inner arm on both the inner if (b2) and the loop branch.  The code
+     after the loop depends on nothing.  The loop branch block is
+     control dependent on itself (it runs again each iteration). *)
+  Alcotest.(check (list int)) "inner if depends on loop" [ 1 ] (sorted 2);
+  Alcotest.(check (list int)) "arm depends on if" [ 2 ] (sorted 3);
+  Alcotest.(check (list int)) "latch depends on loop branch" [ 1 ] (sorted 4);
+  Alcotest.(check (list int)) "loop branch self-dependent" [ 1 ] (sorted 1);
+  Alcotest.(check (list int)) "after-loop independent" [] (sorted 5)
+
+let test_non_invariant_bound_not_marked () =
+  (* Loop whose exit compares against a register reloaded in the loop:
+     not loop invariant, so the branch must not be marked. *)
+  let flat =
+    flat_of
+      [ P.Ins (I.Li (16, 0));
+        P.Label "loop";
+        P.Ins (I.Lw (8, R.zero, 100));      (* bound reloaded each time *)
+        P.Ins (I.Alui (I.Add, 16, 16, 1));
+        P.Ins (I.B (I.Lt, 16, 8, "loop"));
+        P.Ins I.Halt ]
+  in
+  let cfg = Cfg.Analysis.analyze flat in
+  Alcotest.(check bool) "update still marked" true cfg.loops.overhead.(2);
+  Alcotest.(check bool) "branch not marked" false cfg.loops.overhead.(3)
+
+let test_two_writes_not_induction () =
+  let flat =
+    flat_of
+      [ P.Ins (I.Li (16, 0));
+        P.Label "loop";
+        P.Ins (I.Alui (I.Add, 16, 16, 1));
+        P.Ins (I.Alui (I.Add, 16, 16, 2));  (* second write: not induction *)
+        P.Ins (I.Bi (I.Lt, 16, 30, "loop"));
+        P.Ins I.Halt ]
+  in
+  let cfg = Cfg.Analysis.analyze flat in
+  let l = List.hd cfg.loops.loops in
+  Alcotest.(check (list int)) "no induction" [] l.induction;
+  Alcotest.(check bool) "no overhead marks" true
+    (Array.for_all not cfg.loops.overhead)
+
+let test_conditional_update_not_induction () =
+  (* The increment sits under an if, so it does not execute once per
+     iteration and must not be treated as an induction update. *)
+  let flat =
+    flat_of
+      [ P.Ins (I.Li (16, 0));
+        P.Label "loop";
+        P.Ins (I.Bi (I.Eq, 8, 0, "skip"));
+        P.Ins (I.Alui (I.Add, 16, 16, 1)); (* conditional increment *)
+        P.Label "skip";
+        P.Ins (I.Bi (I.Lt, 16, 30, "loop"));
+        P.Ins I.Halt ]
+  in
+  let cfg = Cfg.Analysis.analyze flat in
+  Alcotest.(check bool) "conditional update not marked" false
+    cfg.loops.overhead.(2)
+
+let test_nested_loops () =
+  let src =
+    {|int main(void) { int i; int j; int s = 0;
+       for (i = 0; i < 5; i = i + 1)
+         for (j = 0; j < 5; j = j + 1)
+           s = s + 1;
+       return s; }|}
+  in
+  let flat = Codegen.Compile.compile_flat src in
+  let cfg = Cfg.Analysis.analyze flat in
+  Alcotest.(check int) "two loops" 2 (List.length cfg.loops.loops);
+  let inductions =
+    List.concat_map (fun (l : Cfg.Loops.loop) -> l.induction) cfg.loops.loops
+  in
+  Alcotest.(check bool) "both counters found" true
+    (List.length inductions >= 2)
+
+let test_dominators () =
+  let g = Cfg.Graph.build (loop_program ()) in
+  let n = Array.length g.blocks in
+  let succs b = g.blocks.(b).succs in
+  let preds b = g.blocks.(b).preds in
+  let dom = Cfg.Dom.compute ~n ~entry:0 ~succs ~preds in
+  Alcotest.(check bool) "entry dominates all" true
+    (List.for_all (fun b -> Cfg.Dom.dominates dom 0 b)
+       (List.init n (fun b -> b)));
+  Alcotest.(check bool) "loop header dominates body" true
+    (Cfg.Dom.dominates dom 1 4);
+  Alcotest.(check bool) "arm does not dominate latch" false
+    (Cfg.Dom.dominates dom 3 4);
+  Alcotest.(check bool) "reflexive" true (Cfg.Dom.dominates dom 3 3)
+
+let test_switch_blocks () =
+  let src =
+    {|int main(void) { int x = 2; int r = 0;
+       switch (x) { case 0: r = 1; break; case 1: r = 2; break;
+                    case 2: r = 3; break; default: r = 9; }
+       return r; }|}
+  in
+  let flat = Codegen.Compile.compile_flat src in
+  let has_jtab =
+    Array.exists
+      (fun insn -> Risc.Insn.kind insn = Risc.Insn.Computed_jump)
+      flat.code
+  in
+  Alcotest.(check bool) "dense switch uses a jump table" true has_jtab;
+  let cfg = Cfg.Analysis.analyze flat in
+  (* Every case body must be control dependent on the jtab block. *)
+  let jtab_pc = ref (-1) in
+  Array.iteri
+    (fun pc insn ->
+      if Risc.Insn.kind insn = Risc.Insn.Computed_jump then jtab_pc := pc)
+    flat.code;
+  let jtab_block = cfg.graph.block_of.(!jtab_pc) in
+  let dependents =
+    Array.to_list cfg.rdf
+    |> List.filter (fun deps -> Array.mem jtab_block deps)
+  in
+  Alcotest.(check bool) "cases depend on the computed jump" true
+    (List.length dependents >= 3)
+
+let test_workload_cfg_sanity () =
+  (* Structural invariants over a real compiled program. *)
+  let flat = Workloads.Registry.compile (Workloads.Registry.find "ccom") in
+  let cfg = Cfg.Analysis.analyze flat in
+  let g = cfg.graph in
+  Array.iter
+    (fun (b : Cfg.Graph.block) ->
+      Alcotest.(check bool) "block non-empty" true (b.stop > b.start);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "edge symmetric" true
+            (List.mem b.id g.blocks.(s).preds))
+        b.succs)
+    g.blocks;
+  Array.iteri
+    (fun pc blk ->
+      let b = g.blocks.(blk) in
+      Alcotest.(check bool) "block_of consistent" true
+        (pc >= b.start && pc < b.stop))
+    g.block_of
+
+let suite =
+  [ Alcotest.test_case "diamond blocks" `Quick test_blocks_diamond;
+    Alcotest.test_case "diamond RDF" `Quick test_rdf_diamond;
+    Alcotest.test_case "loop detection" `Quick test_loop_detection;
+    Alcotest.test_case "induction marking" `Quick test_induction_marking;
+    Alcotest.test_case "loop RDF" `Quick test_rdf_loop;
+    Alcotest.test_case "non-invariant bound" `Quick
+      test_non_invariant_bound_not_marked;
+    Alcotest.test_case "two writes" `Quick test_two_writes_not_induction;
+    Alcotest.test_case "conditional update" `Quick
+      test_conditional_update_not_induction;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "dominators" `Quick test_dominators;
+    Alcotest.test_case "switch blocks" `Quick test_switch_blocks;
+    Alcotest.test_case "workload CFG sanity" `Quick test_workload_cfg_sanity ]

@@ -1,0 +1,356 @@
+(* End-to-end code generator tests: compile Mini-C, execute on the VM,
+   check results — and differential tests against the reference AST
+   interpreter, including QCheck-generated random programs. *)
+
+let run_src ?(fuel = 2_000_000) src =
+  let flat = Codegen.Compile.compile_flat src in
+  let outcome = Vm.Exec.run ~fuel flat in
+  match outcome.status with
+  | Vm.Exec.Halted v -> v
+  | Out_of_fuel -> Alcotest.fail "out of fuel"
+  | Fault m -> Alcotest.fail ("VM fault: " ^ m)
+
+let check name expected src =
+  Alcotest.(check int) name expected (run_src src)
+
+let test_arith () =
+  check "constant" 42 "int main(void) { return 42; }";
+  check "precedence" 7 "int main(void) { return 1 + 2 * 3; }";
+  check "negative division" (-2) "int main(void) { return -7 / 3; }";
+  check "modulo" 2 "int main(void) { return 17 % 5; }";
+  check "shifts" 20 "int main(void) { return (5 << 2) >> 0; }";
+  check "bitwise" 6 "int main(void) { return (12 & 7) ^ 2; }";
+  check "unary" 4 "int main(void) { return -(-4); }";
+  check "bnot" (-1) "int main(void) { return ~0; }";
+  check "comparison values" 1 "int main(void) { return (3 < 5) == (2 >= 2); }"
+
+let test_locals_and_assign () =
+  check "locals" 30
+    "int main(void) { int a = 10; int b = 20; return a + b; }";
+  check "assign value" 5 "int main(void) { int a; int b; b = (a = 5); return b; }";
+  check "in-place increment" 11
+    "int main(void) { int i = 10; i = i + 1; return i; }";
+  check "in-place decrement" 9
+    "int main(void) { int i = 10; i = i - 1; return i; }";
+  check "increment used as value" 7
+    "int main(void) { int i = 6; int j = (i = i + 1); return j; }"
+
+let test_control_flow () =
+  check "if true" 1 "int main(void) { if (2 > 1) return 1; return 0; }";
+  check "if else" 2 "int main(void) { if (1 > 2) return 1; else return 2; }";
+  check "while" 55
+    {|int main(void) { int i = 1; int s = 0;
+       while (i <= 10) { s = s + i; i = i + 1; } return s; }|};
+  check "for" 45
+    {|int main(void) { int i; int s = 0;
+       for (i = 0; i < 10; i = i + 1) s = s + i; return s; }|};
+  check "break" 5
+    {|int main(void) { int i;
+       for (i = 0; i < 100; i = i + 1) { if (i == 5) break; } return i; }|};
+  check "continue" 20
+    {|int main(void) { int i; int s = 0;
+       for (i = 0; i < 10; i = i + 1) { if (i % 2) continue; s = s + i; }
+       return s; }|};
+  check "nested loops" 100
+    {|int main(void) { int i; int j; int c = 0;
+       for (i = 0; i < 10; i = i + 1)
+         for (j = 0; j < 10; j = j + 1) c = c + 1;
+       return c; }|}
+
+let test_short_circuit () =
+  (* The right operand must not be evaluated when short-circuited:
+     observable through a side effect in a helper. *)
+  check "and short-circuits" 0
+    {|int hit;
+      int bump(void) { hit = hit + 1; return 1; }
+      int main(void) { int r = (0 && bump()); return hit + r; }|};
+  check "or short-circuits" 1
+    {|int hit;
+      int bump(void) { hit = hit + 1; return 1; }
+      int main(void) { int r = (1 || bump()); return hit * 10 + r; }|};
+  check "and evaluates both" 12
+    {|int hit;
+      int bump(void) { hit = hit + 10; return 1; }
+      int main(void) { int r = (1 && bump()); return hit + r + 1; }|};
+  check "boolean value" 1 "int main(void) { return (1 && 2) || 0; }";
+  check "not" 1 "int main(void) { return !0; }"
+
+let test_functions () =
+  check "call" 42
+    "int f(int x) { return x * 2; } int main(void) { return f(21); }";
+  check "four args" 10
+    {|int add4(int a, int b, int c, int d) { return a + b + c + d; }
+      int main(void) { return add4(1, 2, 3, 4); }|};
+  check "recursion" 120
+    {|int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+      int main(void) { return fact(5); }|};
+  check "mutual recursion" 1
+    {|int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+      int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+      int main(void) { return is_odd(7); }|};
+  check "fib" 55
+    {|int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+      int main(void) { return fib(10); }|};
+  check "void function" 9
+    {|int g;
+      void set(int v) { g = v; }
+      int main(void) { set(9); return g; }|};
+  check "fall-through returns zero" 0
+    {|int f(void) { int x = 3; x = x + 1; }
+      int main(void) { return f(); }|};
+  check "call in expression" 13
+    {|int three(void) { return 3; }
+      int main(void) { return 1 + three() * 4; }|}
+
+let test_arrays () =
+  check "global array" 6
+    {|int a[3] = {1, 2, 3};
+      int main(void) { return a[0] + a[1] + a[2]; }|};
+  check "local array" 10
+    {|int main(void) { int a[4]; int i;
+       for (i = 0; i < 4; i = i + 1) a[i] = i + 1;
+       return a[0] + a[1] + a[2] + a[3]; }|};
+  check "array parameter by reference" 7
+    {|void set(int a[], int i, int v) { a[i] = v; }
+      int g[3];
+      int main(void) { set(g, 1, 7); return g[1]; }|};
+  check "local array as argument" 5
+    {|int get(int a[], int i) { return a[i]; }
+      int main(void) { int b[2]; b[1] = 5; return get(b, 1); }|};
+  check "string global" 208
+    {|int s[] = "hi";
+      int main(void) { return s[0] + s[1] - s[2] - 1; }|};
+  check "computed index" 9
+    {|int a[10];
+      int main(void) { int i = 2; a[i * 3 + 1] = 9; return a[7]; }|}
+
+let test_floats () =
+  check "float arithmetic" 10
+    "int main(void) { float x = 2.5; return x * 4.0; }";
+  check "int to float promotion" 7
+    "int main(void) { float x = 3; return x * 2 + 1.5; }";
+  check "float compare" 1
+    "int main(void) { float x = 1.5; if (x > 1.0) return 1; return 0; }";
+  check "float array" 6
+    {|float a[3];
+      int main(void) { int i;
+       for (i = 0; i < 3; i = i + 1) a[i] = i + 1.0;
+       return a[0] + a[1] + a[2]; }|};
+  check "float function" 15
+    {|float half(float x) { return x / 2.0; }
+      int main(void) { return half(31.0); }|};
+  check "float global init" 9
+    {|float g = 4.5;
+      int main(void) { return g * 2.0; }|};
+  check "float negation" (-3)
+    "int main(void) { float x = 3.5; return -x; }"
+
+let test_switch () =
+  check "dense switch" 20
+    {|int main(void) { int x = 2; int r = 0;
+       switch (x) { case 1: r = 10; break; case 2: r = 20; break;
+                    case 3: r = 30; break; default: r = 99; }
+       return r; }|};
+  check "switch default" 99
+    {|int main(void) { int x = 7; int r = 0;
+       switch (x) { case 1: r = 10; break; case 2: r = 20; break;
+                    default: r = 99; }
+       return r; }|};
+  check "switch fallthrough" 31
+    {|int main(void) { int r = 0;
+       switch (1) { case 1: r = r + 1; case 2: r = r + 30; break;
+                    case 3: r = 500; }
+       return r; }|};
+  check "sparse switch" 3
+    {|int main(void) { int r;
+       switch (1000) { case 1: r = 1; break; case 500: r = 2; break;
+                       case 1000: r = 3; break; default: r = 4; }
+       return r; }|};
+  check "switch no default no match" 8
+    {|int main(void) { int r = 8;
+       switch (42) { case 1: r = 0; } return r; }|};
+  check "negative labels" 5
+    {|int main(void) { int r = 0;
+       switch (0 - 2) { case -2: r = 5; break; case -1: r = 6; }
+       return r; }|}
+
+let test_scoping () =
+  check "shadowing" 12
+    {|int main(void) { int x = 2;
+       { int x = 10; { int y = x; x = y + 2; } return x + 0; }
+     }|};
+  check "block-local lifetime" 5
+    {|int main(void) { int x = 5;
+       if (x > 0) { int x = 100; x = x + 1; }
+       return x; }|}
+
+let test_deep_expressions () =
+  (* More than eight live temporaries forces expression spills. *)
+  check "spilled temps" 55
+    {|int main(void) {
+       return 1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 + 10)))))))); }|};
+  check "wide sum" 15
+    {|int one(void) { return 1; }
+      int main(void) {
+       return ((((one() + one()) + (one() + one()))
+              + ((one() + one()) + (one() + one())))
+              + (((one() + one()) + (one() + one()))
+              + ((one() + one()) + one()))); }|}
+
+let test_globals () =
+  check "global scalar init" 17 "int g = 17; int main(void) { return g; }";
+  check "negative init" (-4)
+    "int g = -4; int main(void) { return g; }";
+  check "zero-initialized" 0 "int g; int main(void) { return g; }";
+  check "global update across calls" 3
+    {|int counter;
+      void tick(void) { counter = counter + 1; }
+      int main(void) { tick(); tick(); tick(); return counter; }|}
+
+let run_src_guarded ?(fuel = 2_000_000) src =
+  let flat =
+    Codegen.Compile.compile_flat
+      ~options:{ Codegen.Compile.if_convert = true } src
+  in
+  match (Vm.Exec.run ~fuel flat).status with
+  | Vm.Exec.Halted v -> v
+  | _ -> Alcotest.fail "guarded run did not halt"
+
+let test_if_conversion () =
+  let sources =
+    [ {|int main(void) { int i; int m = 0;
+         for (i = 0; i < 100; i = i + 1) {
+           int v = (i * 37) & 63;
+           if (v > m) m = v;
+         }
+         return m; }|};
+      {|int main(void) { int i; int odd = 0;
+         for (i = 0; i < 50; i = i + 1) {
+           if (i & 1) odd = odd + 1; else odd = odd - 3;
+         }
+         return odd; }|};
+      (* Arms reading the assigned variable must see the old value. *)
+      {|int main(void) { int x = 10;
+         if (x > 5) x = x * 2; else x = x + 100;
+         return x; }|} ]
+  in
+  List.iter
+    (fun src ->
+      Alcotest.(check int) "guarded = plain" (run_src src)
+        (run_src_guarded src))
+    sources;
+  (* The conversion must actually remove branches. *)
+  let src = List.hd sources in
+  let count_branches options =
+    let flat = Codegen.Compile.compile_flat ?options src in
+    Array.fold_left
+      (fun acc i ->
+        if Risc.Insn.kind i = Risc.Insn.Cond_branch then acc + 1 else acc)
+      0 flat.code
+  in
+  Alcotest.(check bool) "fewer branches when guarded" true
+    (count_branches (Some { Codegen.Compile.if_convert = true })
+    < count_branches None)
+
+let test_if_conversion_skips_unsafe () =
+  (* Division can fault, calls have effects, floats and arrays are out
+     of scope: these must stay branchy and still compute correctly. *)
+  let src =
+    {|int g[4];
+      int bump(void) { g[0] = g[0] + 1; return 1; }
+      int main(void) { int x = 0; int d = 0;
+        if (d != 0) x = 10 / d;
+        if (x == 0) x = bump();
+        if (g[0] > 0) g[1] = 5;
+        return x * 100 + g[0] * 10 + g[1]; }|}
+  in
+  Alcotest.(check int) "unsafe patterns preserved" (run_src src)
+    (run_src_guarded src)
+
+let test_if_conversion_random =
+  QCheck.Test.make ~name:"guarded compilation preserves semantics"
+    ~count:60
+    (QCheck.make ~print:(fun s -> s) Gen_minic.gen_program)
+    (fun src ->
+      let ast = Minic.Parser.parse src in
+      ignore (Minic.Sema.check ast);
+      let interp = Minic.Interp.run ast in
+      run_src_guarded src = interp)
+
+let test_codegen_errors () =
+  let bad name src =
+    match Codegen.Compile.compile src with
+    | exception Codegen.Compile.Error _ -> ()
+    | _ -> Alcotest.fail ("codegen should reject: " ^ name)
+  in
+  bad "five int parameters"
+    {|int f(int a, int b, int c, int d, int e) { return a+b+c+d+e; }
+      int main(void) { return f(1,2,3,4,5); }|}
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing against the reference interpreter. *)
+
+let differential name src =
+  let ast = Minic.Parser.parse src in
+  ignore (Minic.Sema.check ast);
+  let interp = Minic.Interp.run ast in
+  let compiled = run_src src in
+  Alcotest.(check int) name interp compiled
+
+let test_differential_fixed () =
+  differential "sort"
+    {|int a[8] = {5, 3, 8, 1, 9, 2, 7, 4};
+      int main(void) { int i; int j;
+        for (i = 0; i < 8; i = i + 1)
+          for (j = 0; j < 7; j = j + 1)
+            if (a[j] > a[j + 1]) { int t = a[j]; a[j] = a[j+1]; a[j+1] = t; }
+        return a[0] * 10000 + a[3] * 100 + a[7]; }|};
+  differential "gcd"
+    {|int gcd(int a, int b) { if (b == 0) return a; return gcd(b, a % b); }
+      int main(void) { return gcd(1071, 462); }|};
+  differential "collatz"
+    {|int main(void) { int n = 27; int steps = 0;
+        while (n != 1) { if (n % 2) n = 3 * n + 1; else n = n / 2;
+                         steps = steps + 1; }
+        return steps; }|};
+  differential "float mix"
+    {|float scale;
+      int main(void) { int i; float acc = 0.0; scale = 0.5;
+        for (i = 1; i <= 10; i = i + 1) acc = acc + i * scale;
+        return acc * 4.0; }|}
+
+(* Random programs: shared generator in Gen_minic. *)
+let gen_program = Gen_minic.gen_program
+
+let test_differential_random =
+  QCheck.Test.make ~name:"compiled = interpreted on random programs"
+    ~count:120
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun src ->
+      let ast = Minic.Parser.parse src in
+      ignore (Minic.Sema.check ast);
+      let interp = Minic.Interp.run ast in
+      let flat = Codegen.Compile.compile_flat src in
+      match (Vm.Exec.run ~fuel:2_000_000 flat).status with
+      | Vm.Exec.Halted v -> v = interp
+      | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "locals/assignment" `Quick test_locals_and_assign;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "short-circuit" `Quick test_short_circuit;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "floats" `Quick test_floats;
+    Alcotest.test_case "switch" `Quick test_switch;
+    Alcotest.test_case "scoping" `Quick test_scoping;
+    Alcotest.test_case "deep expressions" `Quick test_deep_expressions;
+    Alcotest.test_case "globals" `Quick test_globals;
+    Alcotest.test_case "codegen limits" `Quick test_codegen_errors;
+    Alcotest.test_case "if-conversion" `Quick test_if_conversion;
+    Alcotest.test_case "if-conversion safety" `Quick
+      test_if_conversion_skips_unsafe;
+    QCheck_alcotest.to_alcotest test_if_conversion_random;
+    Alcotest.test_case "differential fixed" `Quick test_differential_fixed;
+    QCheck_alcotest.to_alcotest test_differential_random ]

@@ -1,0 +1,236 @@
+(* Front-end tests: lexer, parser, semantic analysis. *)
+
+module L = Minic.Lexer
+module A = Minic.Ast
+
+let toks src = List.map (fun (t : L.t) -> t.tok) (L.tokenize src)
+
+let test_lexer_basics () =
+  Alcotest.(check int) "token count" 6
+    (List.length (toks "int x = 42 ;"));
+  (match toks "foo12_bar" with
+  | [ L.Ident "foo12_bar"; L.Eof ] -> ()
+  | _ -> Alcotest.fail "identifier");
+  (match toks "3.5 1e3 42" with
+  | [ L.Float 3.5; L.Float 1000.; L.Int 42; L.Eof ] -> ()
+  | _ -> Alcotest.fail "numbers");
+  match toks "'a' '\\n'" with
+  | [ L.Int 97; L.Int 10; L.Eof ] -> ()
+  | _ -> Alcotest.fail "char literals"
+
+let test_lexer_operators () =
+  match toks "<< <= < == = && &" with
+  | [ L.Punct "<<"; L.Punct "<="; L.Punct "<"; L.Punct "=="; L.Punct "=";
+      L.Punct "&&"; L.Punct "&"; L.Eof ] ->
+    ()
+  | _ -> Alcotest.fail "longest-match operators"
+
+let test_lexer_comments () =
+  (match toks "1 // comment\n 2" with
+  | [ L.Int 1; L.Int 2; L.Eof ] -> ()
+  | _ -> Alcotest.fail "line comment");
+  (match toks "1 /* multi\nline */ 2" with
+  | [ L.Int 1; L.Int 2; L.Eof ] -> ()
+  | _ -> Alcotest.fail "block comment");
+  match L.tokenize "/* unterminated" with
+  | exception L.Error _ -> ()
+  | _ -> Alcotest.fail "unterminated comment must fail"
+
+let test_lexer_strings () =
+  (match toks {|"ab\tc"|} with
+  | [ L.String "ab\tc"; L.Eof ] -> ()
+  | _ -> Alcotest.fail "string escape");
+  match L.tokenize "\"open" with
+  | exception L.Error _ -> ()
+  | _ -> Alcotest.fail "unterminated string must fail"
+
+let test_lexer_line_numbers () =
+  let all = L.tokenize "1\n2\n\n3" in
+  let lines = List.map (fun (t : L.t) -> t.line) all in
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 4; 4 ] lines
+
+let test_lexer_bad_char () =
+  match L.tokenize "int $x;" with
+  | exception L.Error (_, 1) -> ()
+  | _ -> Alcotest.fail "bad character must fail"
+
+(* --- parser --- *)
+
+let rec expr_str (e : A.expr) =
+  match e.desc with
+  | A.Int_lit n -> string_of_int n
+  | A.Float_lit x -> Printf.sprintf "%g" x
+  | A.Var v -> v
+  | A.Index (v, i) -> Printf.sprintf "%s[%s]" v (expr_str i)
+  | A.Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat "," (List.map expr_str args))
+  | A.Unop (op, s) ->
+    let o = match op with A.Neg -> "-" | A.Lnot -> "!" | A.Bnot -> "~" in
+    Printf.sprintf "(%s%s)" o (expr_str s)
+  | A.Binop (op, a, b) ->
+    let o =
+      match op with
+      | A.Add -> "+" | A.Sub -> "-" | A.Mul -> "*" | A.Div -> "/"
+      | A.Rem -> "%" | A.Band -> "&" | A.Bor -> "|" | A.Bxor -> "^"
+      | A.Shl -> "<<" | A.Shr -> ">>" | A.Eq -> "==" | A.Ne -> "!="
+      | A.Lt -> "<" | A.Le -> "<=" | A.Gt -> ">" | A.Ge -> ">="
+      | A.Land -> "&&" | A.Lor -> "||"
+    in
+    Printf.sprintf "(%s%s%s)" (expr_str a) o (expr_str b)
+  | A.Assign (A.Lvar v, rhs) -> Printf.sprintf "(%s=%s)" v (expr_str rhs)
+  | A.Assign (A.Lindex (v, i), rhs) ->
+    Printf.sprintf "(%s[%s]=%s)" v (expr_str i) (expr_str rhs)
+
+let check_parse expected src =
+  Alcotest.(check string) src expected (expr_str (Minic.Parser.parse_expr src))
+
+let test_precedence () =
+  check_parse "(1+(2*3))" "1 + 2 * 3";
+  check_parse "((1+2)*3)" "(1 + 2) * 3";
+  check_parse "((1-2)-3)" "1 - 2 - 3";
+  check_parse "(1|(2^(3&(4==(5<(6<<(7+(8*9))))))))"
+    "1 | 2 ^ 3 & 4 == 5 < 6 << 7 + 8 * 9";
+  check_parse "((a&&b)||c)" "a && b || c";
+  check_parse "((-a)*b)" "-a * b";
+  check_parse "(a=(b=c))" "a = b = c";
+  check_parse "(a[(i+1)]=(x*2))" "a[i + 1] = x * 2";
+  check_parse "(f(x,(y+1))+g())" "f(x, y + 1) + g()";
+  check_parse "(a[i]+b[j])" "a[i] + b[j]";
+  check_parse "(!(a==b))" "!(a == b)";
+  check_parse "((~x)&15)" "~x & 15"
+
+let test_parse_program () =
+  let src =
+    {|
+int g = 3;
+int arr[4] = {1, 2, 3, 4};
+int msg[] = "hi";
+float pi = 3.14;
+
+int add(int a, int b) { return a + b; }
+void nothing(void) { return; }
+
+int main(void) {
+  int i;
+  for (i = 0; i < 4; i = i + 1) { g = g + arr[i]; }
+  while (g > 10) { g = g - 1; break; }
+  if (g) { g = add(g, 1); } else ;
+  switch (g) {
+    case 1: g = 10; break;
+    case 2:
+    case 3: g = 20; break;
+    default: g = 30;
+  }
+  return g;
+}
+|}
+  in
+  let ast = Minic.Parser.parse src in
+  Alcotest.(check int) "globals" 4 (List.length ast.globals);
+  Alcotest.(check int) "functions" 3 (List.length ast.funcs);
+  let msg = List.find (fun (g : A.global) -> g.gname = "msg") ast.globals in
+  Alcotest.(check (option int)) "string array size" (Some 3) msg.gsize
+
+let test_parse_errors () =
+  let bad src =
+    match Minic.Parser.parse src with
+    | exception Minic.Parser.Error _ -> ()
+    | exception Minic.Lexer.Error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ src)
+  in
+  bad "int main(void) { return 1 }";
+  bad "int main(void) { if (1 { return 1; } }";
+  bad "int main(void) { int a[]; return 0; }";
+  bad "int 3x;";
+  bad "int main(void) { switch (1) { boom } }"
+
+let test_string_concat () =
+  let ast = Minic.Parser.parse {|int s[] = "ab" "cd"; int main(void) { return s[3]; }|} in
+  let s = List.hd ast.globals in
+  Alcotest.(check (option int)) "concatenated size" (Some 5) s.A.gsize
+
+(* --- sema --- *)
+
+let check_ok src = ignore (Minic.Sema.check (Minic.Parser.parse src))
+
+let check_bad name src =
+  match Minic.Sema.check (Minic.Parser.parse src) with
+  | exception Minic.Sema.Error _ -> ()
+  | _ -> Alcotest.fail ("sema should reject: " ^ name)
+
+let test_sema_accepts () =
+  check_ok "int main(void) { return 0; }";
+  check_ok
+    {|float f(float x) { return x * 2.0; }
+      int main(void) { int a = f(3); return a; }|};
+  check_ok
+    {|int sum(int a[], int n) { int i; int s = 0;
+        for (i = 0; i < n; i = i + 1) s = s + a[i];
+        return s; }
+      int g[5];
+      int main(void) { return sum(g, 5); }|};
+  check_ok
+    {|int main(void) { float x = 1; int y = 2.5; return y + x; }|}
+
+let test_sema_rejects () =
+  check_bad "missing main" "int f(void) { return 0; }";
+  check_bad "bad main signature" "void main(void) { return; }";
+  check_bad "undefined variable" "int main(void) { return x; }";
+  check_bad "undefined function" "int main(void) { return f(); }";
+  check_bad "arity" "int f(int a) { return a; } int main(void) { return f(); }";
+  check_bad "array as scalar"
+    "int a[3]; int main(void) { return a + 1; }";
+  check_bad "scalar indexed" "int x; int main(void) { return x[0]; }";
+  check_bad "assign to array" "int a[3]; int main(void) { a = 1; return 0; }";
+  check_bad "break outside loop" "int main(void) { break; return 0; }";
+  check_bad "continue outside loop"
+    "int main(void) { continue; return 0; }";
+  check_bad "continue in switch only"
+    "int main(void) { switch (1) { case 1: continue; } return 0; }";
+  check_bad "void value" "void f(void) { } int main(void) { return f(); }";
+  check_bad "duplicate global" "int x; int x; int main(void) { return 0; }";
+  check_bad "duplicate function"
+    "int f(void) { return 1; } int f(void) { return 2; } int main(void) { return 0; }";
+  check_bad "duplicate case"
+    "int main(void) { switch (1) { case 1: case 1: return 0; } return 0; }";
+  check_bad "float bit op" "int main(void) { return 1.5 & 2; }";
+  check_bad "float condition" "int main(void) { if (1.5) return 1; return 0; }";
+  check_bad "non-constant global init"
+    "int x = 1; int y = x + 1; int main(void) { return y; }";
+  check_bad "string into float array"
+    {|float s[] = "oops"; int main(void) { return 0; }|};
+  check_bad "too many list items"
+    "int a[2] = {1, 2, 3}; int main(void) { return 0; }";
+  check_bad "void return with value"
+    "void f(void) { return 3; } int main(void) { return 0; }";
+  check_bad "missing return value"
+    "int f(void) { return; } int main(void) { return 0; }";
+  check_bad "negative array size"
+    "int main(void) { int a[-1]; return 0; }"
+
+let test_sema_types_annotated () =
+  let ast =
+    Minic.Parser.parse
+      "float g; int main(void) { int x = 1; g = x + 2.5; return x; }"
+  in
+  ignore (Minic.Sema.check ast);
+  let main = List.find (fun (f : A.func) -> f.fname = "main") ast.funcs in
+  match main.body with
+  | [ _; A.Expr assign; _ ] ->
+    Alcotest.(check bool) "assignment is float" true (assign.ty = A.Tfloat)
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let suite =
+  [ Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer operators" `Quick test_lexer_operators;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer strings" `Quick test_lexer_strings;
+    Alcotest.test_case "lexer lines" `Quick test_lexer_line_numbers;
+    Alcotest.test_case "lexer bad char" `Quick test_lexer_bad_char;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "parse program" `Quick test_parse_program;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "string concatenation" `Quick test_string_concat;
+    Alcotest.test_case "sema accepts" `Quick test_sema_accepts;
+    Alcotest.test_case "sema rejects" `Quick test_sema_rejects;
+    Alcotest.test_case "sema annotates types" `Quick test_sema_types_annotated ]

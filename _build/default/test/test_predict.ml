@@ -1,0 +1,99 @@
+(* Branch predictor tests. *)
+
+let mk_trace entries =
+  let t = Vm.Trace.create () in
+  List.iter (fun (pc, aux) -> Vm.Trace.push t ~pc ~aux) entries;
+  t
+
+(* A trace with one static branch at pc 0: taken 3 times, not taken
+   once, plus unrelated instructions. *)
+let branch_trace () =
+  mk_trace [ (0, 1); (1, -1); (0, 1); (0, 0); (0, 1) ]
+
+let is_cond pc = pc = 0
+
+let test_profile_majority () =
+  let p =
+    Predict.Predictor.profile ~n_static:2 ~is_cond (branch_trace ())
+  in
+  Alcotest.(check bool) "predicts taken" true (p.predict ~pc:0 ~taken:false);
+  let stats = Predict.Predictor.measure p ~is_cond (branch_trace ()) in
+  Alcotest.(check int) "branches" 4 stats.branches;
+  Alcotest.(check int) "correct" 3 stats.correct;
+  Alcotest.(check (float 1e-6)) "rate" 75. stats.rate
+
+let test_profile_tie_breaks_not_taken () =
+  let t = mk_trace [ (0, 1); (0, 0) ] in
+  let p = Predict.Predictor.profile ~n_static:1 ~is_cond t in
+  Alcotest.(check bool) "tie -> not taken" false
+    (p.predict ~pc:0 ~taken:true)
+
+let test_profile_unseen_branch () =
+  let p =
+    Predict.Predictor.profile ~n_static:4 ~is_cond:(fun _ -> true)
+      (mk_trace [])
+  in
+  Alcotest.(check bool) "unseen -> not taken" false
+    (p.predict ~pc:3 ~taken:true)
+
+let test_perfect () =
+  let p = Predict.Predictor.perfect in
+  Alcotest.(check bool) "matches outcome" true (p.predict ~pc:9 ~taken:true);
+  Alcotest.(check bool) "matches outcome 2" false
+    (p.predict ~pc:9 ~taken:false)
+
+let test_always_taken () =
+  let stats =
+    Predict.Predictor.measure Predict.Predictor.always_taken ~is_cond
+      (branch_trace ())
+  in
+  Alcotest.(check int) "correct" 3 stats.correct
+
+let test_btfn () =
+  let p =
+    Predict.Predictor.backward_taken ~is_backward:(fun pc -> pc = 0)
+  in
+  Alcotest.(check bool) "backward taken" true (p.predict ~pc:0 ~taken:false);
+  Alcotest.(check bool) "forward not taken" false
+    (p.predict ~pc:1 ~taken:true)
+
+let test_two_bit_hysteresis () =
+  let p = Predict.Predictor.two_bit ~n_static:1 in
+  (* Starts weakly not-taken. *)
+  Alcotest.(check bool) "initial" false (p.predict ~pc:0 ~taken:true);
+  (* Now weakly taken after one taken outcome. *)
+  Alcotest.(check bool) "trained" true (p.predict ~pc:0 ~taken:true);
+  (* Saturated taken; a single not-taken must not flip it. *)
+  Alcotest.(check bool) "strong" true (p.predict ~pc:0 ~taken:false);
+  Alcotest.(check bool) "hysteresis" true (p.predict ~pc:0 ~taken:false);
+  (* Two consecutive not-taken outcomes flip the prediction. *)
+  Alcotest.(check bool) "flipped" false (p.predict ~pc:0 ~taken:false)
+
+let test_profile_beats_static_on_workload () =
+  let w = Workloads.Registry.find "espresso" in
+  let p = Harness.prepare ~fuel:80_000 w in
+  let is_cond = Ilp.Program_info.is_cond_branch p.info in
+  let profile_rate =
+    (Predict.Predictor.measure (Harness.profile_predictor p) ~is_cond
+       p.trace)
+      .rate
+  in
+  let taken_rate =
+    (Predict.Predictor.measure Predict.Predictor.always_taken ~is_cond
+       p.trace)
+      .rate
+  in
+  Alcotest.(check bool) "profile >= always-taken" true
+    (profile_rate >= taken_rate);
+  Alcotest.(check bool) "profile is accurate" true (profile_rate > 70.)
+
+let suite =
+  [ Alcotest.test_case "profile majority" `Quick test_profile_majority;
+    Alcotest.test_case "profile tie" `Quick test_profile_tie_breaks_not_taken;
+    Alcotest.test_case "profile unseen" `Quick test_profile_unseen_branch;
+    Alcotest.test_case "perfect" `Quick test_perfect;
+    Alcotest.test_case "always taken" `Quick test_always_taken;
+    Alcotest.test_case "btfn" `Quick test_btfn;
+    Alcotest.test_case "two-bit hysteresis" `Quick test_two_bit_hysteresis;
+    Alcotest.test_case "profile on workload" `Quick
+      test_profile_beats_static_on_workload ]

@@ -1,0 +1,86 @@
+(* Report rendering and harness plumbing tests. *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_fnum () =
+  Alcotest.(check string) "small two decimals" "2.14" (Report.Table.fnum 2.14);
+  Alcotest.(check string) "medium" "99.90" (Report.Table.fnum 99.9);
+  Alcotest.(check string) "large whole" "243" (Report.Table.fnum 242.77);
+  Alcotest.(check string) "huge" "68324" (Report.Table.fnum 68324.)
+
+let test_table_render () =
+  let s =
+    Report.Table.render ~title:"T" ~header:[ "A"; "Bee" ]
+      ~align:[ Report.Table.Left; Report.Table.Right ]
+      [ [ "x"; "1" ]; [ "-" ]; [ "yy"; "22" ] ]
+  in
+  Alcotest.(check bool) "title" true (contains s "T\n=");
+  Alcotest.(check bool) "header" true (contains s "A   Bee");
+  Alcotest.(check bool) "right aligned" true (contains s "yy   22");
+  Alcotest.(check bool) "rule row" true (contains s "-----")
+
+let test_table_ragged_rows () =
+  let s =
+    Report.Table.render ~header:[ "A"; "B"; "C" ]
+      ~align:[ Left; Left; Left ]
+      [ [ "only" ] ]
+  in
+  Alcotest.(check bool) "missing cells tolerated" true (contains s "only")
+
+let test_bars () =
+  let s = Report.Chart.bars [ ("aa", 10.); ("b", 5.) ] in
+  Alcotest.(check bool) "labels padded" true (contains s "aa ");
+  Alcotest.(check bool) "value printed" true (contains s "10.00");
+  Alcotest.(check bool) "has bars" true (contains s "#")
+
+let test_grouped_bars () =
+  let s =
+    Report.Chart.grouped_bars ~group_names:[ "g1"; "g2" ]
+      [ ("row", [ 2.; 400. ]) ]
+  in
+  Alcotest.(check bool) "both groups" true
+    (contains s "g1" && contains s "g2");
+  Alcotest.(check bool) "log scale keeps small bar visible" true
+    (contains s "2.00")
+
+let test_cdf () =
+  let s =
+    Report.Chart.cdf ~x_label:"d" [ [ (1, 0.25); (10, 0.5); (100, 1.0) ] ]
+  in
+  Alcotest.(check bool) "axis" true (contains s "1.00 |");
+  Alcotest.(check bool) "x label" true (contains s "(d, log scale)");
+  Alcotest.(check bool) "curve plotted" true (contains s "*")
+
+let test_harness_prepare_source () =
+  let p =
+    Harness.prepare_source ~name:"tiny" "int main(void) { return 3; }"
+  in
+  Alcotest.(check (option int)) "halted" (Some 3) p.halted;
+  Alcotest.(check bool) "trace non-empty" true (p.steps > 0);
+  let r = Harness.analyze p Ilp.Machine.oracle in
+  Alcotest.(check bool) "analyzable" true (r.Ilp.Analyze.counted > 0)
+
+let test_harness_branch_stats () =
+  let p =
+    Harness.prepare_source ~name:"b"
+      {|int main(void) { int i; int s = 0;
+         for (i = 0; i < 50; i = i + 1) if (i % 2) s = s + 1;
+         return s; }|}
+  in
+  let bs = Harness.branch_stats p in
+  Alcotest.(check bool) "counts branches" true (bs.dyn_branches > 50);
+  Alcotest.(check bool) "alternating branch poorly predicted" true
+    (bs.rate < 90.)
+
+let suite =
+  [ Alcotest.test_case "fnum" `Quick test_fnum;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table ragged" `Quick test_table_ragged_rows;
+    Alcotest.test_case "bars" `Quick test_bars;
+    Alcotest.test_case "grouped bars" `Quick test_grouped_bars;
+    Alcotest.test_case "cdf" `Quick test_cdf;
+    Alcotest.test_case "harness source" `Quick test_harness_prepare_source;
+    Alcotest.test_case "harness stats" `Quick test_harness_branch_stats ]

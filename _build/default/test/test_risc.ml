@@ -1,0 +1,119 @@
+(* Tests of the ISA: classification, dependence accessors, evaluation. *)
+
+module I = Risc.Insn
+module R = Risc.Reg
+
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (slist int compare))
+
+let test_kinds () =
+  let k insn = I.kind insn in
+  Alcotest.(check bool) "alu plain" true (k (I.Alu (I.Add, 1, 2, 3)) = I.Plain);
+  Alcotest.(check bool) "b is cond" true (k (I.B (I.Eq, 1, 2, 0)) = I.Cond_branch);
+  Alcotest.(check bool) "bi is cond" true
+    (k (I.Bi (I.Lt, 1, 5, 0)) = I.Cond_branch);
+  Alcotest.(check bool) "j is jump" true (k (I.J 0) = I.Jump);
+  Alcotest.(check bool) "jal is call" true (k (I.Jal 0) = I.Call);
+  Alcotest.(check bool) "jr is ret" true (k (I.Jr R.ra) = I.Ret);
+  Alcotest.(check bool) "jtab is computed" true
+    (k (I.Jtab (1, [| 0 |])) = I.Computed_jump);
+  Alcotest.(check bool) "halt is stop" true (k I.Halt = I.Stop)
+
+let test_uses_defs () =
+  check_ints "alu uses" [ 2; 3 ] (I.uses (I.Alu (I.Add, 1, 2, 3)));
+  check_ints "alu defs" [ 1 ] (I.defs (I.Alu (I.Add, 1, 2, 3)));
+  check_ints "r0 use omitted" [ 2 ] (I.uses (I.Alu (I.Add, 1, 2, 0)));
+  check_ints "r0 def omitted" [] (I.defs (I.Li (0, 5)));
+  check_ints "store uses" [ 4; 5 ] (I.uses (I.Sw (4, 5, 0)));
+  check_ints "store no defs" [] (I.defs (I.Sw (4, 5, 0)));
+  check_ints "load uses" [ 5 ] (I.uses (I.Lw (4, 5, 0)));
+  check_ints "float uses unified" [ 33; 34 ]
+    (I.uses (I.Falu (I.Fadd, 0, 1, 2)));
+  check_ints "float defs unified" [ 32 ]
+    (I.defs (I.Falu (I.Fadd, 0, 1, 2)));
+  check_ints "fcmp defs int reg" [ 7 ] (I.defs (I.Fcmp (I.Flt, 7, 1, 2)));
+  check_ints "i2f crosses files" [ 3 ] (I.uses (I.I2f (1, 3)));
+  check_ints "i2f defs float" [ 33 ] (I.defs (I.I2f (1, 3)));
+  check_ints "jal defs ra" [ R.ra ] (I.defs (I.Jal 0));
+  check_ints "fsw uses float and base" [ 33; 4 ] (I.uses (I.Fsw (1, 4, 2)));
+  (* The guarded move merges with the old destination value. *)
+  check_ints "movn reads rd, rs, guard" [ 5; 6; 7 ]
+    (I.uses (I.Movn (5, 6, 7)));
+  check_ints "movn defs rd" [ 5 ] (I.defs (I.Movn (5, 6, 7)))
+
+let test_writes_sp () =
+  Alcotest.(check bool) "sp adjust" true
+    (I.writes_sp (I.Alui (I.Add, R.sp, R.sp, -4)));
+  Alcotest.(check bool) "not sp" false
+    (I.writes_sp (I.Alui (I.Add, 8, R.sp, 4)))
+
+let test_eval_alu () =
+  check_int "add" 7 (I.eval_alu I.Add 3 4);
+  check_int "sub" (-1) (I.eval_alu I.Sub 3 4);
+  check_int "mul" 12 (I.eval_alu I.Mul 3 4);
+  check_int "div trunc" (-2) (I.eval_alu I.Div (-7) 3);
+  check_int "rem sign" (-1) (I.eval_alu I.Rem (-7) 3);
+  check_int "and" 0b100 (I.eval_alu I.And 0b110 0b101);
+  check_int "or" 0b111 (I.eval_alu I.Or 0b110 0b101);
+  check_int "xor" 0b011 (I.eval_alu I.Xor 0b110 0b101);
+  check_int "sll" 16 (I.eval_alu I.Sll 1 4);
+  check_int "sra negative" (-2) (I.eval_alu I.Sra (-8) 2);
+  check_int "slt" 1 (I.eval_alu I.Slt (-1) 0);
+  check_int "sle eq" 1 (I.eval_alu I.Sle 5 5);
+  check_int "seq" 0 (I.eval_alu I.Seq 5 6);
+  check_int "sne" 1 (I.eval_alu I.Sne 5 6);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (I.eval_alu I.Div 1 0))
+
+let test_eval_cond () =
+  Alcotest.(check bool) "eq" true (I.eval_cond I.Eq 3 3);
+  Alcotest.(check bool) "ne" false (I.eval_cond I.Ne 3 3);
+  Alcotest.(check bool) "lt" true (I.eval_cond I.Lt (-1) 0);
+  Alcotest.(check bool) "le" true (I.eval_cond I.Le 0 0);
+  Alcotest.(check bool) "gt" false (I.eval_cond I.Gt 0 0);
+  Alcotest.(check bool) "ge" true (I.eval_cond I.Ge 1 0)
+
+let test_eval_fcmp () =
+  check_int "flt" 1 (I.eval_fcmp I.Flt 1. 2.);
+  check_int "fle" 1 (I.eval_fcmp I.Fle 2. 2.);
+  check_int "feq" 0 (I.eval_fcmp I.Feq 1. 2.)
+
+let test_map_label () =
+  let b = I.B (I.Eq, 1, 2, "target") in
+  (match I.map_label String.length b with
+  | I.B (I.Eq, 1, 2, 6) -> ()
+  | _ -> Alcotest.fail "map_label B");
+  let jt = I.Jtab (3, [| "a"; "bb" |]) in
+  match I.map_label String.length jt with
+  | I.Jtab (3, [| 1; 2 |]) -> ()
+  | _ -> Alcotest.fail "map_label Jtab"
+
+let test_pp () =
+  let s insn = Format.asprintf "%a" I.pp_resolved insn in
+  Alcotest.(check string) "add" "add r1, r2, r3" (s (I.Alu (I.Add, 1, 2, 3)));
+  Alcotest.(check string) "lw" "lw r4, 8(r29)" (s (I.Lw (4, 29, 8)));
+  Alcotest.(check string) "blt" "blt r1, r2, 7" (s (I.B (I.Lt, 1, 2, 7)));
+  Alcotest.(check string) "blti" "blti r1, 5, 7" (s (I.Bi (I.Lt, 1, 5, 7)));
+  Alcotest.(check string) "fmov" "fmov f1, f2" (s (I.Fmov (1, 2)))
+
+let test_reg_conventions () =
+  check_int "zero" 0 R.zero;
+  check_int "sp" 29 R.sp;
+  check_int "ra" 31 R.ra;
+  check_int "arg0" 4 (R.arg 0);
+  check_int "tmp7" 15 (R.tmp 7);
+  check_int "sav0" 16 (R.sav 0);
+  check_int "float uid" 44 (R.uid_of_float 12);
+  Alcotest.check_raises "arg range" (Invalid_argument "Reg.arg") (fun () ->
+      ignore (R.arg 4))
+
+let suite =
+  [ Alcotest.test_case "kinds" `Quick test_kinds;
+    Alcotest.test_case "uses/defs" `Quick test_uses_defs;
+    Alcotest.test_case "writes_sp" `Quick test_writes_sp;
+    Alcotest.test_case "eval_alu" `Quick test_eval_alu;
+    Alcotest.test_case "eval_cond" `Quick test_eval_cond;
+    Alcotest.test_case "eval_fcmp" `Quick test_eval_fcmp;
+    Alcotest.test_case "map_label" `Quick test_map_label;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+    Alcotest.test_case "register conventions" `Quick test_reg_conventions ]

@@ -1,0 +1,103 @@
+(* Unit and property tests for the Stdx utility library. *)
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_vec_basic () =
+  let v = Stdx.Vec.create ~dummy:0 () in
+  Alcotest.(check bool) "empty" true (Stdx.Vec.is_empty v);
+  for i = 0 to 99 do
+    Stdx.Vec.push v i
+  done;
+  check_int "length" 100 (Stdx.Vec.length v);
+  check_int "get 0" 0 (Stdx.Vec.get v 0);
+  check_int "get 99" 99 (Stdx.Vec.get v 99);
+  check_int "last" 99 (Stdx.Vec.last v);
+  Stdx.Vec.set v 5 500;
+  check_int "set/get" 500 (Stdx.Vec.get v 5)
+
+let test_vec_pop () =
+  let v = Stdx.Vec.create ~dummy:0 () in
+  Stdx.Vec.push v 1;
+  Stdx.Vec.push v 2;
+  check_int "pop" 2 (Stdx.Vec.pop v);
+  check_int "length after pop" 1 (Stdx.Vec.length v);
+  check_int "pop again" 1 (Stdx.Vec.pop v);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty")
+    (fun () -> ignore (Stdx.Vec.pop v))
+
+let test_vec_bounds () =
+  let v = Stdx.Vec.create ~dummy:0 () in
+  Stdx.Vec.push v 42;
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Stdx.Vec.get v 1));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Stdx.Vec.get v (-1)))
+
+let test_vec_iter_fold () =
+  let v = Stdx.Vec.of_array ~dummy:0 [| 1; 2; 3; 4 |] in
+  let sum = Stdx.Vec.fold_left ( + ) 0 v in
+  check_int "fold sum" 10 sum;
+  let count = ref 0 in
+  Stdx.Vec.iteri (fun i x -> count := !count + (i * x)) v;
+  check_int "iteri" (0 + 2 + 6 + 12) !count;
+  Stdx.Vec.clear v;
+  check_int "clear" 0 (Stdx.Vec.length v)
+
+let test_vec_roundtrip =
+  QCheck.Test.make ~name:"vec push/to_array roundtrip" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let v = Stdx.Vec.create ~dummy:0 () in
+      List.iter (Stdx.Vec.push v) xs;
+      Stdx.Vec.to_array v = Array.of_list xs)
+
+let test_means () =
+  check_float "mean" 2. (Stdx.Stats.mean [ 1.; 2.; 3. ]);
+  check_float "harmonic of equal" 5. (Stdx.Stats.harmonic_mean [ 5.; 5. ]);
+  check_float "harmonic 1,2" (4. /. 3.)
+    (Stdx.Stats.harmonic_mean [ 1.; 2. ]);
+  check_float "geometric" 2. (Stdx.Stats.geometric_mean [ 1.; 4. ]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty")
+    (fun () -> ignore (Stdx.Stats.mean []));
+  Alcotest.check_raises "non-positive harmonic"
+    (Invalid_argument "Stats.harmonic_mean: non-positive") (fun () ->
+      ignore (Stdx.Stats.harmonic_mean [ 1.; 0. ]))
+
+let test_mean_inequality =
+  QCheck.Test.make ~name:"harmonic <= geometric <= arithmetic" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 20) (float_range 0.001 1000.))
+    (fun xs ->
+      let h = Stdx.Stats.harmonic_mean xs in
+      let g = Stdx.Stats.geometric_mean xs in
+      let a = Stdx.Stats.mean xs in
+      h <= g +. 1e-6 && g <= a +. 1e-6)
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Stdx.Stats.percentile 0.5 xs);
+  check_float "min" 1. (Stdx.Stats.percentile 0. xs);
+  check_float "max" 5. (Stdx.Stats.percentile 1. xs);
+  check_float "p25" 2. (Stdx.Stats.percentile 0.25 xs)
+
+let test_cumulative () =
+  let c = Stdx.Stats.cumulative [ (3, 1); (1, 2); (2, 1) ] in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "cdf"
+    [ (1, 0.5); (2, 0.75); (3, 1.0) ]
+    c;
+  Alcotest.(check (list (pair int (float 1e-9)))) "empty" []
+    (Stdx.Stats.cumulative [])
+
+let suite =
+  [ Alcotest.test_case "vec basic" `Quick test_vec_basic;
+    Alcotest.test_case "vec pop" `Quick test_vec_pop;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    Alcotest.test_case "vec iter/fold" `Quick test_vec_iter_fold;
+    QCheck_alcotest.to_alcotest test_vec_roundtrip;
+    Alcotest.test_case "means" `Quick test_means;
+    QCheck_alcotest.to_alcotest test_mean_inequality;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "cumulative" `Quick test_cumulative ]

@@ -1,0 +1,213 @@
+(* VM semantics: per-instruction behaviour, trace contents, faults. *)
+
+module I = Risc.Insn
+module P = Asm.Program
+module R = Risc.Reg
+
+let run_items ?fuel ?(data = []) items =
+  let prog =
+    { P.procs = [ { P.name = "main"; body = items } ]; data; entry = "main" }
+  in
+  Vm.Exec.run ?fuel ~mem_words:4096 (P.resolve prog)
+
+let run_insns ?fuel ?data insns =
+  run_items ?fuel ?data (List.map (fun i -> P.Ins i) insns)
+
+let rv_of outcome =
+  match outcome.Vm.Exec.status with
+  | Vm.Exec.Halted v -> v
+  | Out_of_fuel -> Alcotest.fail "out of fuel"
+  | Fault m -> Alcotest.fail ("fault: " ^ m)
+
+let check_rv name expected insns =
+  Alcotest.(check int) name expected (rv_of (run_insns insns))
+
+let test_arith () =
+  check_rv "li+add" 12
+    [ I.Li (2, 5); I.Alui (I.Add, 2, 2, 7); I.Halt ];
+  check_rv "mul/div chain" 6
+    [ I.Li (8, 20); I.Li (9, 3); I.Alu (I.Div, 2, 8, 9); I.Halt ];
+  check_rv "slt" 1 [ I.Li (8, -5); I.Alui (I.Slt, 2, 8, 0); I.Halt ]
+
+let test_memory () =
+  check_rv "store/load roundtrip" 99
+    [ I.Li (8, 99); I.Sw (8, R.zero, 100); I.Lw (2, R.zero, 100); I.Halt ];
+  check_rv "indexed addressing" 7
+    [ I.Li (8, 50); I.Li (9, 7); I.Sw (9, 8, 3); I.Lw (2, 8, 3); I.Halt ]
+
+let test_float () =
+  let outcome =
+    run_insns
+      [ I.Fli (1, 2.5); I.Fli (2, 4.0); I.Falu (I.Fmul, 3, 1, 2);
+        I.F2i (2, 3); I.Halt ]
+  in
+  Alcotest.(check int) "fp multiply" 10 (rv_of outcome)
+
+let test_float_mem () =
+  let outcome =
+    run_insns
+      [ I.Fli (1, 1.5); I.Fsw (1, R.zero, 64); I.Flw (2, R.zero, 64);
+        I.Fli (3, 2.0); I.Falu (I.Fadd, 4, 2, 3); I.F2i (2, 4); I.Halt ]
+  in
+  Alcotest.(check int) "float memory" 3 (rv_of outcome)
+
+let test_branches () =
+  let taken =
+    run_items
+      [ P.Ins (I.Li (8, 5)); P.Ins (I.Bi (I.Gt, 8, 0, "yes"));
+        P.Ins (I.Li (2, 0)); P.Label "yes"; P.Ins (I.Li (2, 1));
+        P.Ins I.Halt ]
+  in
+  Alcotest.(check int) "taken branch skips" 1 (rv_of taken);
+  let fallthrough =
+    run_items
+      [ P.Ins (I.Li (8, -5)); P.Ins (I.Bi (I.Gt, 8, 0, "skip"));
+        P.Ins (I.Li (2, 42)); P.Label "skip"; P.Ins I.Halt ]
+  in
+  Alcotest.(check int) "fallthrough" 42 (rv_of fallthrough)
+
+let test_call_ret () =
+  let prog =
+    { P.procs =
+        [ { P.name = "main";
+            body =
+              [ P.Ins (I.Jal "double_it"); P.Ins I.Halt ] };
+          { P.name = "double_it";
+            body =
+              [ P.Ins (I.Li (8, 21)); P.Ins (I.Alu (I.Add, 2, 8, 8));
+                P.Ins (I.Jr R.ra) ] } ];
+      data = [];
+      entry = "main" }
+  in
+  let outcome = Vm.Exec.run ~mem_words:4096 (P.resolve prog) in
+  Alcotest.(check int) "call/return" 42 (rv_of outcome)
+
+let test_jump_table () =
+  let outcome =
+    run_items
+      [ P.Ins (I.Li (8, 1));
+        P.Ins (I.Jtab (8, [| "case0"; "case1" |]));
+        P.Label "case0"; P.Ins (I.Li (2, 111)); P.Ins I.Halt;
+        P.Label "case1"; P.Ins (I.Li (2, 222)); P.Ins I.Halt ]
+  in
+  Alcotest.(check int) "jtab selects" 222 (rv_of outcome)
+
+let test_trace_contents () =
+  let outcome =
+    run_items
+      [ P.Ins (I.Li (8, 9)); P.Ins (I.Sw (8, R.zero, 70));
+        P.Ins (I.Lw (9, R.zero, 70)); P.Ins (I.Bi (I.Eq, 9, 9, "over"));
+        P.Ins (I.Li (2, 0)); P.Label "over"; P.Ins I.Halt ]
+  in
+  let t = outcome.trace in
+  Alcotest.(check int) "trace length" 5 (Vm.Trace.length t);
+  Alcotest.(check int) "store addr" 70 (Vm.Trace.addr t 1);
+  Alcotest.(check int) "load addr" 70 (Vm.Trace.addr t 2);
+  Alcotest.(check bool) "branch taken" true (Vm.Trace.taken t 3);
+  Alcotest.(check int) "plain aux" (-1) (Vm.Trace.aux t 0);
+  (* pc 4 (the skipped li) must not appear in the trace *)
+  let pcs = List.init (Vm.Trace.length t) (Vm.Trace.pc t) in
+  Alcotest.(check (list int)) "trace pcs" [ 0; 1; 2; 3; 5 ] pcs
+
+let test_movn () =
+  check_rv "movn taken" 9
+    [ I.Li (2, 1); I.Li (8, 9); I.Li (9, 1); I.Movn (2, 8, 9); I.Halt ];
+  check_rv "movn not taken" 1
+    [ I.Li (2, 1); I.Li (8, 9); I.Li (9, 0); I.Movn (2, 8, 9); I.Halt ]
+
+let test_r0_immutable () =
+  check_rv "write to r0 discarded" 0
+    [ I.Li (0, 55); I.Alui (I.Add, 2, 0, 0); I.Halt ]
+
+let test_fault_div0 () =
+  match (run_insns [ I.Li (8, 1); I.Alui (I.Div, 2, 8, 0); I.Halt ]).status with
+  | Vm.Exec.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault"
+
+let test_fault_bad_address () =
+  match (run_insns [ I.Li (8, -1); I.Lw (2, 8, 0); I.Halt ]).status with
+  | Vm.Exec.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault"
+
+let test_fault_jtab_range () =
+  match
+    (run_items
+       [ P.Ins (I.Li (8, 5)); P.Ins (I.Jtab (8, [| "lbl" |]));
+         P.Label "lbl"; P.Ins I.Halt ])
+      .status
+  with
+  | Vm.Exec.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault"
+
+let test_out_of_fuel () =
+  let outcome =
+    run_items ~fuel:10 [ P.Label "spin"; P.Ins (I.J "spin") ]
+  in
+  (match outcome.status with
+  | Vm.Exec.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected out of fuel");
+  Alcotest.(check int) "fuel bounds steps" 10 outcome.steps
+
+let test_data_segment () =
+  let outcome =
+    run_insns
+      ~data:[ (32, [| P.Int_cell 5; P.Int_cell 6 |]) ]
+      [ I.Lw (8, R.zero, 32); I.Lw (9, R.zero, 33); I.Alu (I.Add, 2, 8, 9);
+        I.Halt ]
+  in
+  Alcotest.(check int) "initialized data" 11 (rv_of outcome)
+
+let test_float_data_segment () =
+  let outcome =
+    run_insns
+      ~data:[ (40, [| P.Float_cell 2.25 |]) ]
+      [ I.Flw (1, R.zero, 40); I.Fli (2, 4.0); I.Falu (I.Fmul, 3, 1, 2);
+        I.F2i (2, 3); I.Halt ]
+  in
+  Alcotest.(check int) "initialized float data" 9 (rv_of outcome)
+
+let test_determinism () =
+  let w = Workloads.Registry.find "eqntott" in
+  let flat = Workloads.Registry.compile w in
+  let o1 = Vm.Exec.run ~fuel:50_000 flat in
+  let o2 = Vm.Exec.run ~fuel:50_000 flat in
+  Alcotest.(check int) "same steps" o1.steps o2.steps;
+  let same = ref true in
+  for i = 0 to Vm.Trace.length o1.trace - 1 do
+    if
+      Vm.Trace.pc o1.trace i <> Vm.Trace.pc o2.trace i
+      || Vm.Trace.aux o1.trace i <> Vm.Trace.aux o2.trace i
+    then same := false
+  done;
+  Alcotest.(check bool) "identical traces" true !same
+
+let test_no_record () =
+  let outcome =
+    run_insns ~fuel:100
+      [ I.Li (2, 1); I.Halt ]
+  in
+  ignore outcome;
+  let w = Workloads.Registry.find "awk" in
+  let flat = Workloads.Registry.compile w in
+  let o = Vm.Exec.run ~fuel:10_000 ~record:false flat in
+  Alcotest.(check int) "no trace recorded" 0 (Vm.Trace.length o.trace)
+
+let suite =
+  [ Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "memory" `Quick test_memory;
+    Alcotest.test_case "floating point" `Quick test_float;
+    Alcotest.test_case "float memory" `Quick test_float_mem;
+    Alcotest.test_case "branches" `Quick test_branches;
+    Alcotest.test_case "call/return" `Quick test_call_ret;
+    Alcotest.test_case "jump table" `Quick test_jump_table;
+    Alcotest.test_case "trace contents" `Quick test_trace_contents;
+    Alcotest.test_case "movn" `Quick test_movn;
+    Alcotest.test_case "r0 immutable" `Quick test_r0_immutable;
+    Alcotest.test_case "fault: div by zero" `Quick test_fault_div0;
+    Alcotest.test_case "fault: bad address" `Quick test_fault_bad_address;
+    Alcotest.test_case "fault: jtab range" `Quick test_fault_jtab_range;
+    Alcotest.test_case "out of fuel" `Quick test_out_of_fuel;
+    Alcotest.test_case "data segment" `Quick test_data_segment;
+    Alcotest.test_case "float data segment" `Quick test_float_data_segment;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "record off" `Quick test_no_record ]

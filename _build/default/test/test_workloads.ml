@@ -1,0 +1,152 @@
+(* The benchmark suite itself: every workload compiles, runs to
+   completion deterministically, and produces paper-shaped statistics. *)
+
+let test_registry () =
+  Alcotest.(check int) "ten workloads" 10
+    (List.length Workloads.Registry.all);
+  Alcotest.(check int) "seven non-numeric" 7
+    (List.length Workloads.Registry.non_numeric);
+  Alcotest.(check int) "three numeric" 3
+    (List.length Workloads.Registry.numeric);
+  let names =
+    List.map (fun w -> w.Workloads.Registry.name) Workloads.Registry.all
+  in
+  Alcotest.(check (list string)) "paper order"
+    [ "awk"; "ccom"; "eqntott"; "espresso"; "gcc"; "irsim"; "latex";
+      "matrix300"; "spice2g6"; "tomcatv" ]
+    names;
+  (match Workloads.Registry.find "gcc" with
+  | w -> Alcotest.(check string) "find" "gcc" w.name);
+  Alcotest.check_raises "find unknown" Not_found (fun () ->
+      ignore (Workloads.Registry.find "nope"))
+
+let test_compiles w () =
+  let flat = Workloads.Registry.compile w in
+  Alcotest.(check bool) "has code" true (Array.length flat.code > 100);
+  (* Static analysis must succeed and find loops in every workload. *)
+  let cfg = Cfg.Analysis.analyze flat in
+  Alcotest.(check bool) "has loops" true (List.length cfg.loops.loops > 0);
+  let marked = Array.exists Fun.id cfg.loops.overhead in
+  Alcotest.(check bool) "has loop overhead" true marked
+
+let test_runs w () =
+  let _, outcome = Workloads.Registry.run w in
+  (match (outcome.status, w.Workloads.Registry.expected_result) with
+  | Vm.Exec.Halted v, Some expected ->
+    Alcotest.(check int) (w.name ^ " result") expected v
+  | Vm.Exec.Halted _, None -> ()
+  | Vm.Exec.Out_of_fuel, _ -> Alcotest.fail "out of fuel"
+  | Vm.Exec.Fault m, _ -> Alcotest.fail ("fault: " ^ m));
+  Alcotest.(check bool) "substantial trace" true (outcome.steps > 100_000)
+
+let test_branch_shape w () =
+  let p = Harness.prepare ~fuel:120_000 w in
+  let bs = Harness.branch_stats p in
+  Alcotest.(check bool) "prediction rate sane" true
+    (bs.rate >= 50. && bs.rate <= 100.);
+  Alcotest.(check bool) "branch density sane" true
+    (bs.instrs_between >= 2. && bs.instrs_between <= 100.);
+  (* Numeric codes predict better and branch less often than the
+     non-numeric midpoint, as in the paper's Table 2. *)
+  if w.Workloads.Registry.numeric then
+    Alcotest.(check bool) "numeric predicts well" true (bs.rate > 90.)
+
+let test_shape_claims () =
+  (* The paper's headline orderings on the full suite at reduced fuel:
+     SP roughly triples BASE; SP-CD beats SP; the numeric codes dwarf
+     the non-numeric ones on CD-MF. *)
+  let ps =
+    List.map (fun w -> (w, Harness.prepare ~fuel:150_000 w))
+      Workloads.Registry.all
+  in
+  let hmean machine filter =
+    Stdx.Stats.harmonic_mean
+      (List.filter_map
+         (fun (w, p) ->
+           if filter w then
+             Some (Harness.analyze p machine).Ilp.Analyze.parallelism
+           else None)
+         ps)
+  in
+  let non_numeric w = not w.Workloads.Registry.numeric in
+  let base = hmean Ilp.Machine.base non_numeric in
+  let cd = hmean Ilp.Machine.cd non_numeric in
+  let cd_mf = hmean Ilp.Machine.cd_mf non_numeric in
+  let sp = hmean Ilp.Machine.sp non_numeric in
+  let sp_cd = hmean Ilp.Machine.sp_cd non_numeric in
+  let sp_cd_mf = hmean Ilp.Machine.sp_cd_mf non_numeric in
+  Alcotest.(check bool) "BASE around 2" true (base > 1.3 && base < 4.);
+  Alcotest.(check bool) "CD slightly above BASE" true
+    (cd > base && cd < 2. *. base);
+  Alcotest.(check bool) "CD-MF well above CD" true (cd_mf > 2. *. cd);
+  Alcotest.(check bool) "SP well above BASE" true (sp > 2. *. base);
+  Alcotest.(check bool) "SP-CD above SP" true (sp_cd > 1.5 *. sp);
+  Alcotest.(check bool) "SP-CD-MF above SP-CD" true (sp_cd_mf > sp_cd);
+  let numeric_cdmf =
+    hmean Ilp.Machine.cd_mf (fun w -> w.Workloads.Registry.numeric)
+  in
+  Alcotest.(check bool) "numeric dwarfs non-numeric on CD-MF" true
+    (numeric_cdmf > 5. *. cd_mf)
+
+let test_mispredict_distances_short () =
+  (* Figure 6's claim: most mispredictions are close together. *)
+  let segs =
+    List.concat_map
+      (fun w ->
+        let p = Harness.prepare ~fuel:150_000 w in
+        Array.to_list
+          (Harness.analyze ~segments:true p Ilp.Machine.sp).segments)
+      Workloads.Registry.non_numeric
+  in
+  let total = List.length segs in
+  let close =
+    List.length
+      (List.filter (fun (s : Ilp.Analyze.segment) -> s.length <= 100) segs)
+  in
+  Alcotest.(check bool) "have segments" true (total > 100);
+  Alcotest.(check bool) ">80% within 100 instructions" true
+    (float_of_int close /. float_of_int total > 0.8)
+
+let test_segment_parallelism_grows () =
+  (* Figure 7's claim: short segments have less parallelism than long
+     ones (comparing the shortest and longest populated buckets). *)
+  let p = Harness.prepare ~fuel:200_000 (Workloads.Registry.find "gcc") in
+  let segments =
+    (Harness.analyze ~segments:true p Ilp.Machine.sp).segments
+  in
+  let buckets = Ilp.Stats.parallelism_by_distance segments in
+  let populated =
+    List.filter (fun (b : Ilp.Stats.bucket) -> b.count >= 10) buckets
+  in
+  match populated with
+  | first :: (_ :: _ as rest) ->
+    let last = List.nth rest (List.length rest - 1) in
+    Alcotest.(check bool) "longer segments more parallel" true
+      (last.mean_parallelism > first.mean_parallelism)
+  | _ -> Alcotest.fail "too few buckets"
+
+let suite =
+  [ Alcotest.test_case "registry" `Quick test_registry ]
+  @ List.map
+      (fun w ->
+        Alcotest.test_case
+          ("compiles: " ^ w.Workloads.Registry.name)
+          `Quick (test_compiles w))
+      Workloads.Registry.all
+  @ List.map
+      (fun w ->
+        Alcotest.test_case
+          ("runs: " ^ w.Workloads.Registry.name)
+          `Slow (test_runs w))
+      Workloads.Registry.all
+  @ List.map
+      (fun w ->
+        Alcotest.test_case
+          ("branch shape: " ^ w.Workloads.Registry.name)
+          `Quick (test_branch_shape w))
+      Workloads.Registry.all
+  @ [ Alcotest.test_case "paper shape claims" `Slow test_shape_claims;
+      Alcotest.test_case "misprediction distances" `Slow
+        test_mispredict_distances_short;
+      Alcotest.test_case "segment parallelism" `Quick
+        test_segment_parallelism_grows ]
