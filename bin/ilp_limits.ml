@@ -57,7 +57,7 @@ let cmd_list () =
        ~align:[ Left; Left; Left; Left ] rows);
   Ok ()
 
-let cmd_run names machine_names no_inline no_unroll fuel =
+let cmd_run names machine_names no_inline no_unroll fuel stream =
   let ( let* ) = Result.bind in
   let* ws = workloads_of_names names in
   let* machines =
@@ -80,10 +80,18 @@ let cmd_run names machine_names no_inline no_unroll fuel =
   let rows =
     List.map
       (fun w ->
-        let p = Harness.prepare ?fuel w in
+        let specs =
+          List.map
+            (fun m ->
+              Harness.spec ~inline:(not no_inline) ~unroll:(not no_unroll) m)
+            machines
+        in
+        (* Both paths fan every machine out over a single trace scan;
+           --stream additionally never materializes the trace, so the
+           budget can exceed memory. *)
         let results =
-          Harness.analyze_all ~inline:(not no_inline) ~unroll:(not no_unroll)
-            p machines
+          if stream then Harness.run_streaming ?fuel w specs
+          else Harness.analyze_specs (Harness.prepare ?fuel w) specs
         in
         w.Workloads.Registry.name
         :: List.map
@@ -98,13 +106,13 @@ let cmd_run names machine_names no_inline no_unroll fuel =
        rows);
   Ok ()
 
-let cmd_stats names =
+let cmd_stats names fuel =
   let ( let* ) = Result.bind in
   let* ws = workloads_of_names names in
   let rows =
     List.map
       (fun w ->
-        let p = Harness.prepare w in
+        let p = Harness.prepare ?fuel w in
         let bs = Harness.branch_stats p in
         let sp =
           Harness.analyze ~segments:true p Ilp.Machine.sp
@@ -223,17 +231,27 @@ let run_cmd =
     Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
            ~doc:"Cap the trace at N instructions.")
   in
+  let stream =
+    Arg.(value & flag & info [ "stream" ]
+           ~doc:"Stream the trace straight from the VM into the analyzer \
+                 (two executions, no materialized trace; memory stays \
+                 independent of $(b,--fuel)).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Measure parallelism limits (Table 3).")
     Term.(
-      const (fun ws ms ni nu f -> handle (cmd_run ws ms ni nu f))
-      $ workloads_arg $ machines $ no_inline $ no_unroll $ fuel)
+      const (fun ws ms ni nu f s -> handle (cmd_run ws ms ni nu f s))
+      $ workloads_arg $ machines $ no_inline $ no_unroll $ fuel $ stream)
 
 let stats_cmd =
+  let fuel =
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+           ~doc:"Cap the trace at N instructions.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Branch prediction statistics and misprediction distances.")
-    Term.(const (fun ws -> handle (cmd_stats ws)) $ workloads_arg)
+    Term.(const (fun ws f -> handle (cmd_stats ws f)) $ workloads_arg $ fuel)
 
 let name_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")

@@ -3,23 +3,59 @@
    flows of control.  This example sweeps the extension knobs on a real
    workload and shows how each idealization matters.
 
+   Every machine in every sweep is analyzed in ONE pass over the trace:
+   the sweep builds one spec list, and Harness.analyze_specs advances
+   all the analysis states together.
+
      dune exec examples/custom_machine.exe *)
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let rec drop n = function
+  | _ :: rest when n > 0 -> drop (n - 1) rest
+  | l -> l
 
 let () =
   let w = Workloads.Registry.find "espresso" in
   let p = Harness.prepare w in
-  let run m = (Harness.analyze p m).Ilp.Analyze.parallelism in
+
+  let windows = [ 16; 64; 256; 1024; 4096 ] in
+  let flows = [ 1; 2; 4; 8; 16 ] in
+  let lat_bases =
+    [ Ilp.Machine.base; Ilp.Machine.sp; Ilp.Machine.sp_cd_mf;
+      Ilp.Machine.oracle ]
+  in
+
+  (* One machine list covering all three sweeps. *)
+  let machines =
+    List.map (fun wsz -> Ilp.Machine.with_window wsz Ilp.Machine.sp) windows
+    @ [ Ilp.Machine.sp ]
+    @ List.map
+        (fun k -> Ilp.Machine.with_flows (Some k) Ilp.Machine.cd)
+        flows
+    @ [ Ilp.Machine.cd_mf ]
+    @ List.concat_map
+        (fun m ->
+          [ m; Ilp.Machine.with_latencies Ilp.Machine.realistic_latencies m ])
+        lat_bases
+  in
+  let pars =
+    List.map
+      (fun (r : Ilp.Analyze.result) -> r.parallelism)
+      (Harness.analyze_specs p (List.map Harness.spec machines))
+  in
 
   (* 1. Finite scheduling windows on the SP machine: how much of the
      "unlimited window" idealization does a real reorder buffer lose? *)
-  let windows = [ 16; 64; 256; 1024; 4096 ] in
+  let window_pars = take (List.length windows + 1) pars in
   let rows =
-    List.map
-      (fun wsz ->
-        let m = Ilp.Machine.with_window wsz Ilp.Machine.sp in
-        (Printf.sprintf "window %d" wsz, run m))
+    List.map2
+      (fun wsz par -> (Printf.sprintf "window %d" wsz, par))
       windows
-    @ [ ("unlimited", run Ilp.Machine.sp) ]
+      (take (List.length windows) window_pars)
+    @ [ ("unlimited", List.nth window_pars (List.length windows)) ]
   in
   print_string
     (Report.Chart.bars ~title:"SP parallelism vs scheduling window (espresso)"
@@ -30,14 +66,15 @@ let () =
      machine executing k serializing branches per cycle.  The paper's
      CD is k=1 and CD-MF is k=inf; small k answers its closing question
      about small-scale multiprocessors. *)
-  let flows = [ 1; 2; 4; 8; 16 ] in
+  let flow_pars =
+    take (List.length flows + 1) (drop (List.length windows + 1) pars)
+  in
   let rows =
-    List.map
-      (fun k ->
-        let m = Ilp.Machine.with_flows (Some k) Ilp.Machine.cd in
-        (Printf.sprintf "%2d flows" k, run m))
+    List.map2
+      (fun k par -> (Printf.sprintf "%2d flows" k, par))
       flows
-    @ [ ("unbounded", run Ilp.Machine.cd_mf) ]
+      (take (List.length flows) flow_pars)
+    @ [ ("unbounded", List.nth flow_pars (List.length flows)) ]
   in
   print_string
     (Report.Chart.bars
@@ -47,15 +84,14 @@ let () =
   (* 3. Non-unit latencies: the paper notes unit latency measures "all"
      the parallelism; realistic latencies consume some of it to fill
      pipeline bubbles. *)
+  let lat_pars =
+    drop (List.length windows + 1 + List.length flows + 1) pars
+  in
   let rows =
-    List.map
-      (fun (m : Ilp.Machine.t) ->
-        let lat = Ilp.Machine.with_latencies
-            Ilp.Machine.realistic_latencies m
-        in
-        (m.name, [ run m; run lat ]))
-      [ Ilp.Machine.base; Ilp.Machine.sp; Ilp.Machine.sp_cd_mf;
-        Ilp.Machine.oracle ]
+    List.mapi
+      (fun i (m : Ilp.Machine.t) ->
+        (m.name, [ List.nth lat_pars (2 * i); List.nth lat_pars ((2 * i) + 1) ]))
+      lat_bases
   in
   print_string
     (Report.Chart.grouped_bars

@@ -33,6 +33,7 @@ let () =
   | Some v -> Format.printf "program result: %d primes below 4000@." v
   | None -> Format.printf "program did not halt within its fuel budget@.");
   Format.printf "trace: %d dynamic instructions@.@." prepared.steps;
+  (* All seven machine models advance together over one trace pass. *)
   let results = Harness.analyze_all prepared Ilp.Machine.all_paper in
   let rows =
     List.map

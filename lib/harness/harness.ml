@@ -1,3 +1,28 @@
+module Counters = struct
+  let n_executions = ref 0
+  let n_passes = ref 0
+  let n_entries = ref 0
+  let n_state_entries = ref 0
+
+  let executions () = !n_executions
+  let passes () = !n_passes
+  let entries () = !n_entries
+  let state_entries () = !n_state_entries
+
+  let record_execution () = incr n_executions
+
+  let record_pass ~entries ~states =
+    incr n_passes;
+    n_entries := !n_entries + entries;
+    n_state_entries := !n_state_entries + (entries * states)
+
+  let reset () =
+    n_executions := 0;
+    n_passes := 0;
+    n_entries := 0;
+    n_state_entries := 0
+end
+
 type prepared = {
   workload : Workloads.Registry.t;
   flat : Asm.Program.flat;
@@ -5,19 +30,40 @@ type prepared = {
   trace : Vm.Trace.t;
   steps : int;
   halted : int option;
+  profile : Predict.Predictor.Profile.builder;
 }
 
+let profile_builder info =
+  Predict.Predictor.Profile.builder ~n_static:info.Ilp.Program_info.n
+    ~is_cond:(Ilp.Program_info.is_cond_branch info)
+
+let check_fault name (outcome : Vm.Exec.outcome) =
+  match outcome.status with
+  | Vm.Exec.Fault msg -> failwith (Printf.sprintf "%s: VM fault: %s" name msg)
+  | Halted _ | Out_of_fuel -> ()
+
 let prepare ?options ?fuel w =
-  let flat, outcome = Workloads.Registry.run ?options ?fuel w in
+  let fuel =
+    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
+  in
+  let flat = Workloads.Registry.compile ?options w in
   let info = Ilp.Program_info.analyze_flat flat in
+  let profile = profile_builder info in
+  (* The one VM execution: the branch profile accumulates through a sink
+     while the trace is recorded, so the profile predictor costs no
+     extra trace pass. *)
+  let outcome =
+    Vm.Exec.run ~fuel ~sink:(Predict.Predictor.Profile.sink profile) flat
+  in
+  Counters.record_execution ();
+  check_fault w.name outcome;
   let halted =
     match outcome.status with
     | Vm.Exec.Halted v -> Some v
-    | Out_of_fuel -> None
-    | Fault _ -> None
+    | Out_of_fuel | Fault _ -> None
   in
   { workload = w; flat; info; trace = outcome.trace;
-    steps = outcome.steps; halted }
+    steps = outcome.steps; halted; profile }
 
 let prepare_source ?(fuel = 10_000_000) ~name source =
   let w =
@@ -26,23 +72,114 @@ let prepare_source ?(fuel = 10_000_000) ~name source =
   in
   prepare w
 
-let profile_predictor p =
-  Predict.Predictor.profile ~n_static:p.info.n
-    ~is_cond:(Ilp.Program_info.is_cond_branch p.info)
-    p.trace
+let profile_predictor p = Predict.Predictor.Profile.predictor p.profile
+
+type predictor_kind =
+  [ `Profile | `Perfect | `Btfn | `Two_bit
+  | `Custom of Predict.Predictor.t ]
+
+type spec = {
+  s_machine : Ilp.Machine.t;
+  s_inline : bool;
+  s_unroll : bool;
+  s_segments : bool;
+  s_predictor : predictor_kind;
+}
+
+let spec ?(inline = true) ?(unroll = true) ?(segments = false)
+    ?(predictor = `Profile) machine =
+  { s_machine = machine; s_inline = inline; s_unroll = unroll;
+    s_segments = segments; s_predictor = predictor }
+
+let spec_key s =
+  let pred =
+    match s.s_predictor with
+    | `Profile -> "profile"
+    | `Perfect -> "perfect"
+    | `Btfn -> "btfn"
+    | `Two_bit -> "2bit"
+    | `Custom p -> "custom:" ^ p.Predict.Predictor.name
+  in
+  Printf.sprintf "%s|i%c|u%c|s%c|%s" s.s_machine.Ilp.Machine.name
+    (if s.s_inline then '1' else '0')
+    (if s.s_unroll then '1' else '0')
+    (if s.s_segments then '1' else '0')
+    pred
+
+let resolve_predictor ~flat ~info ~profile = function
+  | `Profile -> Predict.Predictor.Profile.predictor profile
+  | `Perfect -> Predict.Predictor.perfect
+  | `Btfn ->
+      Predict.Predictor.backward_taken
+        ~is_backward:(Ilp.Program_info.branch_backward flat)
+  | `Two_bit ->
+      (* stateful: a fresh counter table per spec, never shared *)
+      Predict.Predictor.two_bit ~n_static:info.Ilp.Program_info.n
+  | `Custom p -> p
+
+let config_of_spec ~flat ~info ~profile s =
+  let predictor = resolve_predictor ~flat ~info ~profile s.s_predictor in
+  Ilp.Analyze.config ~inline:s.s_inline ~unroll:s.s_unroll
+    ~collect_segments:s.s_segments ~mem_words:Vm.Exec.default_mem_words
+    s.s_machine predictor
+
+let analyze_specs p specs =
+  let configs =
+    List.map (config_of_spec ~flat:p.flat ~info:p.info ~profile:p.profile)
+      specs
+  in
+  Counters.record_pass ~entries:(Vm.Trace.length p.trace)
+    ~states:(List.length specs);
+  Ilp.Analyze.run_many configs p.info p.trace
 
 let analyze ?(inline = true) ?(unroll = true) ?(segments = false) ?predictor
     p machine =
   let predictor =
-    match predictor with Some pr -> pr | None -> profile_predictor p
+    match predictor with Some pr -> `Custom pr | None -> `Profile
   in
-  let cfg =
-    Ilp.Analyze.config ~inline ~unroll ~collect_segments:segments
-      ~mem_words:Vm.Exec.default_mem_words machine predictor
-  in
-  Ilp.Analyze.run cfg p.info p.trace
+  match
+    analyze_specs p
+      [ { s_machine = machine; s_inline = inline; s_unroll = unroll;
+          s_segments = segments; s_predictor = predictor } ]
+  with
+  | [ r ] -> r
+  | _ -> assert false
 
 let analyze_all ?inline ?unroll p machines =
-  List.map (analyze ?inline ?unroll p) machines
+  analyze_specs p (List.map (fun m -> spec ?inline ?unroll m) machines)
 
-let branch_stats p = Ilp.Stats.branch_stats p.info (profile_predictor p) p.trace
+let run_streaming ?options ?fuel w specs =
+  let fuel =
+    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
+  in
+  let flat = Workloads.Registry.compile ?options w in
+  let info = Ilp.Program_info.analyze_flat flat in
+  let profile = profile_builder info in
+  (* Execution 1 trains the profile predictor; execution 2 streams into
+     every analysis state.  Nothing is materialized in between. *)
+  let o1 =
+    Vm.Exec.run ~fuel ~record:false
+      ~sink:(Predict.Predictor.Profile.sink profile) flat
+  in
+  Counters.record_execution ();
+  check_fault w.name o1;
+  let configs = List.map (config_of_spec ~flat ~info ~profile) specs in
+  let sink, finish = Ilp.Analyze.sink_many configs info in
+  let o2 = Vm.Exec.run ~fuel ~record:false ~sink flat in
+  Counters.record_execution ();
+  check_fault w.name o2;
+  Counters.record_pass ~entries:o2.steps ~states:(List.length specs);
+  finish ()
+
+let branch_stats p =
+  let dyn = Predict.Predictor.Profile.dyn_branches p.profile in
+  let correct = Predict.Predictor.Profile.correct p.profile in
+  let len = p.steps in
+  { Ilp.Stats.dyn_branches = dyn;
+    trace_len = len;
+    rate =
+      (if dyn = 0 then 100.
+       else 100. *. float_of_int correct /. float_of_int dyn);
+    instrs_between =
+      (if dyn = 0 then float_of_int len
+       else float_of_int len /. float_of_int dyn) }

@@ -1,7 +1,41 @@
 (** Convenience layer tying the pipeline together: compile a workload,
-    trace it once, and analyze the trace under any machine model.  The
-    trace and static analysis are shared across machine models, as in
-    the paper's simulator. *)
+    execute it once, and analyze the trace under any set of machine
+    models in a single pass.
+
+    Two modes share all the analysis code:
+
+    - {!prepare} executes the workload once, materializing the trace
+      (and training the paper's profile predictor {e during} execution,
+      through a trace sink, so no extra trace scan is ever needed);
+      {!analyze_specs} then fans any number of machine/ablation
+      configurations out over one scan of that trace.
+    - {!run_streaming} never materializes the trace: one execution
+      trains the predictor, a second streams straight into the fan-out
+      analyzer.  Memory stays O(program), so instruction budgets can
+      grow to paper scale (100M+).
+
+    {!Counters} tracks VM executions and trace passes so callers (and
+    tests) can verify the one-execution/one-pass property. *)
+
+(** Global instrumentation: how much work the pipeline has done. *)
+module Counters : sig
+  val executions : unit -> int
+  (** VM executions since the last [reset]. *)
+
+  val passes : unit -> int
+  (** Trace consumptions by the analyzer (a [run_many] fan-out over N
+      machines counts once; a streaming analysis execution counts
+      once). *)
+
+  val entries : unit -> int
+  (** Trace entries scanned, summed over passes. *)
+
+  val state_entries : unit -> int
+  (** Trace entries multiplied by the number of machine states advanced
+      — the analyzer's total throughput denominator. *)
+
+  val reset : unit -> unit
+end
 
 type prepared = {
   workload : Workloads.Registry.t;
@@ -10,6 +44,8 @@ type prepared = {
   trace : Vm.Trace.t;
   steps : int;
   halted : int option;  (** the program's return value, when it halted *)
+  profile : Predict.Predictor.Profile.builder;
+  (** per-branch direction counts, accumulated during execution *)
 }
 
 val prepare :
@@ -18,13 +54,48 @@ val prepare :
   Workloads.Registry.t ->
   prepared
 (** Compile (optionally with if-conversion), statically analyze, and
-    execute one workload. *)
+    execute one workload, profiling its branches on the way. *)
 
 val prepare_source : ?fuel:int -> name:string -> string -> prepared
 (** Same for an arbitrary Mini-C source string. *)
 
 val profile_predictor : prepared -> Predict.Predictor.t
-(** The paper's predictor: profile statistics from this same trace. *)
+(** The paper's predictor: profile statistics from this same trace
+    (already gathered during execution; no trace scan). *)
+
+(** Which predictor a spec's analysis uses.  [`Profile] is the paper's
+    (shared across specs — it is stateless); [`Two_bit] gets a fresh
+    counter table per spec, as required for a stateful predictor. *)
+type predictor_kind =
+  [ `Profile | `Perfect | `Btfn | `Two_bit
+  | `Custom of Predict.Predictor.t ]
+
+(** One analysis request: a machine model plus the transformation and
+    measurement knobs. *)
+type spec = {
+  s_machine : Ilp.Machine.t;
+  s_inline : bool;
+  s_unroll : bool;
+  s_segments : bool;
+  s_predictor : predictor_kind;
+}
+
+val spec :
+  ?inline:bool ->
+  ?unroll:bool ->
+  ?segments:bool ->
+  ?predictor:predictor_kind ->
+  Ilp.Machine.t ->
+  spec
+(** Defaults follow the paper: inlining and unrolling on, no segment
+    collection, profile prediction. *)
+
+val spec_key : spec -> string
+(** A stable identifier for caching: machine name + knobs. *)
+
+val analyze_specs : prepared -> spec list -> Ilp.Analyze.result list
+(** Fan all specs out over a {e single} pass of the prepared trace;
+    results are in spec order. *)
 
 val analyze :
   ?inline:bool ->
@@ -43,6 +114,20 @@ val analyze_all :
   prepared ->
   Ilp.Machine.t list ->
   Ilp.Analyze.result list
+(** All machines in one trace pass (via {!analyze_specs}). *)
+
+val run_streaming :
+  ?options:Codegen.Compile.options ->
+  ?fuel:int ->
+  Workloads.Registry.t ->
+  spec list ->
+  Ilp.Analyze.result list
+(** Fully streaming pipeline: compile once, execute once to train the
+    profile predictor, execute again feeding every spec's analysis
+    state through a trace sink.  No trace is ever materialized, so
+    memory is independent of the instruction budget.  Numerically
+    identical to [prepare] + [analyze_specs]. *)
 
 val branch_stats : prepared -> Ilp.Stats.branch_stats
-(** Table 2 statistics for the prepared trace. *)
+(** Table 2 statistics, derived from the execution-time profile counts
+    (no trace scan). *)

@@ -27,28 +27,55 @@ type result = {
   segments : segment array;
 }
 
-(* Last-write table for memory, auto-growing so synthetic tests can use
-   tiny address spaces while VM traces use the full memory. *)
+(* Last-write table for memory.  Paged so the footprint is proportional
+   to the addresses actually touched: the VM's address space is 2M
+   words, but a workload touches only its data segment (low addresses)
+   and stack (top of memory).  A flat 16MB array per machine model made
+   the fan-out driver's N simultaneous states pathologically expensive
+   (large transient allocations against a large live heap); pages cost
+   O(touched) instead. *)
 module Mem_table = struct
-  type t = { mutable times : int array }
+  let page_bits = 12
+  let page_words = 1 lsl page_bits
+  let page_mask = page_words - 1
 
-  let create words = { times = Array.make (max words 16) 0 }
+  type t = { mutable pages : int array array }
 
-  let rec grow t addr =
-    let n = Array.length t.times in
-    if addr >= n then begin
-      let bigger = Array.make (2 * n) 0 in
-      Array.blit t.times 0 bigger 0 n;
-      t.times <- bigger;
-      grow t addr
+  let empty_page : int array = [||]
+
+  let create words =
+    let n_pages = max 1 ((max words 1 + page_words - 1) lsr page_bits) in
+    { pages = Array.make n_pages empty_page }
+
+  let rec grow t page =
+    let n = Array.length t.pages in
+    if page >= n then begin
+      let bigger = Array.make (2 * n) empty_page in
+      Array.blit t.pages 0 bigger 0 n;
+      t.pages <- bigger;
+      grow t page
     end
 
   let get t addr =
-    if addr >= Array.length t.times then 0 else t.times.(addr)
+    let page = addr lsr page_bits in
+    if page >= Array.length t.pages then 0
+    else
+      let p = t.pages.(page) in
+      if p == empty_page then 0 else p.(addr land page_mask)
 
   let set t addr time =
-    if addr >= Array.length t.times then grow t addr;
-    t.times.(addr) <- time
+    let page = addr lsr page_bits in
+    if page >= Array.length t.pages then grow t page;
+    let p = t.pages.(page) in
+    let p =
+      if p == empty_page then begin
+        let fresh = Array.make page_words 0 in
+        t.pages.(page) <- fresh;
+        fresh
+      end
+      else p
+    in
+    p.(addr land page_mask) <- time
 end
 
 (* One procedure activation of the interprocedural control-dependence
@@ -60,158 +87,214 @@ type frame = {
   f_ctx_mchain : int;
 }
 
-let run (cfg : config) (info : Program_info.t) trace =
-  let m = cfg.machine in
-  let n_trace = Vm.Trace.length trace in
-  let reg_time = Array.make Risc.Reg.n_unified 0 in
-  let mem = Mem_table.create cfg.mem_words in
-  (* Per static block: data of the most recently *executed* branch
-     instance terminating it.  [cand_seq] is that instance's block
-     sequence number; 0 = no instance yet. *)
-  let cand_seq = Array.make (max info.n_blocks 1) 0 in
-  let b_time = Array.make (max info.n_blocks 1) 0 in
-  let b_mchain = Array.make (max info.n_blocks 1) 0 in
-  let b_proc = Array.make (max info.n_blocks 1) 0 in
-  let seq_counter = ref 0 in
-  let cur_block_seq = ref 0 in
-  (* Current activation; saved frames below it. *)
-  let stack = ref [] in
-  let cur_entry = ref 1 in
-  let ctx_seq = ref 0 and ctx_time = ref 0 and ctx_mchain = ref 0 in
-  let last_branch_time = ref 0 in
-  let last_mispred_time = ref 0 in
-  let flow_time =
-    match m.flows with Some k -> Array.make (max k 1) 0 | None -> [||]
-  in
-  let window =
-    match m.window with Some w -> Array.make (max w 1) 0 | None -> [||]
-  in
-  let win_pos = ref 0 in
-  let counted = ref 0 and seq_cycles = ref 0 and max_time = ref 0 in
-  let dyn_branches = ref 0 and mispredicts = ref 0 in
-  let seg_len = ref 0 and seg_base = ref 0 and seg_max = ref 0 in
-  let segments = Stdx.Vec.create ~dummy:{ length = 0; cycles = 0 } () in
+(* Incremental per-machine analysis: all the state one machine model
+   needs to consume a trace one entry at a time.  [step] is the body of
+   what used to be the per-entry loop; a fan-out driver advances many
+   states over a single pass (or a single VM execution, via {!sink_many}). *)
+module State = struct
+  type t = {
+    cfg : config;
+    info : Program_info.t;
+    (* Per-config masks over the packed Program_info flags, so [step]
+       re-derives nothing per entry. *)
+    removed_mask : int;  (* any bit set => not in the timed trace *)
+    cjump_mask : int;  (* any bit set => treated as computed jump *)
+    reg_time : int array;
+    mem : Mem_table.t;
+    (* Per static block: data of the most recently *executed* branch
+       instance terminating it.  [cand_seq] is that instance's block
+       sequence number; 0 = no instance yet. *)
+    cand_seq : int array;
+    b_time : int array;
+    b_mchain : int array;
+    b_proc : int array;
+    mutable seq_counter : int;
+    mutable cur_block_seq : int;
+    (* Current activation; saved frames below it. *)
+    mutable stack : frame list;
+    mutable cur_entry : int;
+    mutable ctx_seq : int;
+    mutable ctx_time : int;
+    mutable ctx_mchain : int;
+    mutable last_branch_time : int;
+    mutable last_mispred_time : int;
+    flow_time : int array;
+    window : int array;
+    mutable win_pos : int;
+    mutable counted : int;
+    mutable seq_cycles : int;
+    mutable max_time : int;
+    mutable dyn_branches : int;
+    mutable mispredicts : int;
+    mutable seg_len : int;
+    mutable seg_base : int;
+    mutable seg_max : int;
+    segments : segment Stdx.Vec.t;
+    (* Control-dependence resolution results, kept as fields so the hot
+       path stays allocation-free. *)
+    mutable r_seq : int;
+    mutable r_time : int;
+    mutable r_mchain : int;
+  }
+
+  let create (cfg : config) (info : Program_info.t) =
+    let m = cfg.machine in
+    { cfg;
+      info;
+      removed_mask =
+        (Program_info.f_stop
+        lor (if cfg.inline then
+               Program_info.f_call lor Program_info.f_ret
+               lor Program_info.f_sp_adjust
+             else 0)
+        lor if cfg.unroll then Program_info.f_loop_overhead else 0);
+      cjump_mask =
+        (Program_info.f_computed_jump
+        lor if cfg.inline then 0 else Program_info.f_ret);
+      reg_time = Array.make Risc.Reg.n_unified 0;
+      mem = Mem_table.create cfg.mem_words;
+      cand_seq = Array.make (max info.n_blocks 1) 0;
+      b_time = Array.make (max info.n_blocks 1) 0;
+      b_mchain = Array.make (max info.n_blocks 1) 0;
+      b_proc = Array.make (max info.n_blocks 1) 0;
+      seq_counter = 0;
+      cur_block_seq = 0;
+      stack = [];
+      cur_entry = 1;
+      ctx_seq = 0;
+      ctx_time = 0;
+      ctx_mchain = 0;
+      last_branch_time = 0;
+      last_mispred_time = 0;
+      flow_time =
+        (match m.flows with Some k -> Array.make (max k 1) 0 | None -> [||]);
+      window =
+        (match m.window with Some w -> Array.make (max w 1) 0 | None -> [||]);
+      win_pos = 0;
+      counted = 0;
+      seq_cycles = 0;
+      max_time = 0;
+      dyn_branches = 0;
+      mispredicts = 0;
+      seg_len = 0;
+      seg_base = 0;
+      seg_max = 0;
+      segments = Stdx.Vec.create ~dummy:{ length = 0; cycles = 0 } ();
+      r_seq = 0;
+      r_time = 0;
+      r_mchain = 0 }
+
   (* Control-dependence resolution: the call-site context or the most
      recent valid RDF branch instance, whichever is newer; dropped
      entirely when an instance from a newer activation (recursion) is
-     seen.  Results through refs to keep the hot loop allocation-free. *)
-  let r_seq = ref 0 and r_time = ref 0 and r_mchain = ref 0 in
-  let resolve blk =
-    r_seq := !ctx_seq;
-    r_time := !ctx_time;
-    r_mchain := !ctx_mchain;
+     seen. *)
+  let resolve st blk =
+    st.r_seq <- st.ctx_seq;
+    st.r_time <- st.ctx_time;
+    st.r_mchain <- st.ctx_mchain;
     let recursion = ref false in
-    let rdf = info.rdf.(blk) in
+    let rdf = st.info.rdf.(blk) in
     for k = 0 to Array.length rdf - 1 do
       let c = rdf.(k) in
-      if cand_seq.(c) > 0 then begin
-        if b_proc.(c) > !cur_entry then recursion := true
-        else if b_proc.(c) = !cur_entry && cand_seq.(c) > !r_seq then begin
-          r_seq := cand_seq.(c);
-          r_time := b_time.(c);
-          r_mchain := b_mchain.(c)
+      if st.cand_seq.(c) > 0 then begin
+        if st.b_proc.(c) > st.cur_entry then recursion := true
+        else if st.b_proc.(c) = st.cur_entry && st.cand_seq.(c) > st.r_seq
+        then begin
+          st.r_seq <- st.cand_seq.(c);
+          st.r_time <- st.b_time.(c);
+          st.r_mchain <- st.b_mchain.(c)
         end
       end
     done;
     if !recursion then begin
-      r_seq := 0;
-      r_time := 0;
-      r_mchain := 0
+      st.r_seq <- 0;
+      st.r_time <- 0;
+      st.r_mchain <- 0
     end
-  in
-  for i = 0 to n_trace - 1 do
-    let pc = Vm.Trace.pc trace i in
+
+  let step st ~pc ~aux =
+    let info = st.info in
+    let m = st.cfg.machine in
+    let flags = info.flags.(pc) in
     let blk = info.block_of.(pc) in
-    if pc = info.block_start.(blk) then begin
-      incr seq_counter;
-      cur_block_seq := !seq_counter
+    if flags land Program_info.f_block_start <> 0 then begin
+      st.seq_counter <- st.seq_counter + 1;
+      st.cur_block_seq <- st.seq_counter
     end;
-    let kind = info.kind.(pc) in
     (* Interprocedural stack maintenance happens whether or not the call
        and return instructions themselves are timed. *)
-    (match kind with
-    | Call ->
-      if m.control_dep then resolve blk
+    if flags land Program_info.f_call <> 0 then begin
+      if m.control_dep then resolve st blk
       else begin
-        r_seq := 0;
-        r_time := 0;
-        r_mchain := 0
+        st.r_seq <- 0;
+        st.r_time <- 0;
+        st.r_mchain <- 0
       end;
-      stack :=
-        { f_entry = !cur_entry; f_ctx_seq = !ctx_seq;
-          f_ctx_time = !ctx_time; f_ctx_mchain = !ctx_mchain }
-        :: !stack;
-      cur_entry := !seq_counter + 1;
-      ctx_seq := !r_seq;
-      ctx_time := !r_time;
-      ctx_mchain := !r_mchain
-    | Ret -> (
-      match !stack with
+      st.stack <-
+        { f_entry = st.cur_entry; f_ctx_seq = st.ctx_seq;
+          f_ctx_time = st.ctx_time; f_ctx_mchain = st.ctx_mchain }
+        :: st.stack;
+      st.cur_entry <- st.seq_counter + 1;
+      st.ctx_seq <- st.r_seq;
+      st.ctx_time <- st.r_time;
+      st.ctx_mchain <- st.r_mchain
+    end
+    else if flags land Program_info.f_ret <> 0 then
+      match st.stack with
       | f :: rest ->
-        stack := rest;
-        cur_entry := f.f_entry;
-        ctx_seq := f.f_ctx_seq;
-        ctx_time := f.f_ctx_time;
-        ctx_mchain := f.f_ctx_mchain
+        st.stack <- rest;
+        st.cur_entry <- f.f_entry;
+        st.ctx_seq <- f.f_ctx_seq;
+        st.ctx_time <- f.f_ctx_time;
+        st.ctx_mchain <- f.f_ctx_mchain
       | [] ->
-        cur_entry := 1;
-        ctx_seq := 0;
-        ctx_time := 0;
-        ctx_mchain := 0)
-    | Plain | Cond_branch | Jump | Computed_jump | Stop -> ());
-    let removed =
-      (match kind with
-      | Stop -> true
-      | Call | Ret -> cfg.inline
-      | Plain | Cond_branch | Jump | Computed_jump -> false)
-      || (cfg.inline && info.sp_adjust.(pc))
-      || (cfg.unroll && info.loop_overhead.(pc))
-    in
-    if removed then begin
+        st.cur_entry <- 1;
+        st.ctx_seq <- 0;
+        st.ctx_time <- 0;
+        st.ctx_mchain <- 0
+    else ();
+    if flags land st.removed_mask <> 0 then begin
       (* A removed loop branch passes its own control dependence through
          to its dependents (unrolling an inner loop leaves its body
          dependent on the enclosing branch). *)
-      if kind = Risc.Insn.Cond_branch && m.control_dep then begin
-        resolve blk;
-        cand_seq.(blk) <- !cur_block_seq;
-        b_proc.(blk) <- !cur_entry;
-        b_time.(blk) <- !r_time;
-        b_mchain.(blk) <- !r_mchain
+      if flags land Program_info.f_cond_branch <> 0 && m.control_dep
+      then begin
+        resolve st blk;
+        st.cand_seq.(blk) <- st.cur_block_seq;
+        st.b_proc.(blk) <- st.cur_entry;
+        st.b_time.(blk) <- st.r_time;
+        st.b_mchain.(blk) <- st.r_mchain
       end
     end
     else begin
-      let is_cbr = kind = Risc.Insn.Cond_branch in
-      let is_cjump =
-        kind = Risc.Insn.Computed_jump
-        || ((not cfg.inline) && kind = Risc.Insn.Ret)
-      in
-      if m.control_dep then resolve blk;
+      let is_cbr = flags land Program_info.f_cond_branch <> 0 in
+      let is_cjump = flags land st.cjump_mask <> 0 in
+      if m.control_dep then resolve st blk;
       let ctrl =
         if m.oracle then 0
-        else if m.speculate && m.control_dep then !r_mchain
-        else if m.speculate then !last_mispred_time
-        else if m.control_dep then !r_time
-        else !last_branch_time
+        else if m.speculate && m.control_dep then st.r_mchain
+        else if m.speculate then st.last_mispred_time
+        else if m.control_dep then st.r_time
+        else st.last_branch_time
       in
       (* True data dependences. *)
       let data = ref 0 in
       let uses = info.uses.(pc) in
       for k = 0 to Array.length uses - 1 do
-        let time = reg_time.(uses.(k)) in
+        let time = st.reg_time.(uses.(k)) in
         if time > !data then data := time
       done;
-      (match info.mem.(pc) with
-      | Mem_load ->
-        let time = Mem_table.get mem (Vm.Trace.addr trace i) in
+      if flags land Program_info.f_mem_load <> 0 then begin
+        let time = Mem_table.get st.mem aux in
         if time > !data then data := time
-      | No_mem | Mem_store -> ());
+      end;
       let t = ref (1 + max ctrl !data) in
       (* Branch prediction. *)
       let mispred = ref false in
       if is_cbr then begin
-        incr dyn_branches;
-        let taken = Vm.Trace.taken trace i in
-        let predicted = cfg.predictor.predict ~pc ~taken in
+        st.dyn_branches <- st.dyn_branches + 1;
+        let taken = aux = 1 in
+        let predicted = st.cfg.predictor.predict ~pc ~taken in
         mispred := predicted <> taken
       end
       else if is_cjump then mispred := true;
@@ -223,7 +306,8 @@ let run (cfg : config) (info : Program_info.t) trace =
         && ((not m.speculate) || !mispred)
       in
       let flow_idx = ref (-1) in
-      if serializing && Array.length flow_time > 0 then begin
+      if serializing && Array.length st.flow_time > 0 then begin
+        let flow_time = st.flow_time in
         let best = ref 0 in
         for k = 1 to Array.length flow_time - 1 do
           if flow_time.(k) < flow_time.(!best) then best := k
@@ -233,10 +317,10 @@ let run (cfg : config) (info : Program_info.t) trace =
       end;
       (* Finite scheduling window: an instruction cannot issue before
          the one [w] earlier has issued. *)
-      if Array.length window > 0 then begin
-        if window.(!win_pos) > !t then t := window.(!win_pos);
-        window.(!win_pos) <- !t;
-        win_pos := (!win_pos + 1) mod Array.length window
+      if Array.length st.window > 0 then begin
+        if st.window.(st.win_pos) > !t then t := st.window.(st.win_pos);
+        st.window.(st.win_pos) <- !t;
+        st.win_pos <- (st.win_pos + 1) mod Array.length st.window
       end;
       let lat =
         match m.latencies with None -> 1 | Some f -> f info.lat.(pc)
@@ -245,53 +329,84 @@ let run (cfg : config) (info : Program_info.t) trace =
       (* Record results. *)
       let defs = info.defs.(pc) in
       for k = 0 to Array.length defs - 1 do
-        reg_time.(defs.(k)) <- completion
+        st.reg_time.(defs.(k)) <- completion
       done;
-      (match info.mem.(pc) with
-      | Mem_store -> Mem_table.set mem (Vm.Trace.addr trace i) completion
-      | No_mem | Mem_load -> ());
-      incr counted;
-      seq_cycles := !seq_cycles + lat;
-      if completion > !max_time then max_time := completion;
-      if cfg.collect_segments then begin
-        incr seg_len;
-        if completion > !seg_max then seg_max := completion
+      if flags land Program_info.f_mem_store <> 0 then
+        Mem_table.set st.mem aux completion;
+      st.counted <- st.counted + 1;
+      st.seq_cycles <- st.seq_cycles + lat;
+      if completion > st.max_time then st.max_time <- completion;
+      if st.cfg.collect_segments then begin
+        st.seg_len <- st.seg_len + 1;
+        if completion > st.seg_max then st.seg_max <- completion
       end;
       if is_cbr || is_cjump then begin
-        cand_seq.(blk) <- !cur_block_seq;
-        b_proc.(blk) <- !cur_entry;
-        b_time.(blk) <- completion;
-        b_mchain.(blk) <- (if !mispred then completion else !r_mchain);
-        last_branch_time := completion;
+        st.cand_seq.(blk) <- st.cur_block_seq;
+        st.b_proc.(blk) <- st.cur_entry;
+        st.b_time.(blk) <- completion;
+        st.b_mchain.(blk) <-
+          (if !mispred then completion else st.r_mchain);
+        st.last_branch_time <- completion;
         if serializing && !flow_idx >= 0 then
-          flow_time.(!flow_idx) <- completion;
+          st.flow_time.(!flow_idx) <- completion;
         if !mispred then begin
-          incr mispredicts;
-          last_mispred_time := completion;
-          if cfg.collect_segments then begin
-            Stdx.Vec.push segments
-              { length = !seg_len;
-                cycles = max 1 (!seg_max - !seg_base) };
-            seg_len := 0;
-            seg_base := completion;
-            seg_max := completion
+          st.mispredicts <- st.mispredicts + 1;
+          st.last_mispred_time <- completion;
+          if st.cfg.collect_segments then begin
+            Stdx.Vec.push st.segments
+              { length = st.seg_len;
+                cycles = max 1 (st.seg_max - st.seg_base) };
+            st.seg_len <- 0;
+            st.seg_base <- completion;
+            st.seg_max <- completion
           end
         end
       end
     end
-  done;
-  if cfg.collect_segments && !seg_len > 0 then
-    Stdx.Vec.push segments
-      { length = !seg_len; cycles = max 1 (!seg_max - !seg_base) };
-  let parallelism =
-    if !max_time = 0 then 1.
-    else float_of_int !seq_cycles /. float_of_int !max_time
+
+  let finish st =
+    if st.cfg.collect_segments && st.seg_len > 0 then begin
+      Stdx.Vec.push st.segments
+        { length = st.seg_len; cycles = max 1 (st.seg_max - st.seg_base) };
+      st.seg_len <- 0
+    end;
+    let parallelism =
+      if st.max_time = 0 then 1.
+      else float_of_int st.seq_cycles /. float_of_int st.max_time
+    in
+    { machine = st.cfg.machine.name;
+      counted = st.counted;
+      seq_cycles = st.seq_cycles;
+      cycles = st.max_time;
+      parallelism;
+      dyn_branches = st.dyn_branches;
+      mispredicts = st.mispredicts;
+      segments = Stdx.Vec.to_array st.segments }
+end
+
+let sink_states (states : State.t array) =
+  match states with
+  | [| st |] ->
+    Vm.Trace.sink (fun ~pc ~aux -> State.step st ~pc ~aux)
+  | _ ->
+    Vm.Trace.sink (fun ~pc ~aux ->
+        for i = 0 to Array.length states - 1 do
+          State.step states.(i) ~pc ~aux
+        done)
+
+let sink_many configs info =
+  let states =
+    Array.of_list (List.map (fun c -> State.create c info) configs)
   in
-  { machine = m.name;
-    counted = !counted;
-    seq_cycles = !seq_cycles;
-    cycles = !max_time;
-    parallelism;
-    dyn_branches = !dyn_branches;
-    mispredicts = !mispredicts;
-    segments = Stdx.Vec.to_array segments }
+  ( sink_states states,
+    fun () -> List.map State.finish (Array.to_list states) )
+
+let run_many configs info trace =
+  let sink, finish = sink_many configs info in
+  Vm.Trace.feed trace sink;
+  finish ()
+
+let run (cfg : config) (info : Program_info.t) trace =
+  match run_many [ cfg ] info trace with
+  | [ r ] -> r
+  | _ -> assert false

@@ -29,7 +29,12 @@
 
     Parallelism is (sequential cycles) / (parallel cycles); with unit
     latencies the sequential cycles equal the number of counted
-    instructions, exactly as in the paper. *)
+    instructions, exactly as in the paper.
+
+    The analysis is incremental: a {!State.t} consumes one trace entry
+    at a time, so any number of machine models advance together over a
+    single trace pass ({!run_many}) or directly over a live VM
+    execution ({!sink_many}) without the trace ever being materialized. *)
 
 type config = {
   machine : Machine.t;
@@ -38,7 +43,7 @@ type config = {
   predictor : Predict.Predictor.t;
   collect_segments : bool;
   (** record inter-misprediction segments (Figures 6 and 7) *)
-  mem_words : int;  (** initial size of the memory last-write table *)
+  mem_words : int;  (** sizing hint for the memory last-write table *)
 }
 
 val config :
@@ -71,4 +76,33 @@ type result = {
   segments : segment array;  (** empty unless [collect_segments] *)
 }
 
+(** Incremental per-machine analysis state.  Stateful predictors (e.g.
+    the 2-bit counter) must not be shared between simultaneously
+    advancing states: give each config its own instance. *)
+module State : sig
+  type t
+
+  val create : config -> Program_info.t -> t
+
+  val step : t -> pc:int -> aux:int -> unit
+  (** Consume one trace entry.  Entries must arrive in trace order. *)
+
+  val finish : t -> result
+  (** Close the analysis (flushing a trailing inter-misprediction
+      segment) and report.  Call once, after the last [step]. *)
+end
+
 val run : config -> Program_info.t -> Vm.Trace.t -> result
+
+val run_many : config list -> Program_info.t -> Vm.Trace.t -> result list
+(** Advance one state per config over a {e single} pass of the trace;
+    results are in config order.  Numerically identical to mapping
+    {!run} over the configs, but reads the trace once. *)
+
+val sink_many :
+  config list -> Program_info.t -> Vm.Trace.sink * (unit -> result list)
+(** [sink_many configs info] is [(sink, finish)]: feed trace entries to
+    [sink] (e.g. pass it to [Vm.Exec.run ~sink]) and call [finish]
+    afterwards.  This is {!run_many} without a materialized trace:
+    memory stays O(program + touched addresses + scheduling window)
+    regardless of trace length. *)

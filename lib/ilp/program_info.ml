@@ -9,6 +9,17 @@ type lat_class =
 
 type mem_kind = No_mem | Mem_load | Mem_store
 
+let f_cond_branch = 1
+let f_computed_jump = 2
+let f_call = 4
+let f_ret = 8
+let f_stop = 16
+let f_block_start = 32
+let f_sp_adjust = 64
+let f_loop_overhead = 128
+let f_mem_load = 256
+let f_mem_store = 512
+
 type t = {
   n : int;
   kind : Risc.Insn.kind array;
@@ -22,7 +33,49 @@ type t = {
   block_start : int array;
   n_blocks : int;
   rdf : int array array;
+  flags : int array;
 }
+
+let pack_flags ~kind ~mem ~sp_adjust ~loop_overhead ~block_of ~block_start =
+  Array.init (Array.length kind) (fun pc ->
+      let k =
+        match kind.(pc) with
+        | Risc.Insn.Cond_branch -> f_cond_branch
+        | Computed_jump -> f_computed_jump
+        | Call -> f_call
+        | Ret -> f_ret
+        | Stop -> f_stop
+        | Plain | Jump -> 0
+      in
+      let m =
+        match mem.(pc) with
+        | No_mem -> 0
+        | Mem_load -> f_mem_load
+        | Mem_store -> f_mem_store
+      in
+      k lor m
+      lor (if pc = block_start.(block_of.(pc)) then f_block_start else 0)
+      lor (if sp_adjust.(pc) then f_sp_adjust else 0)
+      lor if loop_overhead.(pc) then f_loop_overhead else 0)
+
+let make ~kind ~uses ~defs ~mem ~sp_adjust ~loop_overhead ~lat ~block_of
+    ~block_start ~n_blocks ~rdf =
+  let n = Array.length kind in
+  let check name a =
+    if Array.length a <> n then
+      invalid_arg (Printf.sprintf "Program_info.make: |%s| <> |kind|" name)
+  in
+  check "uses" uses;
+  check "defs" defs;
+  check "mem" mem;
+  check "sp_adjust" sp_adjust;
+  check "loop_overhead" loop_overhead;
+  check "lat" lat;
+  check "block_of" block_of;
+  { n; kind; uses; defs; mem; sp_adjust; loop_overhead; lat; block_of;
+    block_start; n_blocks; rdf;
+    flags =
+      pack_flags ~kind ~mem ~sp_adjust ~loop_overhead ~block_of ~block_start }
 
 let lat_class_of (insn : int Risc.Insn.t) =
   match insn with
@@ -39,27 +92,25 @@ let lat_class_of (insn : int Risc.Insn.t) =
     Lat_int
 
 let of_flat (flat : Asm.Program.flat) (cfg : Cfg.Analysis.t) =
-  let n = Array.length flat.code in
   let g = cfg.graph in
   let n_blocks = Array.length g.blocks in
-  { n;
-    kind = Array.map Risc.Insn.kind flat.code;
-    uses = Array.map (fun i -> Array.of_list (Risc.Insn.uses i)) flat.code;
-    defs = Array.map (fun i -> Array.of_list (Risc.Insn.defs i)) flat.code;
-    mem =
-      Array.map
-        (fun i ->
-          if Risc.Insn.is_load i then Mem_load
-          else if Risc.Insn.is_store i then Mem_store
-          else No_mem)
-        flat.code;
-    sp_adjust = Array.map Risc.Insn.writes_sp flat.code;
-    loop_overhead = cfg.loops.overhead;
-    lat = Array.map lat_class_of flat.code;
-    block_of = g.block_of;
-    block_start = Array.map (fun b -> b.Cfg.Graph.start) g.blocks;
-    n_blocks;
-    rdf = cfg.rdf }
+  make
+    ~kind:(Array.map Risc.Insn.kind flat.code)
+    ~uses:(Array.map (fun i -> Array.of_list (Risc.Insn.uses i)) flat.code)
+    ~defs:(Array.map (fun i -> Array.of_list (Risc.Insn.defs i)) flat.code)
+    ~mem:
+      (Array.map
+         (fun i ->
+           if Risc.Insn.is_load i then Mem_load
+           else if Risc.Insn.is_store i then Mem_store
+           else No_mem)
+         flat.code)
+    ~sp_adjust:(Array.map Risc.Insn.writes_sp flat.code)
+    ~loop_overhead:cfg.loops.overhead
+    ~lat:(Array.map lat_class_of flat.code)
+    ~block_of:g.block_of
+    ~block_start:(Array.map (fun b -> b.Cfg.Graph.start) g.blocks)
+    ~n_blocks ~rdf:cfg.rdf
 
 let analyze_flat flat = of_flat flat (Cfg.Analysis.analyze flat)
 

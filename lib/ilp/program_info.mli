@@ -1,8 +1,11 @@
 (** Static program information consumed by the limit analyzer.
 
-    This is deliberately a plain record of arrays so that unit tests can
-    construct small synthetic programs directly; [of_flat] derives it
-    from a resolved program and its CFG analysis. *)
+    Built once per program by {!make} (or {!of_flat}); every per-pc fact
+    the analyzer's inner loop needs — instruction kind, block boundary,
+    inline/unroll removal eligibility, memory behaviour — is packed into
+    a single [flags] word per instruction so that a streaming pass over
+    the trace re-derives nothing.  Unit tests construct small synthetic
+    programs through {!make} directly. *)
 
 (** Latency class, used only by the non-unit-latency ablation. *)
 type lat_class =
@@ -16,7 +19,25 @@ type lat_class =
 
 type mem_kind = No_mem | Mem_load | Mem_store
 
-type t = {
+(** Bits of the packed per-pc [flags] word. *)
+val f_cond_branch : int
+val f_computed_jump : int
+val f_call : int
+val f_ret : int
+val f_stop : int
+val f_block_start : int
+(** first instruction of its basic block *)
+
+val f_sp_adjust : int
+(** writes the stack pointer: removed by inlining *)
+
+val f_loop_overhead : int
+(** loop overhead: removed by unrolling *)
+
+val f_mem_load : int
+val f_mem_store : int
+
+type t = private {
   n : int;  (** number of static instructions *)
   kind : Risc.Insn.kind array;
   uses : int array array;  (** unified register ids read *)
@@ -33,7 +54,27 @@ type t = {
   rdf : int array array;
   (** per block: blocks whose terminating branches it is immediately
       control dependent on *)
+  flags : int array;
+  (** packed per-pc static facts; an OR of the [f_*] bits above,
+      derived once from the fields before it *)
 }
+
+val make :
+  kind:Risc.Insn.kind array ->
+  uses:int array array ->
+  defs:int array array ->
+  mem:mem_kind array ->
+  sp_adjust:bool array ->
+  loop_overhead:bool array ->
+  lat:lat_class array ->
+  block_of:int array ->
+  block_start:int array ->
+  n_blocks:int ->
+  rdf:int array array ->
+  t
+(** Assemble a program description and compute the packed [flags]
+    side-table.  All arrays indexed by pc must have the length of
+    [kind]. *)
 
 val of_flat : Asm.Program.flat -> Cfg.Analysis.t -> t
 

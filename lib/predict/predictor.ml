@@ -11,21 +11,59 @@ let always_taken =
 let backward_taken ~is_backward =
   { name = "btfn"; predict = (fun ~pc ~taken:_ -> is_backward pc) }
 
-let profile ~n_static ~is_cond trace =
-  let taken_count = Array.make n_static 0 in
-  let total_count = Array.make n_static 0 in
-  let entry ~pc ~aux =
-    if is_cond pc then begin
-      total_count.(pc) <- total_count.(pc) + 1;
-      if aux = 1 then taken_count.(pc) <- taken_count.(pc) + 1
+(* Streaming profile accumulation: per-static-branch direction counts,
+   fed one trace entry at a time (e.g. straight from the VM through a
+   trace sink), finalized into the paper's majority predictor.  Because
+   the predictor is trained and measured on the same trace, its
+   accuracy is also available in closed form from the counts alone. *)
+module Profile = struct
+  type builder = {
+    taken_count : int array;
+    total_count : int array;
+    is_cond : int -> bool;
+  }
+
+  let builder ~n_static ~is_cond =
+    { taken_count = Array.make n_static 0;
+      total_count = Array.make n_static 0;
+      is_cond }
+
+  let feed b ~pc ~aux =
+    if b.is_cond pc then begin
+      b.total_count.(pc) <- b.total_count.(pc) + 1;
+      if aux = 1 then b.taken_count.(pc) <- b.taken_count.(pc) + 1
     end
-  in
-  Vm.Trace.iter entry trace;
-  let predicted_taken =
-    Array.init n_static (fun pc -> 2 * taken_count.(pc) > total_count.(pc))
-  in
-  { name = "profile";
-    predict = (fun ~pc ~taken:_ -> predicted_taken.(pc)) }
+
+  let sink b = Vm.Trace.sink (feed b)
+
+  let predictor b =
+    let predicted_taken =
+      Array.init (Array.length b.total_count) (fun pc ->
+          2 * b.taken_count.(pc) > b.total_count.(pc))
+    in
+    { name = "profile";
+      predict = (fun ~pc ~taken:_ -> predicted_taken.(pc)) }
+
+  let dyn_branches b = Array.fold_left ( + ) 0 b.total_count
+
+  (* The majority predictor measured on its own profiling trace gets
+     every instance of the majority direction right: per branch,
+     max(taken, total - taken), with the not-taken tie-break matching
+     [predictor]. *)
+  let correct b =
+    let acc = ref 0 in
+    Array.iteri
+      (fun pc total ->
+        let taken = b.taken_count.(pc) in
+        acc := !acc + max taken (total - taken))
+      b.total_count;
+    !acc
+end
+
+let profile ~n_static ~is_cond trace =
+  let b = Profile.builder ~n_static ~is_cond in
+  Vm.Trace.iter (Profile.feed b) trace;
+  Profile.predictor b
 
 let two_bit ~n_static =
   (* 0,1 predict not taken; 2,3 predict taken.  Initialized to 1. *)

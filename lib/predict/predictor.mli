@@ -31,6 +31,32 @@ val profile : n_static:int -> is_cond:(int -> bool) -> Vm.Trace.t -> t
     the paper's predictor.  Branches never seen in the profiling trace
     are predicted not taken. *)
 
+(** Streaming construction of the profile predictor: feed trace entries
+    as the VM retires them (no materialized trace needed), then
+    finalize.  Since the paper trains and evaluates the predictor on
+    the same input, the prediction-accuracy statistics of Table 2 are
+    available from the accumulated counts without another trace pass. *)
+module Profile : sig
+  type builder
+
+  val builder : n_static:int -> is_cond:(int -> bool) -> builder
+
+  val feed : builder -> pc:int -> aux:int -> unit
+
+  val sink : builder -> Vm.Trace.sink
+  (** [feed] as a trace sink. *)
+
+  val predictor : builder -> t
+  (** The majority predictor for the counts accumulated so far. *)
+
+  val dyn_branches : builder -> int
+  (** Dynamic conditional branches fed so far. *)
+
+  val correct : builder -> int
+  (** Correct predictions the finalized predictor would score on the
+      profiling trace itself. *)
+end
+
 val two_bit : n_static:int -> t
 (** Classic saturating 2-bit counter per static branch, initialized to
     weakly not-taken.  Stateful: create a fresh one per simulation. *)

@@ -26,6 +26,8 @@ let get v i =
   check v i;
   v.data.(i)
 
+let unsafe_get v i = Array.unsafe_get v.data i
+
 let set v i x =
   check v i;
   v.data.(i) <- x
@@ -43,20 +45,23 @@ let pop v =
 
 let clear v = v.len <- 0
 
+(* The iterators walk [data] directly — no bounds check per element, no
+   [to_array] blit — since [0..len-1] is in range by construction. *)
+
 let iter f v =
   for i = 0 to v.len - 1 do
-    f v.data.(i)
+    f (Array.unsafe_get v.data i)
   done
 
 let iteri f v =
   for i = 0 to v.len - 1 do
-    f i v.data.(i)
+    f i (Array.unsafe_get v.data i)
   done
 
 let fold_left f acc v =
   let acc = ref acc in
   for i = 0 to v.len - 1 do
-    acc := f !acc v.data.(i)
+    acc := f !acc (Array.unsafe_get v.data i)
   done;
   !acc
 

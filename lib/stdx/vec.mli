@@ -20,6 +20,10 @@ val get : 'a t -> int -> 'a
 (** [get v i] is the [i]-th element.  @raise Invalid_argument when [i] is
     out of bounds. *)
 
+val unsafe_get : 'a t -> int -> 'a
+(** [get] without the bounds check, for hot loops whose index is already
+    known to be in [0, length v).  Out-of-range access is undefined. *)
+
 val set : 'a t -> int -> 'a -> unit
 
 val last : 'a t -> 'a
@@ -32,6 +36,8 @@ val pop : 'a t -> 'a
 val clear : 'a t -> unit
 
 val iter : ('a -> unit) -> 'a t -> unit
+(** Iteration reads the backing array in place: no copy, no per-element
+    bounds check. *)
 
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 

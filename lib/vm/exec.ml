@@ -12,7 +12,7 @@ type outcome = {
 let default_mem_words = 1 lsl 21
 
 let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
-    ?(record = true) (flat : Asm.Program.flat) =
+    ?(record = true) ?sink (flat : Asm.Program.flat) =
   let open Risc.Insn in
   let code = flat.code in
   let n_code = Array.length code in
@@ -30,6 +30,16 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
   List.iter init_data flat.flat_data;
   regs.(Risc.Reg.sp) <- mem_words - 8;
   let trace = Trace.create () in
+  (* Every retired instruction flows through one emit point: the
+     materialized trace is just the buffering consumer. *)
+  let emit =
+    let buffered = if record then Some (Trace.buffer_sink trace) else None in
+    match (buffered, sink) with
+    | None, None -> Trace.null_sink
+    | Some s, None -> s
+    | None, Some s -> s
+    | Some b, Some s -> Trace.tee b s
+  in
   let pc = ref flat.entry_pc in
   let steps = ref 0 in
   let fault = ref None in
@@ -111,12 +121,13 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
         else die "jump table index out of range"
       | Halt -> halted := true);
       if !fault = None then begin
-        if record then Trace.push trace ~pc:cur ~aux:!aux;
+        emit.Trace.on_entry ~pc:cur ~aux:!aux;
         incr steps;
         pc := !next
       end
     end
   done;
+  emit.Trace.on_close ();
   let status =
     match !fault with
     | Some msg -> Fault (Printf.sprintf "%s at pc %d" msg !pc)

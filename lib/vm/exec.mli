@@ -28,8 +28,14 @@ val run :
   ?mem_words:int ->
   ?fuel:int ->
   ?record:bool ->
+  ?sink:Trace.sink ->
   Asm.Program.flat ->
   outcome
 (** [run flat] executes the program from its entry point.  [fuel]
     defaults to 10 million retired instructions; [record] (default
-    [true]) controls whether a trace is captured. *)
+    [true]) controls whether a materialized trace is captured.  When
+    [sink] is given it receives every retired instruction as it
+    executes (and a close on termination), independently of [record];
+    [~record:false ~sink] streams the trace without ever holding it in
+    memory, so the footprint is O(program + VM memory) regardless of
+    trace length. *)

@@ -3,6 +3,25 @@ type t = {
   auxs : int Stdx.Vec.t;
 }
 
+type sink = {
+  on_entry : pc:int -> aux:int -> unit;
+  on_close : unit -> unit;
+}
+
+let sink ?(on_close = fun () -> ()) on_entry = { on_entry; on_close }
+
+let null_sink = { on_entry = (fun ~pc:_ ~aux:_ -> ()); on_close = ignore }
+
+let tee a b =
+  { on_entry =
+      (fun ~pc ~aux ->
+        a.on_entry ~pc ~aux;
+        b.on_entry ~pc ~aux);
+    on_close =
+      (fun () ->
+        a.on_close ();
+        b.on_close ()) }
+
 let create () =
   { pcs = Stdx.Vec.create ~capacity:4096 ~dummy:0 ();
     auxs = Stdx.Vec.create ~capacity:4096 ~dummy:0 () }
@@ -11,6 +30,8 @@ let push t ~pc ~aux =
   Stdx.Vec.push t.pcs pc;
   Stdx.Vec.push t.auxs aux
 
+let buffer_sink t = { on_entry = push t; on_close = ignore }
+
 let length t = Stdx.Vec.length t.pcs
 let pc t i = Stdx.Vec.get t.pcs i
 let aux t i = Stdx.Vec.get t.auxs i
@@ -18,6 +39,12 @@ let addr = aux
 let taken t i = Stdx.Vec.get t.auxs i = 1
 
 let iter f t =
+  (* one length check, then raw reads: this loop feeds every analyzer
+     pass over a materialized trace *)
   for i = 0 to length t - 1 do
-    f ~pc:(Stdx.Vec.get t.pcs i) ~aux:(Stdx.Vec.get t.auxs i)
+    f ~pc:(Stdx.Vec.unsafe_get t.pcs i) ~aux:(Stdx.Vec.unsafe_get t.auxs i)
   done
+
+let feed t s =
+  iter s.on_entry t;
+  s.on_close ()

@@ -9,13 +9,42 @@
 
     This is the information the paper obtained from [pixie]: instruction
     identity, memory addresses for perfect disambiguation, and branch
-    outcomes for the prediction study. *)
+    outcomes for the prediction study.
+
+    Consumers come in two forms.  A materialized {!t} buffers the whole
+    trace for random access (dumping, debugging, repeated scans).  A
+    {!sink} receives entries as the VM retires them, so analyses that
+    need only one forward pass never hold the trace in memory — the
+    decoupled fetch/analysis split that makes paper-scale (100M-entry)
+    traces feasible. *)
 
 type t
+
+(** A streaming trace consumer.  [on_entry] is called once per retired
+    instruction, in trace order; [on_close] once at the end of
+    execution (normal halt, fuel exhaustion, or fault). *)
+type sink = {
+  on_entry : pc:int -> aux:int -> unit;
+  on_close : unit -> unit;
+}
+
+val sink : ?on_close:(unit -> unit) -> (pc:int -> aux:int -> unit) -> sink
+(** [sink f] is a sink applying [f] per entry; [on_close] defaults to a
+    no-op. *)
+
+val null_sink : sink
+(** Discards every entry. *)
+
+val tee : sink -> sink -> sink
+(** [tee a b] forwards every entry (and close) to [a] then [b]. *)
 
 val create : unit -> t
 
 val push : t -> pc:int -> aux:int -> unit
+
+val buffer_sink : t -> sink
+(** The materialized trace as the trivial buffering sink: every entry
+    is [push]ed. *)
 
 val length : t -> int
 
@@ -31,3 +60,7 @@ val taken : t -> int -> bool
     branches. *)
 
 val iter : (pc:int -> aux:int -> unit) -> t -> unit
+
+val feed : t -> sink -> unit
+(** Replay a materialized trace into a sink, entry by entry, then close
+    it.  [feed t (buffer_sink t')] copies the trace. *)

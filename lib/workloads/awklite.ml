@@ -9,7 +9,7 @@ let name = "awk"
 let description = "pattern scanning (glob matcher over a text corpus)"
 let lang = "C"
 let numeric = false
-let fuel = 3_000_000
+let fuel = 16_000_000
 
 (* Filled in from a reference run; guards VM determinism in tests. *)
 let expected_result : int option = Some 205_956_073

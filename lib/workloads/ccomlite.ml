@@ -10,7 +10,7 @@ let name = "ccom"
 let description = "compiler front end (parse, fold, interpret stack code)"
 let lang = "C"
 let numeric = false
-let fuel = 3_000_000
+let fuel = 16_000_000
 (* Filled in from a reference run; guards VM determinism in tests. *)
 let expected_result : int option = Some 193_575_718
 

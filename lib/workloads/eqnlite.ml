@@ -10,7 +10,7 @@ let name = "eqntott"
 let description = "truth table generation (quicksort over wide rows)"
 let lang = "C"
 let numeric = false
-let fuel = 4_000_000
+let fuel = 16_000_000
 
 (* Filled in from a reference run; guards VM determinism in tests. *)
 let expected_result : int option = Some 6_309

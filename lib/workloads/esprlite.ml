@@ -10,7 +10,7 @@ let name = "espresso"
 let description = "logic minimization (cube containment and consensus)"
 let lang = "C"
 let numeric = false
-let fuel = 4_000_000
+let fuel = 16_000_000
 
 (* Filled in from a reference run; guards VM determinism in tests. *)
 let expected_result : int option = Some 225_171_436

@@ -10,7 +10,7 @@ let name = "gcc"
 let description = "optimizer passes over a linear three-address IR"
 let lang = "C"
 let numeric = false
-let fuel = 4_000_000
+let fuel = 16_000_000
 
 (* Filled in from a reference run; guards VM determinism in tests. *)
 let expected_result : int option = Some 118_571_052

@@ -10,7 +10,7 @@ let name = "irsim"
 let description = "event-driven gate-level simulator on a timing wheel"
 let lang = "C"
 let numeric = false
-let fuel = 4_000_000
+let fuel = 16_000_000
 
 (* Filled in from a reference run; guards VM determinism in tests. *)
 let expected_result : int option = Some 25_551_242_479

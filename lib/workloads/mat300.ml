@@ -10,7 +10,7 @@ let name = "matrix300"
 let description = "dense FP matrix multiply (several access patterns)"
 let lang = "FORTRAN"
 let numeric = true
-let fuel = 4_000_000
+let fuel = 16_000_000
 
 (* Filled in from a reference run; guards VM determinism in tests. *)
 let expected_result : int option = Some 6_191

@@ -53,10 +53,10 @@ let find name = List.find (fun w -> w.name = name) all
 
 let compile ?options w = Codegen.Compile.compile_flat ?options w.source
 
-let run ?options ?fuel w =
+let run ?options ?fuel ?record ?sink w =
   let fuel = match fuel with Some f -> f | None -> w.fuel in
   let flat = compile ?options w in
-  let outcome = Vm.Exec.run ~fuel flat in
+  let outcome = Vm.Exec.run ~fuel ?record ?sink flat in
   (match outcome.status with
   | Vm.Exec.Fault msg -> failwith (Printf.sprintf "%s: VM fault: %s" w.name msg)
   | Halted _ | Out_of_fuel -> ());

@@ -30,8 +30,11 @@ val compile : ?options:Codegen.Compile.options -> t -> Asm.Program.flat
 val run :
   ?options:Codegen.Compile.options ->
   ?fuel:int ->
+  ?record:bool ->
+  ?sink:Vm.Trace.sink ->
   t ->
   Asm.Program.flat * Vm.Exec.outcome
 (** Compile and execute, returning the flat program and the VM outcome
-    (trace included).
+    (trace included unless [record = false]).  [sink] additionally
+    streams each retired instruction to a consumer as it executes.
     @raise Failure when the VM faults. *)

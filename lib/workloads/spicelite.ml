@@ -12,7 +12,7 @@ let name = "spice2g6"
 let description = "sparse circuit solve with piecewise device models"
 let lang = "FORTRAN"
 let numeric = true
-let fuel = 4_000_000
+let fuel = 16_000_000
 
 (* Filled in from a reference run; guards VM determinism in tests. *)
 let expected_result : int option = Some 1_181_271_119

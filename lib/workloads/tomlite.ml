@@ -8,7 +8,7 @@ let name = "tomcatv"
 let description = "mesh relaxation with coupled 2-D stencils"
 let lang = "FORTRAN"
 let numeric = true
-let fuel = 4_000_000
+let fuel = 16_000_000
 
 (* Filled in from a reference run; guards VM determinism in tests. *)
 let expected_result : int option = Some 12_890

@@ -9,6 +9,7 @@ let () =
       ("cfg", Test_cfg.suite);
       ("predict", Test_predict.suite);
       ("analyze", Test_analyze.suite);
+      ("pipeline", Test_pipeline.suite);
       ("properties", Test_props.suite);
       ("workloads", Test_workloads.suite);
       ("report", Test_report.suite) ]

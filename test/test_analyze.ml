@@ -18,18 +18,13 @@ let mk_info ?(uses = [||]) ?(defs = [||]) ?(mem = [||]) ?(sp_adjust = [||])
     (fun pc b -> if pc < block_start.(b) then block_start.(b) <- pc)
     block_of;
   let rdf = if Array.length rdf = n_blocks then rdf else Array.make n_blocks [||] in
-  { Ilp.Program_info.n = n;
-    kind = kinds;
-    uses = default uses [||];
-    defs = default defs [||];
-    mem = default mem Ilp.Program_info.No_mem;
-    sp_adjust = default sp_adjust false;
-    loop_overhead = default overhead false;
-    lat = Array.make n Ilp.Program_info.Lat_int;
-    block_of;
-    block_start;
-    n_blocks;
-    rdf }
+  Ilp.Program_info.make ~kind:kinds ~uses:(default uses [||])
+    ~defs:(default defs [||])
+    ~mem:(default mem Ilp.Program_info.No_mem)
+    ~sp_adjust:(default sp_adjust false)
+    ~loop_overhead:(default overhead false)
+    ~lat:(Array.make n Ilp.Program_info.Lat_int)
+    ~block_of ~block_start ~n_blocks ~rdf
 
 let mk_trace entries =
   let t = Vm.Trace.create () in

@@ -1,0 +1,151 @@
+(* The streaming fan-out pipeline: advancing many machine states over
+   one trace pass (Analyze.run_many), or over a live VM execution with
+   no materialized trace (Harness.run_streaming), must be bit-identical
+   to independent single-machine runs — and the harness must do exactly
+   one execution and one analyzer pass per prepared workload. *)
+
+let machines = Ilp.Machine.all_paper
+
+let pp_result fmt (r : Ilp.Analyze.result) =
+  Format.fprintf fmt
+    "{machine=%s; counted=%d; seq=%d; cycles=%d; par=%.6f; dyn=%d; mis=%d; \
+     segs=%d}"
+    r.machine r.counted r.seq_cycles r.cycles r.parallelism r.dyn_branches
+    r.mispredicts (Array.length r.segments)
+
+let equal_result (a : Ilp.Analyze.result) (b : Ilp.Analyze.result) =
+  a.machine = b.machine && a.counted = b.counted
+  && a.seq_cycles = b.seq_cycles && a.cycles = b.cycles
+  && a.parallelism = b.parallelism && a.dyn_branches = b.dyn_branches
+  && a.mispredicts = b.mispredicts && a.segments = b.segments
+
+let result_t = Alcotest.testable pp_result equal_result
+
+(* run_many vs seven independent runs, over one materialized trace. *)
+let test_run_many_golden wname () =
+  let w = Workloads.Registry.find wname in
+  let p = Harness.prepare ~fuel:200_000 w in
+  let predictor = Harness.profile_predictor p in
+  let cfgs =
+    List.map
+      (fun m ->
+        (* segments on, so the comparison also covers segment capture *)
+        Ilp.Analyze.config ~collect_segments:true m predictor)
+      machines
+  in
+  let together = Ilp.Analyze.run_many cfgs p.info p.trace in
+  let separate = List.map (fun c -> Ilp.Analyze.run c p.info p.trace) cfgs in
+  List.iter2
+    (fun got want ->
+      Alcotest.check result_t
+        ("run_many = run: " ^ want.Ilp.Analyze.machine) want got)
+    together separate
+
+(* The Figure 2/3 worked example (a loop with a data-dependent if, then
+   control-independent code), materialized vs fully streaming. *)
+let figure2_source =
+  {|
+int a[6] = {1, 0, 1, 1, 0, 1};
+int out;
+int side;
+
+int main(void) {
+  int i;
+  int x = 0;
+  for (i = 0; i < 6; i = i + 1) {
+    if (a[i]) x = x + 1;
+    else side = side + 1;
+  }
+  out = 7;
+  return x;
+}
+|}
+
+let figure2_workload =
+  { Workloads.Registry.name = "figure2"; description = "worked example";
+    lang = "C"; numeric = false; source = figure2_source; fuel = 100_000;
+    expected_result = None }
+
+let streaming_matches w specs () =
+  let materialized =
+    Harness.analyze_specs (Harness.prepare w) specs
+  in
+  let streamed = Harness.run_streaming w specs in
+  List.iter2
+    (fun want got ->
+      Alcotest.check result_t
+        ("streaming = materialized: " ^ want.Ilp.Analyze.machine) want got)
+    materialized streamed
+
+let test_streaming_figure2 () =
+  let specs =
+    List.map Harness.spec machines
+    @ [ Harness.spec ~segments:true Ilp.Machine.sp ]
+  in
+  streaming_matches figure2_workload specs ()
+
+let test_streaming_workload () =
+  let w = { (Workloads.Registry.find "eqntott") with fuel = 150_000 } in
+  streaming_matches w (List.map Harness.spec machines) ()
+
+(* The acceptance criterion: a prepared workload costs one VM execution,
+   and fanning out all seven machines costs one trace pass. *)
+let test_counters () =
+  Harness.Counters.reset ();
+  let w = Workloads.Registry.find "gcc" in
+  let p = Harness.prepare ~fuel:150_000 w in
+  Alcotest.(check int) "one execution" 1 (Harness.Counters.executions ());
+  let _ = Harness.analyze_specs p (List.map Harness.spec machines) in
+  Alcotest.(check int) "still one execution" 1
+    (Harness.Counters.executions ());
+  Alcotest.(check int) "one pass for seven machines" 1
+    (Harness.Counters.passes ());
+  Alcotest.(check int) "every entry scanned once" (Vm.Trace.length p.trace)
+    (Harness.Counters.entries ());
+  Alcotest.(check int) "seven states advanced per entry"
+    (7 * Vm.Trace.length p.trace)
+    (Harness.Counters.state_entries ());
+  (* Table 2 statistics come from the execution-time profile: no extra
+     execution, no extra pass. *)
+  let _ = Harness.branch_stats p in
+  let _ = Harness.profile_predictor p in
+  Alcotest.(check int) "stats cost no pass" 1 (Harness.Counters.passes ());
+  Harness.Counters.reset ()
+
+(* Paper-shape invariant: relaxing control constraints never lowers
+   parallelism.  BASE <= CD <= CD-MF <= ORACLE (control dependence
+   track) and SP <= SP-CD <= SP-CD-MF <= ORACLE (speculation track). *)
+let test_machine_ordering wname () =
+  let w = Workloads.Registry.find wname in
+  let p = Harness.prepare ~fuel:200_000 w in
+  let results = Harness.analyze_all p machines in
+  let par name =
+    (List.find (fun (r : Ilp.Analyze.result) -> r.machine = name) results)
+      .parallelism
+  in
+  let leq a b =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s <= %s (%.3f vs %.3f)" a b (par a) (par b))
+      true
+      (par a <= par b)
+  in
+  leq "BASE" "CD";
+  leq "CD" "CD-MF";
+  leq "CD-MF" "ORACLE";
+  leq "SP" "SP-CD";
+  leq "SP-CD" "SP-CD-MF";
+  leq "SP-CD-MF" "ORACLE";
+  leq "BASE" "SP"
+
+let suite =
+  [ Alcotest.test_case "run_many golden: gcc" `Quick
+      (test_run_many_golden "gcc");
+    Alcotest.test_case "run_many golden: matrix300" `Quick
+      (test_run_many_golden "matrix300");
+    Alcotest.test_case "streaming figure2" `Quick test_streaming_figure2;
+    Alcotest.test_case "streaming workload" `Quick test_streaming_workload;
+    Alcotest.test_case "execution/pass counters" `Quick test_counters;
+    Alcotest.test_case "machine ordering: gcc" `Quick
+      (test_machine_ordering "gcc");
+    Alcotest.test_case "machine ordering: matrix300" `Quick
+      (test_machine_ordering "matrix300") ]

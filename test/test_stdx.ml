@@ -54,6 +54,35 @@ let test_vec_roundtrip =
       List.iter (Stdx.Vec.push v) xs;
       Stdx.Vec.to_array v = Array.of_list xs)
 
+let test_vec_iter_roundtrip =
+  QCheck.Test.make ~name:"vec push/iteri roundtrip" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let v = Stdx.Vec.create ~dummy:0 () in
+      List.iter (Stdx.Vec.push v) xs;
+      let seen = ref [] and expected_i = ref 0 and ordered = ref true in
+      Stdx.Vec.iteri
+        (fun i x ->
+          if i <> !expected_i then ordered := false;
+          incr expected_i;
+          seen := x :: !seen)
+        v;
+      !ordered && List.rev !seen = xs)
+
+let test_vec_growth =
+  (* Starting from capacity 1 forces a doubling at every power of two;
+     contents and order must survive each one. *)
+  QCheck.Test.make ~name:"vec growth preserves contents" ~count:200
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (xs, ys) ->
+      let v = Stdx.Vec.create ~capacity:1 ~dummy:(-1) () in
+      List.iter (Stdx.Vec.push v) xs;
+      let popped = List.map (fun _ -> Stdx.Vec.pop v) xs in
+      List.iter (Stdx.Vec.push v) ys;
+      popped = List.rev xs
+      && Stdx.Vec.length v = List.length ys
+      && Stdx.Vec.to_array v = Array.of_list ys)
+
 let test_means () =
   check_float "mean" 2. (Stdx.Stats.mean [ 1.; 2.; 3. ]);
   check_float "harmonic of equal" 5. (Stdx.Stats.harmonic_mean [ 5.; 5. ]);
@@ -97,6 +126,8 @@ let suite =
     Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
     Alcotest.test_case "vec iter/fold" `Quick test_vec_iter_fold;
     QCheck_alcotest.to_alcotest test_vec_roundtrip;
+    QCheck_alcotest.to_alcotest test_vec_iter_roundtrip;
+    QCheck_alcotest.to_alcotest test_vec_growth;
     Alcotest.test_case "means" `Quick test_means;
     QCheck_alcotest.to_alcotest test_mean_inequality;
     Alcotest.test_case "percentile" `Quick test_percentile;
