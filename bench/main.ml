@@ -698,7 +698,7 @@ let write_json path timings =
   p "    \"vm_executions\": %d,\n" (Harness.Counters.executions ());
   p "    \"trace_passes\": %d,\n" (Harness.Counters.passes ());
   p "    \"trace_entries_scanned\": %d,\n" (Harness.Counters.entries ());
-  p "    \"instructions_analyzed\": %d\n" (Harness.Counters.state_entries ());
+  p "    \"instructions_analyzed\": %d\n" (Harness.Counters.analyzed ());
   p "  },\n";
   p "  \"experiments\": [\n";
   List.iteri
@@ -729,12 +729,12 @@ let run_experiments selected =
   let timings =
     List.map
       (fun e ->
-        let before = Harness.Counters.state_entries () in
+        let before = Harness.Counters.analyzed () in
         let t0 = Unix.gettimeofday () in
         e.run ();
         let wall = Unix.gettimeofday () -. t0 in
         { t_name = e.name; wall_s = wall;
-          instructions = Harness.Counters.state_entries () - before })
+          instructions = Harness.Counters.analyzed () - before })
       selected
   in
   write_json "BENCH_results.json" timings;
@@ -744,7 +744,7 @@ let run_experiments selected =
     (List.length timings)
     (Harness.Counters.executions ())
     (Harness.Counters.passes ())
-    (Harness.Counters.state_entries () / 1_000_000)
+    (Harness.Counters.analyzed () / 1_000_000)
 
 let usage () =
   prerr_endline

@@ -4,7 +4,8 @@
      list        the benchmark suite (paper Table 1)
      run         parallelism limits for chosen workloads and machines
      stats       branch statistics (Table 2) and misprediction distances
-     disasm      compiled assembly of a workload
+     check       static verifier (and dynamic trace cross-validation)
+     disasm      compiled assembly of a workload, flag-annotated
      blocks      basic blocks, control dependences and loops
      trace       the head of a dynamic trace *)
 
@@ -142,12 +143,30 @@ let cmd_stats names fuel =
        rows);
   Ok ()
 
+(* Listings carry the packed per-pc flags of Program_info, so verifier
+   diagnostics (which report pcs and blocks) can be eyeballed against
+   the exact facts the analyzer consumes. *)
+let print_annotated ~indent flat info pc =
+  Format.printf "%s%5d  %s  %a@." indent pc
+    (Ilp.Program_info.flags_string info pc)
+    Risc.Insn.pp_resolved
+    flat.Asm.Program.code.(pc)
+
 let cmd_disasm name =
   match Workloads.Registry.find name with
   | exception Not_found -> Error (Printf.sprintf "unknown workload %S" name)
   | w ->
     let flat = Workloads.Registry.compile w in
-    Format.printf "%a@." Asm.Program.pp_flat flat;
+    let info = Ilp.Program_info.analyze_flat flat in
+    Format.printf "flags: B=block-start c/j/C/R/H=kind O=loop-overhead \
+                   S=sp-adjust l/s=load/store@.";
+    Array.iteri
+      (fun p (start, stop) ->
+        Format.printf "@.%s:@." flat.Asm.Program.proc_names.(p);
+        for pc = start to stop - 1 do
+          print_annotated ~indent:"" flat info pc
+        done)
+      flat.Asm.Program.proc_bounds;
     Ok ()
 
 let cmd_blocks name =
@@ -156,7 +175,16 @@ let cmd_blocks name =
   | w ->
     let flat = Workloads.Registry.compile w in
     let cfg = Cfg.Analysis.analyze flat in
-    Format.printf "%a@." Cfg.Graph.pp cfg.graph;
+    let info = Ilp.Program_info.of_flat flat cfg in
+    Array.iter
+      (fun (b : Cfg.Graph.block) ->
+        Format.printf "block %d (proc %s) [%d,%d) succs=[%s]@." b.id
+          flat.Asm.Program.proc_names.(b.proc) b.start b.stop
+          (String.concat "," (List.map string_of_int b.succs));
+        for pc = b.start to b.stop - 1 do
+          print_annotated ~indent:"  " flat info pc
+        done)
+      cfg.graph.blocks;
     Array.iteri
       (fun b deps ->
         if Array.length deps > 0 then
@@ -174,6 +202,38 @@ let cmd_blocks name =
                 l.induction)))
       cfg.loops.loops;
     Ok ()
+
+let cmd_check names fuel dynamic warnings_too =
+  let ( let* ) = Result.bind in
+  let* ws = workloads_of_names names in
+  let failed = ref false in
+  List.iter
+    (fun w ->
+      let r = Harness.check ?fuel ~dynamic w in
+      let rep = r.Harness.c_report in
+      if dynamic then
+        Format.printf "%-10s %d errors, %d warnings; dynamic: %d entries \
+                       checked, %d violations@."
+          r.c_workload rep.Cfg.Verify.n_errors rep.Cfg.Verify.n_warnings
+          r.c_dyn_entries r.c_dyn_total
+      else
+        Format.printf "%-10s %d errors, %d warnings@." r.c_workload
+          rep.Cfg.Verify.n_errors rep.Cfg.Verify.n_warnings;
+      List.iter
+        (fun d -> Format.printf "  %a@." Cfg.Verify.pp_diag d)
+        (Cfg.Verify.errors rep);
+      if warnings_too then
+        List.iter
+          (fun d -> Format.printf "  %a@." Cfg.Verify.pp_diag d)
+          (Cfg.Verify.warnings rep);
+      List.iter
+        (fun (v : Cfg.Verify.Dynamic.violation) ->
+          Format.printf "  violation at entry %d (pc %d): %s@." v.index v.pc
+            v.message)
+        r.c_dyn_violations;
+      if rep.Cfg.Verify.n_errors > 0 || r.c_dyn_total > 0 then failed := true)
+    ws;
+  if !failed then Error "verification failed" else Ok ()
 
 let cmd_trace name count =
   match Workloads.Registry.find name with
@@ -253,6 +313,29 @@ let stats_cmd =
        ~doc:"Branch prediction statistics and misprediction distances.")
     Term.(const (fun ws f -> handle (cmd_stats ws f)) $ workloads_arg $ fuel)
 
+let check_cmd =
+  let fuel =
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+           ~doc:"Cap the dynamically checked trace at N instructions.")
+  in
+  let dynamic =
+    Arg.(value & flag & info [ "dynamic" ]
+           ~doc:"Also execute each workload and cross-check every retired \
+                 instruction against the static facts (reachability, CFG \
+                 successors, register initialization, induction steps).")
+  in
+  let warnings_too =
+    Arg.(value & flag & info [ "warnings" ]
+           ~doc:"Print warnings as well as errors.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the static verifier over workloads; nonzero exit on any \
+             error or dynamic violation.")
+    Term.(
+      const (fun ws f d v -> handle (cmd_check ws f d v))
+      $ workloads_arg $ fuel $ dynamic $ warnings_too)
+
 let name_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
 
@@ -283,6 +366,7 @@ let () =
   in
   let group =
     Cmd.group info
-      [ list_cmd; run_cmd; stats_cmd; disasm_cmd; blocks_cmd; trace_cmd ]
+      [ list_cmd; run_cmd; stats_cmd; check_cmd; disasm_cmd; blocks_cmd;
+        trace_cmd ]
   in
   exit (Cmd.eval' group)

@@ -1,41 +1,73 @@
 type t = {
   graph : Graph.t;
+  views : View.t array;
+  reaching : Dataflow.Reaching.t array;
   loops : Loops.t;
   rdf : int array array;
 }
 
 (* Reverse dominance frontier of one procedure.  The reverse CFG gets a
    virtual exit node (local index [n_local]) as entry; its successors in
-   the reverse graph are the procedure's exit blocks. *)
-let proc_rdf (g : Graph.t) rdf proc_blocks =
-  let n_local = Array.length proc_blocks in
+   the reverse graph are the procedure's exit blocks.
+
+   A procedure need not have an exit block (an infinite loop), and even
+   when it does, regions that never reach it are invisible to the
+   postdominator computation.  To give every block a deterministic RDF we
+   repeatedly connect the lowest-numbered block not yet reverse-reachable
+   from the virtual exit as a pseudo-exit until the whole procedure is
+   covered. *)
+let proc_rdf (v : View.t) rdf =
+  let n_local = View.n v in
   if n_local > 0 then begin
-    let local_of = Hashtbl.create 16 in
-    Array.iteri (fun l gid -> Hashtbl.add local_of gid l) proc_blocks;
-    let local gid = Hashtbl.find local_of gid in
-    let in_proc gid = Hashtbl.mem local_of gid in
-    let cfg_succs l =
-      List.filter_map
-        (fun s -> if in_proc s then Some (local s) else None)
-        g.blocks.(proc_blocks.(l)).succs
-    in
-    let cfg_preds l =
-      List.filter_map
-        (fun p -> if in_proc p then Some (local p) else None)
-        g.blocks.(proc_blocks.(l)).preds
-    in
     let exit = n_local in
-    let is_exit l = cfg_succs l = [] in
-    let exits =
-      List.filter is_exit (List.init n_local (fun l -> l))
+    let is_exit = Array.make n_local false in
+    for l = 0 to n_local - 1 do
+      is_exit.(l) <- Array.length v.succs.(l) = 0
+    done;
+    let covered () =
+      (* Reverse reachability from the virtual exit. *)
+      let seen = Array.make n_local false in
+      let stack = ref [] in
+      for l = n_local - 1 downto 0 do
+        if is_exit.(l) then stack := l :: !stack
+      done;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | l :: rest ->
+          stack := rest;
+          if not seen.(l) then begin
+            seen.(l) <- true;
+            Array.iter (fun p -> stack := p :: !stack) v.preds.(l)
+          end
+      done;
+      let missing = ref (-1) in
+      for l = n_local - 1 downto 0 do
+        if not seen.(l) then missing := l
+      done;
+      !missing
     in
+    let rec close () =
+      let missing = covered () in
+      if missing >= 0 then begin
+        is_exit.(missing) <- true;
+        close ()
+      end
+    in
+    close ();
+    let exits = ref [] in
+    for l = n_local - 1 downto 0 do
+      if is_exit.(l) then exits := l :: !exits
+    done;
+    let cfg_succs l = Array.to_list v.succs.(l) in
+    let cfg_preds l = Array.to_list v.preds.(l) in
     (* Reverse graph: edges flipped, virtual exit as entry. *)
-    let rev_succs node = if node = exit then exits else cfg_preds node in
+    let rev_succs node = if node = exit then !exits else cfg_preds node in
     let rev_preds node =
       if node = exit then []
       else begin
         let ss = cfg_succs node in
-        if is_exit node then exit :: ss else ss
+        if is_exit.(node) then exit :: ss else ss
       end
     in
     let pdom =
@@ -43,22 +75,24 @@ let proc_rdf (g : Graph.t) rdf proc_blocks =
         ~preds:rev_preds
     in
     let df = Dom.frontier pdom ~n:(n_local + 1) ~preds:rev_preds in
-    let set l deps =
+    for l = 0 to n_local - 1 do
       let gids =
         List.filter_map
-          (fun d -> if d = exit then None else Some proc_blocks.(d))
-          deps
+          (fun d -> if d = exit then None else Some (View.global v d))
+          df.(l)
       in
-      rdf.(proc_blocks.(l)) <- Array.of_list gids
-    in
-    List.iteri (fun l _ -> set l df.(l)) (Array.to_list proc_blocks)
+      rdf.(View.global v l) <- Array.of_list gids
+    done
   end
 
 let analyze flat =
   let graph = Graph.build flat in
-  let loops = Loops.analyze graph in
+  let n_procs = Array.length graph.proc_blocks in
+  let views = Array.init n_procs (View.make graph) in
+  let reaching = Array.map Dataflow.Reaching.compute views in
+  let loops = Loops.analyze graph ~views ~reaching in
   let rdf = Array.make (Array.length graph.blocks) [||] in
-  Array.iter (proc_rdf graph rdf) graph.proc_blocks;
-  { graph; loops; rdf }
+  Array.iter (fun v -> proc_rdf v rdf) views;
+  { graph; views; reaching; loops; rdf }
 
 let rdf_of_pc t pc = t.rdf.(t.graph.block_of.(pc))

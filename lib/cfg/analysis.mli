@@ -6,10 +6,14 @@
 
 type t = {
   graph : Graph.t;
+  views : View.t array;  (** per-procedure CFG views *)
+  reaching : Dataflow.Reaching.t array;  (** reaching defs, per procedure *)
   loops : Loops.t;
   rdf : int array array;
   (** per global block: global ids of the branch blocks it is
-      immediately control dependent on *)
+      immediately control dependent on.  Blocks that cannot reach a
+      procedure exit (infinite loops) are handled by connecting
+      deterministic pseudo-exits, so every block has a defined RDF. *)
 }
 
 val analyze : Asm.Program.flat -> t

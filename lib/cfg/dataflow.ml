@@ -1,0 +1,369 @@
+module Bits = struct
+  type t = { words : int array; width : int }
+
+  let word_bits = Sys.int_size
+  let n_words width = (width + word_bits - 1) / word_bits
+  let create width = { words = Array.make (n_words width) 0; width }
+
+  let full width =
+    let b = { words = Array.make (n_words width) 0; width } in
+    for i = 0 to width - 1 do
+      b.words.(i / word_bits) <-
+        b.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+    done;
+    b
+
+  let copy b = { b with words = Array.copy b.words }
+
+  let set b i =
+    b.words.(i / word_bits) <-
+      b.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+  let unset b i =
+    b.words.(i / word_bits) <-
+      b.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+  let mem b i = b.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+  let union_into ~src ~dst =
+    let changed = ref false in
+    for w = 0 to Array.length dst.words - 1 do
+      let v = dst.words.(w) lor src.words.(w) in
+      if v <> dst.words.(w) then begin
+        dst.words.(w) <- v;
+        changed := true
+      end
+    done;
+    !changed
+
+  let inter_into ~src ~dst =
+    for w = 0 to Array.length dst.words - 1 do
+      dst.words.(w) <- dst.words.(w) land src.words.(w)
+    done
+
+  let diff_into ~src ~dst =
+    for w = 0 to Array.length dst.words - 1 do
+      dst.words.(w) <- dst.words.(w) land lnot src.words.(w)
+    done
+
+  let equal a b = a.words = b.words
+
+  let iter f b =
+    for i = 0 to b.width - 1 do
+      if mem b i then f i
+    done
+
+  let to_list b =
+    let acc = ref [] in
+    iter (fun i -> acc := i :: !acc) b;
+    List.rev !acc
+end
+
+type direction = Forward | Backward
+type meet = Union | Inter
+
+(* Worklist iteration to the (least or greatest) fixpoint of a gen/kill
+   problem.  Facts are kept in {e flow} orientation: [before.(b)] is the
+   input of [b]'s transfer function and [after.(b)] its output — block
+   entry/exit for [Forward], block exit/entry for [Backward].
+
+   [before b = meet over flow-predecessors p of after.(p), joined with
+   boundary.(b)]; [after b = gen.(b) ∪ (before b \ kill.(b))].  With
+   [Union] the fixpoint starts from bottom (empty); with [Inter] from top
+   (full), except at nodes with no flow predecessors, whose input is
+   exactly their boundary set. *)
+let solve ~direction ?(meet = Union) ~n ~width ~(succs : int array array)
+    ~(preds : int array array) ~(gen : Bits.t array) ~(kill : Bits.t array)
+    ~(boundary : Bits.t array) () =
+  let flow_preds, flow_succs =
+    match direction with Forward -> (preds, succs) | Backward -> (succs, preds)
+  in
+  let before =
+    Array.init n (fun b ->
+        match meet with
+        | Union | Inter when Array.length flow_preds.(b) = 0 ->
+          Bits.copy boundary.(b)
+        | Union -> Bits.copy boundary.(b)
+        | Inter -> Bits.full width)
+  in
+  let after =
+    Array.init n (fun b ->
+        let a = Bits.copy before.(b) in
+        Bits.diff_into ~src:kill.(b) ~dst:a;
+        ignore (Bits.union_into ~src:gen.(b) ~dst:a);
+        a)
+  in
+  let in_queue = Array.make n true in
+  let queue = Queue.create () in
+  (match direction with
+  | Forward -> for b = 0 to n - 1 do Queue.add b queue done
+  | Backward -> for b = n - 1 downto 0 do Queue.add b queue done);
+  while not (Queue.is_empty queue) do
+    let b = Queue.pop queue in
+    in_queue.(b) <- false;
+    let input =
+      let ps = flow_preds.(b) in
+      if Array.length ps = 0 then Bits.copy boundary.(b)
+      else begin
+        let acc = Bits.copy after.(ps.(0)) in
+        for i = 1 to Array.length ps - 1 do
+          match meet with
+          | Union -> ignore (Bits.union_into ~src:after.(ps.(i)) ~dst:acc)
+          | Inter -> Bits.inter_into ~src:after.(ps.(i)) ~dst:acc
+        done;
+        ignore (Bits.union_into ~src:boundary.(b) ~dst:acc);
+        acc
+      end
+    in
+    before.(b) <- input;
+    let output = Bits.copy input in
+    Bits.diff_into ~src:kill.(b) ~dst:output;
+    ignore (Bits.union_into ~src:gen.(b) ~dst:output);
+    if not (Bits.equal output after.(b)) then begin
+      after.(b) <- output;
+      Array.iter
+        (fun s ->
+          if not in_queue.(s) then begin
+            in_queue.(s) <- true;
+            Queue.add s queue
+          end)
+        flow_succs.(b)
+    end
+  done;
+  (before, after)
+
+(* Analysis-level defs: a call clobbers every caller-saved register, not
+   just [ra]. *)
+let def_regs (insn : int Risc.Insn.t) =
+  match Risc.Insn.kind insn with
+  | Call -> Risc.Reg.caller_saved
+  | Plain | Cond_branch | Jump | Computed_jump | Ret | Stop ->
+    Risc.Insn.defs insn
+
+module Reaching = struct
+  type t = {
+    view : View.t;
+    site_pc : int array;
+    site_reg : int array;
+    sites_of_reg : int list array;
+    in_ : Bits.t array;
+  }
+
+  let compute (v : View.t) =
+    let nb = View.n v in
+    let sites = ref [] and n_sites = ref 0 in
+    for l = 0 to nb - 1 do
+      View.iter_insns v l (fun pc insn ->
+          List.iter
+            (fun r ->
+              sites := (pc, r) :: !sites;
+              incr n_sites)
+            (def_regs insn))
+    done;
+    let n_sites = !n_sites in
+    let site_pc = Array.make n_sites 0 and site_reg = Array.make n_sites 0 in
+    List.iteri
+      (fun i (pc, r) ->
+        let s = n_sites - 1 - i in
+        site_pc.(s) <- pc;
+        site_reg.(s) <- r)
+      !sites;
+    let sites_of_reg = Array.make Risc.Reg.n_unified [] in
+    for s = n_sites - 1 downto 0 do
+      sites_of_reg.(site_reg.(s)) <- s :: sites_of_reg.(site_reg.(s))
+    done;
+    let site_at = Hashtbl.create (max 16 (2 * n_sites)) in
+    for s = 0 to n_sites - 1 do
+      Hashtbl.replace site_at (site_pc.(s), site_reg.(s)) s
+    done;
+    let gen = Array.init nb (fun _ -> Bits.create n_sites) in
+    let kill = Array.init nb (fun _ -> Bits.create n_sites) in
+    let boundary = Array.init nb (fun _ -> Bits.create n_sites) in
+    for l = 0 to nb - 1 do
+      let last = Hashtbl.create 8 in
+      View.iter_insns v l (fun pc insn ->
+          List.iter
+            (fun r -> Hashtbl.replace last r (Hashtbl.find site_at (pc, r)))
+            (def_regs insn));
+      Hashtbl.iter
+        (fun r s ->
+          Bits.set gen.(l) s;
+          List.iter (fun s' -> Bits.set kill.(l) s') sites_of_reg.(r))
+        last
+    done;
+    let in_, _out =
+      solve ~direction:Forward ~n:nb ~width:n_sites ~succs:v.succs
+        ~preds:v.preds ~gen ~kill ~boundary ()
+    in
+    { view = v; site_pc; site_reg; sites_of_reg; in_ }
+
+  let at_block_entry t ~l ~reg =
+    List.filter_map
+      (fun s -> if Bits.mem t.in_.(l) s then Some t.site_pc.(s) else None)
+      t.sites_of_reg.(reg)
+
+  let at t ~pc ~reg =
+    let v = t.view in
+    let gid = v.graph.block_of.(pc) in
+    match View.local v gid with
+    | None -> []
+    | Some l ->
+      let b = View.block v l in
+      let in_block = ref None in
+      for q = b.start to pc - 1 do
+        if List.mem reg (def_regs v.graph.flat.code.(q)) then
+          in_block := Some q
+      done;
+      (match !in_block with
+      | Some d -> [ d ]
+      | None -> at_block_entry t ~l ~reg)
+end
+
+module Liveness = struct
+  type t = {
+    view : View.t;
+    live_in : Bits.t array;
+    live_out : Bits.t array;
+  }
+
+  (* Analysis-level uses: a call reads its (statically unknown) arguments
+     and the stack pointer; a return hands the callee-saved registers and
+     the return values back to the caller; [Halt] reports [rv]. *)
+  let use_regs (insn : int Risc.Insn.t) =
+    let open Risc in
+    match Insn.kind insn with
+    | Call ->
+      List.concat
+        [ List.init Reg.n_arg_regs Reg.arg;
+          List.init 4 (fun i -> Reg.uid_of_float (Reg.farg i));
+          [ Reg.sp ] ]
+    | Ret ->
+      Insn.uses insn
+      @ (Reg.rv :: Reg.uid_of_float Reg.frv :: Reg.callee_saved)
+    | Stop -> [ Reg.rv ]
+    | Plain | Cond_branch | Jump | Computed_jump -> Insn.uses insn
+
+  let compute (v : View.t) =
+    let nb = View.n v in
+    let width = Risc.Reg.n_unified in
+    let gen = Array.init nb (fun _ -> Bits.create width) in
+    let kill = Array.init nb (fun _ -> Bits.create width) in
+    let boundary = Array.init nb (fun _ -> Bits.create width) in
+    for l = 0 to nb - 1 do
+      let b = View.block v l in
+      for pc = b.stop - 1 downto b.start do
+        let insn = v.graph.flat.code.(pc) in
+        List.iter
+          (fun r ->
+            Bits.unset gen.(l) r;
+            Bits.set kill.(l) r)
+          (def_regs insn);
+        List.iter
+          (fun r ->
+            Bits.set gen.(l) r;
+            Bits.unset kill.(l) r)
+          (use_regs insn)
+      done
+    done;
+    let live_out, live_in =
+      solve ~direction:Backward ~n:nb ~width ~succs:v.succs ~preds:v.preds
+        ~gen ~kill ~boundary ()
+    in
+    { view = v; live_in; live_out }
+
+  let live_out t ~l = t.live_out.(l)
+
+  let live_after t ~pc =
+    let v = t.view in
+    let gid = v.graph.block_of.(pc) in
+    match View.local v gid with
+    | None -> Bits.create Risc.Reg.n_unified
+    | Some l ->
+      let b = View.block v l in
+      let live = Bits.copy t.live_out.(l) in
+      for q = b.stop - 1 downto pc + 1 do
+        let insn = v.graph.flat.code.(q) in
+        List.iter (fun r -> Bits.unset live r) (def_regs insn);
+        List.iter (fun r -> Bits.set live r) (use_regs insn)
+      done;
+      live
+end
+
+module Uninit = struct
+  type t = {
+    view : View.t;
+    may_in : Bits.t array;
+    must_in : Bits.t array;
+  }
+
+  (* Registers a call leaves in an undefined state: caller-saved minus
+     the values it produces ([rv], [frv], [ra]). *)
+  let call_poison =
+    let open Risc in
+    List.filter
+      (fun r -> r <> Reg.rv && r <> Reg.uid_of_float Reg.frv && r <> Reg.ra)
+      Reg.caller_saved
+
+  let poison_regs (insn : int Risc.Insn.t) =
+    match Risc.Insn.kind insn with
+    | Call -> call_poison
+    | Plain | Cond_branch | Jump | Computed_jump | Ret | Stop -> []
+
+  let init_regs (insn : int Risc.Insn.t) =
+    match Risc.Insn.kind insn with
+    | Call -> [ Risc.Reg.rv; Risc.Reg.uid_of_float Risc.Reg.frv; Risc.Reg.ra ]
+    | Plain | Cond_branch | Jump | Computed_jump | Ret | Stop ->
+      Risc.Insn.defs insn
+
+  let compute (v : View.t) ~assumed =
+    let nb = View.n v in
+    let width = Risc.Reg.n_unified in
+    let gen = Array.init nb (fun _ -> Bits.create width) in
+    let kill = Array.init nb (fun _ -> Bits.create width) in
+    let boundary = Array.init nb (fun _ -> Bits.create width) in
+    for l = 0 to nb - 1 do
+      View.iter_insns v l (fun _ insn ->
+          List.iter
+            (fun r ->
+              Bits.set gen.(l) r;
+              Bits.unset kill.(l) r)
+            (poison_regs insn);
+          List.iter
+            (fun r ->
+              Bits.unset gen.(l) r;
+              Bits.set kill.(l) r)
+            (init_regs insn))
+    done;
+    if nb > 0 then begin
+      let entry = boundary.(0) in
+      for r = 0 to width - 1 do
+        Bits.set entry r
+      done;
+      Bits.unset entry Risc.Reg.zero;
+      List.iter (Bits.unset entry) assumed
+    end;
+    let may_in, _ =
+      solve ~direction:Forward ~meet:Union ~n:nb ~width ~succs:v.succs
+        ~preds:v.preds ~gen ~kill ~boundary ()
+    in
+    let must_in, _ =
+      solve ~direction:Forward ~meet:Inter ~n:nb ~width ~succs:v.succs
+        ~preds:v.preds ~gen ~kill ~boundary ()
+    in
+    { view = v; may_in; must_in }
+
+  let iter_block t ~l f =
+    let may = Bits.copy t.may_in.(l) and must = Bits.copy t.must_in.(l) in
+    View.iter_insns t.view l (fun pc insn ->
+        f pc insn ~may ~must;
+        List.iter
+          (fun r ->
+            Bits.set may r;
+            Bits.set must r)
+          (poison_regs insn);
+        List.iter
+          (fun r ->
+            Bits.unset may r;
+            Bits.unset must r)
+          (init_regs insn))
+end

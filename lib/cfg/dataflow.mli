@@ -1,0 +1,121 @@
+(** Generic worklist dataflow solver over per-procedure CFG views, with
+    the concrete bit-vector analyses used by [Loops] and [Verify]:
+    reaching definitions, liveness and maybe/definitely-uninitialized
+    registers.
+
+    All analyses run on the {e unified} register id space of
+    {!Risc.Reg} and treat a call ([Jal]) as an opaque operation that
+    obeys the calling convention: it clobbers every caller-saved
+    register, produces [rv]/[frv]/[ra], reads its argument registers and
+    the stack pointer, and preserves the callee-saved banks. *)
+
+module Bits : sig
+  (** Flat bitsets over a fixed-width universe, the lattice elements of
+      every analysis here. *)
+
+  type t
+
+  val create : int -> t
+  (** [create width] is the empty set over universe [0..width-1]. *)
+
+  val full : int -> t
+  val copy : t -> t
+  val set : t -> int -> unit
+  val unset : t -> int -> unit
+  val mem : t -> int -> bool
+
+  val union_into : src:t -> dst:t -> bool
+  (** [dst <- dst ∪ src]; returns whether [dst] changed. *)
+
+  val inter_into : src:t -> dst:t -> unit
+  val diff_into : src:t -> dst:t -> unit
+  (** [dst <- dst \ src]. *)
+
+  val equal : t -> t -> bool
+  val iter : (int -> unit) -> t -> unit
+  val to_list : t -> int list
+end
+
+type direction = Forward | Backward
+type meet = Union | Inter
+
+val solve :
+  direction:direction ->
+  ?meet:meet ->
+  n:int ->
+  width:int ->
+  succs:int array array ->
+  preds:int array array ->
+  gen:Bits.t array ->
+  kill:Bits.t array ->
+  boundary:Bits.t array ->
+  unit ->
+  Bits.t array * Bits.t array
+(** Iterate [after b = gen.(b) ∪ (before b \ kill.(b))] to a fixpoint
+    with [before b] the meet over flow predecessors' [after], joined with
+    [boundary.(b)] (for a node with no flow predecessors, exactly
+    [boundary.(b)]).  Returns [(before, after)] in {e flow} orientation:
+    block entry/exit facts for [Forward], block exit/entry facts for
+    [Backward].  [meet] defaults to [Union] (a "may" analysis); [Inter]
+    starts interior nodes from the full set (a "must" analysis). *)
+
+val def_regs : int Risc.Insn.t -> int list
+(** Analysis-level definitions: [Insn.defs], except that a call defines
+    (clobbers) every caller-saved register. *)
+
+module Reaching : sig
+  (** Reaching definitions, per procedure.  Each definition {e site} is
+      one (instruction, register) pair; the solver computes which sites
+      reach each block entry. *)
+
+  type t
+
+  val compute : View.t -> t
+
+  val at : t -> pc:int -> reg:int -> int list
+  (** Instruction indices of the definitions of [reg] that reach the use
+      point at [pc] (the state just before [pc] executes), in ascending
+      order. *)
+
+  val at_block_entry : t -> l:int -> reg:int -> int list
+  (** Definitions of [reg] reaching the entry of local block [l]. *)
+end
+
+module Liveness : sig
+  (** Backward liveness over the 64-register unified space.  A return is
+      treated as using the return values and the callee-saved banks; a
+      call as using the argument registers and [sp]. *)
+
+  type t
+
+  val compute : View.t -> t
+
+  val use_regs : int Risc.Insn.t -> int list
+  (** Analysis-level uses, including the call/return conventions above. *)
+
+  val live_after : t -> pc:int -> Bits.t
+  (** Registers live just after [pc] retires. *)
+
+  val live_out : t -> l:int -> Bits.t
+  (** Registers live at the exit of local block [l]. *)
+end
+
+module Uninit : sig
+  (** Forward may/must "uninitialized" analysis: which registers may
+      (resp. must) still hold no program-written value at each point.
+      [assumed] lists unified ids treated as initialized at the procedure
+      entry (e.g. [sp] and the argument registers); [r0] is always
+      initialized. *)
+
+  type t
+
+  val compute : View.t -> assumed:int list -> t
+
+  val iter_block :
+    t ->
+    l:int ->
+    (int -> int Risc.Insn.t -> may:Bits.t -> must:Bits.t -> unit) ->
+    unit
+  (** Walk local block [l] in program order, presenting the may/must
+      uninitialized sets in force just before each instruction. *)
+end

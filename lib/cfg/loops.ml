@@ -29,54 +29,41 @@ let natural_loop (g : Graph.t) ~header ~latch =
   done;
   !body
 
-let analyze (g : Graph.t) =
+let analyze (g : Graph.t) ~(views : View.t array)
+    ~(reaching : Dataflow.Reaching.t array) =
   let n_insns = Array.length g.flat.code in
   let overhead = Array.make n_insns false in
   let all_loops = ref [] in
-  let analyze_proc proc_blocks =
-    let n_local = Array.length proc_blocks in
+  let analyze_proc proc =
+    let v = views.(proc) in
+    let rd = reaching.(proc) in
+    let n_local = View.n v in
     if n_local > 0 then begin
-      let local_of = Hashtbl.create 16 in
-      Array.iteri (fun l gid -> Hashtbl.add local_of gid l) proc_blocks;
-      let local gid = Hashtbl.find local_of gid in
-      let in_proc gid = Hashtbl.mem local_of gid in
-      let succs l =
-        List.filter_map
-          (fun s -> if in_proc s then Some (local s) else None)
-          g.blocks.(proc_blocks.(l)).succs
-      in
-      let preds l =
-        List.filter_map
-          (fun p -> if in_proc p then Some (local p) else None)
-          g.blocks.(proc_blocks.(l)).preds
-      in
-      let dom = Dom.compute ~n:n_local ~entry:0 ~succs ~preds in
       (* Back edges: latch -> header with header dominating latch. *)
       let headers = Hashtbl.create 8 in
       for l = 0 to n_local - 1 do
-        let edge s =
-          if Dom.dominates dom s l then begin
-            let latches =
-              match Hashtbl.find_opt headers s with
-              | Some ls -> ls
-              | None -> []
-            in
-            Hashtbl.replace headers s (l :: latches)
-          end
-        in
-        List.iter edge (succs l)
+        Array.iter
+          (fun s ->
+            if Dom.dominates v.dom s l then begin
+              let latches =
+                match Hashtbl.find_opt headers s with
+                | Some ls -> ls
+                | None -> []
+              in
+              Hashtbl.replace headers s (l :: latches)
+            end)
+          v.succs.(l)
       done;
       let handle_loop header latches =
         let body =
           List.fold_left
             (fun acc latch ->
               Int_set.union acc
-                (natural_loop g ~header:proc_blocks.(header)
-                   ~latch:proc_blocks.(latch)))
+                (natural_loop g ~header:(View.global v header)
+                   ~latch:(View.global v latch)))
             Int_set.empty latches
         in
-        (* Static writes per unified register within the loop body. *)
-        let writes = Array.make Risc.Reg.n_unified 0 in
+        let in_loop_pc pc = Int_set.mem g.block_of.(pc) body in
         let iter_insns f =
           Int_set.iter
             (fun gid ->
@@ -86,70 +73,94 @@ let analyze (g : Graph.t) =
               done)
             body
         in
-        iter_insns (fun _ insn ->
-            List.iter (fun r -> writes.(r) <- writes.(r) + 1)
-              (Risc.Insn.defs insn));
-        let invariant r = r = Risc.Reg.zero || writes.(r) = 0 in
-        (* Induction candidates: [r <- r +/- const], unique write of r in
-           the loop, in a block executing every iteration (dominating all
-           latches). *)
-        let dominates_latches gid =
-          List.for_all
-            (fun latch -> Dom.dominates dom (local gid) latch)
-            latches
+        (* A register use is loop-invariant when no definition inside the
+           loop reaches it. *)
+        let invariant_at ~pc r =
+          r = Risc.Reg.zero
+          || not
+               (List.exists in_loop_pc (Dataflow.Reaching.at rd ~pc ~reg:r))
         in
+        let dominates_latches gid =
+          match View.local v gid with
+          | None -> false
+          | Some l -> List.for_all (Dom.dominates v.dom l) latches
+        in
+        (* Induction variables: [r <- r +/- const] in a block executing
+           every iteration, where the update is the only in-loop
+           definition of [r] that reaches its own operand and the only
+           one that reaches the loop header — i.e. the value carried
+           around the back edge comes solely from this constant step. *)
         let induction = ref [] in
         let update_pcs = ref [] in
         iter_insns (fun pc insn ->
             match (insn : int Risc.Insn.t) with
-            | Alui ((Add | Sub), rd, rs, _)
-              when rd = rs && rd <> Risc.Reg.zero && writes.(rd) = 1
+            | Alui ((Add | Sub), rd_, rs, _)
+              when rd_ = rs && rd_ <> Risc.Reg.zero
                    && dominates_latches g.block_of.(pc) ->
-              induction := rd :: !induction;
-              update_pcs := pc :: !update_pcs
+              let only_self pcs =
+                List.for_all (fun d -> d = pc) (List.filter in_loop_pc pcs)
+              in
+              if
+                only_self (Dataflow.Reaching.at rd ~pc ~reg:rd_)
+                && only_self
+                     (Dataflow.Reaching.at_block_entry rd ~l:header ~reg:rd_)
+              then begin
+                if not (List.mem rd_ !induction) then
+                  induction := rd_ :: !induction;
+                update_pcs := pc :: !update_pcs
+              end
             | _ -> ());
         let induction = !induction in
         let is_ind r = List.mem r induction in
-        let ind_vs_inv rs rt =
-          (is_ind rs && invariant rt) || (is_ind rt && invariant rs)
-        in
-        (* Comparisons of induction registers with invariants, and the
-           unique in-loop definition sites feeding zero-compare branches. *)
-        let cmp_def = Hashtbl.create 8 in
+        (* Comparisons of an induction register against loop-invariant
+           operands, and the branches they feed.  A branch is overhead
+           when every definition reaching its condition register is such
+           a marked comparison. *)
+        let marked_cmp = Hashtbl.create 8 in
         iter_insns (fun pc insn ->
             match (insn : int Risc.Insn.t) with
-            | Alu ((Slt | Sle | Seq | Sne), rd, rs, rt)
-              when ind_vs_inv rs rt && writes.(rd) = 1 ->
+            | Alu ((Slt | Sle | Seq | Sne), _, rs, rt)
+              when (is_ind rs && invariant_at ~pc rt)
+                   || (is_ind rt && invariant_at ~pc rs) ->
               overhead.(pc) <- true;
-              Hashtbl.replace cmp_def rd pc
-            | Alui ((Slt | Sle | Seq | Sne), rd, rs, _)
-              when is_ind rs && writes.(rd) = 1 ->
+              Hashtbl.replace marked_cmp pc ()
+            | Alui ((Slt | Sle | Seq | Sne), _, rs, _) when is_ind rs ->
               overhead.(pc) <- true;
-              Hashtbl.replace cmp_def rd pc
+              Hashtbl.replace marked_cmp pc ()
             | _ -> ());
+        let fed_by_marked_cmps ~pc r =
+          match Dataflow.Reaching.at rd ~pc ~reg:r with
+          | [] -> false
+          | ds -> List.for_all (Hashtbl.mem marked_cmp) ds
+        in
         iter_insns (fun pc insn ->
             match (insn : int Risc.Insn.t) with
-            | B (_, rs, rt, _) when ind_vs_inv rs rt -> overhead.(pc) <- true
             | B (_, rs, rt, _)
-              when rt = Risc.Reg.zero && Hashtbl.mem cmp_def rs ->
+              when (is_ind rs && invariant_at ~pc rt)
+                   || (is_ind rt && invariant_at ~pc rs) ->
               overhead.(pc) <- true
             | B (_, rs, rt, _)
-              when rs = Risc.Reg.zero && Hashtbl.mem cmp_def rt ->
+              when rt = Risc.Reg.zero && fed_by_marked_cmps ~pc rs ->
+              overhead.(pc) <- true
+            | B (_, rs, rt, _)
+              when rs = Risc.Reg.zero && fed_by_marked_cmps ~pc rt ->
               overhead.(pc) <- true
             | Bi (_, rs, _, _) when is_ind rs -> overhead.(pc) <- true
-            | Bi (_, rs, _, _) when Hashtbl.mem cmp_def rs ->
+            | Bi (_, rs, _, _) when fed_by_marked_cmps ~pc rs ->
               overhead.(pc) <- true
             | _ -> ());
         List.iter (fun pc -> overhead.(pc) <- true) !update_pcs;
         all_loops :=
-          { header = proc_blocks.(header);
+          { header = View.global v header;
             body = Int_set.elements body;
-            latches = List.map (fun l -> proc_blocks.(l)) latches;
+            latches = List.map (View.global v) latches;
             induction }
           :: !all_loops
       in
       Hashtbl.iter handle_loop headers
     end
   in
-  Array.iter analyze_proc g.proc_blocks;
+  for proc = 0 to Array.length g.proc_blocks - 1 do
+    analyze_proc proc
+  done;
   { loops = !all_loops; overhead }

@@ -2,14 +2,21 @@
     unrolling.
 
     Following the paper (§4.2), for each natural loop we find registers
-    that are incremented by a constant exactly once per iteration (loop
-    index and induction variables), then mark
+    that are stepped by a constant once per iteration (loop index and
+    induction variables), then mark
 
     - the increment instructions themselves,
     - comparisons of an induction register against loop-invariant values,
     - conditional branches consuming such comparisons (directly, or
-      through a compare instruction that is the register's unique
-      definition in the loop).
+      because every definition reaching the branch condition is such a
+      comparison).
+
+    Induction and invariance are decided with reaching definitions
+    ({!Dataflow.Reaching}): a register is induction when its constant
+    step, placed in a block executing every iteration, is the only
+    in-loop definition reaching both its own operand and the loop
+    header; an operand is invariant at a use when no in-loop definition
+    reaches that use.
 
     The trace analyzer deletes marked instructions from the timed trace,
     which removes both the iteration-carried data dependence and the loop
@@ -27,4 +34,8 @@ type t = {
   overhead : bool array;  (** per instruction: part of loop overhead *)
 }
 
-val analyze : Graph.t -> t
+val analyze :
+  Graph.t -> views:View.t array -> reaching:Dataflow.Reaching.t array -> t
+(** [analyze g ~views ~reaching] expects one view and one
+    reaching-definitions result per procedure, as built by
+    {!Analysis.analyze}. *)

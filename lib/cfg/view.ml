@@ -1,0 +1,41 @@
+type t = {
+  graph : Graph.t;
+  proc : int;
+  blocks : int array;
+  local_of : (int, int) Hashtbl.t;
+  succs : int array array;
+  preds : int array array;
+  dom : Dom.t;
+}
+
+let make (g : Graph.t) proc =
+  let blocks = g.proc_blocks.(proc) in
+  let n = Array.length blocks in
+  let local_of = Hashtbl.create (max 16 (2 * n)) in
+  Array.iteri (fun l gid -> Hashtbl.replace local_of gid l) blocks;
+  let filter ids =
+    Array.of_list (List.filter_map (Hashtbl.find_opt local_of) ids)
+  in
+  let succs = Array.init n (fun l -> filter g.blocks.(blocks.(l)).succs) in
+  let preds = Array.init n (fun l -> filter g.blocks.(blocks.(l)).preds) in
+  let dom =
+    if n = 0 then { Dom.idom = [||]; rpo = [||] }
+    else
+      Dom.compute ~n ~entry:0
+        ~succs:(fun l -> Array.to_list succs.(l))
+        ~preds:(fun l -> Array.to_list preds.(l))
+  in
+  { graph = g; proc; blocks; local_of; succs; preds; dom }
+
+let n t = Array.length t.blocks
+let global t l = t.blocks.(l)
+let local t gid = Hashtbl.find_opt t.local_of gid
+let mem t gid = Hashtbl.mem t.local_of gid
+let block t l = t.graph.blocks.(t.blocks.(l))
+let reachable t l = t.dom.rpo.(l) >= 0
+
+let iter_insns t l f =
+  let b = block t l in
+  for pc = b.start to b.stop - 1 do
+    f pc t.graph.flat.code.(pc)
+  done

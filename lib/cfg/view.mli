@@ -1,0 +1,42 @@
+(** Per-procedure view of the global CFG.
+
+    Blocks of one procedure are renumbered into a dense {e local} id
+    space with the procedure entry as local 0, with local successor and
+    predecessor arrays (interprocedural edges filtered out) and the
+    dominator tree rooted at the entry.  This is the graph shape every
+    per-procedure analysis ([Loops], [Dataflow], the RDF computation,
+    [Verify]) works on. *)
+
+type t = {
+  graph : Graph.t;
+  proc : int;  (** procedure index *)
+  blocks : int array;  (** local id -> global block id; entry first *)
+  local_of : (int, int) Hashtbl.t;  (** global block id -> local id *)
+  succs : int array array;  (** local successors per local id *)
+  preds : int array array;
+  dom : Dom.t;  (** dominators, entry = local 0 *)
+}
+
+val make : Graph.t -> int -> t
+
+val n : t -> int
+(** Number of blocks in the procedure. *)
+
+val global : t -> int -> int
+(** Global block id of a local id. *)
+
+val local : t -> int -> int option
+(** Local id of a global block id, when it belongs to this procedure. *)
+
+val mem : t -> int -> bool
+(** Does this global block id belong to the procedure? *)
+
+val block : t -> int -> Graph.block
+(** The block record of a local id. *)
+
+val reachable : t -> int -> bool
+(** Is the local block reachable from the procedure entry? *)
+
+val iter_insns : t -> int -> (int -> int Risc.Insn.t -> unit) -> unit
+(** [iter_insns t l f] applies [f pc insn] to each instruction of local
+    block [l] in program order. *)

@@ -3,24 +3,35 @@ module Counters = struct
   let n_passes = ref 0
   let n_entries = ref 0
   let n_state_entries = ref 0
+  let n_profiled_entries = ref 0
 
   let executions () = !n_executions
   let passes () = !n_passes
   let entries () = !n_entries
   let state_entries () = !n_state_entries
+  let profiled_entries () = !n_profiled_entries
 
-  let record_execution () = incr n_executions
+  let record_execution ?(profiled = 0) () =
+    incr n_executions;
+    n_profiled_entries := !n_profiled_entries + profiled
 
   let record_pass ~entries ~states =
     incr n_passes;
     n_entries := !n_entries + entries;
     n_state_entries := !n_state_entries + (entries * states)
 
+  (* Total instruction-analysis events: every entry consumed by a
+     sink-trained profile plus every (entry, analysis state) pair scanned
+     by the trace analyzers.  This is the figure BENCH_results.json
+     reports as [instructions_analyzed]. *)
+  let analyzed () = !n_profiled_entries + !n_state_entries
+
   let reset () =
     n_executions := 0;
     n_passes := 0;
     n_entries := 0;
-    n_state_entries := 0
+    n_state_entries := 0;
+    n_profiled_entries := 0
 end
 
 type prepared = {
@@ -55,7 +66,7 @@ let prepare ?options ?fuel w =
   let outcome =
     Vm.Exec.run ~fuel ~sink:(Predict.Predictor.Profile.sink profile) flat
   in
-  Counters.record_execution ();
+  Counters.record_execution ~profiled:outcome.steps ();
   check_fault w.name outcome;
   let halted =
     match outcome.status with
@@ -161,7 +172,7 @@ let run_streaming ?options ?fuel w specs =
     Vm.Exec.run ~fuel ~record:false
       ~sink:(Predict.Predictor.Profile.sink profile) flat
   in
-  Counters.record_execution ();
+  Counters.record_execution ~profiled:o1.steps ();
   check_fault w.name o1;
   let configs = List.map (config_of_spec ~flat ~info ~profile) specs in
   let sink, finish = Ilp.Analyze.sink_many configs info in
@@ -170,6 +181,43 @@ let run_streaming ?options ?fuel w specs =
   check_fault w.name o2;
   Counters.record_pass ~entries:o2.steps ~states:(List.length specs);
   finish ()
+
+type check_result = {
+  c_workload : string;
+  c_report : Cfg.Verify.report;
+  c_dyn_entries : int;
+  c_dyn_total : int;
+  c_dyn_violations : Cfg.Verify.Dynamic.violation list;
+}
+
+let check ?options ?fuel ?(dynamic = false) w =
+  let flat = Workloads.Registry.compile ?options w in
+  let a = Cfg.Analysis.analyze flat in
+  let report = Cfg.Verify.check a in
+  if dynamic then begin
+    let fuel =
+      match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
+    in
+    let d = Cfg.Verify.Dynamic.create a in
+    let outcome =
+      Vm.Exec.run ~fuel ~record:false
+        ~sink:(Cfg.Verify.Dynamic.sink d)
+        ~observe:(Cfg.Verify.Dynamic.observe d) flat
+    in
+    Counters.record_execution ();
+    check_fault w.Workloads.Registry.name outcome;
+    { c_workload = w.Workloads.Registry.name;
+      c_report = report;
+      c_dyn_entries = Cfg.Verify.Dynamic.entries d;
+      c_dyn_total = Cfg.Verify.Dynamic.n_violations d;
+      c_dyn_violations = Cfg.Verify.Dynamic.violations d }
+  end
+  else
+    { c_workload = w.Workloads.Registry.name;
+      c_report = report;
+      c_dyn_entries = 0;
+      c_dyn_total = 0;
+      c_dyn_violations = [] }
 
 let branch_stats p =
   let dyn = Predict.Predictor.Profile.dyn_branches p.profile in

@@ -34,6 +34,14 @@ module Counters : sig
   (** Trace entries multiplied by the number of machine states advanced
       — the analyzer's total throughput denominator. *)
 
+  val profiled_entries : unit -> int
+  (** Trace entries consumed by sink-trained profile passes during VM
+      executions. *)
+
+  val analyzed : unit -> int
+  (** Total instruction-analysis events:
+      [profiled_entries () + state_entries ()]. *)
+
   val reset : unit -> unit
 end
 
@@ -127,6 +135,29 @@ val run_streaming :
     state through a trace sink.  No trace is ever materialized, so
     memory is independent of the instruction budget.  Numerically
     identical to [prepare] + [analyze_specs]. *)
+
+(** Outcome of running the static verifier (and optionally the dynamic
+    trace cross-validation) over one workload. *)
+type check_result = {
+  c_workload : string;
+  c_report : Cfg.Verify.report;  (** static diagnostics *)
+  c_dyn_entries : int;  (** trace entries checked dynamically (0 if static only) *)
+  c_dyn_total : int;  (** dynamic violations found *)
+  c_dyn_violations : Cfg.Verify.Dynamic.violation list;
+  (** the kept window of violations, in trace order *)
+}
+
+val check :
+  ?options:Codegen.Compile.options ->
+  ?fuel:int ->
+  ?dynamic:bool ->
+  Workloads.Registry.t ->
+  check_result
+(** Compile a workload and run {!Cfg.Verify.check} over it.  With
+    [~dynamic:true] the program is also executed (up to [fuel]
+    instructions, default the workload's own budget) with
+    {!Cfg.Verify.Dynamic} attached as trace sink and observe hook,
+    cross-checking every retired instruction against the static facts. *)
 
 val branch_stats : prepared -> Ilp.Stats.branch_stats
 (** Table 2 statistics, derived from the execution-time profile counts

@@ -116,6 +116,24 @@ let analyze_flat flat = of_flat flat (Cfg.Analysis.analyze flat)
 
 let is_cond_branch info pc = info.kind.(pc) = Risc.Insn.Cond_branch
 
+let flags_string info pc =
+  let f = info.flags.(pc) in
+  let has bit = f land bit <> 0 in
+  let b = Bytes.make 5 '.' in
+  if has f_block_start then Bytes.set b 0 'B';
+  Bytes.set b 1
+    (if has f_cond_branch then 'c'
+     else if has f_computed_jump then 'j'
+     else if has f_call then 'C'
+     else if has f_ret then 'R'
+     else if has f_stop then 'H'
+     else '.');
+  if has f_loop_overhead then Bytes.set b 2 'O';
+  if has f_sp_adjust then Bytes.set b 3 'S';
+  if has f_mem_load then Bytes.set b 4 'l';
+  if has f_mem_store then Bytes.set b 4 's';
+  Bytes.to_string b
+
 let branch_backward (flat : Asm.Program.flat) pc =
   match flat.code.(pc) with
   | Risc.Insn.B (_, _, _, target) | Risc.Insn.Bi (_, _, _, target) ->

@@ -83,6 +83,14 @@ val analyze_flat : Asm.Program.flat -> t
 
 val is_cond_branch : t -> int -> bool
 
+val flags_string : t -> int -> string
+(** Fixed-width rendering of the packed flags of one pc, for annotated
+    listings: [B] block start; one of [c]/[j]/[C]/[R]/[H] for
+    conditional branch, computed jump, call, return, halt; [O] loop
+    overhead; [S] sp adjustment; [l]/[s] memory load/store.  Unset
+    positions print as [.] — e.g. ["Bc.O."] is a block-leading
+    loop-overhead conditional branch. *)
+
 val branch_backward : Asm.Program.flat -> int -> bool
 (** Is the conditional branch at this pc backward (target <= pc)?  Used
     by the BTFN predictor. *)

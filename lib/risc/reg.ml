@@ -51,6 +51,27 @@ let uid_of_int r = r
 let uid_of_float f = 32 + f
 let n_unified = 64
 
+(* Calling convention over unified ids.  Caller-saved registers are the
+   ones a call may clobber: return values, arguments, temporaries,
+   scratch and [ra]; callee-saved registers survive calls: the [sav]
+   banks and the stack pointer. *)
+let caller_saved =
+  List.concat
+    [ [ rv ];
+      List.init n_arg_regs arg;
+      List.init n_tmp_regs tmp;
+      [ scratch0; scratch1; ra ];
+      [ uid_of_float frv ];
+      List.init 4 (fun i -> uid_of_float (farg i));
+      List.init n_ftmp_regs (fun i -> uid_of_float (ftmp i));
+      [ uid_of_float fscratch; uid_of_float fscratch1 ] ]
+
+let callee_saved =
+  List.concat
+    [ List.init n_sav_regs sav;
+      [ sp ];
+      List.init n_fsav_regs (fun i -> uid_of_float (fsav i)) ]
+
 let pp ppf r = Format.fprintf ppf "r%d" r
 let pp_f ppf f = Format.fprintf ppf "f%d" f
 

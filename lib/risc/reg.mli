@@ -68,6 +68,13 @@ val uid_of_float : f -> int
 val n_unified : int
 (** Size of the unified id space (64). *)
 
+val caller_saved : int list
+(** Unified ids a call may clobber: return values, argument and temporary
+    banks, scratch registers and [ra]. *)
+
+val callee_saved : int list
+(** Unified ids preserved across calls: the [sav]/[fsav] banks and [sp]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints [r4] style names. *)
 

@@ -12,7 +12,7 @@ type outcome = {
 let default_mem_words = 1 lsl 21
 
 let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
-    ?(record = true) ?sink (flat : Asm.Program.flat) =
+    ?(record = true) ?sink ?observe (flat : Asm.Program.flat) =
   let open Risc.Insn in
   let code = flat.code in
   let n_code = Array.length code in
@@ -122,6 +122,9 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
       | Halt -> halted := true);
       if !fault = None then begin
         emit.Trace.on_entry ~pc:cur ~aux:!aux;
+        (match observe with
+        | Some f -> f ~pc:cur ~regs ~fregs
+        | None -> ());
         incr steps;
         pc := !next
       end

@@ -29,6 +29,7 @@ val run :
   ?fuel:int ->
   ?record:bool ->
   ?sink:Trace.sink ->
+  ?observe:(pc:int -> regs:int array -> fregs:float array -> unit) ->
   Asm.Program.flat ->
   outcome
 (** [run flat] executes the program from its entry point.  [fuel]
@@ -38,4 +39,7 @@ val run :
     executes (and a close on termination), independently of [record];
     [~record:false ~sink] streams the trace without ever holding it in
     memory, so the footprint is O(program + VM memory) regardless of
-    trace length. *)
+    trace length.  [observe] is called after [sink]'s [on_entry] for
+    each retired instruction with the live register files (not copies —
+    callers must not mutate or retain them); value-level trace checkers
+    ({!Cfg.Verify.Dynamic.observe}) hang off this hook. *)

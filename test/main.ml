@@ -7,6 +7,8 @@ let () =
       ("minic", Test_minic.suite);
       ("codegen", Test_codegen.suite);
       ("cfg", Test_cfg.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("verify", Test_verify.suite);
       ("predict", Test_predict.suite);
       ("analyze", Test_analyze.suite);
       ("pipeline", Test_pipeline.suite);

@@ -210,6 +210,39 @@ let test_switch_blocks () =
   Alcotest.(check bool) "cases depend on the computed jump" true
     (List.length dependents >= 3)
 
+let test_rdf_exitless_proc () =
+  (* A procedure that can never return: no block reverse-reaches an
+     exit, so RDFs are defined only through deterministic pseudo-exits.
+     The analysis must terminate and give every block of the spinning
+     procedure a defined control dependence. *)
+  let prog =
+    { P.procs =
+        [ { P.name = "main"; body = [ P.Ins (I.Jal "spin"); P.Ins I.Halt ] };
+          { P.name = "spin";
+            body =
+              [ P.Label "loop";
+                P.Ins (I.Bi (I.Eq, 8, 0, "skip"));
+                P.Ins (I.Alui (I.Add, 9, 9, 1));
+                P.Label "skip";
+                P.Ins (I.Alui (I.Add, 8, 8, 1));
+                P.Ins (I.J "loop") ] } ];
+      data = [];
+      entry = "main" }
+  in
+  let flat = P.resolve prog in
+  let cfg = Cfg.Analysis.analyze flat in
+  let branch_block = cfg.graph.block_of.(2) in
+  let arm_block = cfg.graph.block_of.(3) in
+  Alcotest.(check bool) "arm depends on spin branch" true
+    (Array.mem branch_block cfg.rdf.(arm_block));
+  (* Deterministic: a second analysis gives identical RDFs. *)
+  let cfg' = Cfg.Analysis.analyze flat in
+  Array.iteri
+    (fun b deps ->
+      Alcotest.(check (list int)) "stable RDF" (Array.to_list deps)
+        (Array.to_list cfg'.rdf.(b)))
+    cfg.rdf
+
 let test_workload_cfg_sanity () =
   (* Structural invariants over a real compiled program. *)
   let flat = Workloads.Registry.compile (Workloads.Registry.find "ccom") in
@@ -245,4 +278,5 @@ let suite =
     Alcotest.test_case "nested loops" `Quick test_nested_loops;
     Alcotest.test_case "dominators" `Quick test_dominators;
     Alcotest.test_case "switch blocks" `Quick test_switch_blocks;
+    Alcotest.test_case "exit-less proc RDF" `Quick test_rdf_exitless_proc;
     Alcotest.test_case "workload CFG sanity" `Quick test_workload_cfg_sanity ]

@@ -1,0 +1,170 @@
+(* Dataflow framework tests: bitsets, reaching definitions, liveness,
+   and the may/must uninitialized-register analysis. *)
+
+module I = Risc.Insn
+module P = Asm.Program
+module R = Risc.Reg
+module D = Cfg.Dataflow
+
+let flat_of items =
+  P.resolve
+    { P.procs = [ { P.name = "main"; body = items } ];
+      data = [];
+      entry = "main" }
+
+let view_of flat =
+  let g = Cfg.Graph.build flat in
+  Cfg.View.make g 0
+
+let test_bits () =
+  let b = D.Bits.create 100 in
+  Alcotest.(check bool) "fresh empty" false (D.Bits.mem b 70);
+  D.Bits.set b 3;
+  D.Bits.set b 70;
+  Alcotest.(check bool) "set low" true (D.Bits.mem b 3);
+  Alcotest.(check bool) "set high" true (D.Bits.mem b 70);
+  Alcotest.(check (list int)) "to_list sorted" [ 3; 70 ] (D.Bits.to_list b);
+  D.Bits.unset b 3;
+  Alcotest.(check bool) "unset" false (D.Bits.mem b 3);
+  let c = D.Bits.create 100 in
+  D.Bits.set c 5;
+  Alcotest.(check bool) "union changes" true
+    (D.Bits.union_into ~src:c ~dst:b);
+  Alcotest.(check bool) "union idempotent" false
+    (D.Bits.union_into ~src:c ~dst:b);
+  Alcotest.(check (list int)) "union result" [ 5; 70 ] (D.Bits.to_list b);
+  let d = D.Bits.copy b in
+  D.Bits.diff_into ~src:c ~dst:d;
+  Alcotest.(check (list int)) "diff" [ 70 ] (D.Bits.to_list d);
+  D.Bits.inter_into ~src:c ~dst:b;
+  Alcotest.(check (list int)) "inter" [ 5 ] (D.Bits.to_list b);
+  let f = D.Bits.full 67 in
+  Alcotest.(check int) "full size" 67 (List.length (D.Bits.to_list f));
+  Alcotest.(check bool) "equal reflexive" true
+    (D.Bits.equal f (D.Bits.copy f))
+
+(* r9 defined in both arms of a diamond, read at the join:
+     pc0 beq r8, 0, else | pc1 li r9, 1 | pc2 j join
+     pc3 else: li r9, 2  | pc4 join: add r10, r9, r9 | pc5 halt *)
+let diamond () =
+  flat_of
+    [ P.Ins (I.Li (8, 0));
+      P.Ins (I.Bi (I.Eq, 8, 0, "else"));
+      P.Ins (I.Li (9, 1));
+      P.Ins (I.J "join");
+      P.Label "else";
+      P.Ins (I.Li (9, 2));
+      P.Label "join";
+      P.Ins (I.Alu (I.Add, 10, 9, 9));
+      P.Ins I.Halt ]
+
+let test_reaching_diamond () =
+  let flat = diamond () in
+  let v = view_of flat in
+  let rd = D.Reaching.compute v in
+  (* Both arm definitions reach the read at the join. *)
+  Alcotest.(check (list int)) "defs of r9 at join" [ 2; 4 ]
+    (D.Reaching.at rd ~pc:5 ~reg:9);
+  (* Inside the then-arm only the local definition reaches. *)
+  Alcotest.(check (list int)) "def of r9 after then" [ 2 ]
+    (D.Reaching.at rd ~pc:3 ~reg:9);
+  (* Block-entry query at the join agrees with the per-pc one. *)
+  let join_local =
+    match Cfg.View.local v v.graph.block_of.(5) with
+    | Some l -> l
+    | None -> Alcotest.fail "join block not in proc"
+  in
+  Alcotest.(check (list int)) "block-entry query" [ 2; 4 ]
+    (D.Reaching.at_block_entry rd ~l:join_local ~reg:9)
+
+let test_liveness_diamond () =
+  let flat = diamond () in
+  let v = view_of flat in
+  let live = D.Liveness.compute v in
+  (* r9 is read at the join, so it is live after both arm writes. *)
+  Alcotest.(check bool) "r9 live after then-arm write" true
+    (D.Bits.mem (D.Liveness.live_after live ~pc:2) 9);
+  Alcotest.(check bool) "r9 live after else-arm write" true
+    (D.Bits.mem (D.Liveness.live_after live ~pc:4) 9);
+  (* r10 is never read again: dead right after its write. *)
+  Alcotest.(check bool) "r10 dead after join write" false
+    (D.Bits.mem (D.Liveness.live_after live ~pc:5) 10);
+  (* A halt uses the return value register. *)
+  Alcotest.(check bool) "rv used by halt" true
+    (List.mem R.rv (D.Liveness.use_regs I.Halt))
+
+let test_uninit () =
+  (* r9 written only on one path: may-uninit but not must-uninit at the
+     join read.  r11 never written: must-uninit everywhere. *)
+  let flat =
+    flat_of
+      [ P.Ins (I.Li (8, 1));
+        P.Ins (I.Bi (I.Eq, 8, 0, "skip"));
+        P.Ins (I.Li (9, 1));
+        P.Label "skip";
+        P.Ins (I.Alu (I.Add, 10, 9, 9));
+        P.Ins I.Halt ]
+  in
+  let v = view_of flat in
+  let u = D.Uninit.compute v ~assumed:[ R.sp ] in
+  let join_local =
+    match Cfg.View.local v v.graph.block_of.(3) with
+    | Some l -> l
+    | None -> Alcotest.fail "join block not in proc"
+  in
+  let seen = ref false in
+  D.Uninit.iter_block u ~l:join_local (fun pc _insn ~may ~must ->
+      if pc = 3 then begin
+        seen := true;
+        Alcotest.(check bool) "r9 may be uninit" true (D.Bits.mem may 9);
+        Alcotest.(check bool) "r9 not must-uninit" false (D.Bits.mem must 9);
+        Alcotest.(check bool) "r11 must-uninit" true (D.Bits.mem must 11);
+        Alcotest.(check bool) "r8 initialized" false (D.Bits.mem may 8);
+        Alcotest.(check bool) "assumed sp initialized" false
+          (D.Bits.mem may R.sp);
+        Alcotest.(check bool) "r0 always initialized" false
+          (D.Bits.mem may R.zero)
+      end);
+  Alcotest.(check bool) "join read visited" true !seen
+
+let test_call_clobbers () =
+  (* A call defines every caller-saved register and preserves the
+     callee-saved banks. *)
+  let defs = D.def_regs (I.Jal 0) in
+  Alcotest.(check bool) "call defines rv" true (List.mem R.rv defs);
+  Alcotest.(check bool) "call defines tmps" true (List.mem (R.tmp 0) defs);
+  Alcotest.(check bool) "call defines ra" true (List.mem R.ra defs);
+  Alcotest.(check bool) "call preserves saved" false
+    (List.mem (R.sav 0) defs);
+  Alcotest.(check bool) "call preserves sp" false (List.mem R.sp defs);
+  let uses = D.Liveness.use_regs (I.Jal 0) in
+  Alcotest.(check bool) "call reads args" true (List.mem (R.arg 0) uses);
+  Alcotest.(check bool) "call reads sp" true (List.mem R.sp uses);
+  let ret_uses = D.Liveness.use_regs (I.Jr R.ra) in
+  Alcotest.(check bool) "ret reads saved bank" true
+    (List.mem (R.sav 0) ret_uses)
+
+let test_solver_backward_inter () =
+  (* Direct solver exercise: a two-node line, backward must-analysis.
+     gen at the exit node only; the interior node must see it through
+     the meet. *)
+  let width = 4 in
+  let gen = [| D.Bits.create width; D.Bits.create width |] in
+  let kill = [| D.Bits.create width; D.Bits.create width |] in
+  let boundary = [| D.Bits.create width; D.Bits.create width |] in
+  D.Bits.set gen.(1) 2;
+  let succs = [| [| 1 |]; [||] |] and preds = [| [||]; [| 0 |] |] in
+  let before, _after =
+    D.solve ~direction:D.Backward ~meet:D.Inter ~n:2 ~width ~succs ~preds
+      ~gen ~kill ~boundary ()
+  in
+  Alcotest.(check bool) "fact flows backward" true (D.Bits.mem before.(0) 2)
+
+let suite =
+  [ Alcotest.test_case "bitset operations" `Quick test_bits;
+    Alcotest.test_case "reaching defs diamond" `Quick test_reaching_diamond;
+    Alcotest.test_case "liveness diamond" `Quick test_liveness_diamond;
+    Alcotest.test_case "uninit may/must" `Quick test_uninit;
+    Alcotest.test_case "call conventions" `Quick test_call_clobbers;
+    Alcotest.test_case "backward must solver" `Quick
+      test_solver_backward_inter ]

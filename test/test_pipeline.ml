@@ -105,6 +105,12 @@ let test_counters () =
   Alcotest.(check int) "seven states advanced per entry"
     (7 * Vm.Trace.length p.trace)
     (Harness.Counters.state_entries ());
+  Alcotest.(check int) "execution profiled every entry"
+    (Vm.Trace.length p.trace)
+    (Harness.Counters.profiled_entries ());
+  Alcotest.(check int) "analyzed = profiled + state entries"
+    (8 * Vm.Trace.length p.trace)
+    (Harness.Counters.analyzed ());
   (* Table 2 statistics come from the execution-time profile: no extra
      execution, no extra pass. *)
   let _ = Harness.branch_stats p in
