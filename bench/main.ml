@@ -34,6 +34,18 @@ let store : (string * string, Ilp.Analyze.result) Hashtbl.t =
 let stats_store : (string, Ilp.Stats.branch_stats) Hashtbl.t =
   Hashtbl.create 16
 
+(* Per-workload termination record for BENCH_results.json: how the one
+   execution ended (halted / out_of_fuel / fault), how far it got, and
+   what it returned. *)
+type termination = {
+  m_status : string;
+  m_steps : int;
+  m_returned : int option;
+  m_completeness : string;
+}
+
+let term_store : (string, termination) Hashtbl.t = Hashtbl.create 16
+
 (* workload -> specs the selected experiments asked for *)
 let needs_by_workload : (string, Harness.spec list ref) Hashtbl.t =
   Hashtbl.create 16
@@ -72,6 +84,11 @@ let ensure (w : Workloads.Registry.t) =
     Hashtbl.add prepared_done w.name ();
     let p = Harness.prepare ?fuel:!fuel_override w in
     Hashtbl.replace stats_store w.name (Harness.branch_stats p);
+    Hashtbl.replace term_store w.name
+      { m_status = Vm.Exec.status_string p.status;
+        m_steps = p.steps;
+        m_returned = p.halted;
+        m_completeness = Pipeline_error.completeness_tag p.completeness };
     List.iter (fun hook -> hook p) !prep_hooks;
     let specs =
       match Hashtbl.find_opt needs_by_workload w.name with
@@ -700,6 +717,21 @@ let write_json path timings =
   p "    \"trace_entries_scanned\": %d,\n" (Harness.Counters.entries ());
   p "    \"instructions_analyzed\": %d\n" (Harness.Counters.analyzed ());
   p "  },\n";
+  let terms =
+    List.sort compare
+      (Hashtbl.fold (fun name t acc -> (name, t) :: acc) term_store [])
+  in
+  p "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, t) ->
+      p "    { \"name\": \"%s\", \"status\": \"%s\", \"steps\": %d, \
+         \"returned\": %s, \"completeness\": \"%s\" }%s\n"
+        (json_escape name) (json_escape t.m_status) t.m_steps
+        (match t.m_returned with Some v -> string_of_int v | None -> "null")
+        (json_escape t.m_completeness)
+        (if i = List.length terms - 1 then "" else ","))
+    terms;
+  p "  ],\n";
   p "  \"experiments\": [\n";
   List.iteri
     (fun i t ->

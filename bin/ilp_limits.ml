@@ -7,7 +7,21 @@
      check       static verifier (and dynamic trace cross-validation)
      disasm      compiled assembly of a workload, flag-annotated
      blocks      basic blocks, control dependences and loops
-     trace       the head of a dynamic trace *)
+     trace       the head of a dynamic trace
+     inject      run one seeded fault through the pipeline
+     fuzz        bulk seeded fault injection (pipeline invariant check)
+
+   Every command returns (unit, Pipeline_error.t) result; the error's
+   cause class selects the process exit code (see Pipeline_error.exit_code):
+   1 generic/internal, 2 unknown name or bad request, 3 compile error,
+   4 VM fault, 5 resource budget. *)
+
+let ( let* ) = Result.bind
+
+let err ?workload stage cause = Error (Pipeline_error.v ?workload stage cause)
+
+let machine_names =
+  List.map (fun (m : Ilp.Machine.t) -> m.name) Ilp.Machine.all_paper
 
 let machine_of_name name =
   let canon = String.lowercase_ascii name in
@@ -18,29 +32,41 @@ let machine_of_name name =
   match List.assoc_opt canon all with
   | Some m -> Ok m
   | None ->
-    Error
-      (Printf.sprintf "unknown machine %S (expected one of %s)" name
-         (String.concat ", "
-            (List.map (fun (m : Ilp.Machine.t) -> m.name)
-               Ilp.Machine.all_paper)))
+    err Lookup
+      (Unknown_machine
+         { name; hint = Pipeline_error.suggest name machine_names })
+
+let machines_of_names = function
+  | [] -> Ok Ilp.Machine.all_paper
+  | names ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest ->
+        let* m = machine_of_name n in
+        go (m :: acc) rest
+    in
+    go [] names
 
 let workloads_of_names names =
   match names with
   | [] -> Ok Workloads.Registry.all
   | _ ->
-    let pick name =
-      match Workloads.Registry.find name with
-      | w -> Ok w
-      | exception Not_found ->
-        Error
-          (Printf.sprintf "unknown workload %S (try the 'list' command)" name)
-    in
     let rec all acc = function
       | [] -> Ok (List.rev acc)
-      | n :: rest -> (
-        match pick n with Ok w -> all (w :: acc) rest | Error e -> Error e)
+      | n :: rest ->
+        let* w = Workloads.Registry.find_result n in
+        all (w :: acc) rest
     in
     all [] names
+
+let fault_of_name name =
+  match Fault.Injector.kind_of_string name with
+  | Some k -> Ok k
+  | None ->
+    err Lookup
+      (Unknown_fault
+         { name;
+           hint = Pipeline_error.suggest name Fault.Injector.kind_names })
 
 (* ------------------------------------------------------------------ *)
 
@@ -58,82 +84,99 @@ let cmd_list () =
        ~align:[ Left; Left; Left; Left ] rows);
   Ok ()
 
-let cmd_run names machine_names no_inline no_unroll fuel stream =
-  let ( let* ) = Result.bind in
+(* A truncated result's cell gets a star; the legend under the table
+   says where and why each starred execution stopped. *)
+let truncation_note (r : Ilp.Analyze.result) =
+  match r.completeness with
+  | Pipeline_error.Complete -> None
+  | Pipeline_error.Truncated f ->
+    Some (Format.asprintf "%a" Pipeline_error.pp_fault f)
+
+let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
+    mem_words =
   let* ws = workloads_of_names names in
-  let* machines =
-    match machine_names with
-    | [] -> Ok Ilp.Machine.all_paper
-    | names ->
-      let rec go acc = function
-        | [] -> Ok (List.rev acc)
-        | n :: rest -> (
-          match machine_of_name n with
-          | Ok m -> go (m :: acc) rest
-          | Error e -> Error e)
-      in
-      go [] names
-  in
+  let* machines = machines_of_names machine_names in
   let header =
     "Program"
     :: List.map (fun (m : Ilp.Machine.t) -> m.name) machines
   in
-  let rows =
-    List.map
-      (fun w ->
-        let specs =
-          List.map
-            (fun m ->
-              Harness.spec ~inline:(not no_inline) ~unroll:(not no_unroll) m)
-            machines
-        in
-        (* Both paths fan every machine out over a single trace scan;
-           --stream additionally never materializes the trace, so the
-           budget can exceed memory. *)
-        let results =
-          if stream then Harness.run_streaming ?fuel w specs
-          else Harness.analyze_specs (Harness.prepare ?fuel w) specs
-        in
+  let notes = ref [] in
+  let rec rows acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest ->
+      let specs =
+        List.map
+          (fun m ->
+            Harness.spec ~inline:(not no_inline) ~unroll:(not no_unroll)
+              ?step_budget m)
+          machines
+      in
+      (* Both paths fan every machine out over a single trace scan;
+         --stream additionally never materializes the trace, so the
+         budget can exceed memory. *)
+      let* results =
+        if stream then Harness.run_streaming_result ?mem_words ?fuel w specs
+        else
+          let* p = Harness.prepare_result ?mem_words ?fuel w in
+          Ok (Harness.analyze_specs p specs)
+      in
+      (match results with
+      | r :: _ -> (
+        match truncation_note r with
+        | Some note ->
+          notes := (w.Workloads.Registry.name, note) :: !notes
+        | None -> ())
+      | [] -> ());
+      let row =
         w.Workloads.Registry.name
         :: List.map
-             (fun (r : Ilp.Analyze.result) -> Report.Table.fnum r.parallelism)
-             results)
-      ws
+             (fun (r : Ilp.Analyze.result) ->
+               Report.Table.fnum r.parallelism
+               ^ (match r.completeness with
+                 | Pipeline_error.Complete -> ""
+                 | Pipeline_error.Truncated _ -> "*"))
+             results
+      in
+      rows (row :: acc) rest
   in
+  let* rows = rows [] ws in
   print_string
     (Report.Table.render ~title:"Parallelism limits"
        ~header
        ~align:(Left :: List.map (fun _ -> Report.Table.Right) machines)
        rows);
+  List.iter
+    (fun (name, note) -> Printf.printf "  * %s: truncated (%s)\n" name note)
+    (List.rev !notes);
   Ok ()
 
 let cmd_stats names fuel =
-  let ( let* ) = Result.bind in
   let* ws = workloads_of_names names in
-  let rows =
-    List.map
-      (fun w ->
-        let p = Harness.prepare ?fuel w in
-        let bs = Harness.branch_stats p in
-        let sp =
-          Harness.analyze ~segments:true p Ilp.Machine.sp
+  let rec rows acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest ->
+      let* p = Harness.prepare_result ?fuel w in
+      let bs = Harness.branch_stats p in
+      let sp = Harness.analyze ~segments:true p Ilp.Machine.sp in
+      let dists = Ilp.Stats.cumulative_distances sp.segments in
+      let under n =
+        let rec last acc = function
+          | [] -> acc
+          | (d, f) :: rest -> if d <= n then last f rest else acc
         in
-        let dists = Ilp.Stats.cumulative_distances sp.segments in
-        let under n =
-          let rec last acc = function
-            | [] -> acc
-            | (d, f) :: rest -> if d <= n then last f rest else acc
-          in
-          100. *. last 0. dists
-        in
+        100. *. last 0. dists
+      in
+      let row =
         [ w.Workloads.Registry.name;
           Printf.sprintf "%.2f" bs.rate;
           Printf.sprintf "%.1f" bs.instrs_between;
           string_of_int sp.mispredicts;
           Printf.sprintf "%.1f" (under 100);
-          Printf.sprintf "%.1f" (under 1000) ])
-      ws
+          Printf.sprintf "%.1f" (under 1000) ]
+      in
+      rows (row :: acc) rest
   in
+  let* rows = rows [] ws in
   print_string
     (Report.Table.render ~title:"Branch statistics (Table 2 + Figure 6)"
        ~header:
@@ -153,58 +196,53 @@ let print_annotated ~indent flat info pc =
     flat.Asm.Program.code.(pc)
 
 let cmd_disasm name =
-  match Workloads.Registry.find name with
-  | exception Not_found -> Error (Printf.sprintf "unknown workload %S" name)
-  | w ->
-    let flat = Workloads.Registry.compile w in
-    let info = Ilp.Program_info.analyze_flat flat in
-    Format.printf "flags: B=block-start c/j/C/R/H=kind O=loop-overhead \
-                   S=sp-adjust l/s=load/store@.";
-    Array.iteri
-      (fun p (start, stop) ->
-        Format.printf "@.%s:@." flat.Asm.Program.proc_names.(p);
-        for pc = start to stop - 1 do
-          print_annotated ~indent:"" flat info pc
-        done)
-      flat.Asm.Program.proc_bounds;
-    Ok ()
+  let* w = Workloads.Registry.find_result name in
+  let* flat = Workloads.Registry.compile_result w in
+  let info = Ilp.Program_info.analyze_flat flat in
+  Format.printf "flags: B=block-start c/j/C/R/H=kind O=loop-overhead \
+                 S=sp-adjust l/s=load/store@.";
+  Array.iteri
+    (fun p (start, stop) ->
+      Format.printf "@.%s:@." flat.Asm.Program.proc_names.(p);
+      for pc = start to stop - 1 do
+        print_annotated ~indent:"" flat info pc
+      done)
+    flat.Asm.Program.proc_bounds;
+  Ok ()
 
 let cmd_blocks name =
-  match Workloads.Registry.find name with
-  | exception Not_found -> Error (Printf.sprintf "unknown workload %S" name)
-  | w ->
-    let flat = Workloads.Registry.compile w in
-    let cfg = Cfg.Analysis.analyze flat in
-    let info = Ilp.Program_info.of_flat flat cfg in
-    Array.iter
-      (fun (b : Cfg.Graph.block) ->
-        Format.printf "block %d (proc %s) [%d,%d) succs=[%s]@." b.id
-          flat.Asm.Program.proc_names.(b.proc) b.start b.stop
-          (String.concat "," (List.map string_of_int b.succs));
-        for pc = b.start to b.stop - 1 do
-          print_annotated ~indent:"  " flat info pc
-        done)
-      cfg.graph.blocks;
-    Array.iteri
-      (fun b deps ->
-        if Array.length deps > 0 then
-          Format.printf "block %d control dependent on branches of %s@." b
-            (String.concat ","
-               (List.map string_of_int (Array.to_list deps))))
-      cfg.rdf;
-    List.iter
-      (fun (l : Cfg.Loops.loop) ->
-        Format.printf "loop header=%d blocks=[%s] induction=[%s]@." l.header
-          (String.concat "," (List.map string_of_int l.body))
+  let* w = Workloads.Registry.find_result name in
+  let* flat = Workloads.Registry.compile_result w in
+  let cfg = Cfg.Analysis.analyze flat in
+  let info = Ilp.Program_info.of_flat flat cfg in
+  Array.iter
+    (fun (b : Cfg.Graph.block) ->
+      Format.printf "block %d (proc %s) [%d,%d) succs=[%s]@." b.id
+        flat.Asm.Program.proc_names.(b.proc) b.start b.stop
+        (String.concat "," (List.map string_of_int b.succs));
+      for pc = b.start to b.stop - 1 do
+        print_annotated ~indent:"  " flat info pc
+      done)
+    cfg.graph.blocks;
+  Array.iteri
+    (fun b deps ->
+      if Array.length deps > 0 then
+        Format.printf "block %d control dependent on branches of %s@." b
           (String.concat ","
-             (List.map
-                (fun r -> Format.asprintf "%a" Risc.Reg.pp_uid r)
-                l.induction)))
-      cfg.loops.loops;
-    Ok ()
+             (List.map string_of_int (Array.to_list deps))))
+    cfg.rdf;
+  List.iter
+    (fun (l : Cfg.Loops.loop) ->
+      Format.printf "loop header=%d blocks=[%s] induction=[%s]@." l.header
+        (String.concat "," (List.map string_of_int l.body))
+        (String.concat ","
+           (List.map
+              (fun r -> Format.asprintf "%a" Risc.Reg.pp_uid r)
+              l.induction)))
+    cfg.loops.loops;
+  Ok ()
 
 let cmd_check names fuel dynamic warnings_too =
-  let ( let* ) = Result.bind in
   let* ws = workloads_of_names names in
   let failed = ref false in
   List.iter
@@ -213,9 +251,12 @@ let cmd_check names fuel dynamic warnings_too =
       let rep = r.Harness.c_report in
       if dynamic then
         Format.printf "%-10s %d errors, %d warnings; dynamic: %d entries \
-                       checked, %d violations@."
+                       checked, %d violations%s@."
           r.c_workload rep.Cfg.Verify.n_errors rep.Cfg.Verify.n_warnings
           r.c_dyn_entries r.c_dyn_total
+          (match r.c_status with
+          | Some (Vm.Exec.Halted _) | None -> ""
+          | Some s -> Printf.sprintf " [%s]" (Vm.Exec.status_string s))
       else
         Format.printf "%-10s %d errors, %d warnings@." r.c_workload
           rep.Cfg.Verify.n_errors rep.Cfg.Verify.n_warnings;
@@ -233,28 +274,76 @@ let cmd_check names fuel dynamic warnings_too =
         r.c_dyn_violations;
       if rep.Cfg.Verify.n_errors > 0 || r.c_dyn_total > 0 then failed := true)
     ws;
-  if !failed then Error "verification failed" else Ok ()
+  if !failed then err Report (Failed "verification failed") else Ok ()
 
 let cmd_trace name count =
-  match Workloads.Registry.find name with
-  | exception Not_found -> Error (Printf.sprintf "unknown workload %S" name)
-  | w ->
-    let flat, outcome = Workloads.Registry.run w in
-    let trace = outcome.trace in
-    let n = min count (Vm.Trace.length trace) in
-    for i = 0 to n - 1 do
-      let pc = Vm.Trace.pc trace i in
-      Format.printf "%8d  %4d  %-30s %s@." i pc
-        (Format.asprintf "%a" Risc.Insn.pp_resolved flat.code.(pc))
-        (let aux = Vm.Trace.aux trace i in
-         if aux < 0 then ""
-         else
-           match Risc.Insn.kind flat.code.(pc) with
-           | Risc.Insn.Cond_branch ->
-             if aux = 1 then "taken" else "not-taken"
-           | _ -> Printf.sprintf "addr=%d" aux)
-    done;
-    Ok ()
+  let* w = Workloads.Registry.find_result name in
+  let* flat = Workloads.Registry.compile_result w in
+  let outcome = Vm.Exec.run ~fuel:w.Workloads.Registry.fuel flat in
+  let trace = outcome.trace in
+  let n = min count (Vm.Trace.length trace) in
+  for i = 0 to n - 1 do
+    let pc = Vm.Trace.pc trace i in
+    Format.printf "%8d  %4d  %-30s %s@." i pc
+      (Format.asprintf "%a" Risc.Insn.pp_resolved flat.code.(pc))
+      (let aux = Vm.Trace.aux trace i in
+       if aux < 0 then ""
+       else
+         match Risc.Insn.kind flat.code.(pc) with
+         | Risc.Insn.Cond_branch ->
+           if aux = 1 then "taken" else "not-taken"
+         | _ -> Printf.sprintf "addr=%d" aux)
+  done;
+  (match outcome.status with
+  | Vm.Exec.Halted _ -> ()
+  | s ->
+    Format.printf "-- execution ended: %a after %d instructions@."
+      Vm.Exec.pp_status s outcome.steps);
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection. *)
+
+let cmd_inject names seed fault_name fuel =
+  let* kind = fault_of_name fault_name in
+  let* ws = workloads_of_names names in
+  let rec go = function
+    | [] -> Ok ()
+    | w :: rest ->
+      let* inj = Harness.inject ?fuel ~seed ~kind w in
+      Format.printf "%-10s seed=%d %s@." inj.Harness.i_workload inj.i_seed
+        inj.i_description;
+      Format.printf "           status=%a steps=%d counted=%d \
+                     parallelism=%.2f completeness=%s@."
+        Vm.Exec.pp_status inj.i_status inj.i_steps
+        inj.i_result.Ilp.Analyze.counted inj.i_result.Ilp.Analyze.parallelism
+        (Pipeline_error.completeness_tag
+           inj.i_result.Ilp.Analyze.completeness);
+      go rest
+  in
+  go ws
+
+let cmd_fuzz names seed cases fuel =
+  let* ws = workloads_of_names names in
+  let r = Harness.Fuzz.run ?fuel ~workloads:ws ~seed ~cases () in
+  Format.printf
+    "fuzz: %d cases (seed %d): %d complete, %d truncated, %d structured \
+     errors, %d internal errors, %d escaped exceptions@."
+    r.Harness.Fuzz.cases seed r.complete r.truncated r.structured_errors
+    r.internal_errors
+    (List.length r.escaped);
+  List.iter
+    (fun (e : Harness.Fuzz.escaped) ->
+      Format.printf "  ESCAPED seed=%d fault=%s workload=%s: %s@." e.e_seed
+        (Fault.Injector.kind_name e.e_kind)
+        e.e_workload e.e_exn)
+    r.escaped;
+  if r.escaped <> [] then
+    err Report
+      (Failed
+         (Printf.sprintf "%d exceptions escaped the pipeline barrier"
+            (List.length r.escaped)))
+  else Ok ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -262,9 +351,9 @@ open Cmdliner
 
 let handle = function
   | Ok () -> 0
-  | Error msg ->
-    prerr_endline ("ilp-limits: " ^ msg);
-    1
+  | Error e ->
+    prerr_endline ("ilp-limits: " ^ Pipeline_error.to_string e);
+    Pipeline_error.exit_code e
 
 let workloads_arg =
   Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME"
@@ -297,11 +386,24 @@ let run_cmd =
                  (two executions, no materialized trace; memory stays \
                  independent of $(b,--fuel)).")
   in
+  let step_budget =
+    Arg.(value & opt (some int) None & info [ "step-budget" ] ~docv:"N"
+           ~doc:"Resource guard: analyze at most N counted instructions \
+                 per machine, then degrade the result to a truncated \
+                 (starred) prefix instead of running unboundedly.")
+  in
+  let mem_words =
+    Arg.(value & opt (some int) None & info [ "mem-words" ] ~docv:"N"
+           ~doc:"VM data memory size in words (guarded; requests beyond \
+                 the cap exit with code 5).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Measure parallelism limits (Table 3).")
     Term.(
-      const (fun ws ms ni nu f s -> handle (cmd_run ws ms ni nu f s))
-      $ workloads_arg $ machines $ no_inline $ no_unroll $ fuel $ stream)
+      const (fun ws ms ni nu f s sb mw ->
+          handle (cmd_run ws ms ni nu f s sb mw))
+      $ workloads_arg $ machines $ no_inline $ no_unroll $ fuel $ stream
+      $ step_budget $ mem_words)
 
 let stats_cmd =
   let fuel =
@@ -357,6 +459,45 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc:"Print the head of a dynamic trace.")
     Term.(const (fun n c -> handle (cmd_trace n c)) $ name_pos $ count)
 
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+         ~doc:"Base seed; the same seed always reproduces the same \
+               perturbation and report.")
+
+let inject_fuel =
+  Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+         ~doc:"Instruction budget for the injected execution (default: \
+               the workload's own).")
+
+let inject_cmd =
+  let fault =
+    Arg.(required & opt (some string) None & info [ "fault" ] ~docv:"KIND"
+           ~doc:"Fault kind: bit-flip, mem-corrupt, trace-cut or \
+                 fuel-cut.")
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:"Run one deterministically injected fault through the full \
+             pipeline and report the (completeness-tagged) analysis.")
+    Term.(
+      const (fun ws s f fu -> handle (cmd_inject ws s f fu))
+      $ workloads_arg $ seed_arg $ fault $ inject_fuel)
+
+let fuzz_cmd =
+  let cases =
+    Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N"
+           ~doc:"Number of seeded cases (cycling workloads and fault \
+                 kinds).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Bulk seeded fault injection asserting the pipeline \
+             invariant: every input yields a result or a structured \
+             error.  Nonzero exit if any exception escapes.")
+    Term.(
+      const (fun ws s c fu -> handle (cmd_fuzz ws s c fu))
+      $ workloads_arg $ seed_arg $ cases $ inject_fuel)
+
 let () =
   let info =
     Cmd.info "ilp-limits" ~version:"1.0.0"
@@ -367,6 +508,6 @@ let () =
   let group =
     Cmd.group info
       [ list_cmd; run_cmd; stats_cmd; check_cmd; disasm_cmd; blocks_cmd;
-        trace_cmd ]
+        trace_cmd; inject_cmd; fuzz_cmd ]
   in
   exit (Cmd.eval' group)

@@ -496,7 +496,7 @@ module Dynamic = struct
 
   (* Value-level checks, fed by the interpreter's observe hook with the
      register file as of just after the instruction at [pc] retired. *)
-  let observe t ~pc ~regs ~fregs:_ =
+  let observe t ~pc ~step:_ ~regs ~fregs:_ ~mem:_ =
     Array.iter
       (fun ls ->
         if ls.inside then begin

@@ -78,10 +78,14 @@ module Dynamic : sig
   val sink : t -> Vm.Trace.sink
   (** The pc-level checks, driven once per retired instruction. *)
 
-  val observe : t -> pc:int -> regs:int array -> fregs:float array -> unit
+  val observe :
+    t -> pc:int -> step:int -> regs:int array -> fregs:float array ->
+    mem:int array -> unit
   (** The value-level checks (induction steps, invariant pinning), to be
       called from {!Vm.Exec.run}'s [observe] hook right after each
-      retirement, with the same pc the sink just saw. *)
+      retirement, with the same pc the sink just saw.  [step] and [mem]
+      are part of the hook's signature (the fault injector uses them)
+      but unused here. *)
 
   val entries : t -> int
   (** Trace entries seen so far. *)

@@ -40,6 +40,8 @@ type prepared = {
   info : Ilp.Program_info.t;
   trace : Vm.Trace.t;
   steps : int;
+  status : Vm.Exec.status;
+  completeness : Pipeline_error.completeness;
   halted : int option;
   profile : Predict.Predictor.Profile.builder;
 }
@@ -48,33 +50,52 @@ let profile_builder info =
   Predict.Predictor.Profile.builder ~n_static:info.Ilp.Program_info.n
     ~is_cond:(Ilp.Program_info.is_cond_branch info)
 
-let check_fault name (outcome : Vm.Exec.outcome) =
-  match outcome.status with
-  | Vm.Exec.Fault msg -> failwith (Printf.sprintf "%s: VM fault: %s" name msg)
-  | Halted _ | Out_of_fuel -> ()
-
-let prepare ?options ?fuel w =
-  let fuel =
-    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
-  in
-  let flat = Workloads.Registry.compile ?options w in
+(* A faulting or fuel-capped execution is a first-class outcome: the
+   trace prefix is kept and analyzed, and every downstream result
+   carries the truncation tag.  Nothing on this path raises. *)
+let prepare_flat ?mem_words ~fuel w flat =
   let info = Ilp.Program_info.analyze_flat flat in
   let profile = profile_builder info in
   (* The one VM execution: the branch profile accumulates through a sink
      while the trace is recorded, so the profile predictor costs no
      extra trace pass. *)
   let outcome =
-    Vm.Exec.run ~fuel ~sink:(Predict.Predictor.Profile.sink profile) flat
+    Vm.Exec.run ?mem_words ~fuel
+      ~sink:(Predict.Predictor.Profile.sink profile) flat
   in
   Counters.record_execution ~profiled:outcome.steps ();
-  check_fault w.name outcome;
   let halted =
     match outcome.status with
     | Vm.Exec.Halted v -> Some v
     | Out_of_fuel | Fault _ -> None
   in
   { workload = w; flat; info; trace = outcome.trace;
-    steps = outcome.steps; halted; profile }
+    steps = outcome.steps; status = outcome.status;
+    completeness = Vm.Exec.completeness_of outcome; halted; profile }
+
+let prepare ?options ?mem_words ?fuel w =
+  let fuel =
+    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
+  in
+  prepare_flat ?mem_words ~fuel w (Workloads.Registry.compile ?options w)
+
+let ( let* ) = Result.bind
+
+let validated_mem_words ~workload = function
+  | None -> Ok None
+  | Some n ->
+    let* n = Vm.Exec.validate_mem_words ~workload n in
+    Ok (Some n)
+
+let prepare_result ?options ?mem_words ?fuel w =
+  let name = w.Workloads.Registry.name in
+  let fuel =
+    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
+  in
+  let* mem_words = validated_mem_words ~workload:name mem_words in
+  let* flat = Workloads.Registry.compile_result ?options w in
+  Pipeline_error.guard ~workload:name Execute (fun () ->
+      Ok (prepare_flat ?mem_words ~fuel w flat))
 
 let prepare_source ?(fuel = 10_000_000) ~name source =
   let w =
@@ -95,12 +116,14 @@ type spec = {
   s_unroll : bool;
   s_segments : bool;
   s_predictor : predictor_kind;
+  s_step_budget : int option;
 }
 
 let spec ?(inline = true) ?(unroll = true) ?(segments = false)
-    ?(predictor = `Profile) machine =
+    ?(predictor = `Profile) ?step_budget machine =
   { s_machine = machine; s_inline = inline; s_unroll = unroll;
-    s_segments = segments; s_predictor = predictor }
+    s_segments = segments; s_predictor = predictor;
+    s_step_budget = step_budget }
 
 let spec_key s =
   let pred =
@@ -111,10 +134,11 @@ let spec_key s =
     | `Two_bit -> "2bit"
     | `Custom p -> "custom:" ^ p.Predict.Predictor.name
   in
-  Printf.sprintf "%s|i%c|u%c|s%c|%s" s.s_machine.Ilp.Machine.name
+  Printf.sprintf "%s|i%c|u%c|s%c|b%s|%s" s.s_machine.Ilp.Machine.name
     (if s.s_inline then '1' else '0')
     (if s.s_unroll then '1' else '0')
     (if s.s_segments then '1' else '0')
+    (match s.s_step_budget with None -> "-" | Some b -> string_of_int b)
     pred
 
 let resolve_predictor ~flat ~info ~profile = function
@@ -132,7 +156,7 @@ let config_of_spec ~flat ~info ~profile s =
   let predictor = resolve_predictor ~flat ~info ~profile s.s_predictor in
   Ilp.Analyze.config ~inline:s.s_inline ~unroll:s.s_unroll
     ~collect_segments:s.s_segments ~mem_words:Vm.Exec.default_mem_words
-    s.s_machine predictor
+    ?step_budget:s.s_step_budget s.s_machine predictor
 
 let analyze_specs p specs =
   let configs =
@@ -141,7 +165,7 @@ let analyze_specs p specs =
   in
   Counters.record_pass ~entries:(Vm.Trace.length p.trace)
     ~states:(List.length specs);
-  Ilp.Analyze.run_many configs p.info p.trace
+  Ilp.Analyze.run_many ~completeness:p.completeness configs p.info p.trace
 
 let analyze ?(inline = true) ?(unroll = true) ?(segments = false) ?predictor
     p machine =
@@ -151,7 +175,8 @@ let analyze ?(inline = true) ?(unroll = true) ?(segments = false) ?predictor
   match
     analyze_specs p
       [ { s_machine = machine; s_inline = inline; s_unroll = unroll;
-          s_segments = segments; s_predictor = predictor } ]
+          s_segments = segments; s_predictor = predictor;
+          s_step_budget = None } ]
   with
   | [ r ] -> r
   | _ -> assert false
@@ -159,32 +184,46 @@ let analyze ?(inline = true) ?(unroll = true) ?(segments = false) ?predictor
 let analyze_all ?inline ?unroll p machines =
   analyze_specs p (List.map (fun m -> spec ?inline ?unroll m) machines)
 
-let run_streaming ?options ?fuel w specs =
-  let fuel =
-    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
-  in
-  let flat = Workloads.Registry.compile ?options w in
+let run_streaming_flat ?mem_words ~fuel w flat specs =
   let info = Ilp.Program_info.analyze_flat flat in
   let profile = profile_builder info in
   (* Execution 1 trains the profile predictor; execution 2 streams into
      every analysis state.  Nothing is materialized in between. *)
   let o1 =
-    Vm.Exec.run ~fuel ~record:false
+    Vm.Exec.run ?mem_words ~fuel ~record:false
       ~sink:(Predict.Predictor.Profile.sink profile) flat
   in
   Counters.record_execution ~profiled:o1.steps ();
-  check_fault w.name o1;
+  ignore w;
   let configs = List.map (config_of_spec ~flat ~info ~profile) specs in
   let sink, finish = Ilp.Analyze.sink_many configs info in
-  let o2 = Vm.Exec.run ~fuel ~record:false ~sink flat in
+  let o2 = Vm.Exec.run ?mem_words ~fuel ~record:false ~sink flat in
   Counters.record_execution ();
-  check_fault w.name o2;
   Counters.record_pass ~entries:o2.steps ~states:(List.length specs);
-  finish ()
+  finish ~completeness:(Vm.Exec.completeness_of o2) ()
+
+let run_streaming ?options ?mem_words ?fuel w specs =
+  let fuel =
+    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
+  in
+  run_streaming_flat ?mem_words ~fuel w
+    (Workloads.Registry.compile ?options w)
+    specs
+
+let run_streaming_result ?options ?mem_words ?fuel w specs =
+  let name = w.Workloads.Registry.name in
+  let fuel =
+    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
+  in
+  let* mem_words = validated_mem_words ~workload:name mem_words in
+  let* flat = Workloads.Registry.compile_result ?options w in
+  Pipeline_error.guard ~workload:name Execute (fun () ->
+      Ok (run_streaming_flat ?mem_words ~fuel w flat specs))
 
 type check_result = {
   c_workload : string;
   c_report : Cfg.Verify.report;
+  c_status : Vm.Exec.status option;
   c_dyn_entries : int;
   c_dyn_total : int;
   c_dyn_violations : Cfg.Verify.Dynamic.violation list;
@@ -205,9 +244,9 @@ let check ?options ?fuel ?(dynamic = false) w =
         ~observe:(Cfg.Verify.Dynamic.observe d) flat
     in
     Counters.record_execution ();
-    check_fault w.Workloads.Registry.name outcome;
     { c_workload = w.Workloads.Registry.name;
       c_report = report;
+      c_status = Some outcome.status;
       c_dyn_entries = Cfg.Verify.Dynamic.entries d;
       c_dyn_total = Cfg.Verify.Dynamic.n_violations d;
       c_dyn_violations = Cfg.Verify.Dynamic.violations d }
@@ -215,6 +254,7 @@ let check ?options ?fuel ?(dynamic = false) w =
   else
     { c_workload = w.Workloads.Registry.name;
       c_report = report;
+      c_status = None;
       c_dyn_entries = 0;
       c_dyn_total = 0;
       c_dyn_violations = [] }
@@ -231,3 +271,126 @@ let branch_stats p =
     instrs_between =
       (if dyn = 0 then float_of_int len
        else float_of_int len /. float_of_int dyn) }
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: run one deterministically perturbed pipeline. *)
+
+type injected = {
+  i_workload : string;
+  i_kind : Fault.Injector.kind;
+  i_seed : int;
+  i_description : string;
+  i_status : Vm.Exec.status;
+  i_steps : int;
+  i_result : Ilp.Analyze.result;
+}
+
+let inject ?fuel ~seed ~kind w =
+  let fuel =
+    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
+  in
+  match Workloads.Registry.compile_result w with
+  | Error e -> Error e
+  | Ok flat ->
+    let app = Fault.Injector.plan ~seed ~fuel kind flat in
+    (* The fault barrier: a corrupted program may break static analysis
+       in ways no enumerated error covers; anything escaping becomes a
+       typed Internal error rather than an exception. *)
+    Pipeline_error.guard ~workload:w.Workloads.Registry.name Analyze
+      (fun () ->
+        let flat = app.Fault.Injector.flat in
+        let info = Ilp.Program_info.analyze_flat flat in
+        (* btfn needs no training execution, keeping injection to a
+           single deterministic run *)
+        let predictor =
+          Predict.Predictor.backward_taken
+            ~is_backward:(Ilp.Program_info.branch_backward flat)
+        in
+        let cfg =
+          Ilp.Analyze.config ~mem_words:Vm.Exec.default_mem_words
+            Ilp.Machine.sp_cd_mf predictor
+        in
+        let sink, finish = Ilp.Analyze.sink_many [ cfg ] info in
+        let sink = app.Fault.Injector.wrap_sink sink in
+        let outcome =
+          Vm.Exec.run ~fuel:app.Fault.Injector.fuel ~record:false ~sink
+            ?observe:app.Fault.Injector.observe flat
+        in
+        Counters.record_execution ();
+        let analyzed_entries =
+          match !(app.Fault.Injector.cut) with
+          | Some f -> f.Pipeline_error.f_step
+          | None -> outcome.steps
+        in
+        Counters.record_pass ~entries:analyzed_entries ~states:1;
+        let completeness =
+          match !(app.Fault.Injector.cut) with
+          | Some f -> Pipeline_error.Truncated f
+          | None -> Vm.Exec.completeness_of outcome
+        in
+        match finish ~completeness () with
+        | [ r ] ->
+          Ok
+            { i_workload = w.Workloads.Registry.name;
+              i_kind = kind;
+              i_seed = seed;
+              i_description = app.Fault.Injector.description;
+              i_status = outcome.status;
+              i_steps = outcome.steps;
+              i_result = r }
+        | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz driver: the pipeline invariant, checked in bulk.  Every seeded
+   case must yield either a result or a structured error; an exception
+   reaching this frame is an invariant violation, reported (never
+   re-raised) so CI can fail on it with full reproduction data. *)
+
+module Fuzz = struct
+  type escaped = {
+    e_seed : int;
+    e_kind : Fault.Injector.kind;
+    e_workload : string;
+    e_exn : string;
+  }
+
+  type report = {
+    cases : int;
+    complete : int;
+    truncated : int;
+    structured_errors : int;
+    internal_errors : int;
+    escaped : escaped list;
+  }
+
+  let run ?fuel ?(workloads = Workloads.Registry.all) ~seed ~cases () =
+    let wl = Array.of_list workloads in
+    let kinds = Array.of_list Fault.Injector.all_kinds in
+    let n_kinds = Array.length kinds in
+    let complete = ref 0
+    and truncated = ref 0
+    and structured = ref 0
+    and internal = ref 0
+    and escaped = ref [] in
+    for i = 0 to cases - 1 do
+      let kind = kinds.(i mod n_kinds) in
+      let w = wl.(i / n_kinds mod Array.length wl) in
+      let case_seed = seed + i in
+      match inject ?fuel ~seed:case_seed ~kind w with
+      | Ok inj -> (
+        match inj.i_result.Ilp.Analyze.completeness with
+        | Pipeline_error.Complete -> incr complete
+        | Pipeline_error.Truncated _ -> incr truncated)
+      | Error { Pipeline_error.cause = Internal _; _ } -> incr internal
+      | Error _ -> incr structured
+      | exception e ->
+        escaped :=
+          { e_seed = case_seed; e_kind = kind;
+            e_workload = w.Workloads.Registry.name;
+            e_exn = Printexc.to_string e }
+          :: !escaped
+    done;
+    { cases; complete = !complete; truncated = !truncated;
+      structured_errors = !structured; internal_errors = !internal;
+      escaped = List.rev !escaped }
+end

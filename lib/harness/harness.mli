@@ -14,6 +14,14 @@
       analyzer.  Memory stays O(program), so instruction budgets can
       grow to paper scale (100M+).
 
+    Robustness: a faulting or fuel-capped execution is a first-class
+    outcome, not an error — its trace prefix is analyzed and every
+    result carries {!Ilp.Analyze.result.completeness}.  The [_result]
+    entry points ({!prepare_result}, {!run_streaming_result}) return
+    typed {!Pipeline_error.t} values instead of raising; {!inject} and
+    {!Fuzz} drive deterministically perturbed pipelines behind the same
+    barrier.
+
     {!Counters} tracks VM executions and trace passes so callers (and
     tests) can verify the one-execution/one-pass property. *)
 
@@ -51,6 +59,10 @@ type prepared = {
   info : Ilp.Program_info.t;
   trace : Vm.Trace.t;
   steps : int;
+  status : Vm.Exec.status;  (** how the execution ended *)
+  completeness : Pipeline_error.completeness;
+  (** [Complete] for a clean halt; [Truncated] with the fault
+      descriptor otherwise *)
   halted : int option;  (** the program's return value, when it halted *)
   profile : Predict.Predictor.Profile.builder;
   (** per-branch direction counts, accumulated during execution *)
@@ -58,11 +70,26 @@ type prepared = {
 
 val prepare :
   ?options:Codegen.Compile.options ->
+  ?mem_words:int ->
   ?fuel:int ->
   Workloads.Registry.t ->
   prepared
 (** Compile (optionally with if-conversion), statically analyze, and
-    execute one workload, profiling its branches on the way. *)
+    execute one workload, profiling its branches on the way.  A fault
+    or fuel exhaustion does {e not} raise: the trace prefix is kept and
+    [status]/[completeness] record what happened.  Compile errors still
+    raise (use {!prepare_result} for the typed-error path). *)
+
+val prepare_result :
+  ?options:Codegen.Compile.options ->
+  ?mem_words:int ->
+  ?fuel:int ->
+  Workloads.Registry.t ->
+  (prepared, Pipeline_error.t) result
+(** Like {!prepare} but total: compile errors arrive as
+    [Error { cause = Compile_error _; _ }], [mem_words] beyond
+    {!Vm.Exec.max_mem_words} as [Budget_exceeded], and any unexpected
+    exception is caught by the {!Pipeline_error.guard} barrier. *)
 
 val prepare_source : ?fuel:int -> name:string -> string -> prepared
 (** Same for an arbitrary Mini-C source string. *)
@@ -86,6 +113,8 @@ type spec = {
   s_unroll : bool;
   s_segments : bool;
   s_predictor : predictor_kind;
+  s_step_budget : int option;
+  (** resource guard forwarded to {!Ilp.Analyze.config} *)
 }
 
 val spec :
@@ -93,17 +122,19 @@ val spec :
   ?unroll:bool ->
   ?segments:bool ->
   ?predictor:predictor_kind ->
+  ?step_budget:int ->
   Ilp.Machine.t ->
   spec
 (** Defaults follow the paper: inlining and unrolling on, no segment
-    collection, profile prediction. *)
+    collection, profile prediction, no step budget. *)
 
 val spec_key : spec -> string
 (** A stable identifier for caching: machine name + knobs. *)
 
 val analyze_specs : prepared -> spec list -> Ilp.Analyze.result list
 (** Fan all specs out over a {e single} pass of the prepared trace;
-    results are in spec order. *)
+    results are in spec order, each tagged with the prepared
+    execution's completeness. *)
 
 val analyze :
   ?inline:bool ->
@@ -126,6 +157,7 @@ val analyze_all :
 
 val run_streaming :
   ?options:Codegen.Compile.options ->
+  ?mem_words:int ->
   ?fuel:int ->
   Workloads.Registry.t ->
   spec list ->
@@ -134,13 +166,25 @@ val run_streaming :
     profile predictor, execute again feeding every spec's analysis
     state through a trace sink.  No trace is ever materialized, so
     memory is independent of the instruction budget.  Numerically
-    identical to [prepare] + [analyze_specs]. *)
+    identical to [prepare] + [analyze_specs], including the
+    completeness tag. *)
+
+val run_streaming_result :
+  ?options:Codegen.Compile.options ->
+  ?mem_words:int ->
+  ?fuel:int ->
+  Workloads.Registry.t ->
+  spec list ->
+  (Ilp.Analyze.result list, Pipeline_error.t) result
+(** {!run_streaming} behind the typed-error barrier. *)
 
 (** Outcome of running the static verifier (and optionally the dynamic
     trace cross-validation) over one workload. *)
 type check_result = {
   c_workload : string;
   c_report : Cfg.Verify.report;  (** static diagnostics *)
+  c_status : Vm.Exec.status option;
+  (** how the dynamic execution ended ([None] if static only) *)
   c_dyn_entries : int;  (** trace entries checked dynamically (0 if static only) *)
   c_dyn_total : int;  (** dynamic violations found *)
   c_dyn_violations : Cfg.Verify.Dynamic.violation list;
@@ -162,3 +206,64 @@ val check :
 val branch_stats : prepared -> Ilp.Stats.branch_stats
 (** Table 2 statistics, derived from the execution-time profile counts
     (no trace scan). *)
+
+(** One deterministically injected fault, run through the full
+    pipeline. *)
+type injected = {
+  i_workload : string;
+  i_kind : Fault.Injector.kind;
+  i_seed : int;
+  i_description : string;
+  (** exact perturbation, from {!Fault.Injector.plan} *)
+  i_status : Vm.Exec.status;
+  i_steps : int;  (** instructions the damaged execution retired *)
+  i_result : Ilp.Analyze.result;
+  (** analysis of the (possibly truncated) trace, completeness-tagged *)
+}
+
+val inject :
+  ?fuel:int ->
+  seed:int ->
+  kind:Fault.Injector.kind ->
+  Workloads.Registry.t ->
+  (injected, Pipeline_error.t) result
+(** Compile [w], apply the seeded perturbation, execute, and analyze
+    the surviving trace under one representative configuration
+    (machine [sp_cd_mf], btfn prediction — chosen because it needs no
+    second training execution, keeping injection to a single
+    deterministic run).  Total: compile errors and anything a corrupted
+    program provokes come back as [Error]; same seed, same report. *)
+
+(** Bulk fault injection asserting the pipeline invariant: {e every}
+    input yields either a result or a structured error.  An exception
+    reaching the driver frame is an invariant violation — counted and
+    reported with full reproduction data, never re-raised. *)
+module Fuzz : sig
+  type escaped = {
+    e_seed : int;
+    e_kind : Fault.Injector.kind;
+    e_workload : string;
+    e_exn : string;
+  }
+
+  type report = {
+    cases : int;
+    complete : int;  (** injected run still halted cleanly *)
+    truncated : int;  (** analysis of a truncated trace succeeded *)
+    structured_errors : int;  (** typed, non-[Internal] errors *)
+    internal_errors : int;
+    (** exceptions the {!Pipeline_error.guard} barrier converted *)
+    escaped : escaped list;  (** invariant violations; must be [] *)
+  }
+
+  val run :
+    ?fuel:int ->
+    ?workloads:Workloads.Registry.t list ->
+    seed:int ->
+    cases:int ->
+    unit ->
+    report
+  (** Run [cases] seeded injections: case [i] uses seed [seed + i],
+      cycles through all fault kinds, and rotates over [workloads]
+      (default: the whole registry). *)
+end

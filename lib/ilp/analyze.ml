@@ -5,11 +5,13 @@ type config = {
   predictor : Predict.Predictor.t;
   collect_segments : bool;
   mem_words : int;
+  step_budget : int option;
 }
 
 let config ?(inline = true) ?(unroll = true) ?(collect_segments = false)
-    ?(mem_words = 1024) machine predictor =
-  { machine; inline; unroll; predictor; collect_segments; mem_words }
+    ?(mem_words = 1024) ?step_budget machine predictor =
+  { machine; inline; unroll; predictor; collect_segments; mem_words;
+    step_budget }
 
 type segment = {
   length : int;
@@ -25,6 +27,7 @@ type result = {
   dyn_branches : int;
   mispredicts : int;
   segments : segment array;
+  completeness : Pipeline_error.completeness;
 }
 
 (* Last-write table for memory.  Paged so the footprint is proportional
@@ -135,6 +138,9 @@ module State = struct
     mutable r_seq : int;
     mutable r_time : int;
     mutable r_mchain : int;
+    (* Resource guard: once the step budget is hit, remaining entries
+       are dropped and the result is tagged Truncated. *)
+    mutable budget_hit : Pipeline_error.fault_info option;
   }
 
   let create (cfg : config) (info : Program_info.t) =
@@ -182,7 +188,8 @@ module State = struct
       segments = Stdx.Vec.create ~dummy:{ length = 0; cycles = 0 } ();
       r_seq = 0;
       r_time = 0;
-      r_mchain = 0 }
+      r_mchain = 0;
+      budget_hit = None }
 
   (* Control-dependence resolution: the call-site context or the most
      recent valid RDF branch instance, whichever is newer; dropped
@@ -212,7 +219,7 @@ module State = struct
       st.r_mchain <- 0
     end
 
-  let step st ~pc ~aux =
+  let do_step st ~pc ~aux =
     let info = st.info in
     let m = st.cfg.machine in
     let flags = info.flags.(pc) in
@@ -364,7 +371,24 @@ module State = struct
       end
     end
 
-  let finish st =
+  (* The budget guard wraps the real per-entry transition: once the
+     configured number of counted instructions has been analyzed, the
+     remaining trace is dropped (graceful degradation, not an abort) and
+     the result will carry a [Step_budget] truncation tag. *)
+  let step st ~pc ~aux =
+    match st.budget_hit with
+    | Some _ -> ()
+    | None -> (
+      match st.cfg.step_budget with
+      | Some b when st.counted >= b ->
+        st.budget_hit <-
+          Some
+            (Pipeline_error.fault ~pc ~step:st.counted
+               ~detail:(Printf.sprintf "analysis step budget %d" b)
+               Pipeline_error.Step_budget)
+      | _ -> do_step st ~pc ~aux)
+
+  let finish ?(completeness = Pipeline_error.Complete) st =
     if st.cfg.collect_segments && st.seg_len > 0 then begin
       Stdx.Vec.push st.segments
         { length = st.seg_len; cycles = max 1 (st.seg_max - st.seg_base) };
@@ -374,6 +398,13 @@ module State = struct
       if st.max_time = 0 then 1.
       else float_of_int st.seq_cycles /. float_of_int st.max_time
     in
+    let completeness =
+      (* A budget cut happens strictly before the execution's own end,
+         so it wins over an execution-level truncation tag. *)
+      match st.budget_hit with
+      | Some f -> Pipeline_error.Truncated f
+      | None -> completeness
+    in
     { machine = st.cfg.machine.name;
       counted = st.counted;
       seq_cycles = st.seq_cycles;
@@ -381,7 +412,8 @@ module State = struct
       parallelism;
       dyn_branches = st.dyn_branches;
       mispredicts = st.mispredicts;
-      segments = Stdx.Vec.to_array st.segments }
+      segments = Stdx.Vec.to_array st.segments;
+      completeness }
 end
 
 let sink_states (states : State.t array) =
@@ -399,14 +431,15 @@ let sink_many configs info =
     Array.of_list (List.map (fun c -> State.create c info) configs)
   in
   ( sink_states states,
-    fun () -> List.map State.finish (Array.to_list states) )
+    fun ?completeness () ->
+      List.map (State.finish ?completeness) (Array.to_list states) )
 
-let run_many configs info trace =
+let run_many ?completeness configs info trace =
   let sink, finish = sink_many configs info in
   Vm.Trace.feed trace sink;
-  finish ()
+  finish ?completeness ()
 
-let run (cfg : config) (info : Program_info.t) trace =
-  match run_many [ cfg ] info trace with
+let run ?completeness (cfg : config) (info : Program_info.t) trace =
+  match run_many ?completeness [ cfg ] info trace with
   | [ r ] -> r
   | _ -> assert false

@@ -44,6 +44,10 @@ type config = {
   collect_segments : bool;
   (** record inter-misprediction segments (Figures 6 and 7) *)
   mem_words : int;  (** sizing hint for the memory last-write table *)
+  step_budget : int option;
+  (** resource guard: analyze at most this many counted instructions,
+      then drop the rest of the trace and tag the result
+      [Truncated Step_budget] instead of running unboundedly *)
 }
 
 val config :
@@ -51,11 +55,12 @@ val config :
   ?unroll:bool ->
   ?collect_segments:bool ->
   ?mem_words:int ->
+  ?step_budget:int ->
   Machine.t ->
   Predict.Predictor.t ->
   config
 (** Defaults: [inline = true], [unroll = true],
-    [collect_segments = false]. *)
+    [collect_segments = false], no step budget. *)
 
 (** A run of counted instructions between two consecutive mispredicted
     branches (the closing branch included).  [length] is the paper's
@@ -74,6 +79,12 @@ type result = {
   dyn_branches : int;  (** dynamic conditional branches counted *)
   mispredicts : int;  (** mispredicted dynamic branches (incl. computed jumps) *)
   segments : segment array;  (** empty unless [collect_segments] *)
+  completeness : Pipeline_error.completeness;
+  (** provenance: [Complete] when the analyzed trace covers a halted
+      execution; [Truncated] (with the fault descriptor) when the trace
+      ended early — fuel, VM fault, injected cut, or this config's own
+      step budget.  Numbers from a truncated trace are still exact for
+      the prefix they cover. *)
 }
 
 (** Incremental per-machine analysis state.  Stateful predictors (e.g.
@@ -85,24 +96,36 @@ module State : sig
   val create : config -> Program_info.t -> t
 
   val step : t -> pc:int -> aux:int -> unit
-  (** Consume one trace entry.  Entries must arrive in trace order. *)
+  (** Consume one trace entry.  Entries must arrive in trace order.
+      Entries past the config's [step_budget] are dropped. *)
 
-  val finish : t -> result
+  val finish : ?completeness:Pipeline_error.completeness -> t -> result
   (** Close the analysis (flushing a trailing inter-misprediction
-      segment) and report.  Call once, after the last [step]. *)
+      segment) and report.  Call once, after the last [step].
+      [completeness] (default [Complete]) describes how the {e
+      execution} that produced the trace ended; a step-budget cut
+      recorded by this state takes precedence over it. *)
 end
 
-val run : config -> Program_info.t -> Vm.Trace.t -> result
+val run :
+  ?completeness:Pipeline_error.completeness ->
+  config -> Program_info.t -> Vm.Trace.t -> result
 
-val run_many : config list -> Program_info.t -> Vm.Trace.t -> result list
+val run_many :
+  ?completeness:Pipeline_error.completeness ->
+  config list -> Program_info.t -> Vm.Trace.t -> result list
 (** Advance one state per config over a {e single} pass of the trace;
     results are in config order.  Numerically identical to mapping
-    {!run} over the configs, but reads the trace once. *)
+    {!run} over the configs, but reads the trace once.  [completeness]
+    tags every result with how the traced execution ended. *)
 
 val sink_many :
-  config list -> Program_info.t -> Vm.Trace.sink * (unit -> result list)
+  config list -> Program_info.t ->
+  Vm.Trace.sink
+  * (?completeness:Pipeline_error.completeness -> unit -> result list)
 (** [sink_many configs info] is [(sink, finish)]: feed trace entries to
     [sink] (e.g. pass it to [Vm.Exec.run ~sink]) and call [finish]
-    afterwards.  This is {!run_many} without a materialized trace:
+    afterwards (passing the execution's completeness, if it was not a
+    clean halt).  This is {!run_many} without a materialized trace:
     memory stays O(program + touched addresses + scheduling window)
     regardless of trace length. *)

@@ -1,7 +1,7 @@
 type status =
   | Halted of int
   | Out_of_fuel
-  | Fault of string
+  | Fault of Pipeline_error.fault_info
 
 type outcome = {
   status : status;
@@ -9,7 +9,39 @@ type outcome = {
   steps : int;
 }
 
+let status_string = function
+  | Halted _ -> "halted"
+  | Out_of_fuel -> "out_of_fuel"
+  | Fault _ -> "fault"
+
+let pp_status ppf = function
+  | Halted v -> Format.fprintf ppf "halted (returned %d)" v
+  | Out_of_fuel -> Format.fprintf ppf "out of fuel"
+  | Fault f -> Format.fprintf ppf "fault: %a" Pipeline_error.pp_fault f
+
+let completeness_of o =
+  match o.status with
+  | Halted _ -> Pipeline_error.Complete
+  | Out_of_fuel ->
+    Pipeline_error.Truncated
+      (Pipeline_error.fault ~step:o.steps ~detail:"instruction budget"
+         Pipeline_error.Out_of_fuel)
+  | Fault f -> Pipeline_error.Truncated f
+
 let default_mem_words = 1 lsl 21
+let max_mem_words = 1 lsl 24
+
+let validate_mem_words ?workload n =
+  if n < 1 then
+    Error
+      (Pipeline_error.v ?workload Execute
+         (Invalid_request (Printf.sprintf "mem-words must be positive (got %d)" n)))
+  else if n > max_mem_words then
+    Error
+      (Pipeline_error.v ?workload Execute
+         (Budget_exceeded
+            { what = "VM memory words"; limit = max_mem_words; requested = n }))
+  else Ok n
 
 let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
     ?(record = true) ?sink ?observe (flat : Asm.Program.flat) =
@@ -44,7 +76,7 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
   let steps = ref 0 in
   let fault = ref None in
   let halted = ref false in
-  let die msg = fault := Some msg in
+  let die kind detail = fault := Some (kind, detail) in
   let addr_ok a = a >= 0 && a < mem_words in
   let wr rd v = if rd <> 0 then regs.(rd) <- v in
   (* The interpreter records a trace entry for every retired instruction,
@@ -52,7 +84,8 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
      instruction does not retire). *)
   while (not !halted) && !fault = None && !steps < fuel do
     let cur = !pc in
-    if cur < 0 || cur >= n_code then die "pc out of code range"
+    if cur < 0 || cur >= n_code then
+      die Pipeline_error.Pc_out_of_range "pc out of code range"
     else begin
       let insn = code.(cur) in
       let next = ref (cur + 1) in
@@ -61,11 +94,13 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
       | Alu (op, rd, rs, rt) -> (
         match eval_alu op regs.(rs) regs.(rt) with
         | v -> wr rd v
-        | exception Division_by_zero -> die "integer division by zero")
+        | exception Division_by_zero ->
+          die Pipeline_error.Div_by_zero "integer division by zero")
       | Alui (op, rd, rs, imm) -> (
         match eval_alu op regs.(rs) imm with
         | v -> wr rd v
-        | exception Division_by_zero -> die "integer division by zero")
+        | exception Division_by_zero ->
+          die Pipeline_error.Div_by_zero "integer division by zero")
       | Li (rd, imm) -> wr rd imm
       | Fli (fd, x) -> fregs.(fd) <- x
       | Lw (rd, base, off) ->
@@ -74,28 +109,28 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
           aux := a;
           wr rd mem_i.(a)
         end
-        else die "load address out of range"
+        else die Pipeline_error.Mem_out_of_range "load address out of range"
       | Sw (rsrc, base, off) ->
         let a = regs.(base) + off in
         if addr_ok a then begin
           aux := a;
           mem_i.(a) <- regs.(rsrc)
         end
-        else die "store address out of range"
+        else die Pipeline_error.Mem_out_of_range "store address out of range"
       | Flw (fd, base, off) ->
         let a = regs.(base) + off in
         if addr_ok a then begin
           aux := a;
           fregs.(fd) <- mem_f.(a)
         end
-        else die "load address out of range"
+        else die Pipeline_error.Mem_out_of_range "load address out of range"
       | Fsw (fsrc, base, off) ->
         let a = regs.(base) + off in
         if addr_ok a then begin
           aux := a;
           mem_f.(a) <- fregs.(fsrc)
         end
-        else die "store address out of range"
+        else die Pipeline_error.Mem_out_of_range "store address out of range"
       | Falu (op, fd, fs, ft) -> fregs.(fd) <- eval_falu op fregs.(fs) fregs.(ft)
       | Fcmp (op, rd, fs, ft) -> wr rd (eval_fcmp op fregs.(fs) fregs.(ft))
       | Movn (rd, rs, rg) -> if regs.(rg) <> 0 then wr rd regs.(rs)
@@ -118,12 +153,13 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
       | Jtab (rs, table) ->
         let i = regs.(rs) in
         if i >= 0 && i < Array.length table then next := table.(i)
-        else die "jump table index out of range"
+        else
+          die Pipeline_error.Jtab_out_of_range "jump table index out of range"
       | Halt -> halted := true);
       if !fault = None then begin
         emit.Trace.on_entry ~pc:cur ~aux:!aux;
         (match observe with
-        | Some f -> f ~pc:cur ~regs ~fregs
+        | Some f -> f ~pc:cur ~step:!steps ~regs ~fregs ~mem:mem_i
         | None -> ());
         incr steps;
         pc := !next
@@ -133,7 +169,8 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
   emit.Trace.on_close ();
   let status =
     match !fault with
-    | Some msg -> Fault (Printf.sprintf "%s at pc %d" msg !pc)
+    | Some (kind, detail) ->
+      Fault (Pipeline_error.fault ~pc:!pc ~detail ~step:!steps kind)
     | None -> if !halted then Halted regs.(Risc.Reg.rv) else Out_of_fuel
   in
   { status; trace; steps = !steps }

@@ -9,12 +9,18 @@
 
     Execution is deterministic.  It stops at [Halt], when [fuel]
     instructions have retired (the paper similarly truncates traces at
-    100M instructions), or on a fault. *)
+    100M instructions), or on a fault.
+
+    {b Faults are data, not exceptions.}  Every outcome — including a
+    fault — carries the trace prefix and the retired-step count, so a
+    failed execution still yields an analyzable partial result; the
+    {!Pipeline_error.fault_info} payload says which instruction tripped
+    and why.  [run] never raises on program behaviour. *)
 
 type status =
   | Halted of int  (** value of the return-value register at [Halt] *)
   | Out_of_fuel
-  | Fault of string
+  | Fault of Pipeline_error.fault_info
 
 type outcome = {
   status : status;
@@ -22,14 +28,34 @@ type outcome = {
   steps : int;
 }
 
+val status_string : status -> string
+(** One-word tag: ["halted"], ["out_of_fuel"] or ["fault"]. *)
+
+val pp_status : Format.formatter -> status -> unit
+
+val completeness_of : outcome -> Pipeline_error.completeness
+(** [Complete] for a halted run; [Truncated] carrying the fuel or fault
+    descriptor otherwise.  This is the tag analysis results inherit. *)
+
 val default_mem_words : int
+
+val max_mem_words : int
+(** Resource guard: the largest memory the VM will agree to allocate
+    (two word arrays of this size).  See {!validate_mem_words}. *)
+
+val validate_mem_words : ?workload:string -> int -> (int, Pipeline_error.t) result
+(** Checks a requested memory size against [1 <= n <= max_mem_words],
+    returning [Budget_exceeded] (or [Invalid_request]) instead of
+    letting an oversized request OOM the process. *)
 
 val run :
   ?mem_words:int ->
   ?fuel:int ->
   ?record:bool ->
   ?sink:Trace.sink ->
-  ?observe:(pc:int -> regs:int array -> fregs:float array -> unit) ->
+  ?observe:
+    (pc:int -> step:int -> regs:int array -> fregs:float array ->
+     mem:int array -> unit) ->
   Asm.Program.flat ->
   outcome
 (** [run flat] executes the program from its entry point.  [fuel]
@@ -40,6 +66,12 @@ val run :
     [~record:false ~sink] streams the trace without ever holding it in
     memory, so the footprint is O(program + VM memory) regardless of
     trace length.  [observe] is called after [sink]'s [on_entry] for
-    each retired instruction with the live register files (not copies —
-    callers must not mutate or retain them); value-level trace checkers
-    ({!Cfg.Verify.Dynamic.observe}) hang off this hook. *)
+    each retired instruction with the 0-based retirement index [step]
+    and the live register files and integer memory (not copies —
+    callers must not retain them); value-level trace checkers
+    ({!Cfg.Verify.Dynamic.observe}) hang off this hook, and the fault
+    injector uses it to corrupt state mid-execution.
+
+    [mem_words] is trusted here (callers go through
+    {!validate_mem_words}); [Invalid_argument] is possible only for a
+    nonsensical negative size. *)

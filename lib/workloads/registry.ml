@@ -51,13 +51,38 @@ let numeric = List.filter (fun w -> w.numeric) all
 
 let find name = List.find (fun w -> w.name = name) all
 
+let names = List.map (fun w -> w.name) all
+
+let find_result name =
+  match List.find_opt (fun w -> w.name = name) all with
+  | Some w -> Ok w
+  | None ->
+    Error
+      (Pipeline_error.v Lookup
+         (Unknown_workload { name; hint = Pipeline_error.suggest name names }))
+
 let compile ?options w = Codegen.Compile.compile_flat ?options w.source
+
+(* Every exception the Mini-C front end or the linker can raise, folded
+   into one typed Compile_error so a bad source degrades to a structured
+   result instead of aborting a sweep. *)
+let compile_result ?options w =
+  let err msg =
+    Error (Pipeline_error.v ~workload:w.name Compile (Compile_error msg))
+  in
+  match compile ?options w with
+  | flat -> Ok flat
+  | exception Minic.Lexer.Error (msg, line) ->
+    err (Printf.sprintf "line %d: lexical error: %s" line msg)
+  | exception Minic.Parser.Error (msg, line) ->
+    err (Printf.sprintf "line %d: syntax error: %s" line msg)
+  | exception Minic.Sema.Error (msg, line) ->
+    err (Printf.sprintf "line %d: %s" line msg)
+  | exception Codegen.Compile.Error msg -> err msg
+  | exception Asm.Program.Link_error msg -> err ("link error: " ^ msg)
 
 let run ?options ?fuel ?record ?sink w =
   let fuel = match fuel with Some f -> f | None -> w.fuel in
   let flat = compile ?options w in
   let outcome = Vm.Exec.run ~fuel ?record ?sink flat in
-  (match outcome.status with
-  | Vm.Exec.Fault msg -> failwith (Printf.sprintf "%s: VM fault: %s" w.name msg)
-  | Halted _ | Out_of_fuel -> ());
   (flat, outcome)

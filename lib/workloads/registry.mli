@@ -22,10 +22,25 @@ val non_numeric : t list
 val numeric : t list
 
 val find : string -> t
-(** @raise Not_found for an unknown name. *)
+(** @raise Not_found for an unknown name (prefer {!find_result}). *)
+
+val names : string list
+
+val find_result : string -> (t, Pipeline_error.t) result
+(** Typed lookup: an unknown name yields [Unknown_workload] carrying a
+    "did you mean" hint against the registry, never a raw exception. *)
 
 val compile : ?options:Codegen.Compile.options -> t -> Asm.Program.flat
-(** Compile the workload's Mini-C source. *)
+(** Compile the workload's Mini-C source.
+    @raise Minic.Lexer.Error, Minic.Parser.Error, Minic.Sema.Error,
+    Codegen.Compile.Error, Asm.Program.Link_error (registry sources are
+    known-good; prefer {!compile_result} on the pipeline path). *)
+
+val compile_result :
+  ?options:Codegen.Compile.options -> t ->
+  (Asm.Program.flat, Pipeline_error.t) result
+(** {!compile} with every front-end and linker exception folded into a
+    typed [Compile_error]. *)
 
 val run :
   ?options:Codegen.Compile.options ->
@@ -37,4 +52,5 @@ val run :
 (** Compile and execute, returning the flat program and the VM outcome
     (trace included unless [record = false]).  [sink] additionally
     streams each retired instruction to a consumer as it executes.
-    @raise Failure when the VM faults. *)
+    Faults do not raise: the outcome's [status] carries the typed fault
+    descriptor and the trace holds the prefix up to it. *)

@@ -14,4 +14,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("properties", Test_props.suite);
       ("workloads", Test_workloads.suite);
+      ("fault", Test_fault.suite);
       ("report", Test_report.suite) ]

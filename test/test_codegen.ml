@@ -8,7 +8,9 @@ let run_src ?(fuel = 2_000_000) src =
   match outcome.status with
   | Vm.Exec.Halted v -> v
   | Out_of_fuel -> Alcotest.fail "out of fuel"
-  | Fault m -> Alcotest.fail ("VM fault: " ^ m)
+  | Fault f ->
+    Alcotest.fail
+      (Format.asprintf "VM fault: %a" Pipeline_error.pp_fault f)
 
 let check name expected src =
   Alcotest.(check int) name expected (run_src src)

@@ -158,7 +158,9 @@ let run_dynamic flat =
       ~observe:(V.Dynamic.observe d) flat
   in
   (match outcome.status with
-  | Vm.Exec.Fault msg -> Alcotest.fail ("VM fault: " ^ msg)
+  | Vm.Exec.Fault f ->
+    Alcotest.fail
+      (Format.asprintf "VM fault: %a" Pipeline_error.pp_fault f)
   | Halted _ | Out_of_fuel -> ());
   d
 

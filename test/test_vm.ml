@@ -17,7 +17,9 @@ let rv_of outcome =
   match outcome.Vm.Exec.status with
   | Vm.Exec.Halted v -> v
   | Out_of_fuel -> Alcotest.fail "out of fuel"
-  | Fault m -> Alcotest.fail ("fault: " ^ m)
+  | Fault f ->
+    Alcotest.fail
+      (Format.asprintf "fault: %a" Pipeline_error.pp_fault f)
 
 let check_rv name expected insns =
   Alcotest.(check int) name expected (rv_of (run_insns insns))

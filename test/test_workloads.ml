@@ -36,7 +36,9 @@ let test_runs w () =
     Alcotest.(check int) (w.name ^ " result") expected v
   | Vm.Exec.Halted _, None -> ()
   | Vm.Exec.Out_of_fuel, _ -> Alcotest.fail "out of fuel"
-  | Vm.Exec.Fault m, _ -> Alcotest.fail ("fault: " ^ m));
+  | Vm.Exec.Fault f, _ ->
+    Alcotest.fail
+      (Format.asprintf "fault: %a" Pipeline_error.pp_fault f));
   Alcotest.(check bool) "substantial trace" true (outcome.steps > 100_000)
 
 let test_branch_shape w () =
