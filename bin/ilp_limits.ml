@@ -93,53 +93,76 @@ let truncation_note (r : Ilp.Analyze.result) =
     Some (Format.asprintf "%a" Pipeline_error.pp_fault f)
 
 let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
-    mem_words =
+    mem_words jobs =
   let* ws = workloads_of_names names in
   let* machines = machines_of_names machine_names in
   let header =
     "Program"
     :: List.map (fun (m : Ilp.Machine.t) -> m.name) machines
   in
+  let specs =
+    List.map
+      (fun m ->
+        Harness.spec ~inline:(not no_inline) ~unroll:(not no_unroll)
+          ?step_budget m)
+      machines
+  in
+  let jobs =
+    match jobs with Some j -> j | None -> Stdx.Pool.recommended_jobs ()
+  in
+  (* Every path fans all machines out over a single trace scan.
+     --stream additionally never materializes the trace, so the budget
+     can exceed memory; with more than one worker domain, whole
+     workloads also fan out over a pool (always streaming — each domain
+     holds O(program) state), merged back in workload order so the
+     table is identical for every --jobs value. *)
+  let* per_workload =
+    if jobs > 1 && List.length ws > 1 then
+      let outcomes = Harness.run_streaming_all ?mem_words ?fuel ~jobs ws specs in
+      let rec zip acc ws outcomes =
+        match (ws, outcomes) with
+        | [], [] -> Ok (List.rev acc)
+        | w :: ws', o :: os' ->
+          let* results = o in
+          zip ((w, results) :: acc) ws' os'
+        | _ -> assert false
+      in
+      zip [] ws outcomes
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | w :: rest ->
+          let* results =
+            if stream then
+              Harness.run_streaming_result ?mem_words ?fuel w specs
+            else
+              let* p = Harness.prepare_result ?mem_words ?fuel w in
+              Ok (Harness.analyze_specs p specs)
+          in
+          go ((w, results) :: acc) rest
+      in
+      go [] ws
+  in
   let notes = ref [] in
-  let rec rows acc = function
-    | [] -> Ok (List.rev acc)
-    | w :: rest ->
-      let specs =
-        List.map
-          (fun m ->
-            Harness.spec ~inline:(not no_inline) ~unroll:(not no_unroll)
-              ?step_budget m)
-          machines
-      in
-      (* Both paths fan every machine out over a single trace scan;
-         --stream additionally never materializes the trace, so the
-         budget can exceed memory. *)
-      let* results =
-        if stream then Harness.run_streaming_result ?mem_words ?fuel w specs
-        else
-          let* p = Harness.prepare_result ?mem_words ?fuel w in
-          Ok (Harness.analyze_specs p specs)
-      in
-      (match results with
-      | r :: _ -> (
-        match truncation_note r with
-        | Some note ->
-          notes := (w.Workloads.Registry.name, note) :: !notes
-        | None -> ())
-      | [] -> ());
-      let row =
-        w.Workloads.Registry.name
+  let rows =
+    List.map
+      (fun ((w : Workloads.Registry.t), results) ->
+        (match results with
+        | r :: _ -> (
+          match truncation_note r with
+          | Some note -> notes := (w.name, note) :: !notes
+          | None -> ())
+        | [] -> ());
+        w.name
         :: List.map
              (fun (r : Ilp.Analyze.result) ->
                Report.Table.fnum r.parallelism
                ^ (match r.completeness with
                  | Pipeline_error.Complete -> ""
                  | Pipeline_error.Truncated _ -> "*"))
-             results
-      in
-      rows (row :: acc) rest
+             results)
+      per_workload
   in
-  let* rows = rows [] ws in
   print_string
     (Report.Table.render ~title:"Parallelism limits"
        ~header
@@ -323,9 +346,9 @@ let cmd_inject names seed fault_name fuel =
   in
   go ws
 
-let cmd_fuzz names seed cases fuel =
+let cmd_fuzz names seed cases fuel jobs =
   let* ws = workloads_of_names names in
-  let r = Harness.Fuzz.run ?fuel ~workloads:ws ~seed ~cases () in
+  let r = Harness.Fuzz.run ?fuel ~workloads:ws ?jobs ~seed ~cases () in
   Format.printf
     "fuzz: %d cases (seed %d): %d complete, %d truncated, %d structured \
      errors, %d internal errors, %d escaped exceptions@."
@@ -358,6 +381,13 @@ let handle = function
 let workloads_arg =
   Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME"
          ~doc:"Workload to use (repeatable; default: all).")
+
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel fan-out (default: the \
+               runtime's recommended domain count; 1 keeps everything \
+               on the calling domain).  Output is bit-identical for \
+               every value of N.")
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (Table 1).")
@@ -400,10 +430,10 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Measure parallelism limits (Table 3).")
     Term.(
-      const (fun ws ms ni nu f s sb mw ->
-          handle (cmd_run ws ms ni nu f s sb mw))
+      const (fun ws ms ni nu f s sb mw j ->
+          handle (cmd_run ws ms ni nu f s sb mw j))
       $ workloads_arg $ machines $ no_inline $ no_unroll $ fuel $ stream
-      $ step_budget $ mem_words)
+      $ step_budget $ mem_words $ jobs_arg)
 
 let stats_cmd =
   let fuel =
@@ -495,8 +525,8 @@ let fuzz_cmd =
              invariant: every input yields a result or a structured \
              error.  Nonzero exit if any exception escapes.")
     Term.(
-      const (fun ws s c fu -> handle (cmd_fuzz ws s c fu))
-      $ workloads_arg $ seed_arg $ cases $ inject_fuel)
+      const (fun ws s c fu j -> handle (cmd_fuzz ws s c fu j))
+      $ workloads_arg $ seed_arg $ cases $ inject_fuel $ jobs_arg)
 
 let () =
   let info =

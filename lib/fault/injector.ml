@@ -4,11 +4,11 @@ module Rng = struct
      guarantee depends on. *)
   type t = { mutable s : int64 }
 
+  let gamma = 0x9E3779B97F4A7C15L
+
   let create seed = { s = Int64.of_int seed }
 
-  let next t =
-    t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
-    let z = t.s in
+  let mix z =
     let z =
       Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
         0xBF58476D1CE4E5B9L
@@ -19,10 +19,25 @@ module Rng = struct
     in
     Int64.logxor z (Int64.shift_right_logical z 31)
 
+  let next t =
+    t.s <- Int64.add t.s gamma;
+    mix t.s
+
   let int t n =
     if n <= 0 then invalid_arg "Injector.Rng.int";
     Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int)
                     (Int64.of_int n))
+
+  (* [derive ~seed ~index] is output [index] of the splitmix64 stream
+     rooted at [seed] — a decorrelated per-task seed that depends only
+     on (seed, index), never on which domain draws it or when, so
+     parallel fuzzing stays bit-reproducible under any scheduling. *)
+  let derive ~seed ~index =
+    let z =
+      Int64.add (Int64.of_int seed)
+        (Int64.mul (Int64.of_int (index + 1)) gamma)
+    in
+    Int64.to_int (Int64.logand (mix z) Int64.max_int)
 end
 
 type kind =

@@ -72,4 +72,11 @@ module Rng : sig
 
   val int : t -> int -> int
   (** [int t n] is uniform-ish in [\[0, n)]; [n > 0]. *)
+
+  val derive : seed:int -> index:int -> int
+  (** [derive ~seed ~index] is the [index]-th output of the splitmix64
+      stream rooted at [seed]: a decorrelated per-task seed that is a
+      pure function of [(seed, index)].  Parallel drivers hand task
+      [i] the seed [derive ~seed ~index:i], so a fuzz sweep is
+      reproducible independent of scheduling order and [--jobs]. *)
 end

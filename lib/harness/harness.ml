@@ -1,37 +1,42 @@
 module Counters = struct
-  let n_executions = ref 0
-  let n_passes = ref 0
-  let n_entries = ref 0
-  let n_state_entries = ref 0
-  let n_profiled_entries = ref 0
+  (* Atomics, not refs: pipelines running on pool domains bump these
+     concurrently, and atomic adds commute — the parallel path reports
+     exactly the totals the sequential path does. *)
+  let n_executions = Atomic.make 0
+  let n_passes = Atomic.make 0
+  let n_entries = Atomic.make 0
+  let n_state_entries = Atomic.make 0
+  let n_profiled_entries = Atomic.make 0
 
-  let executions () = !n_executions
-  let passes () = !n_passes
-  let entries () = !n_entries
-  let state_entries () = !n_state_entries
-  let profiled_entries () = !n_profiled_entries
+  let executions () = Atomic.get n_executions
+  let passes () = Atomic.get n_passes
+  let entries () = Atomic.get n_entries
+  let state_entries () = Atomic.get n_state_entries
+  let profiled_entries () = Atomic.get n_profiled_entries
+
+  let add c n = ignore (Atomic.fetch_and_add c n)
 
   let record_execution ?(profiled = 0) () =
-    incr n_executions;
-    n_profiled_entries := !n_profiled_entries + profiled
+    Atomic.incr n_executions;
+    add n_profiled_entries profiled
 
   let record_pass ~entries ~states =
-    incr n_passes;
-    n_entries := !n_entries + entries;
-    n_state_entries := !n_state_entries + (entries * states)
+    Atomic.incr n_passes;
+    add n_entries entries;
+    add n_state_entries (entries * states)
 
   (* Total instruction-analysis events: every entry consumed by a
      sink-trained profile plus every (entry, analysis state) pair scanned
      by the trace analyzers.  This is the figure BENCH_results.json
      reports as [instructions_analyzed]. *)
-  let analyzed () = !n_profiled_entries + !n_state_entries
+  let analyzed () = profiled_entries () + state_entries ()
 
   let reset () =
-    n_executions := 0;
-    n_passes := 0;
-    n_entries := 0;
-    n_state_entries := 0;
-    n_profiled_entries := 0
+    Atomic.set n_executions 0;
+    Atomic.set n_passes 0;
+    Atomic.set n_entries 0;
+    Atomic.set n_state_entries 0;
+    Atomic.set n_profiled_entries 0
 end
 
 type prepared = {
@@ -220,6 +225,25 @@ let run_streaming_result ?options ?mem_words ?fuel w specs =
   Pipeline_error.guard ~workload:name Execute (fun () ->
       Ok (run_streaming_flat ?mem_words ~fuel w flat specs))
 
+(* Parallel fan-out: each workload's whole pipeline — compile, the two
+   executions, the streaming analysis of every spec — is one pool task
+   with its own sink and VM state; nothing is shared between tasks but
+   the atomic counters.  Results come back in workload order, so the
+   output is bit-identical to mapping [run_streaming_result]
+   sequentially, whatever the scheduling.  The guard wrapper upholds
+   the pipeline invariant across the domain boundary: an exception a
+   task leaks becomes that workload's typed [Internal] error instead of
+   escaping the pool. *)
+let run_streaming_all ?options ?mem_words ?fuel ?jobs ws specs =
+  let task w =
+    Pipeline_error.guard ~workload:w.Workloads.Registry.name Execute
+      (fun () -> run_streaming_result ?options ?mem_words ?fuel w specs)
+  in
+  match ws with
+  | [] -> []
+  | [ w ] -> [ task w ]
+  | ws -> Stdx.Pool.with_pool ?jobs (fun pool -> Stdx.Pool.map_list pool task ws)
+
 type check_result = {
   c_workload : string;
   c_report : Cfg.Verify.report;
@@ -363,33 +387,60 @@ module Fuzz = struct
     escaped : escaped list;
   }
 
-  let run ?fuel ?(workloads = Workloads.Registry.all) ~seed ~cases () =
+  (* What one seeded case did; folded into the report in index order so
+     the counts and the escaped list never depend on scheduling. *)
+  type outcome =
+    | O_complete
+    | O_truncated
+    | O_structured
+    | O_internal
+    | O_escaped of escaped
+
+  let run ?fuel ?(workloads = Workloads.Registry.all) ?jobs ~seed ~cases ()
+      =
     let wl = Array.of_list workloads in
     let kinds = Array.of_list Fault.Injector.all_kinds in
     let n_kinds = Array.length kinds in
+    (* Case [i]'s seed is a pure function of (seed, i) — a splitmix64
+       stream output — so a parallel sweep reproduces the sequential
+       one case for case. *)
+    let case i =
+      let kind = kinds.(i mod n_kinds) in
+      let w = wl.(i / n_kinds mod Array.length wl) in
+      let case_seed = Fault.Injector.Rng.derive ~seed ~index:i in
+      match inject ?fuel ~seed:case_seed ~kind w with
+      | Ok inj -> (
+        match inj.i_result.Ilp.Analyze.completeness with
+        | Pipeline_error.Complete -> O_complete
+        | Pipeline_error.Truncated _ -> O_truncated)
+      | Error { Pipeline_error.cause = Internal _; _ } -> O_internal
+      | Error _ -> O_structured
+      | exception e ->
+        O_escaped
+          { e_seed = case_seed; e_kind = kind;
+            e_workload = w.Workloads.Registry.name;
+            e_exn = Printexc.to_string e }
+    in
+    let outcomes =
+      match jobs with
+      | Some j when j > 1 && cases > 1 ->
+        Stdx.Pool.with_pool ~jobs:j (fun pool ->
+            Stdx.Pool.map_array pool case (Array.init cases Fun.id))
+      | _ -> Array.init cases case
+    in
     let complete = ref 0
     and truncated = ref 0
     and structured = ref 0
     and internal = ref 0
     and escaped = ref [] in
-    for i = 0 to cases - 1 do
-      let kind = kinds.(i mod n_kinds) in
-      let w = wl.(i / n_kinds mod Array.length wl) in
-      let case_seed = seed + i in
-      match inject ?fuel ~seed:case_seed ~kind w with
-      | Ok inj -> (
-        match inj.i_result.Ilp.Analyze.completeness with
-        | Pipeline_error.Complete -> incr complete
-        | Pipeline_error.Truncated _ -> incr truncated)
-      | Error { Pipeline_error.cause = Internal _; _ } -> incr internal
-      | Error _ -> incr structured
-      | exception e ->
-        escaped :=
-          { e_seed = case_seed; e_kind = kind;
-            e_workload = w.Workloads.Registry.name;
-            e_exn = Printexc.to_string e }
-          :: !escaped
-    done;
+    Array.iter
+      (function
+        | O_complete -> incr complete
+        | O_truncated -> incr truncated
+        | O_structured -> incr structured
+        | O_internal -> incr internal
+        | O_escaped e -> escaped := e :: !escaped)
+      outcomes;
     { cases; complete = !complete; truncated = !truncated;
       structured_errors = !structured; internal_errors = !internal;
       escaped = List.rev !escaped }

@@ -178,6 +178,25 @@ val run_streaming_result :
   (Ilp.Analyze.result list, Pipeline_error.t) result
 (** {!run_streaming} behind the typed-error barrier. *)
 
+val run_streaming_all :
+  ?options:Codegen.Compile.options ->
+  ?mem_words:int ->
+  ?fuel:int ->
+  ?jobs:int ->
+  Workloads.Registry.t list ->
+  spec list ->
+  (Ilp.Analyze.result list, Pipeline_error.t) result list
+(** Fan whole workloads out over a domain pool: each workload's
+    pipeline (compile, execute, stream-analyze every spec) is one task
+    with its own VM state and analysis sinks, run on its own domain.
+    Results are merged by workload index, so the output — including
+    every {!Counters} total — is bit-identical to mapping
+    {!run_streaming_result} over [ws] sequentially, for any [jobs] and
+    any scheduling.  [jobs] defaults to
+    {!Stdx.Pool.recommended_jobs}[ ()]; [jobs = 1] never spawns a
+    domain.  An exception escaping a task surfaces as that workload's
+    [Internal] error, upholding the pipeline invariant across domains. *)
+
 (** Outcome of running the static verifier (and optionally the dynamic
     trace cross-validation) over one workload. *)
 type check_result = {
@@ -259,11 +278,16 @@ module Fuzz : sig
   val run :
     ?fuel:int ->
     ?workloads:Workloads.Registry.t list ->
+    ?jobs:int ->
     seed:int ->
     cases:int ->
     unit ->
     report
-  (** Run [cases] seeded injections: case [i] uses seed [seed + i],
+  (** Run [cases] seeded injections: case [i] uses the splitmix64
+      stream output {!Fault.Injector.Rng.derive}[ ~seed ~index:i],
       cycles through all fault kinds, and rotates over [workloads]
-      (default: the whole registry). *)
+      (default: the whole registry).  With [jobs > 1] the cases run on
+      a domain pool; because each case's seed depends only on its
+      index, the report is identical for every [jobs] value and
+      scheduling order. *)
 end

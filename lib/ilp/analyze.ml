@@ -59,42 +59,51 @@ module Mem_table = struct
       grow t page
     end
 
+  (* The unsafe accesses are behind proven bounds: [page] is checked
+     against the page directory right here, and [addr land page_mask]
+     is below [page_words] — the length of every non-empty page — by
+     construction.  This is the hottest pair of functions in the whole
+     analyzer (every load and store of every trace entry of every
+     machine state lands here). *)
   let get t addr =
     let page = addr lsr page_bits in
     if page >= Array.length t.pages then 0
     else
-      let p = t.pages.(page) in
-      if p == empty_page then 0 else p.(addr land page_mask)
+      let p = Array.unsafe_get t.pages page in
+      if p == empty_page then 0
+      else Array.unsafe_get p (addr land page_mask)
 
   let set t addr time =
     let page = addr lsr page_bits in
     if page >= Array.length t.pages then grow t page;
-    let p = t.pages.(page) in
+    let p = Array.unsafe_get t.pages page in
     let p =
       if p == empty_page then begin
         let fresh = Array.make page_words 0 in
-        t.pages.(page) <- fresh;
+        Array.unsafe_set t.pages page fresh;
         fresh
       end
       else p
     in
-    p.(addr land page_mask) <- time
+    Array.unsafe_set p (addr land page_mask) time
 end
-
-(* One procedure activation of the interprocedural control-dependence
-   stack (paper §4.4.1). *)
-type frame = {
-  f_entry : int;  (* sequence number of the activation's first block *)
-  f_ctx_seq : int;  (* call site's resolved control dependence *)
-  f_ctx_time : int;
-  f_ctx_mchain : int;
-}
 
 (* Incremental per-machine analysis: all the state one machine model
    needs to consume a trace one entry at a time.  [step] is the body of
    what used to be the per-entry loop; a fan-out driver advances many
-   states over a single pass (or a single VM execution, via {!sink_many}). *)
+   states over a single pass (or a single VM execution, via {!sink_many}).
+
+   The layout is tuned for that per-entry loop: machine knobs are
+   hoisted into flat [k_*] bools, the predictor closure and the static
+   tables sit one field away, the interprocedural activation stack is a
+   packed int array instead of a list of records, and the loop itself
+   allocates nothing. *)
 module State = struct
+  (* Packed activation frames: frame [i] occupies the four ints at
+     [4*i] — entry sequence number, then the call site's resolved
+     control dependence (seq, time, mchain) (paper §4.4.1). *)
+  let frame_words = 4
+
   type t = {
     cfg : config;
     info : Program_info.t;
@@ -102,6 +111,22 @@ module State = struct
        re-derives nothing per entry. *)
     removed_mask : int;  (* any bit set => not in the timed trace *)
     cjump_mask : int;  (* any bit set => treated as computed jump *)
+    (* Machine knobs and static tables, hoisted flat so the per-entry
+       path never chases [cfg.machine] or [info]. *)
+    k_control_dep : bool;
+    k_oracle : bool;
+    k_speculate : bool;
+    k_segments : bool;
+    predict : pc:int -> taken:bool -> bool;
+    latencies : (Program_info.lat_class -> int) option;
+    budget : int;  (* step budget, [max_int] when unbounded *)
+    n_code : int;
+    flags : int array;
+    block_of : int array;
+    uses : int array array;
+    defs : int array array;
+    lat : Program_info.lat_class array;
+    rdf : int array array;
     reg_time : int array;
     mem : Mem_table.t;
     (* Per static block: data of the most recently *executed* branch
@@ -113,8 +138,9 @@ module State = struct
     b_proc : int array;
     mutable seq_counter : int;
     mutable cur_block_seq : int;
-    (* Current activation; saved frames below it. *)
-    mutable stack : frame list;
+    (* Current activation; saved frames below it, packed. *)
+    mutable stack : int array;
+    mutable stack_len : int;  (* frames, not words *)
     mutable cur_entry : int;
     mutable ctx_seq : int;
     mutable ctx_time : int;
@@ -157,6 +183,21 @@ module State = struct
       cjump_mask =
         (Program_info.f_computed_jump
         lor if cfg.inline then 0 else Program_info.f_ret);
+      k_control_dep = m.control_dep;
+      k_oracle = m.oracle;
+      k_speculate = m.speculate;
+      k_segments = cfg.collect_segments;
+      predict = cfg.predictor.Predict.Predictor.predict;
+      latencies = m.latencies;
+      budget =
+        (match cfg.step_budget with None -> max_int | Some b -> b);
+      n_code = info.n;
+      flags = info.flags;
+      block_of = info.block_of;
+      uses = info.uses;
+      defs = info.defs;
+      lat = info.lat;
+      rdf = info.rdf;
       reg_time = Array.make Risc.Reg.n_unified 0;
       mem = Mem_table.create cfg.mem_words;
       cand_seq = Array.make (max info.n_blocks 1) 0;
@@ -165,7 +206,8 @@ module State = struct
       b_proc = Array.make (max info.n_blocks 1) 0;
       seq_counter = 0;
       cur_block_seq = 0;
-      stack = [];
+      stack = Array.make (16 * frame_words) 0;
+      stack_len = 0;
       cur_entry = 1;
       ctx_seq = 0;
       ctx_time = 0;
@@ -194,36 +236,52 @@ module State = struct
   (* Control-dependence resolution: the call-site context or the most
      recent valid RDF branch instance, whichever is newer; dropped
      entirely when an instance from a newer activation (recursion) is
-     seen. *)
+     seen.  The best candidate travels in accumulator arguments (not a
+     heap ref), and an instance from a newer activation short-circuits
+     — the original scanned on, but only into updates the final zeroing
+     discarded anyway.  Indices are proven: [blk] and the RDF entries
+     are block ids below [n_blocks], the length of every per-block
+     table. *)
   let resolve st blk =
-    st.r_seq <- st.ctx_seq;
-    st.r_time <- st.ctx_time;
-    st.r_mchain <- st.ctx_mchain;
-    let recursion = ref false in
-    let rdf = st.info.rdf.(blk) in
-    for k = 0 to Array.length rdf - 1 do
-      let c = rdf.(k) in
-      if st.cand_seq.(c) > 0 then begin
-        if st.b_proc.(c) > st.cur_entry then recursion := true
-        else if st.b_proc.(c) = st.cur_entry && st.cand_seq.(c) > st.r_seq
-        then begin
-          st.r_seq <- st.cand_seq.(c);
-          st.r_time <- st.b_time.(c);
-          st.r_mchain <- st.b_mchain.(c)
-        end
+    let rdf = Array.unsafe_get st.rdf blk in
+    let n = Array.length rdf in
+    let cur_entry = st.cur_entry in
+    let rec go k seq time mchain =
+      if k >= n then begin
+        st.r_seq <- seq;
+        st.r_time <- time;
+        st.r_mchain <- mchain
       end
-    done;
-    if !recursion then begin
-      st.r_seq <- 0;
-      st.r_time <- 0;
-      st.r_mchain <- 0
-    end
+      else
+        let c = Array.unsafe_get rdf k in
+        let cand = Array.unsafe_get st.cand_seq c in
+        if cand > 0 then begin
+          let proc = Array.unsafe_get st.b_proc c in
+          if proc > cur_entry then begin
+            st.r_seq <- 0;
+            st.r_time <- 0;
+            st.r_mchain <- 0
+          end
+          else if proc = cur_entry && cand > seq then
+            go (k + 1) cand
+              (Array.unsafe_get st.b_time c)
+              (Array.unsafe_get st.b_mchain c)
+          else go (k + 1) seq time mchain
+        end
+        else go (k + 1) seq time mchain
+    in
+    go 0 st.ctx_seq st.ctx_time st.ctx_mchain
 
+  (* One bounds check on the trace-supplied [pc] proves every
+     per-instruction table access below, so the rest of the step reads
+     unsafely.  (A pc outside the code segment raised Invalid_argument
+     from the first table read before; it still raises, just with a
+     better message.) *)
   let do_step st ~pc ~aux =
-    let info = st.info in
-    let m = st.cfg.machine in
-    let flags = info.flags.(pc) in
-    let blk = info.block_of.(pc) in
+    if pc < 0 || pc >= st.n_code then
+      invalid_arg "Analyze.step: pc outside the code segment";
+    let flags = Array.unsafe_get st.flags pc in
+    let blk = Array.unsafe_get st.block_of pc in
     if flags land Program_info.f_block_start <> 0 then begin
       st.seq_counter <- st.seq_counter + 1;
       st.cur_block_seq <- st.seq_counter
@@ -231,135 +289,184 @@ module State = struct
     (* Interprocedural stack maintenance happens whether or not the call
        and return instructions themselves are timed. *)
     if flags land Program_info.f_call <> 0 then begin
-      if m.control_dep then resolve st blk
+      if st.k_control_dep then resolve st blk
       else begin
         st.r_seq <- 0;
         st.r_time <- 0;
         st.r_mchain <- 0
       end;
-      st.stack <-
-        { f_entry = st.cur_entry; f_ctx_seq = st.ctx_seq;
-          f_ctx_time = st.ctx_time; f_ctx_mchain = st.ctx_mchain }
-        :: st.stack;
+      let base = frame_words * st.stack_len in
+      if base >= Array.length st.stack then begin
+        let old = st.stack in
+        let bigger = Array.make (2 * Array.length old) 0 in
+        Array.blit old 0 bigger 0 (Array.length old);
+        st.stack <- bigger
+      end;
+      let s = st.stack in
+      Array.unsafe_set s base st.cur_entry;
+      Array.unsafe_set s (base + 1) st.ctx_seq;
+      Array.unsafe_set s (base + 2) st.ctx_time;
+      Array.unsafe_set s (base + 3) st.ctx_mchain;
+      st.stack_len <- st.stack_len + 1;
       st.cur_entry <- st.seq_counter + 1;
       st.ctx_seq <- st.r_seq;
       st.ctx_time <- st.r_time;
       st.ctx_mchain <- st.r_mchain
     end
-    else if flags land Program_info.f_ret <> 0 then
-      match st.stack with
-      | f :: rest ->
-        st.stack <- rest;
-        st.cur_entry <- f.f_entry;
-        st.ctx_seq <- f.f_ctx_seq;
-        st.ctx_time <- f.f_ctx_time;
-        st.ctx_mchain <- f.f_ctx_mchain
-      | [] ->
+    else if flags land Program_info.f_ret <> 0 then begin
+      if st.stack_len > 0 then begin
+        st.stack_len <- st.stack_len - 1;
+        let base = frame_words * st.stack_len in
+        let s = st.stack in
+        st.cur_entry <- Array.unsafe_get s base;
+        st.ctx_seq <- Array.unsafe_get s (base + 1);
+        st.ctx_time <- Array.unsafe_get s (base + 2);
+        st.ctx_mchain <- Array.unsafe_get s (base + 3)
+      end
+      else begin
         st.cur_entry <- 1;
         st.ctx_seq <- 0;
         st.ctx_time <- 0;
         st.ctx_mchain <- 0
-    else ();
+      end
+    end;
     if flags land st.removed_mask <> 0 then begin
       (* A removed loop branch passes its own control dependence through
          to its dependents (unrolling an inner loop leaves its body
          dependent on the enclosing branch). *)
-      if flags land Program_info.f_cond_branch <> 0 && m.control_dep
+      if flags land Program_info.f_cond_branch <> 0 && st.k_control_dep
       then begin
         resolve st blk;
-        st.cand_seq.(blk) <- st.cur_block_seq;
-        st.b_proc.(blk) <- st.cur_entry;
-        st.b_time.(blk) <- st.r_time;
-        st.b_mchain.(blk) <- st.r_mchain
+        Array.unsafe_set st.cand_seq blk st.cur_block_seq;
+        Array.unsafe_set st.b_proc blk st.cur_entry;
+        Array.unsafe_set st.b_time blk st.r_time;
+        Array.unsafe_set st.b_mchain blk st.r_mchain
       end
     end
     else begin
       let is_cbr = flags land Program_info.f_cond_branch <> 0 in
       let is_cjump = flags land st.cjump_mask <> 0 in
-      if m.control_dep then resolve st blk;
+      if st.k_control_dep then resolve st blk;
       let ctrl =
-        if m.oracle then 0
-        else if m.speculate && m.control_dep then st.r_mchain
-        else if m.speculate then st.last_mispred_time
-        else if m.control_dep then st.r_time
+        if st.k_oracle then 0
+        else if st.k_speculate && st.k_control_dep then st.r_mchain
+        else if st.k_speculate then st.last_mispred_time
+        else if st.k_control_dep then st.r_time
         else st.last_branch_time
       in
-      (* True data dependences. *)
-      let data = ref 0 in
-      let uses = info.uses.(pc) in
-      for k = 0 to Array.length uses - 1 do
-        let time = st.reg_time.(uses.(k)) in
-        if time > !data then data := time
-      done;
-      if flags land Program_info.f_mem_load <> 0 then begin
-        let time = Mem_table.get st.mem aux in
-        if time > !data then data := time
-      end;
-      let t = ref (1 + max ctrl !data) in
+      (* True data dependences: max over register uses (accumulator
+         recursion, not a heap ref) and the last write of a loaded
+         address. *)
+      let uses = Array.unsafe_get st.uses pc in
+      let n_uses = Array.length uses in
+      let reg_time = st.reg_time in
+      let rec max_use k acc =
+        if k >= n_uses then acc
+        else
+          let time =
+            Array.unsafe_get reg_time (Array.unsafe_get uses k)
+          in
+          max_use (k + 1) (if time > acc then time else acc)
+      in
+      let data = max_use 0 0 in
+      let data =
+        if flags land Program_info.f_mem_load <> 0 then begin
+          let time = Mem_table.get st.mem aux in
+          if time > data then time else data
+        end
+        else data
+      in
+      let t = 1 + (if ctrl > data then ctrl else data) in
       (* Branch prediction. *)
-      let mispred = ref false in
-      if is_cbr then begin
-        st.dyn_branches <- st.dyn_branches + 1;
-        let taken = aux = 1 in
-        let predicted = st.cfg.predictor.predict ~pc ~taken in
-        mispred := predicted <> taken
-      end
-      else if is_cjump then mispred := true;
+      let mispred =
+        if is_cbr then begin
+          st.dyn_branches <- st.dyn_branches + 1;
+          let taken = aux = 1 in
+          let predicted = st.predict ~pc ~taken in
+          predicted <> taken
+        end
+        else is_cjump
+      in
       (* Serializing branches compete for the machine's flows of
          control: one such branch per flow per cycle. *)
       let serializing =
         (is_cbr || is_cjump)
-        && (not m.oracle)
-        && ((not m.speculate) || !mispred)
+        && (not st.k_oracle)
+        && ((not st.k_speculate) || mispred)
       in
-      let flow_idx = ref (-1) in
-      if serializing && Array.length st.flow_time > 0 then begin
-        let flow_time = st.flow_time in
-        let best = ref 0 in
-        for k = 1 to Array.length flow_time - 1 do
-          if flow_time.(k) < flow_time.(!best) then best := k
-        done;
-        flow_idx := !best;
-        if flow_time.(!best) + 1 > !t then t := flow_time.(!best) + 1
-      end;
+      let flow_time = st.flow_time in
+      let n_flows = Array.length flow_time in
+      let flow_idx =
+        if serializing && n_flows > 0 then begin
+          let rec best k b =
+            if k >= n_flows then b
+            else
+              best (k + 1)
+                (if Array.unsafe_get flow_time k
+                    < Array.unsafe_get flow_time b
+                 then k
+                 else b)
+          in
+          best 1 0
+        end
+        else -1
+      in
+      let t =
+        if flow_idx >= 0 then begin
+          let avail = Array.unsafe_get flow_time flow_idx + 1 in
+          if avail > t then avail else t
+        end
+        else t
+      in
       (* Finite scheduling window: an instruction cannot issue before
          the one [w] earlier has issued. *)
-      if Array.length st.window > 0 then begin
-        if st.window.(st.win_pos) > !t then t := st.window.(st.win_pos);
-        st.window.(st.win_pos) <- !t;
-        st.win_pos <- (st.win_pos + 1) mod Array.length st.window
-      end;
-      let lat =
-        match m.latencies with None -> 1 | Some f -> f info.lat.(pc)
+      let window = st.window in
+      let n_window = Array.length window in
+      let t =
+        if n_window > 0 then begin
+          let wp = st.win_pos in
+          let prev = Array.unsafe_get window wp in
+          let t = if prev > t then prev else t in
+          Array.unsafe_set window wp t;
+          let wp = wp + 1 in
+          st.win_pos <- (if wp = n_window then 0 else wp);
+          t
+        end
+        else t
       in
-      let completion = !t + lat - 1 in
+      let lat =
+        match st.latencies with
+        | None -> 1
+        | Some f -> f (Array.unsafe_get st.lat pc)
+      in
+      let completion = t + lat - 1 in
       (* Record results. *)
-      let defs = info.defs.(pc) in
+      let defs = Array.unsafe_get st.defs pc in
       for k = 0 to Array.length defs - 1 do
-        st.reg_time.(defs.(k)) <- completion
+        Array.unsafe_set reg_time (Array.unsafe_get defs k) completion
       done;
       if flags land Program_info.f_mem_store <> 0 then
         Mem_table.set st.mem aux completion;
       st.counted <- st.counted + 1;
       st.seq_cycles <- st.seq_cycles + lat;
       if completion > st.max_time then st.max_time <- completion;
-      if st.cfg.collect_segments then begin
+      if st.k_segments then begin
         st.seg_len <- st.seg_len + 1;
         if completion > st.seg_max then st.seg_max <- completion
       end;
       if is_cbr || is_cjump then begin
-        st.cand_seq.(blk) <- st.cur_block_seq;
-        st.b_proc.(blk) <- st.cur_entry;
-        st.b_time.(blk) <- completion;
-        st.b_mchain.(blk) <-
-          (if !mispred then completion else st.r_mchain);
+        Array.unsafe_set st.cand_seq blk st.cur_block_seq;
+        Array.unsafe_set st.b_proc blk st.cur_entry;
+        Array.unsafe_set st.b_time blk completion;
+        Array.unsafe_set st.b_mchain blk
+          (if mispred then completion else st.r_mchain);
         st.last_branch_time <- completion;
-        if serializing && !flow_idx >= 0 then
-          st.flow_time.(!flow_idx) <- completion;
-        if !mispred then begin
+        if flow_idx >= 0 then
+          Array.unsafe_set st.flow_time flow_idx completion;
+        if mispred then begin
           st.mispredicts <- st.mispredicts + 1;
           st.last_mispred_time <- completion;
-          if st.cfg.collect_segments then begin
+          if st.k_segments then begin
             Stdx.Vec.push st.segments
               { length = st.seg_len;
                 cycles = max 1 (st.seg_max - st.seg_base) };
@@ -374,19 +481,19 @@ module State = struct
   (* The budget guard wraps the real per-entry transition: once the
      configured number of counted instructions has been analyzed, the
      remaining trace is dropped (graceful degradation, not an abort) and
-     the result will carry a [Step_budget] truncation tag. *)
+     the result will carry a [Step_budget] truncation tag.  [budget] is
+     [max_int] when unconfigured, so the common case is one compare. *)
   let step st ~pc ~aux =
     match st.budget_hit with
     | Some _ -> ()
-    | None -> (
-      match st.cfg.step_budget with
-      | Some b when st.counted >= b ->
+    | None ->
+      if st.counted >= st.budget then
         st.budget_hit <-
           Some
             (Pipeline_error.fault ~pc ~step:st.counted
-               ~detail:(Printf.sprintf "analysis step budget %d" b)
+               ~detail:(Printf.sprintf "analysis step budget %d" st.budget)
                Pipeline_error.Step_budget)
-      | _ -> do_step st ~pc ~aux)
+      else do_step st ~pc ~aux
 
   let finish ?(completeness = Pipeline_error.Complete) st =
     if st.cfg.collect_segments && st.seg_len > 0 then begin

@@ -1,0 +1,120 @@
+type task = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  (* signaled when a task is queued or [stop] is set *)
+  work : Condition.t;
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  jobs : int;
+}
+
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Tasks are pre-wrapped by [map_array] and never raise; a worker loops
+   until shutdown. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if t.stop then None
+    else
+      match Queue.take_opt t.queue with
+      | Some task -> Some task
+      | None ->
+        Condition.wait t.work t.mutex;
+        next ()
+  in
+  match next () with
+  | None -> Mutex.unlock t.mutex
+  | Some task ->
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> recommended_jobs ()
+  in
+  let t =
+    { mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+      jobs }
+  in
+  t.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let map_array t f arr =
+  let n = Array.length arr in
+  if t.stop then invalid_arg "Pool.map_array: pool is shut down";
+  if n = 0 then [||]
+  else if t.jobs = 1 || n = 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    (* guarded by t.mutex *)
+    let remaining = ref n in
+    let finished = Condition.create () in
+    let run_one i () =
+      let r =
+        match f (Array.unsafe_get arr i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast finished;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (run_one i) t.queue
+    done;
+    Condition.broadcast t.work;
+    (* The submitter helps: run queued tasks (possibly of a nested
+       batch) until the queue drains, then wait for the stragglers
+       other domains are still running. *)
+    let rec help () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        if !remaining > 0 then help ()
+      | None -> ()
+    in
+    help ();
+    while !remaining > 0 do
+      Condition.wait finished t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    (* All slots are filled; surface the lowest-indexed failure only
+       now, with the pool quiescent. *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let map_list t f l = Array.to_list (map_array t f (Array.of_list l))
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

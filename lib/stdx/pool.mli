@@ -1,0 +1,56 @@
+(** A small fixed-size domain pool for embarrassingly parallel batches.
+
+    The pipeline's unit of parallelism is coarse — one workload's whole
+    compile → execute → stream-analyze run — so the pool is deliberately
+    simple: a task queue guarded by a [Mutex.t]/[Condition.t] pair,
+    [jobs - 1] worker domains, and a submitting domain that {e helps}
+    (drains the queue itself) instead of blocking while its batch runs.
+    Helping keeps every core busy and makes nested [map_array] calls
+    from inside a task deadlock-free.
+
+    Determinism: [map_array] returns results in input-index order, no
+    matter which domain ran which task or in what order they finished.
+    Parallel callers therefore produce bit-identical output to
+    sequential ones whenever the tasks themselves are independent.
+
+    Exceptions: a task that raises never kills a worker and never
+    wedges the pool.  The exception (with its backtrace) is captured in
+    the task's result slot; after the {e whole} batch has completed,
+    [map_array] re-raises the lowest-indexed one in the submitting
+    domain.  Callers that need the typed-error discipline wrap each
+    task in {!Pipeline_error.guard}, which turns the re-raise into a
+    structured [Internal] error. *)
+
+type t
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1.  The default
+    for every [--jobs auto] surface. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs]
+    defaults to {!recommended_jobs}; values below 1 are clamped to 1).
+    With [jobs = 1] no domain is ever spawned and every [map_array]
+    runs inline — the sequential path, bit-for-bit. *)
+
+val jobs : t -> int
+(** Total parallelism: worker domains plus the submitting domain. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f arr] applies [f] to every element, tasks running on
+    any of the pool's domains, and returns the results in input order.
+    Blocks until the whole batch is done (the caller's domain works on
+    the batch too).  If any task raised, re-raises the lowest-indexed
+    exception with its original backtrace — after every other task has
+    finished, so the pool is quiescent and reusable. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_array} over a list. *)
+
+val shutdown : t -> unit
+(** Stop the workers and join their domains.  Idempotent.  Submitting
+    to a pool after [shutdown] raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] over a fresh pool and always shuts it down,
+    even when [f] raises. *)

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "ilplimits"
     [ ("stdx", Test_stdx.suite);
+      ("pool", Test_pool.suite);
       ("risc", Test_risc.suite);
       ("asm", Test_asm.suite);
       ("vm", Test_vm.suite);

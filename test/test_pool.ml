@@ -1,0 +1,203 @@
+(* The domain pool and the parallel fan-out built on it.  The contract
+   under test is determinism: for any --jobs value and any scheduling,
+   parallel runs must be bit-identical to sequential ones — results,
+   completeness tags, and the harness Counters totals — and exceptions
+   raised inside pool tasks must surface exactly once, through the
+   typed-error barrier, without wedging the pool. *)
+
+let pp_result fmt (r : Ilp.Analyze.result) =
+  Format.fprintf fmt
+    "{machine=%s; counted=%d; seq=%d; cycles=%d; par=%.6f; dyn=%d; mis=%d; \
+     segs=%d; compl=%s}"
+    r.machine r.counted r.seq_cycles r.cycles r.parallelism r.dyn_branches
+    r.mispredicts
+    (Array.length r.segments)
+    (Pipeline_error.completeness_tag r.completeness)
+
+let equal_result (a : Ilp.Analyze.result) (b : Ilp.Analyze.result) =
+  a.machine = b.machine && a.counted = b.counted
+  && a.seq_cycles = b.seq_cycles && a.cycles = b.cycles
+  && a.parallelism = b.parallelism && a.dyn_branches = b.dyn_branches
+  && a.mispredicts = b.mispredicts && a.segments = b.segments
+  && a.completeness = b.completeness
+
+let result_t = Alcotest.testable pp_result equal_result
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests. *)
+
+let test_map_order () =
+  Stdx.Pool.with_pool ~jobs:4 (fun pool ->
+      let input = Array.init 100 (fun i -> i) in
+      (* uneven work so completion order differs from input order *)
+      let f i =
+        let acc = ref 0 in
+        for k = 0 to (i mod 7) * 1000 do
+          acc := !acc + k
+        done;
+        ignore !acc;
+        i * i
+      in
+      let got = Stdx.Pool.map_array pool f input in
+      Alcotest.(check (array int))
+        "results in input order" (Array.map f input) got)
+
+let test_jobs_one_inline () =
+  Stdx.Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs clamped" 1 (Stdx.Pool.jobs pool);
+      let got = Stdx.Pool.map_list pool (fun x -> x + 1) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "inline map" [ 2; 3; 4 ] got)
+
+let test_exception_surfaces_and_pool_survives () =
+  Stdx.Pool.with_pool ~jobs:3 (fun pool ->
+      (* The lowest-indexed failure is the one re-raised. *)
+      (match
+         Stdx.Pool.map_array pool
+           (fun i -> if i mod 4 = 2 then failwith (string_of_int i) else i)
+           (Array.init 32 (fun i -> i))
+       with
+      | _ -> Alcotest.fail "expected Failure to propagate"
+      | exception Failure msg ->
+        Alcotest.(check string) "lowest-indexed exception" "2" msg);
+      (* The batch drained fully before re-raising: the pool is
+         quiescent and reusable. *)
+      let got = Stdx.Pool.map_list pool (fun x -> 2 * x) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "pool reusable" [ 2; 4; 6 ] got)
+
+let test_nested_maps () =
+  Stdx.Pool.with_pool ~jobs:2 (fun pool ->
+      (* A task that submits its own batch: the submitter helps drain
+         the queue, so this must complete rather than deadlock. *)
+      let got =
+        Stdx.Pool.map_list pool
+          (fun i ->
+            Stdx.Pool.map_list pool (fun j -> (10 * i) + j) [ 1; 2; 3 ])
+          [ 1; 2 ]
+      in
+      Alcotest.(check (list (list int)))
+        "nested batches" [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ] got)
+
+let test_shutdown () =
+  let pool = Stdx.Pool.create ~jobs:3 () in
+  Stdx.Pool.shutdown pool;
+  Stdx.Pool.shutdown pool;  (* idempotent *)
+  match Stdx.Pool.map_list pool (fun x -> x) [ 1 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Parallel fan-out determinism: run_streaming_all at 4 domains against
+   the sequential path, all ten workloads, all seven machines. *)
+
+type counters = {
+  executions : int;
+  passes : int;
+  entries : int;
+  state_entries : int;
+  profiled : int;
+}
+
+let snapshot () =
+  { executions = Harness.Counters.executions ();
+    passes = Harness.Counters.passes ();
+    entries = Harness.Counters.entries ();
+    state_entries = Harness.Counters.state_entries ();
+    profiled = Harness.Counters.profiled_entries () }
+
+let delta a b =
+  { executions = b.executions - a.executions;
+    passes = b.passes - a.passes;
+    entries = b.entries - a.entries;
+    state_entries = b.state_entries - a.state_entries;
+    profiled = b.profiled - a.profiled }
+
+let counters_t =
+  Alcotest.testable
+    (fun fmt c ->
+      Format.fprintf fmt "{exec=%d; passes=%d; entries=%d; states=%d; prof=%d}"
+        c.executions c.passes c.entries c.state_entries c.profiled)
+    ( = )
+
+let fuel = 100_000
+
+let specs = List.map (fun m -> Harness.spec m) Ilp.Machine.all_paper
+
+let test_streaming_all_deterministic () =
+  let ws = Workloads.Registry.all in
+  let c0 = snapshot () in
+  let seq =
+    List.map (fun w -> Harness.run_streaming_result ~fuel w specs) ws
+  in
+  let c1 = snapshot () in
+  let par = Harness.run_streaming_all ~fuel ~jobs:4 ws specs in
+  let c2 = snapshot () in
+  Alcotest.(check int) "one outcome per workload" (List.length ws)
+    (List.length par);
+  List.iteri
+    (fun i (s, p) ->
+      let name = (List.nth ws i).Workloads.Registry.name in
+      match (s, p) with
+      | Ok rs, Ok rp ->
+        Alcotest.(check (list result_t)) (name ^ ": results") rs rp
+      | Error es, Error ep ->
+        Alcotest.(check string)
+          (name ^ ": errors")
+          (Pipeline_error.to_string es)
+          (Pipeline_error.to_string ep)
+      | _ -> Alcotest.fail (name ^ ": Ok/Error shape diverged"))
+    (List.combine seq par);
+  Alcotest.check counters_t "counter totals identical" (delta c0 c1)
+    (delta c1 c2)
+
+let test_fuzz_jobs_deterministic () =
+  let run jobs = Harness.Fuzz.run ~fuel:20_000 ~jobs ~seed:11 ~cases:48 () in
+  let seq = run 1 in
+  let par = run 4 in
+  Alcotest.(check bool) "fuzz report identical across jobs" true (seq = par)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: tasks raising arbitrary exceptions behind the guard never
+   escape the typed-error barrier and never wedge the pool (the map
+   returning at all is the no-deadlock half of the property). *)
+
+exception Chaos of int
+
+let prop_guarded_tasks_never_escape =
+  QCheck.Test.make ~count:50 ~name:"pool tasks never escape the barrier"
+    QCheck.(list_of_size Gen.(int_range 0 24) (int_range 0 999))
+    (fun codes ->
+      Stdx.Pool.with_pool ~jobs:3 (fun pool ->
+          let outcomes =
+            Stdx.Pool.map_list pool
+              (fun code ->
+                Pipeline_error.guard Execute (fun () ->
+                    match code mod 4 with
+                    | 0 -> raise (Chaos code)
+                    | 1 -> failwith "chaos"
+                    | 2 -> invalid_arg "chaos"
+                    | _ -> Ok code))
+              codes
+          in
+          List.for_all2
+            (fun code outcome ->
+              match outcome with
+              | Ok v -> code mod 4 = 3 && v = code
+              | Error { Pipeline_error.cause = Internal _; stage = Execute; _ }
+                ->
+                code mod 4 <> 3
+              | Error _ -> false)
+            codes outcomes))
+
+let suite =
+  [ Alcotest.test_case "map_array preserves order" `Quick test_map_order;
+    Alcotest.test_case "jobs=1 runs inline" `Quick test_jobs_one_inline;
+    Alcotest.test_case "exceptions surface, pool survives" `Quick
+      test_exception_surfaces_and_pool_survives;
+    Alcotest.test_case "nested maps don't deadlock" `Quick test_nested_maps;
+    Alcotest.test_case "shutdown is idempotent and final" `Quick
+      test_shutdown;
+    Alcotest.test_case "run_streaming_all: jobs=4 == sequential" `Slow
+      test_streaming_all_deterministic;
+    Alcotest.test_case "fuzz: jobs=4 == jobs=1" `Slow
+      test_fuzz_jobs_deterministic;
+    QCheck_alcotest.to_alcotest prop_guarded_tasks_never_escape ]
