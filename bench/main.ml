@@ -14,7 +14,7 @@
    then *prefills* the store: each workload is compiled and executed
    exactly once, with all requested machine models and ablation configs
    advanced together over a single pass of its trace
-   (Harness.analyze_specs).  With --jobs > 1 the prefill fans whole
+   (Harness.Run.on_prepared).  With --jobs > 1 the prefill fans whole
    workloads out over a domain pool (Stdx.Pool); results are merged
    back by workload index, so the tables are bit-identical for every
    --jobs value.  The trace is dropped as soon as its workload's
@@ -49,6 +49,32 @@ let resolved_jobs () =
   match !jobs_override with
   | Some j -> max 1 j
   | None -> Stdx.Pool.recommended_jobs ()
+
+(* Observability: --metrics / --trace-out FILE enable the context; the
+   default stays disabled so the baseline bench numbers are untouched.
+   Enabled, every prefill task records compile/execute/analyze spans
+   into a buffer keyed by the workload's registry index (scheduling-
+   independent merge order), every experiment records a root span, and
+   BENCH_results.json carries the per-stage timings and per-experiment
+   counter deltas. *)
+let obs = ref Obs.Ctx.disabled
+
+let trace_out : string option ref = ref None
+
+let metrics_flag = ref false
+
+(* Stable span-buffer index: the workload's position in the registry,
+   not its position in whatever subset this run prefills. *)
+let workload_index name =
+  let rec go i = function
+    | [] -> 1000
+    | (w : Workloads.Registry.t) :: rest ->
+      if w.name = name then i else go (i + 1) rest
+  in
+  go 0 Workloads.Registry.all
+
+(* Experiment root spans sit above the workload range. *)
+let experiment_index i = 2000 + i
 
 (* (workload, spec key) -> analysis result *)
 let store : (string * string, Ilp.Analyze.result) Hashtbl.t =
@@ -120,7 +146,10 @@ type prefilled = {
 
 let prepare_workload (w : Workloads.Registry.t) =
   let t0 = now_s () in
-  let p = Harness.prepare ?fuel:!fuel_override w in
+  let span_buf =
+    Obs.Ctx.task_buffer !obs ~index:(workload_index w.name) ~label:w.name
+  in
+  let p = Harness.prepare ?fuel:!fuel_override ~obs:!obs ~span_buf w in
   let stats = Harness.branch_stats p in
   let term =
     { m_status = Vm.Exec.status_string p.status;
@@ -134,7 +163,7 @@ let prepare_workload (w : Workloads.Registry.t) =
     | Some l -> dedup_specs !l
     | None -> []
   in
-  let results = Harness.analyze_specs p specs in
+  let results = Harness.Run.on_prepared ~obs:!obs ~span_buf p specs in
   { pf_name = w.name;
     pf_stats = stats;
     pf_term = term;
@@ -345,7 +374,7 @@ let figure3 () =
     "Figure 3 (reconstruction): schedules of the Figure-2-style loop@.";
   Format.printf
     "(loop with a data-dependent if, then control-independent code)@.@.";
-  let results = Harness.analyze_specs p spec7 in
+  let results = Harness.Run.on_prepared p spec7 in
   let rows =
     List.map
       (fun (r : Ilp.Analyze.result) ->
@@ -630,10 +659,10 @@ let ablation_guarded () =
         let par0, mp0, d0 = summarize (get w sp_segments_spec) in
         let par1, mp1, d1 =
           let p =
-            Harness.prepare ?fuel:!fuel_override
+            Harness.prepare ?fuel:!fuel_override ~obs:!obs
               ~options:{ Codegen.Compile.if_convert = true } w
           in
-          match Harness.analyze_specs p [ sp_segments_spec ] with
+          match Harness.Run.on_prepared ~obs:!obs p [ sp_segments_spec ] with
           | [ r ] -> summarize r
           | _ -> assert false
         in
@@ -747,8 +776,14 @@ let scaling () =
     let s0 = Harness.Counters.state_entries () in
     let x0 = Harness.Counters.executions () in
     let t0 = now_s () in
+    let cfg =
+      Harness.Run.config ~jobs ?fuel:!fuel_override ~stream:true spec7
+    in
     let rs =
-      Harness.run_streaming_all ?fuel:!fuel_override ~jobs ws spec7
+      match Harness.Run.exec cfg ws with
+      | Ok items ->
+        List.map (fun it -> it.Harness.Run.it_outcome) items
+      | Error _ -> assert false (* jobs >= 1 by construction *)
     in
     let wall = now_s () -. t0 in
     ( rs,
@@ -882,7 +917,64 @@ type timing = {
       renders from the store, which is what makes the per-experiment
       rows meaningful instead of charging all shared work to whichever
       experiment ran first *)
+  t_span_ns : int64 option;
+  (** monotonic-clock duration of the experiment's root span (only when
+      observability is on) *)
+  t_metric_deltas : (string * int) list;
+  (** per-counter increase across this experiment's run (only when
+      observability is on; zero deltas dropped) *)
 }
+
+(* Schema guard: every key BENCH_results.json can contain must appear
+   in the schema table of DESIGN.md §10.  Any attempt to emit an
+   undocumented key exits nonzero, so schema drift is caught at bench
+   time rather than by a downstream consumer.  Open-ended maps (metric
+   names) are emitted as {name, value} arrays precisely so no dynamic
+   string ever becomes a key. *)
+let schema_version = 2
+
+let documented_keys =
+  [ "schema_version"; "fuel_override"; "jobs"; "domains_recommended";
+    "observability";
+    "seed_baseline"; "table3_wall_s";
+    "hot_loop_baseline"; "run_sweep_2m_wall_s"; "run_sweep_2m_tuned_wall_s";
+    "analysis_phase"; "domains_used"; "wall_s"; "task_wall_sum_s";
+    "overlap_parallelism"; "instructions_analyzed";
+    "scaling"; "speedup_vs_seq"; "identical_to_seq";
+    "totals"; "vm_executions"; "trace_passes"; "trace_entries_scanned";
+    "workloads"; "name"; "status"; "steps"; "returned"; "completeness";
+    "stages"; "compile_ns"; "execute_ns"; "analyze_ns";
+    "experiments"; "instructions_requested"; "instructions_per_s";
+    "span_ns"; "metrics"; "value" ]
+
+let key k =
+  if not (List.mem k documented_keys) then begin
+    Printf.eprintf
+      "BENCH_results.json schema violation: key %S is not documented in \
+       DESIGN.md\n"
+      k;
+    exit 1
+  end;
+  "\"" ^ k ^ "\""
+
+(* Per-workload stage durations, read back from the context's merged
+   span stream (the spans {!prepare_workload} recorded). *)
+let stage_durations name =
+  let spans = Obs.Ctx.spans !obs in
+  let dur stage =
+    Array.fold_left
+      (fun acc (s : Obs.Span.span) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if s.sp_workload = name && s.sp_stage = stage then
+            Some (Obs.Span.dur_ns s)
+          else None)
+      None spans
+  in
+  match (dur "compile", dur "execute", dur "analyze") with
+  | Some c, Some e, Some a -> Some (c, e, a)
+  | _ -> None
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -902,21 +994,24 @@ let write_json path timings =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"fuel_override\": %s,\n"
+  p "  %s: %d,\n" (key "schema_version") schema_version;
+  p "  %s: %s,\n" (key "fuel_override")
     (match !fuel_override with Some f -> string_of_int f | None -> "null");
-  p "  \"jobs\": %d,\n" (resolved_jobs ());
-  p "  \"domains_recommended\": %d,\n" (Stdx.Pool.recommended_jobs ());
+  p "  %s: %d,\n" (key "jobs") (resolved_jobs ());
+  p "  %s: %d,\n" (key "domains_recommended") (Stdx.Pool.recommended_jobs ());
+  p "  %s: %b,\n" (key "observability") (Obs.Ctx.enabled !obs);
   (* Pre-streaming-pipeline reference point, measured on the seed tree
      (trace re-scanned per machine, workloads re-executed per table):
      `table3` alone took ~58 s wall on the same hardware. *)
-  p "  \"seed_baseline\": { \"table3_wall_s\": 58.0 },\n";
+  p "  %s: { %s: 58.0 },\n" (key "seed_baseline") (key "table3_wall_s");
   (* Hot-loop tuning reference point (same hardware, same commit range):
      `ilp-limits run --fuel 2000000` (10 workloads x 7 machines,
      includes both VM executions) measured before/after the Analyze
      step rewrite — median of repeated runs 3.80 s -> 3.47 s, best
      3.77 s -> 3.23 s. *)
-  p "  \"hot_loop_baseline\": { \"run_sweep_2m_wall_s\": 3.80, \
-     \"run_sweep_2m_tuned_wall_s\": 3.47 },\n";
+  p "  %s: { %s: 3.80, %s: 3.47 },\n" (key "hot_loop_baseline")
+    (key "run_sweep_2m_wall_s")
+    (key "run_sweep_2m_tuned_wall_s");
   (match !prefill_timing with
   | Some pf ->
     (* task_wall_sum_s / wall_s measures how much task time overlapped,
@@ -924,11 +1019,13 @@ let write_json path timings =
        stretches, so the ratio approaches [jobs] even without extra
        cores.  The genuine sequential-vs-parallel comparison is the
        `scaling` experiment's curve below. *)
-    p "  \"analysis_phase\": { \"jobs\": %d, \"domains_used\": %d, \
-       \"wall_s\": %.3f, \"task_wall_sum_s\": %.3f, \
-       \"overlap_parallelism\": %.2f, \"instructions_analyzed\": %d },\n"
-      pf.pp_jobs pf.pp_jobs pf.pp_wall_s pf.pp_task_sum_s
+    p "  %s: { %s: %d, %s: %d, %s: %.3f, %s: %.3f, %s: %.2f, %s: %d },\n"
+      (key "analysis_phase") (key "jobs") pf.pp_jobs (key "domains_used")
+      pf.pp_jobs (key "wall_s") pf.pp_wall_s (key "task_wall_sum_s")
+      pf.pp_task_sum_s
+      (key "overlap_parallelism")
       (if pf.pp_wall_s > 0. then pf.pp_task_sum_s /. pf.pp_wall_s else 1.)
+      (key "instructions_analyzed")
       pf.pp_instructions
   | None -> ());
   (match !scaling_points with
@@ -939,48 +1036,75 @@ let write_json path timings =
       | Some q -> q.sc_wall_s
       | None -> 0.
     in
-    p "  \"scaling\": [\n";
+    p "  %s: [\n" (key "scaling");
     List.iteri
       (fun i q ->
-        p "    { \"jobs\": %d, \"domains_used\": %d, \"wall_s\": %.3f, \
-           \"speedup_vs_seq\": %.2f, \"identical_to_seq\": %b }%s\n"
-          q.sc_jobs q.sc_jobs q.sc_wall_s
+        p "    { %s: %d, %s: %d, %s: %.3f, %s: %.2f, %s: %b }%s\n"
+          (key "jobs") q.sc_jobs (key "domains_used") q.sc_jobs
+          (key "wall_s") q.sc_wall_s
+          (key "speedup_vs_seq")
           (if q.sc_wall_s > 0. then seq_wall /. q.sc_wall_s else 1.)
-          q.sc_identical
+          (key "identical_to_seq") q.sc_identical
           (if i = List.length ps - 1 then "" else ","))
       ps;
     p "  ],\n");
-  p "  \"totals\": {\n";
-  p "    \"vm_executions\": %d,\n" (Harness.Counters.executions ());
-  p "    \"trace_passes\": %d,\n" (Harness.Counters.passes ());
-  p "    \"trace_entries_scanned\": %d,\n" (Harness.Counters.entries ());
-  p "    \"instructions_analyzed\": %d\n" (Harness.Counters.analyzed ());
+  p "  %s: {\n" (key "totals");
+  p "    %s: %d,\n" (key "vm_executions") (Harness.Counters.executions ());
+  p "    %s: %d,\n" (key "trace_passes") (Harness.Counters.passes ());
+  p "    %s: %d,\n" (key "trace_entries_scanned") (Harness.Counters.entries ());
+  p "    %s: %d\n" (key "instructions_analyzed") (Harness.Counters.analyzed ());
   p "  },\n";
   let terms =
     List.sort compare
       (Hashtbl.fold (fun name t acc -> (name, t) :: acc) term_store [])
   in
-  p "  \"workloads\": [\n";
+  p "  %s: [\n" (key "workloads");
   List.iteri
     (fun i (name, t) ->
-      p "    { \"name\": \"%s\", \"status\": \"%s\", \"steps\": %d, \
-         \"returned\": %s, \"completeness\": \"%s\" }%s\n"
-        (json_escape name) (json_escape t.m_status) t.m_steps
+      let stages =
+        match stage_durations name with
+        | Some (c, e, a) ->
+          Printf.sprintf ", %s: { %s: %Ld, %s: %Ld, %s: %Ld }" (key "stages")
+            (key "compile_ns") c (key "execute_ns") e (key "analyze_ns") a
+        | None -> ""
+      in
+      p "    { %s: \"%s\", %s: \"%s\", %s: %d, %s: %s, %s: \"%s\"%s }%s\n"
+        (key "name") (json_escape name) (key "status")
+        (json_escape t.m_status) (key "steps") t.m_steps (key "returned")
         (match t.m_returned with Some v -> string_of_int v | None -> "null")
+        (key "completeness")
         (json_escape t.m_completeness)
+        stages
         (if i = List.length terms - 1 then "" else ","))
     terms;
   p "  ],\n";
-  p "  \"experiments\": [\n";
+  p "  %s: [\n" (key "experiments");
   List.iteri
     (fun i t ->
       let ips =
         if t.wall_s > 0. then float_of_int t.instructions /. t.wall_s else 0.
       in
-      p "    { \"name\": \"%s\", \"wall_s\": %.3f, \
-         \"instructions_analyzed\": %d, \"instructions_requested\": %d, \
-         \"instructions_per_s\": %.0f }%s\n"
-        (json_escape t.t_name) t.wall_s t.instructions t.requested ips
+      let span =
+        match t.t_span_ns with
+        | Some ns -> Printf.sprintf ", %s: %Ld" (key "span_ns") ns
+        | None -> ""
+      in
+      let metrics =
+        if not (Obs.Ctx.enabled !obs) then ""
+        else
+          Printf.sprintf ", %s: [ %s ]" (key "metrics")
+            (String.concat ", "
+               (List.map
+                  (fun (n, v) ->
+                    Printf.sprintf "{ %s: \"%s\", %s: %d }" (key "name")
+                      (json_escape n) (key "value") v)
+                  t.t_metric_deltas))
+      in
+      p "    { %s: \"%s\", %s: %.3f, %s: %d, %s: %d, %s: %.0f%s%s }%s\n"
+        (key "name") (json_escape t.t_name) (key "wall_s") t.wall_s
+        (key "instructions_analyzed") t.instructions
+        (key "instructions_requested") t.requested
+        (key "instructions_per_s") ips span metrics
         (if i = List.length timings - 1 then "" else ","))
     timings;
   p "  ]\n";
@@ -1000,13 +1124,48 @@ let run_experiments selected =
       | None -> ())
     selected;
   prefill ();
+  let counter_values snap =
+    List.filter_map
+      (fun (s : Obs.Metrics.snap) ->
+        match s.value with
+        | Obs.Metrics.Counter v -> Some (s.name, v)
+        | Obs.Metrics.Gauge _ | Obs.Metrics.Histogram _ -> None)
+      snap
+  in
+  let counter_deltas before after =
+    let b = Hashtbl.create 64 in
+    List.iter (fun (n, v) -> Hashtbl.replace b n v) before;
+    List.filter_map
+      (fun (n, v) ->
+        let d = v - Option.value ~default:0 (Hashtbl.find_opt b n) in
+        if d <> 0 then Some (n, d) else None)
+      after
+  in
   let timings =
-    List.map
-      (fun (e, needs) ->
+    List.mapi
+      (fun i (e, needs) ->
         let before = Harness.Counters.analyzed () in
+        let snap0 =
+          if Obs.Ctx.enabled !obs then
+            counter_values (Obs.Ctx.snapshot !obs)
+          else []
+        in
+        let ebuf =
+          Obs.Ctx.task_buffer !obs ~index:(experiment_index i) ~label:e.name
+        in
         let t0 = now_s () in
-        e.run ();
+        Obs.Span.with_span ebuf ~workload:e.name "experiment" e.run;
         let wall = now_s () -. t0 in
+        let span_ns =
+          match Obs.Span.spans ebuf with
+          | [||] -> None
+          | spans -> Some (Obs.Span.dur_ns spans.(0))
+        in
+        let metric_deltas =
+          if Obs.Ctx.enabled !obs then
+            counter_deltas snap0 (counter_values (Obs.Ctx.snapshot !obs))
+          else []
+        in
         (* The experiment's share of the prefill: entries its workloads
            scanned, times the machine states it asked to advance. *)
         let requested =
@@ -1019,10 +1178,27 @@ let run_experiments selected =
         in
         { t_name = e.name; wall_s = wall;
           instructions = Harness.Counters.analyzed () - before;
-          requested })
+          requested; t_span_ns = span_ns; t_metric_deltas = metric_deltas })
       selected
   in
   write_json "BENCH_results.json" timings;
+  if Obs.Ctx.enabled !obs then begin
+    let spans = Obs.Ctx.spans !obs in
+    let snap = Obs.Ctx.snapshot !obs in
+    (match !trace_out with
+    | Some path ->
+      let buf = Buffer.create 4096 in
+      Obs.Export.jsonl buf ~spans ~metrics:snap;
+      let oc = open_out path in
+      Buffer.output_buffer oc buf;
+      close_out oc
+    | None -> ());
+    if !metrics_flag then begin
+      let buf = Buffer.create 4096 in
+      Obs.Export.tree buf ~metrics:snap spans;
+      print_string (Buffer.contents buf)
+    end
+  end;
   Format.printf
     "@.[BENCH_results.json: %d experiments, %d VM executions, %d analyzer \
      passes, %d Minstr analyzed, jobs=%d]@."
@@ -1035,7 +1211,8 @@ let run_experiments selected =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--fuel N] [--jobs N] [--list] [experiment ...]\n\
+    "usage: main.exe [--fuel N] [--jobs N] [--metrics] [--trace-out FILE] \
+     [--list] [experiment ...]\n\
      With no experiment names, runs everything except `scaling`.";
   exit 1
 
@@ -1053,13 +1230,27 @@ let () =
       parse names rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
-      | Some j when j > 0 -> jobs_override := Some j
-      | _ -> usage ());
+      | Some j -> (
+        (* same typed validation (and message, and exit code) as the
+           CLI's run and fuzz commands *)
+        match Harness.validate_jobs j with
+        | Ok j -> jobs_override := Some j
+        | Error e ->
+          prerr_endline ("bench: " ^ Pipeline_error.to_string e);
+          exit (Pipeline_error.exit_code e))
+      | None -> usage ());
       parse names rest
-    | ("--fuel" | "--jobs") :: [] -> usage ()
+    | "--metrics" :: rest ->
+      metrics_flag := true;
+      parse names rest
+    | "--trace-out" :: f :: rest ->
+      trace_out := Some f;
+      parse names rest
+    | ("--fuel" | "--jobs" | "--trace-out") :: [] -> usage ()
     | name :: rest -> parse (name :: names) rest
   in
   let names = parse [] args in
+  if !metrics_flag || !trace_out <> None then obs := Obs.Ctx.create ();
   let with_banner e =
     { e with
       run =

@@ -92,8 +92,45 @@ let truncation_note (r : Ilp.Analyze.result) =
   | Pipeline_error.Truncated f ->
     Some (Format.asprintf "%a" Pipeline_error.pp_fault f)
 
+(* ------------------------------------------------------------------ *)
+(* Observability surfaces: --trace-out FILE (JSON-lines spans +
+   metrics), --metrics (human tree on stdout), --prom-out FILE
+   (Prometheus text).  Any of them enables the context; none keeps the
+   pipeline on the zero-cost disabled path. *)
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc s)
+
+let obs_ctx trace_out metrics prom_out =
+  if trace_out <> None || metrics || prom_out <> None then Obs.Ctx.create ()
+  else Obs.Ctx.disabled
+
+let obs_report ~trace_out ~metrics ~prom_out obs =
+  if Obs.Ctx.enabled obs then begin
+    let spans = Obs.Ctx.spans obs in
+    let snap = Obs.Ctx.snapshot obs in
+    let render f =
+      let buf = Buffer.create 4096 in
+      f buf;
+      Buffer.contents buf
+    in
+    Option.iter
+      (fun path ->
+        write_file path
+          (render (fun b -> Obs.Export.jsonl b ~spans ~metrics:snap)))
+      trace_out;
+    if metrics then
+      print_string (render (fun b -> Obs.Export.tree b ~metrics:snap spans));
+    Option.iter
+      (fun path ->
+        write_file path (render (fun b -> Obs.Export.prometheus b snap)))
+      prom_out
+  end
+
 let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
-    mem_words jobs =
+    mem_words jobs trace_out metrics prom_out =
   let* ws = workloads_of_names names in
   let* machines = machines_of_names machine_names in
   let header =
@@ -110,38 +147,27 @@ let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
   let jobs =
     match jobs with Some j -> j | None -> Stdx.Pool.recommended_jobs ()
   in
+  let obs = obs_ctx trace_out metrics prom_out in
   (* Every path fans all machines out over a single trace scan.
      --stream additionally never materializes the trace, so the budget
      can exceed memory; with more than one worker domain, whole
      workloads also fan out over a pool (always streaming — each domain
      holds O(program) state), merged back in workload order so the
      table is identical for every --jobs value. *)
+  let stream = stream || (jobs > 1 && List.length ws > 1) in
+  let cfg =
+    Harness.Run.config ~jobs ?fuel ?step_budget ?mem_words ~stream ~obs
+      specs
+  in
+  let* items = Harness.Run.exec cfg ws in
   let* per_workload =
-    if jobs > 1 && List.length ws > 1 then
-      let outcomes = Harness.run_streaming_all ?mem_words ?fuel ~jobs ws specs in
-      let rec zip acc ws outcomes =
-        match (ws, outcomes) with
-        | [], [] -> Ok (List.rev acc)
-        | w :: ws', o :: os' ->
-          let* results = o in
-          zip ((w, results) :: acc) ws' os'
-        | _ -> assert false
-      in
-      zip [] ws outcomes
-    else
-      let rec go acc = function
-        | [] -> Ok (List.rev acc)
-        | w :: rest ->
-          let* results =
-            if stream then
-              Harness.run_streaming_result ?mem_words ?fuel w specs
-            else
-              let* p = Harness.prepare_result ?mem_words ?fuel w in
-              Ok (Harness.analyze_specs p specs)
-          in
-          go ((w, results) :: acc) rest
-      in
-      go [] ws
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | it :: rest ->
+        let* results = it.Harness.Run.it_outcome in
+        go ((it.Harness.Run.it_workload, results) :: acc) rest
+    in
+    go [] items
   in
   let notes = ref [] in
   let rows =
@@ -171,6 +197,7 @@ let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
   List.iter
     (fun (name, note) -> Printf.printf "  * %s: truncated (%s)\n" name note)
     (List.rev !notes);
+  obs_report ~trace_out ~metrics ~prom_out obs;
   Ok ()
 
 let cmd_stats names fuel =
@@ -180,7 +207,11 @@ let cmd_stats names fuel =
     | w :: rest ->
       let* p = Harness.prepare_result ?fuel w in
       let bs = Harness.branch_stats p in
-      let sp = Harness.analyze ~segments:true p Ilp.Machine.sp in
+      let sp =
+        List.hd
+          (Harness.Run.on_prepared p
+             [ Harness.spec ~segments:true Ilp.Machine.sp ])
+      in
       let dists = Ilp.Stats.cumulative_distances sp.segments in
       let under n =
         let rec last acc = function
@@ -346,9 +377,11 @@ let cmd_inject names seed fault_name fuel =
   in
   go ws
 
-let cmd_fuzz names seed cases fuel jobs =
+let cmd_fuzz names seed cases fuel jobs trace_out metrics prom_out =
   let* ws = workloads_of_names names in
-  let r = Harness.Fuzz.run ?fuel ~workloads:ws ?jobs ~seed ~cases () in
+  let obs = obs_ctx trace_out metrics prom_out in
+  let* r = Harness.Fuzz.run ?fuel ~workloads:ws ?jobs ~obs ~seed ~cases () in
+  obs_report ~trace_out ~metrics ~prom_out obs;
   Format.printf
     "fuzz: %d cases (seed %d): %d complete, %d truncated, %d structured \
      errors, %d internal errors, %d escaped exceptions@."
@@ -388,6 +421,22 @@ let jobs_arg =
                runtime's recommended domain count; 1 keeps everything \
                on the calling domain).  Output is bit-identical for \
                every value of N.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write the observability trace — one JSON object per line: \
+               a span per pipeline stage per workload, then every metric \
+               — to $(docv).")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the human-readable observability summary (span tree \
+               with durations, then metric values) after the report.")
+
+let prom_out_arg =
+  Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"FILE"
+         ~doc:"Write the metrics in Prometheus text exposition format to \
+               $(docv).")
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (Table 1).")
@@ -430,10 +479,11 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Measure parallelism limits (Table 3).")
     Term.(
-      const (fun ws ms ni nu f s sb mw j ->
-          handle (cmd_run ws ms ni nu f s sb mw j))
+      const (fun ws ms ni nu f s sb mw j tr mx pr ->
+          handle (cmd_run ws ms ni nu f s sb mw j tr mx pr))
       $ workloads_arg $ machines $ no_inline $ no_unroll $ fuel $ stream
-      $ step_budget $ mem_words $ jobs_arg)
+      $ step_budget $ mem_words $ jobs_arg $ trace_out_arg $ metrics_arg
+      $ prom_out_arg)
 
 let stats_cmd =
   let fuel =
@@ -525,8 +575,10 @@ let fuzz_cmd =
              invariant: every input yields a result or a structured \
              error.  Nonzero exit if any exception escapes.")
     Term.(
-      const (fun ws s c fu j -> handle (cmd_fuzz ws s c fu j))
-      $ workloads_arg $ seed_arg $ cases $ inject_fuel $ jobs_arg)
+      const (fun ws s c fu j tr mx pr ->
+          handle (cmd_fuzz ws s c fu j tr mx pr))
+      $ workloads_arg $ seed_arg $ cases $ inject_fuel $ jobs_arg
+      $ trace_out_arg $ metrics_arg $ prom_out_arg)
 
 let () =
   let info =

@@ -4,7 +4,7 @@
    workload and shows how each idealization matters.
 
    Every machine in every sweep is analyzed in ONE pass over the trace:
-   the sweep builds one spec list, and Harness.analyze_specs advances
+   the sweep builds one spec list, and Harness.Run.on_prepared advances
    all the analysis states together.
 
      dune exec examples/custom_machine.exe *)
@@ -44,7 +44,7 @@ let () =
   let pars =
     List.map
       (fun (r : Ilp.Analyze.result) -> r.parallelism)
-      (Harness.analyze_specs p (List.map Harness.spec machines))
+      (Harness.Run.on_prepared p (List.map Harness.spec machines))
   in
 
   (* 1. Finite scheduling windows on the SP machine: how much of the

@@ -18,7 +18,11 @@ let () =
   Format.printf "%s: %d dynamic branches, %.2f%% predicted correctly@."
     w.name bs.dyn_branches bs.rate;
 
-  let sp = Harness.analyze ~segments:true p Ilp.Machine.sp in
+  let sp =
+    List.hd
+      (Harness.Run.on_prepared p
+         [ Harness.spec ~segments:true Ilp.Machine.sp ])
+  in
   Format.printf "SP machine: parallelism %.2f with %d mispredictions@.@."
     sp.parallelism sp.mispredicts;
 

@@ -34,7 +34,10 @@ let () =
   | None -> Format.printf "program did not halt within its fuel budget@.");
   Format.printf "trace: %d dynamic instructions@.@." prepared.steps;
   (* All seven machine models advance together over one trace pass. *)
-  let results = Harness.analyze_all prepared Ilp.Machine.all_paper in
+  let results =
+    Harness.Run.on_prepared prepared
+      (List.map Harness.spec Ilp.Machine.all_paper)
+  in
   let rows =
     List.map
       (fun (r : Ilp.Analyze.result) ->

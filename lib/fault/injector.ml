@@ -196,7 +196,14 @@ let mutate_insn rng n_code insn =
 
 let identity_wrap sink = sink
 
-let plan ~seed ~fuel kind (flat : Asm.Program.flat) =
+let plan ?metrics ~seed ~fuel kind (flat : Asm.Program.flat) =
+  (match metrics with
+  | Some m ->
+    Obs.Metrics.incr
+      (Obs.Metrics.counter m
+         ~help:"fault injections planned, by kind"
+         (Printf.sprintf "fault_planned_total{kind=%S}" (kind_name kind)))
+  | None -> ());
   let rng = Rng.create seed in
   let base =
     { kind; seed; description = ""; flat; fuel; observe = None;

@@ -59,9 +59,12 @@ type applied = {
   (** set by the wrapper when entries were actually dropped *)
 }
 
-val plan : seed:int -> fuel:int -> kind -> Asm.Program.flat -> applied
+val plan :
+  ?metrics:Obs.Metrics.t ->
+  seed:int -> fuel:int -> kind -> Asm.Program.flat -> applied
 (** Derive one deterministic perturbation of [flat].  The input program
-    is never mutated in place. *)
+    is never mutated in place.  [metrics], when given, counts the plan
+    under [fault_planned_total{kind=...}]. *)
 
 (** The seeded generator (splitmix64), exposed so drivers can derive
     per-case seeds reproducibly. *)

@@ -1,29 +1,45 @@
 module Counters = struct
-  (* Atomics, not refs: pipelines running on pool domains bump these
-     concurrently, and atomic adds commute — the parallel path reports
-     exactly the totals the sequential path does. *)
-  let n_executions = Atomic.make 0
-  let n_passes = Atomic.make 0
-  let n_entries = Atomic.make 0
-  let n_state_entries = Atomic.make 0
-  let n_profiled_entries = Atomic.make 0
+  (* The pipeline counters are ordinary Obs.Metrics counters in the
+     global registry: atomic adds commute, so the parallel path reports
+     exactly the totals the sequential path does — and one registry
+     snapshot covers these alongside every probe metric. *)
+  let n_executions =
+    Obs.Metrics.counter Obs.Metrics.global
+      ~help:"VM executions run by the pipeline" "pipeline_executions_total"
 
-  let executions () = Atomic.get n_executions
-  let passes () = Atomic.get n_passes
-  let entries () = Atomic.get n_entries
-  let state_entries () = Atomic.get n_state_entries
-  let profiled_entries () = Atomic.get n_profiled_entries
+  let n_passes =
+    Obs.Metrics.counter Obs.Metrics.global
+      ~help:"trace consumptions by the analyzer" "pipeline_trace_passes_total"
 
-  let add c n = ignore (Atomic.fetch_and_add c n)
+  let n_entries =
+    Obs.Metrics.counter Obs.Metrics.global
+      ~help:"trace entries scanned, summed over passes"
+      "pipeline_trace_entries_total"
+
+  let n_state_entries =
+    Obs.Metrics.counter Obs.Metrics.global
+      ~help:"trace entries times analysis states advanced"
+      "pipeline_state_entries_total"
+
+  let n_profiled_entries =
+    Obs.Metrics.counter Obs.Metrics.global
+      ~help:"trace entries consumed by sink-trained profile passes"
+      "pipeline_profiled_entries_total"
+
+  let executions () = Obs.Metrics.counter_value n_executions
+  let passes () = Obs.Metrics.counter_value n_passes
+  let entries () = Obs.Metrics.counter_value n_entries
+  let state_entries () = Obs.Metrics.counter_value n_state_entries
+  let profiled_entries () = Obs.Metrics.counter_value n_profiled_entries
 
   let record_execution ?(profiled = 0) () =
-    Atomic.incr n_executions;
-    add n_profiled_entries profiled
+    Obs.Metrics.incr n_executions;
+    Obs.Metrics.add n_profiled_entries profiled
 
   let record_pass ~entries ~states =
-    Atomic.incr n_passes;
-    add n_entries entries;
-    add n_state_entries (entries * states)
+    Obs.Metrics.incr n_passes;
+    Obs.Metrics.add n_entries entries;
+    Obs.Metrics.add n_state_entries (entries * states)
 
   (* Total instruction-analysis events: every entry consumed by a
      sink-trained profile plus every (entry, analysis state) pair scanned
@@ -32,12 +48,19 @@ module Counters = struct
   let analyzed () = profiled_entries () + state_entries ()
 
   let reset () =
-    Atomic.set n_executions 0;
-    Atomic.set n_passes 0;
-    Atomic.set n_entries 0;
-    Atomic.set n_state_entries 0;
-    Atomic.set n_profiled_entries 0
+    List.iter Obs.Metrics.reset_counter
+      [ n_executions; n_passes; n_entries; n_state_entries;
+        n_profiled_entries ]
 end
+
+let ( let* ) = Result.bind
+
+let validate_jobs j =
+  if j < 1 then
+    Error
+      (Pipeline_error.v Execute
+         (Invalid_request (Printf.sprintf "jobs must be at least 1 (got %d)" j)))
+  else Ok j
 
 type prepared = {
   workload : Workloads.Registry.t;
@@ -58,15 +81,18 @@ let profile_builder info =
 (* A faulting or fuel-capped execution is a first-class outcome: the
    trace prefix is kept and analyzed, and every downstream result
    carries the truncation tag.  Nothing on this path raises. *)
-let prepare_flat ?mem_words ~fuel w flat =
+let prepare_flat ?mem_words ?(probe = Obs.Probe.vm_disabled)
+    ?(span_buf = Obs.Span.disabled) ~fuel w flat =
+  let name = w.Workloads.Registry.name in
   let info = Ilp.Program_info.analyze_flat flat in
   let profile = profile_builder info in
   (* The one VM execution: the branch profile accumulates through a sink
      while the trace is recorded, so the profile predictor costs no
      extra trace pass. *)
   let outcome =
-    Vm.Exec.run ?mem_words ~fuel
-      ~sink:(Predict.Predictor.Profile.sink profile) flat
+    Obs.Span.with_span span_buf ~workload:name "execute" (fun () ->
+        Vm.Exec.run ?mem_words ~fuel ~probe
+          ~sink:(Predict.Predictor.Profile.sink profile) flat)
   in
   Counters.record_execution ~profiled:outcome.steps ();
   let halted =
@@ -78,13 +104,18 @@ let prepare_flat ?mem_words ~fuel w flat =
     steps = outcome.steps; status = outcome.status;
     completeness = Vm.Exec.completeness_of outcome; halted; profile }
 
-let prepare ?options ?mem_words ?fuel w =
+let prepare ?options ?mem_words ?fuel ?(obs = Obs.Ctx.disabled)
+    ?(span_buf = Obs.Span.disabled) w =
+  let name = w.Workloads.Registry.name in
   let fuel =
     match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
   in
-  prepare_flat ?mem_words ~fuel w (Workloads.Registry.compile ?options w)
-
-let ( let* ) = Result.bind
+  let flat =
+    Obs.Span.with_span span_buf ~workload:name "compile" (fun () ->
+        Workloads.Registry.compile ?options w)
+  in
+  prepare_flat ?mem_words ~probe:(Obs.Ctx.vm_probe obs) ~span_buf ~fuel w
+    flat
 
 let validated_mem_words ~workload = function
   | None -> Ok None
@@ -92,15 +123,21 @@ let validated_mem_words ~workload = function
     let* n = Vm.Exec.validate_mem_words ~workload n in
     Ok (Some n)
 
-let prepare_result ?options ?mem_words ?fuel w =
+let prepare_result ?options ?mem_words ?fuel ?(obs = Obs.Ctx.disabled)
+    ?(span_buf = Obs.Span.disabled) w =
   let name = w.Workloads.Registry.name in
   let fuel =
     match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
   in
   let* mem_words = validated_mem_words ~workload:name mem_words in
-  let* flat = Workloads.Registry.compile_result ?options w in
+  let* flat =
+    Obs.Span.with_span span_buf ~workload:name "compile" (fun () ->
+        Workloads.Registry.compile_result ?options w)
+  in
   Pipeline_error.guard ~workload:name Execute (fun () ->
-      Ok (prepare_flat ?mem_words ~fuel w flat))
+      Ok
+        (prepare_flat ?mem_words ~probe:(Obs.Ctx.vm_probe obs) ~span_buf
+           ~fuel w flat))
 
 let prepare_source ?(fuel = 10_000_000) ~name source =
   let w =
@@ -157,92 +194,142 @@ let resolve_predictor ~flat ~info ~profile = function
       Predict.Predictor.two_bit ~n_static:info.Ilp.Program_info.n
   | `Custom p -> p
 
-let config_of_spec ~flat ~info ~profile s =
+let config_of_spec ?(obs = Obs.Ctx.disabled) ~flat ~info ~profile s =
   let predictor = resolve_predictor ~flat ~info ~profile s.s_predictor in
   Ilp.Analyze.config ~inline:s.s_inline ~unroll:s.s_unroll
     ~collect_segments:s.s_segments ~mem_words:Vm.Exec.default_mem_words
-    ?step_budget:s.s_step_budget s.s_machine predictor
+    ?step_budget:s.s_step_budget
+    ~probe:
+      (Obs.Ctx.analyzer_probe obs ~machine:s.s_machine.Ilp.Machine.name)
+    s.s_machine predictor
 
-let analyze_specs p specs =
-  let configs =
-    List.map (config_of_spec ~flat:p.flat ~info:p.info ~profile:p.profile)
-      specs
-  in
-  Counters.record_pass ~entries:(Vm.Trace.length p.trace)
-    ~states:(List.length specs);
-  Ilp.Analyze.run_many ~completeness:p.completeness configs p.info p.trace
+(* ------------------------------------------------------------------ *)
+(* The one run entry point: every driver — CLI, bench, tests — builds a
+   [Run.config] and calls [Run.exec].  The former half-dozen analyze / run
+   variants collapse into the [stream] bit (materialize the trace, or
+   stream it) and the [jobs] count (sequential, or pool fan-out). *)
 
-let analyze ?(inline = true) ?(unroll = true) ?(segments = false) ?predictor
-    p machine =
-  let predictor =
-    match predictor with Some pr -> `Custom pr | None -> `Profile
-  in
-  match
-    analyze_specs p
-      [ { s_machine = machine; s_inline = inline; s_unroll = unroll;
-          s_segments = segments; s_predictor = predictor;
-          s_step_budget = None } ]
-  with
-  | [ r ] -> r
-  | _ -> assert false
+module Run = struct
+  type config = {
+    specs : spec list;
+    jobs : int;
+    fuel : int option;
+    step_budget : int option;
+    mem_words : int option;
+    options : Codegen.Compile.options option;
+    stream : bool;
+    obs : Obs.Ctx.t;
+  }
 
-let analyze_all ?inline ?unroll p machines =
-  analyze_specs p (List.map (fun m -> spec ?inline ?unroll m) machines)
+  let config ?(jobs = 1) ?fuel ?step_budget ?mem_words ?options
+      ?(stream = false) ?(obs = Obs.Ctx.disabled) specs =
+    { specs; jobs; fuel; step_budget; mem_words; options; stream; obs }
 
-let run_streaming_flat ?mem_words ~fuel w flat specs =
-  let info = Ilp.Program_info.analyze_flat flat in
-  let profile = profile_builder info in
-  (* Execution 1 trains the profile predictor; execution 2 streams into
-     every analysis state.  Nothing is materialized in between. *)
-  let o1 =
-    Vm.Exec.run ?mem_words ~fuel ~record:false
-      ~sink:(Predict.Predictor.Profile.sink profile) flat
-  in
-  Counters.record_execution ~profiled:o1.steps ();
-  ignore w;
-  let configs = List.map (config_of_spec ~flat ~info ~profile) specs in
-  let sink, finish = Ilp.Analyze.sink_many configs info in
-  let o2 = Vm.Exec.run ?mem_words ~fuel ~record:false ~sink flat in
-  Counters.record_execution ();
-  Counters.record_pass ~entries:o2.steps ~states:(List.length specs);
-  finish ~completeness:(Vm.Exec.completeness_of o2) ()
+  type item = {
+    it_workload : Workloads.Registry.t;
+    it_outcome : (Ilp.Analyze.result list, Pipeline_error.t) result;
+  }
 
-let run_streaming ?options ?mem_words ?fuel w specs =
-  let fuel =
-    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
-  in
-  run_streaming_flat ?mem_words ~fuel w
-    (Workloads.Registry.compile ?options w)
-    specs
+  let on_prepared ?(obs = Obs.Ctx.disabled) ?(span_buf = Obs.Span.disabled)
+      p specs =
+    let name = p.workload.Workloads.Registry.name in
+    Obs.Span.with_span span_buf ~workload:name "analyze" (fun () ->
+        let configs =
+          List.map
+            (config_of_spec ~obs ~flat:p.flat ~info:p.info
+               ~profile:p.profile)
+            specs
+        in
+        Counters.record_pass ~entries:(Vm.Trace.length p.trace)
+          ~states:(List.length specs);
+        Ilp.Analyze.run_many ~completeness:p.completeness configs p.info
+          p.trace)
 
-let run_streaming_result ?options ?mem_words ?fuel w specs =
-  let name = w.Workloads.Registry.name in
-  let fuel =
-    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
-  in
-  let* mem_words = validated_mem_words ~workload:name mem_words in
-  let* flat = Workloads.Registry.compile_result ?options w in
-  Pipeline_error.guard ~workload:name Execute (fun () ->
-      Ok (run_streaming_flat ?mem_words ~fuel w flat specs))
+  let stream_flat ?mem_words ~obs ~span_buf ~fuel w flat specs =
+    let name = w.Workloads.Registry.name in
+    let info = Ilp.Program_info.analyze_flat flat in
+    let profile = profile_builder info in
+    let probe = Obs.Ctx.vm_probe obs in
+    (* Execution 1 trains the profile predictor; execution 2 streams
+       into every analysis state.  Nothing is materialized in between. *)
+    let o1 =
+      Obs.Span.with_span span_buf ~workload:name "execute" (fun () ->
+          Vm.Exec.run ?mem_words ~fuel ~record:false ~probe
+            ~sink:(Predict.Predictor.Profile.sink profile) flat)
+    in
+    Counters.record_execution ~profiled:o1.steps ();
+    Obs.Span.with_span span_buf ~workload:name "analyze" (fun () ->
+        let configs =
+          List.map (config_of_spec ~obs ~flat ~info ~profile) specs
+        in
+        let sink, finish = Ilp.Analyze.sink_many configs info in
+        let o2 = Vm.Exec.run ?mem_words ~fuel ~record:false ~probe ~sink flat in
+        Counters.record_execution ();
+        Counters.record_pass ~entries:o2.steps ~states:(List.length specs);
+        finish ~completeness:(Vm.Exec.completeness_of o2) ())
 
-(* Parallel fan-out: each workload's whole pipeline — compile, the two
-   executions, the streaming analysis of every spec — is one pool task
-   with its own sink and VM state; nothing is shared between tasks but
-   the atomic counters.  Results come back in workload order, so the
-   output is bit-identical to mapping [run_streaming_result]
-   sequentially, whatever the scheduling.  The guard wrapper upholds
-   the pipeline invariant across the domain boundary: an exception a
-   task leaks becomes that workload's typed [Internal] error instead of
-   escaping the pool. *)
-let run_streaming_all ?options ?mem_words ?fuel ?jobs ws specs =
-  let task w =
-    Pipeline_error.guard ~workload:w.Workloads.Registry.name Execute
-      (fun () -> run_streaming_result ?options ?mem_words ?fuel w specs)
-  in
-  match ws with
-  | [] -> []
-  | [ w ] -> [ task w ]
-  | ws -> Stdx.Pool.with_pool ?jobs (fun pool -> Stdx.Pool.map_list pool task ws)
+  let stream_result ?options ?mem_words ?fuel ~obs ~span_buf w specs =
+    let name = w.Workloads.Registry.name in
+    let fuel =
+      match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
+    in
+    let* mem_words = validated_mem_words ~workload:name mem_words in
+    let* flat =
+      Obs.Span.with_span span_buf ~workload:name "compile" (fun () ->
+          Workloads.Registry.compile_result ?options w)
+    in
+    Pipeline_error.guard ~workload:name Execute (fun () ->
+        Ok (stream_flat ?mem_words ~obs ~span_buf ~fuel w flat specs))
+
+  (* Parallel fan-out: each workload's whole pipeline — compile,
+     execute, analyze every spec — is one pool task with its own VM
+     state and span buffer; nothing is shared between tasks but the
+     atomic metrics.  Results come back in workload order and span
+     buffers merge by task index, so the output — results, counter
+     totals, span skeleton — is bit-identical to the sequential run,
+     whatever the scheduling.  The guard wrapper upholds the pipeline
+     invariant across the domain boundary: an exception a task leaks
+     becomes that workload's typed [Internal] error instead of escaping
+     the pool. *)
+  let exec cfg ws =
+    let* jobs = validate_jobs cfg.jobs in
+    let specs =
+      (* a spec without its own budget inherits the run's *)
+      List.map
+        (fun s ->
+          match (s.s_step_budget, cfg.step_budget) with
+          | None, (Some _ as b) -> { s with s_step_budget = b }
+          | _ -> s)
+        cfg.specs
+    in
+    let task (i, w) =
+      let name = w.Workloads.Registry.name in
+      let buf = Obs.Ctx.task_buffer cfg.obs ~index:i ~label:name in
+      let outcome =
+        Pipeline_error.guard ~workload:name Execute (fun () ->
+            if cfg.stream then
+              stream_result ?options:cfg.options ?mem_words:cfg.mem_words
+                ?fuel:cfg.fuel ~obs:cfg.obs ~span_buf:buf w specs
+            else
+              let* p =
+                prepare_result ?options:cfg.options
+                  ?mem_words:cfg.mem_words ?fuel:cfg.fuel ~obs:cfg.obs
+                  ~span_buf:buf w
+              in
+              Ok (on_prepared ~obs:cfg.obs ~span_buf:buf p specs))
+      in
+      { it_workload = w; it_outcome = outcome }
+    in
+    let indexed = List.mapi (fun i w -> (i, w)) ws in
+    match indexed with
+    | [] -> Ok []
+    | [ iw ] -> Ok [ task iw ]
+    | _ when jobs = 1 -> Ok (List.map task indexed)
+    | _ ->
+      Ok
+        (Stdx.Pool.with_pool ~jobs (fun pool ->
+             Stdx.Pool.map_list pool task indexed))
+end
 
 type check_result = {
   c_workload : string;
@@ -309,14 +396,17 @@ type injected = {
   i_result : Ilp.Analyze.result;
 }
 
-let inject ?fuel ~seed ~kind w =
+let inject ?fuel ?(obs = Obs.Ctx.disabled) ~seed ~kind w =
   let fuel =
     match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
   in
   match Workloads.Registry.compile_result w with
   | Error e -> Error e
   | Ok flat ->
-    let app = Fault.Injector.plan ~seed ~fuel kind flat in
+    let metrics =
+      if Obs.Ctx.enabled obs then Some (Obs.Ctx.metrics obs) else None
+    in
+    let app = Fault.Injector.plan ?metrics ~seed ~fuel kind flat in
     (* The fault barrier: a corrupted program may break static analysis
        in ways no enumerated error covers; anything escaping becomes a
        typed Internal error rather than an exception. *)
@@ -338,6 +428,7 @@ let inject ?fuel ~seed ~kind w =
         let sink = app.Fault.Injector.wrap_sink sink in
         let outcome =
           Vm.Exec.run ~fuel:app.Fault.Injector.fuel ~record:false ~sink
+            ~probe:(Obs.Ctx.vm_probe obs)
             ?observe:app.Fault.Injector.observe flat
         in
         Counters.record_execution ();
@@ -396,8 +487,9 @@ module Fuzz = struct
     | O_internal
     | O_escaped of escaped
 
-  let run ?fuel ?(workloads = Workloads.Registry.all) ?jobs ~seed ~cases ()
-      =
+  let run ?fuel ?(workloads = Workloads.Registry.all) ?(jobs = 1)
+      ?(obs = Obs.Ctx.disabled) ~seed ~cases () =
+    let* jobs = validate_jobs jobs in
     let wl = Array.of_list workloads in
     let kinds = Array.of_list Fault.Injector.all_kinds in
     let n_kinds = Array.length kinds in
@@ -408,7 +500,7 @@ module Fuzz = struct
       let kind = kinds.(i mod n_kinds) in
       let w = wl.(i / n_kinds mod Array.length wl) in
       let case_seed = Fault.Injector.Rng.derive ~seed ~index:i in
-      match inject ?fuel ~seed:case_seed ~kind w with
+      match inject ?fuel ~obs ~seed:case_seed ~kind w with
       | Ok inj -> (
         match inj.i_result.Ilp.Analyze.completeness with
         | Pipeline_error.Complete -> O_complete
@@ -422,11 +514,10 @@ module Fuzz = struct
             e_exn = Printexc.to_string e }
     in
     let outcomes =
-      match jobs with
-      | Some j when j > 1 && cases > 1 ->
-        Stdx.Pool.with_pool ~jobs:j (fun pool ->
+      if jobs > 1 && cases > 1 then
+        Stdx.Pool.with_pool ~jobs (fun pool ->
             Stdx.Pool.map_array pool case (Array.init cases Fun.id))
-      | _ -> Array.init cases case
+      else Array.init cases case
     in
     let complete = ref 0
     and truncated = ref 0
@@ -441,7 +532,8 @@ module Fuzz = struct
         | O_internal -> incr internal
         | O_escaped e -> escaped := e :: !escaped)
       outcomes;
-    { cases; complete = !complete; truncated = !truncated;
-      structured_errors = !structured; internal_errors = !internal;
-      escaped = List.rev !escaped }
+    Ok
+      { cases; complete = !complete; truncated = !truncated;
+        structured_errors = !structured; internal_errors = !internal;
+        escaped = List.rev !escaped }
 end

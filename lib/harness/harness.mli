@@ -2,30 +2,42 @@
     execute it once, and analyze the trace under any set of machine
     models in a single pass.
 
-    Two modes share all the analysis code:
+    {!Run} is the one entry point: build a {!Run.config} — the spec
+    list plus the jobs count, instruction budgets and observability
+    context — and {!Run.exec} it over any list of workloads.  Two
+    execution modes share all the analysis code:
 
-    - {!prepare} executes the workload once, materializing the trace
-      (and training the paper's profile predictor {e during} execution,
-      through a trace sink, so no extra trace scan is ever needed);
-      {!analyze_specs} then fans any number of machine/ablation
-      configurations out over one scan of that trace.
-    - {!run_streaming} never materializes the trace: one execution
-      trains the predictor, a second streams straight into the fan-out
-      analyzer.  Memory stays O(program), so instruction budgets can
-      grow to paper scale (100M+).
+    - materialized (default): execute once, recording the trace and
+      training the paper's profile predictor {e during} execution
+      through a trace sink; then fan every spec out over one scan of
+      that trace.
+    - streaming ([stream = true]): never materialize the trace — one
+      execution trains the predictor, a second streams straight into
+      the fan-out analyzer.  Memory stays O(program), so instruction
+      budgets can grow to paper scale (100M+).
 
     Robustness: a faulting or fuel-capped execution is a first-class
     outcome, not an error — its trace prefix is analyzed and every
-    result carries {!Ilp.Analyze.result.completeness}.  The [_result]
-    entry points ({!prepare_result}, {!run_streaming_result}) return
-    typed {!Pipeline_error.t} values instead of raising; {!inject} and
-    {!Fuzz} drive deterministically perturbed pipelines behind the same
-    barrier.
+    result carries {!Ilp.Analyze.result.completeness}.  Per-workload
+    failures come back as typed {!Pipeline_error.t} values inside the
+    result list; {!inject} and {!Fuzz} drive deterministically
+    perturbed pipelines behind the same barrier.
+
+    Observability: pass an enabled {!Obs.Ctx.t} and every stage of
+    every workload is wrapped in a span (one compile / execute /
+    analyze span per workload, at depth 0), the VM and analyzer hot loops
+    publish sampled probe metrics, and {!Counters} totals land in the
+    same registry.  All of it is deterministic under parallelism: span
+    buffers merge by task index and every metric update commutes, so a
+    [jobs = N] run reports exactly the sequential numbers.
 
     {!Counters} tracks VM executions and trace passes so callers (and
     tests) can verify the one-execution/one-pass property. *)
 
-(** Global instrumentation: how much work the pipeline has done. *)
+(** Global instrumentation: how much work the pipeline has done.
+    Backed by counters in {!Obs.Metrics.global}, so a registry
+    snapshot ({!Obs.Metrics.snapshot}) includes these under their
+    [pipeline_*_total] names. *)
 module Counters : sig
   val executions : unit -> int
   (** VM executions since the last [reset]. *)
@@ -53,6 +65,11 @@ module Counters : sig
   val reset : unit -> unit
 end
 
+val validate_jobs : int -> (int, Pipeline_error.t) result
+(** Every [--jobs] surface funnels through this: [j < 1] is a typed
+    [Invalid_request] ("jobs must be at least 1 (got N)", exit code 2),
+    identical across run, fuzz and bench. *)
+
 type prepared = {
   workload : Workloads.Registry.t;
   flat : Asm.Program.flat;
@@ -72,18 +89,24 @@ val prepare :
   ?options:Codegen.Compile.options ->
   ?mem_words:int ->
   ?fuel:int ->
+  ?obs:Obs.Ctx.t ->
+  ?span_buf:Obs.Span.buffer ->
   Workloads.Registry.t ->
   prepared
 (** Compile (optionally with if-conversion), statically analyze, and
     execute one workload, profiling its branches on the way.  A fault
     or fuel exhaustion does {e not} raise: the trace prefix is kept and
     [status]/[completeness] record what happened.  Compile errors still
-    raise (use {!prepare_result} for the typed-error path). *)
+    raise (use {!prepare_result} for the typed-error path).  [obs]
+    supplies the VM probe; [span_buf] receives ["compile"] and
+    ["execute"] spans. *)
 
 val prepare_result :
   ?options:Codegen.Compile.options ->
   ?mem_words:int ->
   ?fuel:int ->
+  ?obs:Obs.Ctx.t ->
+  ?span_buf:Obs.Span.buffer ->
   Workloads.Registry.t ->
   (prepared, Pipeline_error.t) result
 (** Like {!prepare} but total: compile errors arrive as
@@ -114,7 +137,8 @@ type spec = {
   s_segments : bool;
   s_predictor : predictor_kind;
   s_step_budget : int option;
-  (** resource guard forwarded to {!Ilp.Analyze.config} *)
+  (** resource guard forwarded to {!Ilp.Analyze.config}; [None]
+      inherits {!Run.config}[.step_budget] *)
 }
 
 val spec :
@@ -131,71 +155,77 @@ val spec :
 val spec_key : spec -> string
 (** A stable identifier for caching: machine name + knobs. *)
 
-val analyze_specs : prepared -> spec list -> Ilp.Analyze.result list
-(** Fan all specs out over a {e single} pass of the prepared trace;
-    results are in spec order, each tagged with the prepared
-    execution's completeness. *)
+(** The unified run API.  One config, one [exec], uniform per-workload
+    outcomes — this subsumes the former [analyze] / [analyze_all] /
+    [analyze_specs] / [run_streaming] / [run_streaming_result] /
+    [run_streaming_all] family. *)
+module Run : sig
+  type config = {
+    specs : spec list;  (** analysis fan-out, shared by every workload *)
+    jobs : int;  (** domain-pool width; [1] never spawns a domain *)
+    fuel : int option;
+    (** instruction budget override ([None]: each workload's own) *)
+    step_budget : int option;
+    (** default analysis step budget for specs that set none *)
+    mem_words : int option;  (** VM memory override, validated *)
+    options : Codegen.Compile.options option;  (** compile options *)
+    stream : bool;
+    (** [false]: materialize each trace (one execution + one scan);
+        [true]: stream (two executions, O(program) memory) *)
+    obs : Obs.Ctx.t;  (** observability context; {!Obs.Ctx.disabled}
+                          costs the hot loops one bool test *)
+  }
 
-val analyze :
-  ?inline:bool ->
-  ?unroll:bool ->
-  ?segments:bool ->
-  ?predictor:Predict.Predictor.t ->
-  prepared ->
-  Ilp.Machine.t ->
-  Ilp.Analyze.result
-(** Run one machine model over the prepared trace.  Defaults follow the
-    paper: perfect inlining and unrolling on, profile prediction. *)
+  val config :
+    ?jobs:int ->
+    ?fuel:int ->
+    ?step_budget:int ->
+    ?mem_words:int ->
+    ?options:Codegen.Compile.options ->
+    ?stream:bool ->
+    ?obs:Obs.Ctx.t ->
+    spec list ->
+    config
+  (** Defaults: sequential ([jobs = 1]), workload fuel, no step budget,
+      default VM memory, no compile options, materialized trace,
+      observability disabled. *)
 
-val analyze_all :
-  ?inline:bool ->
-  ?unroll:bool ->
-  prepared ->
-  Ilp.Machine.t list ->
-  Ilp.Analyze.result list
-(** All machines in one trace pass (via {!analyze_specs}). *)
+  (** One workload's outcome: the full result-per-spec list, or that
+      workload's typed error.  A failure never aborts the batch. *)
+  type item = {
+    it_workload : Workloads.Registry.t;
+    it_outcome : (Ilp.Analyze.result list, Pipeline_error.t) result;
+  }
 
-val run_streaming :
-  ?options:Codegen.Compile.options ->
-  ?mem_words:int ->
-  ?fuel:int ->
-  Workloads.Registry.t ->
-  spec list ->
-  Ilp.Analyze.result list
-(** Fully streaming pipeline: compile once, execute once to train the
-    profile predictor, execute again feeding every spec's analysis
-    state through a trace sink.  No trace is ever materialized, so
-    memory is independent of the instruction budget.  Numerically
-    identical to [prepare] + [analyze_specs], including the
-    completeness tag. *)
+  val exec :
+    config -> Workloads.Registry.t list -> (item list, Pipeline_error.t) result
+  (** Run every workload through compile → execute → analyze under the
+      config.  [Error] only for an invalid config ([jobs < 1]); every
+      per-workload failure is carried in its {!item}.  With [jobs > 1]
+      workloads fan out over a domain pool, each task with its own VM
+      state, analysis sinks and span buffer; results are merged by
+      workload index, so the output — results, {!Counters} totals,
+      metric snapshot, span skeleton — is bit-identical to the
+      sequential run for any [jobs] and any scheduling.  An exception
+      escaping a task surfaces as that workload's [Internal] error,
+      upholding the pipeline invariant across domains.
 
-val run_streaming_result :
-  ?options:Codegen.Compile.options ->
-  ?mem_words:int ->
-  ?fuel:int ->
-  Workloads.Registry.t ->
-  spec list ->
-  (Ilp.Analyze.result list, Pipeline_error.t) result
-(** {!run_streaming} behind the typed-error barrier. *)
+      Spans per workload (when [config.obs] is enabled): a ["workload"]
+      root is {e not} recorded — the stages ["compile"], ["execute"]
+      and ["analyze"] each record exactly one span, at depth 0, in
+      pipeline order. *)
 
-val run_streaming_all :
-  ?options:Codegen.Compile.options ->
-  ?mem_words:int ->
-  ?fuel:int ->
-  ?jobs:int ->
-  Workloads.Registry.t list ->
-  spec list ->
-  (Ilp.Analyze.result list, Pipeline_error.t) result list
-(** Fan whole workloads out over a domain pool: each workload's
-    pipeline (compile, execute, stream-analyze every spec) is one task
-    with its own VM state and analysis sinks, run on its own domain.
-    Results are merged by workload index, so the output — including
-    every {!Counters} total — is bit-identical to mapping
-    {!run_streaming_result} over [ws] sequentially, for any [jobs] and
-    any scheduling.  [jobs] defaults to
-    {!Stdx.Pool.recommended_jobs}[ ()]; [jobs = 1] never spawns a
-    domain.  An exception escaping a task surfaces as that workload's
-    [Internal] error, upholding the pipeline invariant across domains. *)
+  val on_prepared :
+    ?obs:Obs.Ctx.t ->
+    ?span_buf:Obs.Span.buffer ->
+    prepared ->
+    spec list ->
+    Ilp.Analyze.result list
+  (** Fan specs out over a {e single} pass of an already-prepared trace
+      (results in spec order, completeness-tagged).  This is the
+      materialized analysis half of {!exec}, exposed for drivers that
+      cache {!prepared} values across spec sets (the bench store). *)
+end
 
 (** Outcome of running the static verifier (and optionally the dynamic
     trace cross-validation) over one workload. *)
@@ -242,6 +272,7 @@ type injected = {
 
 val inject :
   ?fuel:int ->
+  ?obs:Obs.Ctx.t ->
   seed:int ->
   kind:Fault.Injector.kind ->
   Workloads.Registry.t ->
@@ -251,7 +282,9 @@ val inject :
     (machine [sp_cd_mf], btfn prediction — chosen because it needs no
     second training execution, keeping injection to a single
     deterministic run).  Total: compile errors and anything a corrupted
-    program provokes come back as [Error]; same seed, same report. *)
+    program provokes come back as [Error]; same seed, same report.
+    [obs] counts the plan under [fault_planned_total{kind=...}] and
+    probes the damaged execution. *)
 
 (** Bulk fault injection asserting the pipeline invariant: {e every}
     input yields either a result or a structured error.  An exception
@@ -279,15 +312,17 @@ module Fuzz : sig
     ?fuel:int ->
     ?workloads:Workloads.Registry.t list ->
     ?jobs:int ->
+    ?obs:Obs.Ctx.t ->
     seed:int ->
     cases:int ->
     unit ->
-    report
+    (report, Pipeline_error.t) result
   (** Run [cases] seeded injections: case [i] uses the splitmix64
       stream output {!Fault.Injector.Rng.derive}[ ~seed ~index:i],
       cycles through all fault kinds, and rotates over [workloads]
       (default: the whole registry).  With [jobs > 1] the cases run on
       a domain pool; because each case's seed depends only on its
       index, the report is identical for every [jobs] value and
-      scheduling order. *)
+      scheduling order.  [Error] only for [jobs < 1] (same typed
+      message as {!Run.exec}, via {!validate_jobs}). *)
 end

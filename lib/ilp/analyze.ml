@@ -6,12 +6,14 @@ type config = {
   collect_segments : bool;
   mem_words : int;
   step_budget : int option;
+  probe : Obs.Probe.analyzer;
 }
 
 let config ?(inline = true) ?(unroll = true) ?(collect_segments = false)
-    ?(mem_words = 1024) ?step_budget machine predictor =
+    ?(mem_words = 1024) ?step_budget ?(probe = Obs.Probe.analyzer_disabled)
+    machine predictor =
   { machine; inline; unroll; predictor; collect_segments; mem_words;
-    step_budget }
+    step_budget; probe }
 
 type segment = {
   length : int;
@@ -167,6 +169,18 @@ module State = struct
     (* Resource guard: once the step budget is hit, remaining entries
        are dropped and the result is tagged Truncated. *)
     mutable budget_hit : Pipeline_error.fault_info option;
+    (* Probe fields.  [prof_on] is the one test the per-entry hot path
+       pays when observability is off; the plain-int tallies below are
+       published to the probe's registry once, in [finish], and feed
+       nothing in the analysis itself — results are byte-identical with
+       the probe on or off. *)
+    probe : Obs.Probe.analyzer;
+    prof_on : bool;
+    mutable prof_left : int;  (* entries until the next depth sample *)
+    mutable p_entries : int;  (* entries consumed (when prof_on) *)
+    mutable p_flushed : int;  (* entries dropped past the step budget *)
+    mutable p_cbr_mispred : int;  (* mispredicted conditional branches *)
+    mutable p_frame_hw : int;  (* frame-stack depth high-water *)
   }
 
   let create (cfg : config) (info : Program_info.t) =
@@ -231,7 +245,14 @@ module State = struct
       r_seq = 0;
       r_time = 0;
       r_mchain = 0;
-      budget_hit = None }
+      budget_hit = None;
+      probe = cfg.probe;
+      prof_on = cfg.probe.Obs.Probe.a_enabled;
+      prof_left = cfg.probe.Obs.Probe.a_sample_every;
+      p_entries = 0;
+      p_flushed = 0;
+      p_cbr_mispred = 0;
+      p_frame_hw = 0 }
 
   (* Control-dependence resolution: the call-site context or the most
      recent valid RDF branch instance, whichever is newer; dropped
@@ -280,6 +301,14 @@ module State = struct
   let do_step st ~pc ~aux =
     if pc < 0 || pc >= st.n_code then
       invalid_arg "Analyze.step: pc outside the code segment";
+    if st.prof_on then begin
+      st.p_entries <- st.p_entries + 1;
+      st.prof_left <- st.prof_left - 1;
+      if st.prof_left <= 0 then begin
+        st.prof_left <- st.probe.Obs.Probe.a_sample_every;
+        Obs.Metrics.observe st.probe.Obs.Probe.a_frame_depth st.stack_len
+      end
+    end;
     let flags = Array.unsafe_get st.flags pc in
     let blk = Array.unsafe_get st.block_of pc in
     if flags land Program_info.f_block_start <> 0 then begin
@@ -308,6 +337,7 @@ module State = struct
       Array.unsafe_set s (base + 2) st.ctx_time;
       Array.unsafe_set s (base + 3) st.ctx_mchain;
       st.stack_len <- st.stack_len + 1;
+      if st.stack_len > st.p_frame_hw then st.p_frame_hw <- st.stack_len;
       st.cur_entry <- st.seq_counter + 1;
       st.ctx_seq <- st.r_seq;
       st.ctx_time <- st.r_time;
@@ -383,7 +413,9 @@ module State = struct
           st.dyn_branches <- st.dyn_branches + 1;
           let taken = aux = 1 in
           let predicted = st.predict ~pc ~taken in
-          predicted <> taken
+          let m = predicted <> taken in
+          if m then st.p_cbr_mispred <- st.p_cbr_mispred + 1;
+          m
         end
         else is_cjump
       in
@@ -485,7 +517,7 @@ module State = struct
      [max_int] when unconfigured, so the common case is one compare. *)
   let step st ~pc ~aux =
     match st.budget_hit with
-    | Some _ -> ()
+    | Some _ -> st.p_flushed <- st.p_flushed + 1  (* cold: post-budget *)
     | None ->
       if st.counted >= st.budget then
         st.budget_hit <-
@@ -496,6 +528,17 @@ module State = struct
       else do_step st ~pc ~aux
 
   let finish ?(completeness = Pipeline_error.Complete) st =
+    if st.prof_on then begin
+      let p = st.probe in
+      Obs.Metrics.add p.Obs.Probe.a_entries st.p_entries;
+      Obs.Metrics.add p.Obs.Probe.a_counted st.counted;
+      Obs.Metrics.add p.Obs.Probe.a_flushed st.p_flushed;
+      Obs.Metrics.add p.Obs.Probe.a_pred_misses st.p_cbr_mispred;
+      Obs.Metrics.add p.Obs.Probe.a_pred_hits
+        (st.dyn_branches - st.p_cbr_mispred);
+      Obs.Metrics.add p.Obs.Probe.a_mispredict_flushes st.mispredicts;
+      Obs.Metrics.set_max p.Obs.Probe.a_frame_hw st.p_frame_hw
+    end;
     if st.cfg.collect_segments && st.seg_len > 0 then begin
       Stdx.Vec.push st.segments
         { length = st.seg_len; cycles = max 1 (st.seg_max - st.seg_base) };

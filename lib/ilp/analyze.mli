@@ -48,6 +48,13 @@ type config = {
   (** resource guard: analyze at most this many counted instructions,
       then drop the rest of the trace and tag the result
       [Truncated Step_budget] instead of running unboundedly *)
+  probe : Obs.Probe.analyzer;
+  (** profiling hooks: entries/counted/flushed tallies, predictor
+      hits/misses, frame-stack depth high-water and a sampled depth
+      histogram, published to the probe's registry when the state
+      finishes.  Disabled (the default) it costs the per-entry hot
+      path one hoisted bool test, and results are byte-identical
+      either way. *)
 }
 
 val config :
@@ -56,11 +63,12 @@ val config :
   ?collect_segments:bool ->
   ?mem_words:int ->
   ?step_budget:int ->
+  ?probe:Obs.Probe.analyzer ->
   Machine.t ->
   Predict.Predictor.t ->
   config
 (** Defaults: [inline = true], [unroll = true],
-    [collect_segments = false], no step budget. *)
+    [collect_segments = false], no step budget, probe disabled. *)
 
 (** A run of counted instructions between two consecutive mispredicted
     branches (the closing branch included).  [length] is the paper's

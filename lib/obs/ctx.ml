@@ -1,0 +1,53 @@
+type t = {
+  c_enabled : bool;
+  c_metrics : Metrics.t;
+  c_mu : Mutex.t;
+  mutable c_buffers : (int * int * Span.buffer) list;
+  (* (task index, registration order) — newest first *)
+  mutable c_next : int;
+}
+
+let disabled =
+  { c_enabled = false; c_metrics = Metrics.create (); c_mu = Mutex.create ();
+    c_buffers = []; c_next = 0 }
+
+let create ?(registry = Metrics.global) () =
+  { c_enabled = true; c_metrics = registry; c_mu = Mutex.create ();
+    c_buffers = []; c_next = 0 }
+
+let enabled t = t.c_enabled
+let metrics t = t.c_metrics
+
+let task_buffer t ~index ~label =
+  if not t.c_enabled then Span.disabled
+  else begin
+    let b = Span.buffer ~label () in
+    Mutex.lock t.c_mu;
+    t.c_buffers <- (index, t.c_next, b) :: t.c_buffers;
+    t.c_next <- t.c_next + 1;
+    Mutex.unlock t.c_mu;
+    b
+  end
+
+let spans t =
+  Mutex.lock t.c_mu;
+  let bs = t.c_buffers in
+  Mutex.unlock t.c_mu;
+  (* Registration order is scheduling-dependent (tasks register on
+     their worker domains); the index sort erases that. *)
+  let sorted =
+    List.sort
+      (fun (i1, n1, _) (i2, n2, _) ->
+        if i1 <> i2 then compare i1 i2 else compare n1 n2)
+      bs
+  in
+  Span.merge (List.map (fun (_, _, b) -> b) sorted)
+
+let snapshot t = Metrics.snapshot t.c_metrics
+
+let vm_probe t =
+  if t.c_enabled then Probe.vm t.c_metrics else Probe.vm_disabled
+
+let analyzer_probe t ~machine =
+  if t.c_enabled then Probe.analyzer t.c_metrics ~machine
+  else Probe.analyzer_disabled

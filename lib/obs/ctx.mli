@@ -1,0 +1,43 @@
+(** The observability context a driver threads through the pipeline:
+    one metrics registry plus indexed span buffers, one per task.
+
+    {!disabled} is the zero-cost default: probes come back disabled,
+    task buffers come back inert, and the hot loops pay one hoisted
+    bool test.  An enabled context ({!create}) hands each pipeline
+    task its own single-writer span buffer keyed by the task's
+    {e index} (its position in the input list, not its scheduling
+    order); {!spans} merges buffers in index order, so the merged
+    span stream — like every metric total — is identical for jobs=N
+    and sequential runs. *)
+
+type t
+
+val disabled : t
+
+val create : ?registry:Metrics.t -> unit -> t
+(** An enabled context.  [registry] defaults to {!Metrics.global}, so
+    probe metrics and the pipeline counters land in one snapshot. *)
+
+val enabled : t -> bool
+
+val metrics : t -> Metrics.t
+
+val task_buffer : t -> index:int -> label:string -> Span.buffer
+(** The span buffer for task [index] (creating it if needed; a fresh
+    call with the same index returns a new buffer appended after the
+    first, keeping re-runs of an index distinguishable).  On a
+    disabled context: {!Span.disabled}. *)
+
+val spans : t -> Span.span array
+(** Every recorded span, buffers merged by ascending task index
+    (ties: registration order).  Deterministic given deterministic
+    tasks. *)
+
+val snapshot : t -> Metrics.snap list
+
+val vm_probe : t -> Probe.vm
+(** A VM probe over this context's registry; {!Probe.vm_disabled} when
+    the context is disabled. *)
+
+val analyzer_probe : t -> machine:string -> Probe.analyzer
+(** Per-machine analyzer probe; disabled when the context is. *)

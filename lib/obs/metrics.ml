@@ -1,0 +1,173 @@
+type counter = {
+  c_name : string;
+  c_help : string;
+  c_v : int Atomic.t;
+}
+
+type gauge = {
+  g_name : string;
+  g_help : string;
+  g_v : int Atomic.t;
+}
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_bounds : int array;
+  h_counts : int Atomic.t array;  (* length = bounds + 1 (overflow) *)
+  h_sum : int Atomic.t;
+}
+
+type instrument =
+  | I_counter of counter
+  | I_gauge of gauge
+  | I_histogram of histogram
+
+type t = {
+  mu : Mutex.t;
+  items : (string, instrument) Hashtbl.t;
+}
+
+let create () = { mu = Mutex.create (); items = Hashtbl.create 32 }
+
+let global = create ()
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Idempotent registration: the first caller creates the instrument,
+   later callers get the same cell back.  A name re-registered as a
+   different kind (or a histogram with different bounds) is a
+   programming error — aliasing would silently merge two meanings. *)
+let register t name make check =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.items name with
+      | Some existing -> check existing
+      | None ->
+        let i = make () in
+        Hashtbl.add t.items name i;
+        i)
+
+let kind_clash name =
+  invalid_arg
+    (Printf.sprintf
+       "Obs.Metrics: %S already registered as a different instrument kind"
+       name)
+
+let counter t ?(help = "") name =
+  match
+    register t name
+      (fun () -> I_counter { c_name = name; c_help = help; c_v = Atomic.make 0 })
+      (function I_counter _ as i -> i | _ -> kind_clash name)
+  with
+  | I_counter c -> c
+  | _ -> assert false
+
+let incr c = Atomic.incr c.c_v
+let add c n = ignore (Atomic.fetch_and_add c.c_v n)
+let counter_value c = Atomic.get c.c_v
+let reset_counter c = Atomic.set c.c_v 0
+
+let gauge t ?(help = "") name =
+  match
+    register t name
+      (fun () -> I_gauge { g_name = name; g_help = help; g_v = Atomic.make 0 })
+      (function I_gauge _ as i -> i | _ -> kind_clash name)
+  with
+  | I_gauge g -> g
+  | _ -> assert false
+
+(* Max is commutative and idempotent: however many domains race here,
+   the final value is the max of every observation — same as
+   sequential. *)
+let rec set_max g v =
+  let cur = Atomic.get g.g_v in
+  if v > cur && not (Atomic.compare_and_set g.g_v cur v) then set_max g v
+
+let gauge_value g = Atomic.get g.g_v
+
+let histogram t ?(help = "") ~buckets name =
+  let ok =
+    Array.length buckets > 0
+    &&
+    let sorted = ref true in
+    for i = 1 to Array.length buckets - 1 do
+      if buckets.(i) <= buckets.(i - 1) then sorted := false
+    done;
+    !sorted
+  in
+  if not ok then
+    invalid_arg
+      (Printf.sprintf
+         "Obs.Metrics: histogram %S needs strictly increasing bounds" name);
+  match
+    register t name
+      (fun () ->
+        I_histogram
+          { h_name = name; h_help = help; h_bounds = Array.copy buckets;
+            h_counts = Array.init (Array.length buckets + 1)
+                         (fun _ -> Atomic.make 0);
+            h_sum = Atomic.make 0 })
+      (function
+        | I_histogram h as i ->
+          if h.h_bounds <> buckets then
+            invalid_arg
+              (Printf.sprintf
+                 "Obs.Metrics: histogram %S re-registered with different \
+                  bounds"
+                 name);
+          i
+        | _ -> kind_clash name)
+  with
+  | I_histogram h -> h
+  | _ -> assert false
+
+let observe h v =
+  let bounds = h.h_bounds in
+  let n = Array.length bounds in
+  let rec idx i = if i >= n || v <= bounds.(i) then i else idx (i + 1) in
+  ignore (Atomic.fetch_and_add h.h_counts.(idx 0) 1);
+  ignore (Atomic.fetch_and_add h.h_sum v)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { bounds : int array; counts : int array; sum : int }
+
+type snap = {
+  name : string;
+  help : string;
+  value : value;
+}
+
+let snap_of = function
+  | I_counter c ->
+    { name = c.c_name; help = c.c_help; value = Counter (Atomic.get c.c_v) }
+  | I_gauge g ->
+    { name = g.g_name; help = g.g_help; value = Gauge (Atomic.get g.g_v) }
+  | I_histogram h ->
+    { name = h.h_name; help = h.h_help;
+      value =
+        Histogram
+          { bounds = Array.copy h.h_bounds;
+            counts = Array.map Atomic.get h.h_counts;
+            sum = Atomic.get h.h_sum } }
+
+let snapshot t =
+  let all =
+    locked t (fun () ->
+        Hashtbl.fold (fun _ i acc -> snap_of i :: acc) t.items [])
+  in
+  List.sort (fun a b -> String.compare a.name b.name) all
+
+let reset t =
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | I_counter c -> Atomic.set c.c_v 0
+          | I_gauge g -> Atomic.set g.g_v 0
+          | I_histogram h ->
+            Array.iter (fun c -> Atomic.set c 0) h.h_counts;
+            Atomic.set h.h_sum 0)
+        t.items)

@@ -1,0 +1,92 @@
+(** Domain-safe metrics registry: named counters, gauges and
+    fixed-bucket histograms.
+
+    Every instrument is an {!Atomic}-backed cell (or array of cells),
+    so pipelines running concurrently on pool domains update them
+    without locks — and because every update is commutative
+    (counter adds, max-tracking gauge CAS, per-bucket histogram adds),
+    the totals a parallel run reports are {e exactly} the sequential
+    run's totals, for any [--jobs] value and any scheduling.  That is
+    the registry-side half of the determinism argument DESIGN.md §10
+    makes for the whole observability layer.
+
+    Registration is idempotent by name: asking twice for the same
+    counter returns the same cell (guarded by the registry mutex —
+    registration is rare, updates are lock-free).  Re-registering a
+    name as a different instrument kind, or a histogram with different
+    bucket bounds, raises [Invalid_argument]: silent aliasing would
+    corrupt both users' numbers.
+
+    Names follow the Prometheus convention ([snake_case], labels in
+    braces: ["ilp_analyze_entries_total{machine=\"SP-CD-MF\"}"]); the
+    exporters in {!Export} rely on that shape. *)
+
+type t
+(** A registry: a named collection of instruments. *)
+
+val create : unit -> t
+
+val global : t
+(** The process-wide default registry.  {!Harness.Counters} and
+    {!Ctx.create} (without an explicit [registry]) both use it, so one
+    snapshot covers the pipeline counters and every probe metric. *)
+
+(** {1 Counters} — monotonically increasing sums. *)
+
+type counter
+
+val counter : t -> ?help:string -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val reset_counter : counter -> unit
+(** Zero one counter (test isolation); other instruments in the
+    registry are untouched. *)
+
+(** {1 Gauges} — high-water marks. *)
+
+type gauge
+
+val gauge : t -> ?help:string -> string -> gauge
+
+val set_max : gauge -> int -> unit
+(** Raise the gauge to [v] if [v] is larger (atomic compare-and-swap
+    loop; max is commutative, preserving parallel determinism). *)
+
+val gauge_value : gauge -> int
+
+(** {1 Histograms} — fixed upper-bound buckets. *)
+
+type histogram
+
+val histogram : t -> ?help:string -> buckets:int array -> string -> histogram
+(** [buckets] are inclusive upper bounds, strictly increasing; an
+    implicit overflow bucket catches everything above the last bound. *)
+
+val observe : histogram -> int -> unit
+(** Count [v] in the first bucket whose bound is [>= v] (or the
+    overflow bucket) and add it to the running sum. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { bounds : int array; counts : int array; sum : int }
+      (** [counts] has [length bounds + 1] entries, the last being the
+          overflow bucket; not cumulative (exporters cumulate). *)
+
+type snap = {
+  name : string;
+  help : string;
+  value : value;
+}
+
+val snapshot : t -> snap list
+(** All instruments, sorted by name — a deterministic order whatever
+    the registration interleaving was. *)
+
+val reset : t -> unit
+(** Zero every instrument in the registry (instruments stay
+    registered). *)

@@ -1,0 +1,62 @@
+type span = {
+  sp_stage : string;
+  sp_workload : string;
+  sp_machine : string;
+  sp_depth : int;
+  sp_start_ns : int64;
+  mutable sp_stop_ns : int64;
+}
+
+let span ?(workload = "") ?(machine = "") ?(depth = 0) ~start_ns ~stop_ns
+    stage =
+  { sp_stage = stage; sp_workload = workload; sp_machine = machine;
+    sp_depth = depth; sp_start_ns = start_ns; sp_stop_ns = stop_ns }
+
+let dur_ns s = Int64.sub s.sp_stop_ns s.sp_start_ns
+
+let dummy = span ~start_ns:0L ~stop_ns:0L ""
+
+type buffer = {
+  b_active : bool;
+  b_label : string;
+  mutable b_depth : int;
+  b_spans : span Stdx.Vec.t;
+}
+
+let buffer ?(label = "") () =
+  { b_active = true; b_label = label; b_depth = 0;
+    b_spans = Stdx.Vec.create ~dummy () }
+
+let disabled =
+  { b_active = false; b_label = ""; b_depth = 0;
+    b_spans = Stdx.Vec.create ~dummy () }
+
+let active b = b.b_active
+let label b = b.b_label
+
+let now () = Monotonic_clock.now ()
+
+let with_span b ?(workload = "") ?(machine = "") stage f =
+  if not b.b_active then f ()
+  else begin
+    let s =
+      { sp_stage = stage; sp_workload = workload; sp_machine = machine;
+        sp_depth = b.b_depth; sp_start_ns = now (); sp_stop_ns = 0L }
+    in
+    Stdx.Vec.push b.b_spans s;
+    b.b_depth <- b.b_depth + 1;
+    Fun.protect
+      ~finally:(fun () ->
+        b.b_depth <- b.b_depth - 1;
+        s.sp_stop_ns <- now ())
+      f
+  end
+
+let spans b = Stdx.Vec.to_array b.b_spans
+
+let merge buffers = Array.concat (List.map spans buffers)
+
+let skeleton ss =
+  Array.map
+    (fun s -> (s.sp_stage, s.sp_workload, s.sp_machine, s.sp_depth))
+    ss

@@ -1,0 +1,70 @@
+(** Monotonic-clock spans: nested, stage/workload/machine-labeled
+    timing records.
+
+    A {!buffer} is single-writer: each pipeline task (one workload's
+    compile → execute → analyze) records into its own buffer on
+    whatever domain it runs, so the hot path takes no lock.  The
+    driver merges buffers {e by task index} afterwards ({!merge} /
+    {!Ctx.spans}), which is the span-side half of the determinism
+    argument: whatever order the pool scheduled the tasks, the merged
+    sequence is the sequential run's sequence.  Timestamps naturally
+    differ run to run — the scheduling-independent part is the
+    {!skeleton}: (stage, workload, machine, depth) in merged order,
+    and tests pin exactly that.
+
+    Timestamps come from bechamel's [CLOCK_MONOTONIC] stub, the same
+    clock the bench uses, so an NTP step cannot corrupt a span. *)
+
+type span = {
+  sp_stage : string;  (** e.g. ["compile"], ["execute"], ["analyze"] *)
+  sp_workload : string;  (** [""] when not tied to a workload *)
+  sp_machine : string;  (** [""] when not tied to a machine model *)
+  sp_depth : int;  (** nesting depth within its buffer, 0 = root *)
+  sp_start_ns : int64;
+  mutable sp_stop_ns : int64;  (** set when the span closes *)
+}
+
+val span :
+  ?workload:string ->
+  ?machine:string ->
+  ?depth:int ->
+  start_ns:int64 ->
+  stop_ns:int64 ->
+  string ->
+  span
+(** Build a span directly (exporter golden tests with fixed
+    timestamps). *)
+
+val dur_ns : span -> int64
+
+type buffer
+
+val buffer : ?label:string -> unit -> buffer
+(** A fresh, active, empty buffer. *)
+
+val disabled : buffer
+(** The inert buffer: {!with_span} on it runs the thunk with zero
+    recording cost.  This is what a disabled {!Ctx.t} hands out. *)
+
+val active : buffer -> bool
+val label : buffer -> string
+
+val with_span :
+  buffer -> ?workload:string -> ?machine:string -> string -> (unit -> 'a) -> 'a
+(** [with_span b stage f] records a span around [f ()], nested under
+    any span currently open in [b].  The span closes even when [f]
+    raises.  Buffers are single-writer: never share one buffer between
+    concurrent tasks. *)
+
+val spans : buffer -> span array
+(** Recorded spans in open order (parents before children). *)
+
+val merge : buffer list -> span array
+(** Concatenate in list order.  Callers sort the buffers by task index
+    first (see {!Ctx.spans}), making the result independent of
+    scheduling. *)
+
+val skeleton : span array -> (string * string * string * int) array
+(** The time-free structure: [(stage, workload, machine, depth)] per
+    span, in order.  Equal for a jobs=N and a sequential run of the
+    same pipeline. *)

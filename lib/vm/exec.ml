@@ -44,7 +44,8 @@ let validate_mem_words ?workload n =
   else Ok n
 
 let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
-    ?(record = true) ?sink ?observe (flat : Asm.Program.flat) =
+    ?(record = true) ?sink ?observe ?(probe = Obs.Probe.vm_disabled)
+    (flat : Asm.Program.flat) =
   let open Risc.Insn in
   let code = flat.code in
   let n_code = Array.length code in
@@ -73,6 +74,11 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
     | Some b, Some s -> Trace.tee b s
   in
   let pc = ref flat.entry_pc in
+  (* Probe state, hoisted: a disabled probe costs the retirement path
+     one immutable-bool test.  The stack-depth histogram is sampled (one
+     observation per [mask+1] retirements), never per-step. *)
+  let probe_on = probe.Obs.Probe.v_enabled in
+  let probe_mask = probe.Obs.Probe.v_sample_mask in
   let steps = ref 0 in
   let fault = ref None in
   let halted = ref false in
@@ -161,6 +167,9 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
         (match observe with
         | Some f -> f ~pc:cur ~step:!steps ~regs ~fregs ~mem:mem_i
         | None -> ());
+        if probe_on && !steps land probe_mask = 0 then
+          Obs.Metrics.observe probe.Obs.Probe.v_stack_words
+            (mem_words - regs.(Risc.Reg.sp));
         incr steps;
         pc := !next
       end
@@ -173,4 +182,11 @@ let run ?(mem_words = default_mem_words) ?(fuel = 10_000_000)
       Fault (Pipeline_error.fault ~pc:!pc ~detail ~step:!steps kind)
     | None -> if !halted then Halted regs.(Risc.Reg.rv) else Out_of_fuel
   in
+  if probe_on then begin
+    Obs.Metrics.incr probe.Obs.Probe.v_executions;
+    Obs.Metrics.add probe.Obs.Probe.v_steps !steps;
+    match status with
+    | Fault _ -> Obs.Metrics.incr probe.Obs.Probe.v_faults
+    | Halted _ | Out_of_fuel -> ()
+  end;
   { status; trace; steps = !steps }

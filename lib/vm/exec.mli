@@ -56,6 +56,7 @@ val run :
   ?observe:
     (pc:int -> step:int -> regs:int array -> fregs:float array ->
      mem:int array -> unit) ->
+  ?probe:Obs.Probe.vm ->
   Asm.Program.flat ->
   outcome
 (** [run flat] executes the program from its entry point.  [fuel]
@@ -71,6 +72,11 @@ val run :
     callers must not retain them); value-level trace checkers
     ({!Cfg.Verify.Dynamic.observe}) hang off this hook, and the fault
     injector uses it to corrupt state mid-execution.
+
+    [probe] (default {!Obs.Probe.vm_disabled}) publishes execution
+    metrics — retired steps, execution/fault counts, and a sampled
+    stack-depth histogram — to its registry.  Disabled, it costs the
+    retirement path one hoisted bool test.
 
     [mem_words] is trusted here (callers go through
     {!validate_mem_words}); [Invalid_argument] is possible only for a

@@ -16,4 +16,5 @@ let () =
       ("properties", Test_props.suite);
       ("workloads", Test_workloads.suite);
       ("fault", Test_fault.suite);
+      ("obs", Test_obs.suite);
       ("report", Test_report.suite) ]

@@ -75,9 +75,25 @@ let test_jtab_fault () =
   Alcotest.(check (option kind)) "jtab" (Some E.Jtab_out_of_range)
     (fault_kind_of o)
 
-(* --- faulting workloads through prepare / run_streaming ------------ *)
+(* --- faulting workloads through prepare / streaming Run.exec ------- *)
 
 let spec1 = [ Harness.spec Ilp.Machine.sp_cd_mf ]
+
+(* One workload through the streaming pipeline, as a result. *)
+let stream_result ?fuel ?mem_words w specs =
+  match
+    Harness.Run.exec
+      (Harness.Run.config ?fuel ?mem_words ~stream:true specs)
+      [ w ]
+  with
+  | Ok [ it ] -> it.Harness.Run.it_outcome
+  | Ok _ -> Alcotest.fail "one workload, one item"
+  | Error e -> Error e
+
+let stream ?fuel w specs =
+  match stream_result ?fuel w specs with
+  | Ok rs -> rs
+  | Error e -> Alcotest.fail (E.to_string e)
 
 let completeness_kind = function
   | E.Complete -> None
@@ -91,7 +107,7 @@ let test_prepare_faulting () =
         (Some expected) (fault_kind_of
           { Vm.Exec.status = p.Harness.status; trace = p.trace;
             steps = p.steps });
-      let results = Harness.analyze_specs p spec1 in
+      let results = Harness.Run.on_prepared p spec1 in
       List.iter
         (fun (r : Ilp.Analyze.result) ->
           Alcotest.(check (option kind))
@@ -106,7 +122,7 @@ let test_prepare_faulting () =
 let test_streaming_faulting () =
   List.iter
     (fun (w, expected) ->
-      match Harness.run_streaming_result w spec1 with
+      match stream_result w spec1 with
       | Error e -> Alcotest.fail (E.to_string e)
       | Ok [ r ] ->
         Alcotest.(check (option kind)) (w.Workloads.Registry.name ^ " tag")
@@ -120,7 +136,7 @@ let test_streaming_faulting () =
 let test_fuel_truncation_all () =
   List.iter
     (fun w ->
-      match Harness.run_streaming ~fuel:2_000 w spec1 with
+      match stream ~fuel:2_000 w spec1 with
       | [ r ] ->
         Alcotest.(check (option kind)) (w.Workloads.Registry.name ^ " fuel")
           (Some E.Out_of_fuel)
@@ -132,8 +148,8 @@ let test_fuel_truncation_all () =
 let test_truncated_equivalence () =
   let w = Workloads.Registry.find "eqntott" in
   let p = Harness.prepare ~fuel:3_000 w in
-  let a = Harness.analyze_specs p spec1 in
-  let b = Harness.run_streaming ~fuel:3_000 w spec1 in
+  let a = Harness.Run.on_prepared p spec1 in
+  let b = stream ~fuel:3_000 w spec1 in
   List.iter2
     (fun (x : Ilp.Analyze.result) (y : Ilp.Analyze.result) ->
       Alcotest.(check (float 1e-9)) "parallelism" x.parallelism y.parallelism;
@@ -148,7 +164,7 @@ let test_step_budget () =
   let w = Workloads.Registry.find "awk" in
   let budget = 500 in
   match
-    Harness.run_streaming ~fuel:20_000 w
+    stream ~fuel:20_000 w
       [ Harness.spec ~step_budget:budget Ilp.Machine.sp_cd_mf ]
   with
   | [ r ] ->
@@ -171,7 +187,7 @@ let test_mem_words_guard () =
     | _ -> Alcotest.fail ("wrong cause: " ^ E.to_string e));
     Alcotest.(check int) "exit code" 5 (E.exit_code e)
   | Ok _ -> Alcotest.fail "cap not enforced");
-  match Harness.run_streaming_result ~mem_words:0 w spec1 with
+  match stream_result ~mem_words:0 w spec1 with
   | Error { E.cause = E.Invalid_request _; _ } -> ()
   | Error e -> Alcotest.fail ("wrong cause: " ^ E.to_string e)
   | Ok _ -> Alcotest.fail "zero memory accepted"
@@ -249,7 +265,11 @@ let test_inject_kinds_behave () =
   | Error e -> Alcotest.fail (E.to_string e)
 
 let test_fuzz_no_escape () =
-  let r = Harness.Fuzz.run ~fuel:small_fuel ~seed:1 ~cases:64 () in
+  let r =
+    match Harness.Fuzz.run ~fuel:small_fuel ~seed:1 ~cases:64 () with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (E.to_string e)
+  in
   Alcotest.(check int) "all cases ran" 64 r.Harness.Fuzz.cases;
   Alcotest.(check int) "categories partition the cases" 64
     (r.complete + r.truncated + r.structured_errors + r.internal_errors

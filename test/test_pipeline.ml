@@ -1,10 +1,23 @@
 (* The streaming fan-out pipeline: advancing many machine states over
    one trace pass (Analyze.run_many), or over a live VM execution with
-   no materialized trace (Harness.run_streaming), must be bit-identical
-   to independent single-machine runs — and the harness must do exactly
-   one execution and one analyzer pass per prepared workload. *)
+   no materialized trace (Harness.Run.exec with stream on), must be
+   bit-identical to independent single-machine runs — and the harness
+   must do exactly one execution and one analyzer pass per prepared
+   workload. *)
 
 let machines = Ilp.Machine.all_paper
+
+(* Run one workload through the streaming pipeline, unwrapping the
+   single item the unified entry point returns. *)
+let run_stream ?fuel w specs =
+  match
+    Harness.Run.exec (Harness.Run.config ?fuel ~stream:true specs) [ w ]
+  with
+  | Ok [ { Harness.Run.it_outcome = Ok rs; _ } ] -> rs
+  | Ok [ { Harness.Run.it_outcome = Error e; _ } ] ->
+    Alcotest.fail (Pipeline_error.to_string e)
+  | Ok _ -> Alcotest.fail "one workload, one item"
+  | Error e -> Alcotest.fail (Pipeline_error.to_string e)
 
 let pp_result fmt (r : Ilp.Analyze.result) =
   Format.fprintf fmt
@@ -68,9 +81,9 @@ let figure2_workload =
 
 let streaming_matches w specs () =
   let materialized =
-    Harness.analyze_specs (Harness.prepare w) specs
+    Harness.Run.on_prepared (Harness.prepare w) specs
   in
-  let streamed = Harness.run_streaming w specs in
+  let streamed = run_stream w specs in
   List.iter2
     (fun want got ->
       Alcotest.check result_t
@@ -95,7 +108,7 @@ let test_counters () =
   let w = Workloads.Registry.find "gcc" in
   let p = Harness.prepare ~fuel:150_000 w in
   Alcotest.(check int) "one execution" 1 (Harness.Counters.executions ());
-  let _ = Harness.analyze_specs p (List.map Harness.spec machines) in
+  let _ = Harness.Run.on_prepared p (List.map Harness.spec machines) in
   Alcotest.(check int) "still one execution" 1
     (Harness.Counters.executions ());
   Alcotest.(check int) "one pass for seven machines" 1
@@ -124,7 +137,9 @@ let test_counters () =
 let test_machine_ordering wname () =
   let w = Workloads.Registry.find wname in
   let p = Harness.prepare ~fuel:200_000 w in
-  let results = Harness.analyze_all p machines in
+  let results =
+    Harness.Run.on_prepared p (List.map Harness.spec machines)
+  in
   let par name =
     (List.find (fun (r : Ilp.Analyze.result) -> r.machine = name) results)
       .parallelism

@@ -86,8 +86,9 @@ let test_shutdown () =
   | exception Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Parallel fan-out determinism: run_streaming_all at 4 domains against
-   the sequential path, all ten workloads, all seven machines. *)
+(* Parallel fan-out determinism: Run.exec (streaming) at 4 domains
+   against the sequential path, all ten workloads, all seven
+   machines. *)
 
 type counters = {
   executions : int;
@@ -122,14 +123,19 @@ let fuel = 100_000
 
 let specs = List.map (fun m -> Harness.spec m) Ilp.Machine.all_paper
 
+let run_all ~jobs ws =
+  match
+    Harness.Run.exec (Harness.Run.config ~jobs ~fuel ~stream:true specs) ws
+  with
+  | Ok items -> List.map (fun it -> it.Harness.Run.it_outcome) items
+  | Error e -> Alcotest.fail (Pipeline_error.to_string e)
+
 let test_streaming_all_deterministic () =
   let ws = Workloads.Registry.all in
   let c0 = snapshot () in
-  let seq =
-    List.map (fun w -> Harness.run_streaming_result ~fuel w specs) ws
-  in
+  let seq = run_all ~jobs:1 ws in
   let c1 = snapshot () in
-  let par = Harness.run_streaming_all ~fuel ~jobs:4 ws specs in
+  let par = run_all ~jobs:4 ws in
   let c2 = snapshot () in
   Alcotest.(check int) "one outcome per workload" (List.length ws)
     (List.length par);
@@ -150,7 +156,11 @@ let test_streaming_all_deterministic () =
     (delta c1 c2)
 
 let test_fuzz_jobs_deterministic () =
-  let run jobs = Harness.Fuzz.run ~fuel:20_000 ~jobs ~seed:11 ~cases:48 () in
+  let run jobs =
+    match Harness.Fuzz.run ~fuel:20_000 ~jobs ~seed:11 ~cases:48 () with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Pipeline_error.to_string e)
+  in
   let seq = run 1 in
   let par = run 4 in
   Alcotest.(check bool) "fuzz report identical across jobs" true (seq = par)
@@ -196,7 +206,7 @@ let suite =
     Alcotest.test_case "nested maps don't deadlock" `Quick test_nested_maps;
     Alcotest.test_case "shutdown is idempotent and final" `Quick
       test_shutdown;
-    Alcotest.test_case "run_streaming_all: jobs=4 == sequential" `Slow
+    Alcotest.test_case "Run.exec stream: jobs=4 == sequential" `Slow
       test_streaming_all_deterministic;
     Alcotest.test_case "fuzz: jobs=4 == jobs=1" `Slow
       test_fuzz_jobs_deterministic;

@@ -57,13 +57,16 @@ let prepared_workloads =
 let all_prepared () =
   Lazy.force prepared_small @ Lazy.force prepared_workloads
 
-let cycles p m = (Harness.analyze p m).Ilp.Analyze.cycles
+let analyze ?unroll ?predictor p m =
+  List.hd (Harness.Run.on_prepared p [ Harness.spec ?unroll ?predictor m ])
+
+let cycles p m = (analyze p m).Ilp.Analyze.cycles
 
 let test_counted_identical () =
   let check (name, p) =
     let counts =
       List.map
-        (fun m -> (Harness.analyze p m).Ilp.Analyze.counted)
+        (fun m -> (analyze p m).Ilp.Analyze.counted)
         Ilp.Machine.all_paper
     in
     match counts with
@@ -153,7 +156,7 @@ let test_parallelism_at_least_one () =
   let check (name, p) =
     List.iter
       (fun m ->
-        let r = Harness.analyze p m in
+        let r = analyze p m in
         if r.Ilp.Analyze.parallelism < 1. -. 1e-9 then
           Alcotest.failf "%s/%s: parallelism %f < 1" name r.machine
             r.parallelism;
@@ -167,8 +170,8 @@ let test_parallelism_at_least_one () =
 let test_unrolling_reduces_counted () =
   (* Removing loop overhead can only shrink the counted instructions. *)
   let check (name, p) =
-    let with_u = Harness.analyze ~unroll:true p Ilp.Machine.oracle in
-    let without = Harness.analyze ~unroll:false p Ilp.Machine.oracle in
+    let with_u = analyze ~unroll:true p Ilp.Machine.oracle in
+    let without = analyze ~unroll:false p Ilp.Machine.oracle in
     if with_u.Ilp.Analyze.counted > without.Ilp.Analyze.counted then
       Alcotest.failf "%s: unrolling grew the trace" name;
     if with_u.Ilp.Analyze.cycles > without.Ilp.Analyze.cycles then
@@ -181,8 +184,8 @@ let test_oracle_equals_data_chain () =
   let _, p = List.hd (Lazy.force prepared_small) in
   let bad = { Predict.Predictor.name = "always-wrong";
               predict = (fun ~pc:_ ~taken -> not taken) } in
-  let with_profile = Harness.analyze p Ilp.Machine.oracle in
-  let with_bad = Harness.analyze ~predictor:bad p Ilp.Machine.oracle in
+  let with_profile = analyze p Ilp.Machine.oracle in
+  let with_bad = analyze ~predictor:(`Custom bad) p Ilp.Machine.oracle in
   Alcotest.(check int) "oracle ignores predictor" with_profile.cycles
     with_bad.cycles
 
@@ -190,7 +193,7 @@ let test_perfect_prediction_sp_between () =
   (* With a perfect predictor, SP has no mispredictions left. *)
   let check (name, p) =
     let r =
-      Harness.analyze ~predictor:Predict.Predictor.perfect p Ilp.Machine.sp
+      analyze ~predictor:`Perfect p Ilp.Machine.sp
     in
     (* Computed jumps still count as mispredictions under SP. *)
     let cjumps =
@@ -215,7 +218,7 @@ let test_random_program_invariants =
     (QCheck.make ~print:(fun s -> s) gen_random_program)
     (fun src ->
       let p = Harness.prepare_source ~name:"random" src in
-      let c m = (Harness.analyze p m).Ilp.Analyze.cycles in
+      let c m = (analyze p m).Ilp.Analyze.cycles in
       let open Ilp.Machine in
       c oracle <= c sp_cd_mf
       && c sp_cd_mf <= c sp_cd

@@ -60,7 +60,9 @@ let test_harness_prepare_source () =
   in
   Alcotest.(check (option int)) "halted" (Some 3) p.halted;
   Alcotest.(check bool) "trace non-empty" true (p.steps > 0);
-  let r = Harness.analyze p Ilp.Machine.oracle in
+  let r =
+    List.hd (Harness.Run.on_prepared p [ Harness.spec Ilp.Machine.oracle ])
+  in
   Alcotest.(check bool) "analyzable" true (r.Ilp.Analyze.counted > 0)
 
 let test_harness_branch_stats () =

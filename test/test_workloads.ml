@@ -1,6 +1,9 @@
 (* The benchmark suite itself: every workload compiles, runs to
    completion deterministically, and produces paper-shaped statistics. *)
 
+let analyze ?segments p m =
+  List.hd (Harness.Run.on_prepared p [ Harness.spec ?segments m ])
+
 let test_registry () =
   Alcotest.(check int) "ten workloads" 10
     (List.length Workloads.Registry.all);
@@ -66,7 +69,7 @@ let test_shape_claims () =
       (List.filter_map
          (fun (w, p) ->
            if filter w then
-             Some (Harness.analyze p machine).Ilp.Analyze.parallelism
+             Some (analyze p machine).Ilp.Analyze.parallelism
            else None)
          ps)
   in
@@ -97,7 +100,7 @@ let test_mispredict_distances_short () =
       (fun w ->
         let p = Harness.prepare ~fuel:150_000 w in
         Array.to_list
-          (Harness.analyze ~segments:true p Ilp.Machine.sp).segments)
+          (analyze ~segments:true p Ilp.Machine.sp).segments)
       Workloads.Registry.non_numeric
   in
   let total = List.length segs in
@@ -114,7 +117,7 @@ let test_segment_parallelism_grows () =
      ones (comparing the shortest and longest populated buckets). *)
   let p = Harness.prepare ~fuel:200_000 (Workloads.Registry.find "gcc") in
   let segments =
-    (Harness.analyze ~segments:true p Ilp.Machine.sp).segments
+    (analyze ~segments:true p Ilp.Machine.sp).segments
   in
   let buckets = Ilp.Stats.parallelism_by_distance segments in
   let populated =
