@@ -149,7 +149,15 @@ let prepare_workload (w : Workloads.Registry.t) =
   let span_buf =
     Obs.Ctx.task_buffer !obs ~index:(workload_index w.name) ~label:w.name
   in
-  let p = Harness.prepare ?fuel:!fuel_override ~obs:!obs ~span_buf w in
+  let specs =
+    match Hashtbl.find_opt needs_by_workload w.name with
+    | Some l -> dedup_specs !l
+    | None -> []
+  in
+  let p =
+    Harness.prepare ?fuel:!fuel_override ~obs:!obs ~span_buf
+      ~train_values:(Harness.specs_need_values specs) w
+  in
   let stats = Harness.branch_stats p in
   let term =
     { m_status = Vm.Exec.status_string p.status;
@@ -158,11 +166,6 @@ let prepare_workload (w : Workloads.Registry.t) =
       m_completeness = Pipeline_error.completeness_tag p.completeness }
   in
   List.iter (fun hook -> hook p) !prep_hooks;
-  let specs =
-    match Hashtbl.find_opt needs_by_workload w.name with
-    | Some l -> dedup_specs !l
-    | None -> []
-  in
   let results = Harness.Run.on_prepared ~obs:!obs ~span_buf p specs in
   { pf_name = w.name;
     pf_stats = stats;
@@ -534,11 +537,9 @@ let ablation_flows () =
 let ablation_latency_specs =
   List.map Harness.spec
     [ Ilp.Machine.sp_cd_mf;
-      Ilp.Machine.with_latencies Ilp.Machine.realistic_latencies
-        Ilp.Machine.sp_cd_mf;
+      Ilp.Machine.with_latency Ilp.Machine.Realistic Ilp.Machine.sp_cd_mf;
       Ilp.Machine.oracle;
-      Ilp.Machine.with_latencies Ilp.Machine.realistic_latencies
-        Ilp.Machine.oracle ]
+      Ilp.Machine.with_latency Ilp.Machine.Realistic Ilp.Machine.oracle ]
 
 let ablation_latency () =
   let rows =
@@ -556,6 +557,74 @@ let ablation_latency () =
        ~header:
          [ "Program"; "SP-CD-MF"; "SP-CD-MF/lat"; "ORACLE"; "ORACLE/lat" ]
        ~align:[ Left; Right; Right; Right; Right ]
+       rows)
+
+(* Lattice sweep: compose the three post-paper constraint dimensions —
+   finite scheduling window, finite fetch rate, value prediction — onto
+   SP-CD-MF, one machine per corner of the {window 256, unlimited} x
+   {fetch 4, unlimited} x {vp off, on} cube.  Each row label is the
+   machine's canonical spec, i.e. exactly what `ilp-limits run -m`
+   accepts; the same specs (and the non-numeric harmonic means) land in
+   BENCH_results.json.  The vp corners are what pulls [train_values]
+   through the prefill: their workloads' one execution also trains the
+   last-value profile. *)
+let lattice_axes =
+  List.concat_map
+    (fun window ->
+      List.concat_map
+        (fun fetch ->
+          List.map (fun vp -> (window, fetch, vp)) [ false; true ])
+        [ Some 4; None ])
+    [ Some 256; None ]
+
+let lattice_machine (window, fetch, vp) =
+  Ilp.Machine.sp_cd_mf
+  |> (match window with
+     | Some n -> Ilp.Machine.with_window n
+     | None -> fun m -> m)
+  |> Ilp.Machine.with_fetch fetch
+  |> Ilp.Machine.with_value_predict vp
+
+let lattice_specs =
+  List.map (fun pt -> Harness.spec (lattice_machine pt)) lattice_axes
+
+type lattice_row = {
+  lt_spec : string;
+  lt_window : int option;
+  lt_fetch : int option;
+  lt_vp : bool;
+  lt_hmean : float;
+}
+
+let lattice_rows : lattice_row list ref = ref []
+
+let lattice_sweep () =
+  let ws = Workloads.Registry.non_numeric in
+  let rows, json =
+    List.split
+      (List.map2
+         (fun ((window, fetch, vp) as pt) s ->
+           let m = lattice_machine pt in
+           let pars =
+             List.map (fun w -> (get w s).Ilp.Analyze.parallelism) ws
+           in
+           let h = Stdx.Stats.harmonic_mean pars in
+           ( m.Ilp.Machine.name :: (List.map fnum pars @ [ fnum h ]),
+             { lt_spec = Ilp.Machine.to_spec m; lt_window = window;
+               lt_fetch = fetch; lt_vp = vp; lt_hmean = h } ))
+         lattice_axes lattice_specs)
+  in
+  lattice_rows := json;
+  print_string
+    (Report.Table.render
+       ~title:
+         "Lattice sweep: SP-CD-MF under composed window / fetch / \
+          value-prediction constraints (non-numeric programs)"
+       ~header:
+         ("Machine"
+         :: (List.map (fun w -> w.Workloads.Registry.name) ws @ [ "hmean" ]))
+       ~align:
+         (Left :: List.map (fun _ -> Report.Table.Right) (ws @ [ List.hd ws ]))
        rows)
 
 (* Predictor accuracy has to be measured while the trace is still
@@ -882,6 +951,9 @@ let experiments =
     exp "ablation-latency"
       ~needs:(fun () -> for_all ablation_latency_specs)
       ablation_latency;
+    exp "lattice-sweep"
+      ~needs:(fun () -> for_non_numeric lattice_specs)
+      lattice_sweep;
     exp "ablation-predictors" ~hook:measure_predictor_rates
       ~needs:(fun () -> for_all predictor_specs)
       ablation_predictors;
@@ -945,7 +1017,9 @@ let documented_keys =
     "workloads"; "name"; "status"; "steps"; "returned"; "completeness";
     "stages"; "compile_ns"; "execute_ns"; "analyze_ns";
     "experiments"; "instructions_requested"; "instructions_per_s";
-    "span_ns"; "metrics"; "value" ]
+    "span_ns"; "metrics"; "value";
+    "lattice"; "spec"; "window"; "fetch"; "value_predict";
+    "parallelism_hmean" ]
 
 let key k =
   if not (List.mem k documented_keys) then begin
@@ -1047,6 +1121,22 @@ let write_json path timings =
           (key "identical_to_seq") q.sc_identical
           (if i = List.length ps - 1 then "" else ","))
       ps;
+    p "  ],\n");
+  (match !lattice_rows with
+  | [] -> ()
+  | rows ->
+    let opt = function Some n -> string_of_int n | None -> "null" in
+    p "  %s: [\n" (key "lattice");
+    List.iteri
+      (fun i r ->
+        p "    { %s: \"%s\", %s: %s, %s: %s, %s: %b, %s: %.4f }%s\n"
+          (key "spec") (json_escape r.lt_spec)
+          (key "window") (opt r.lt_window)
+          (key "fetch") (opt r.lt_fetch)
+          (key "value_predict") r.lt_vp
+          (key "parallelism_hmean") r.lt_hmean
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
     p "  ],\n");
   p "  %s: {\n" (key "totals");
   p "    %s: %d,\n" (key "vm_executions") (Harness.Counters.executions ());

@@ -2,6 +2,7 @@
 
    Subcommands:
      list        the benchmark suite (paper Table 1)
+     machines    machine aliases, the spec grammar, and a spec fuzzer
      run         parallelism limits for chosen workloads and machines
      stats       branch statistics (Table 2) and misprediction distances
      check       static verifier (and dynamic trace cross-validation)
@@ -19,33 +20,6 @@
 let ( let* ) = Result.bind
 
 let err ?workload stage cause = Error (Pipeline_error.v ?workload stage cause)
-
-let machine_names =
-  List.map (fun (m : Ilp.Machine.t) -> m.name) Ilp.Machine.all_paper
-
-let machine_of_name name =
-  let canon = String.lowercase_ascii name in
-  let all =
-    List.map (fun (m : Ilp.Machine.t) -> (String.lowercase_ascii m.name, m))
-      Ilp.Machine.all_paper
-  in
-  match List.assoc_opt canon all with
-  | Some m -> Ok m
-  | None ->
-    err Lookup
-      (Unknown_machine
-         { name; hint = Pipeline_error.suggest name machine_names })
-
-let machines_of_names = function
-  | [] -> Ok Ilp.Machine.all_paper
-  | names ->
-    let rec go acc = function
-      | [] -> Ok (List.rev acc)
-      | n :: rest ->
-        let* m = machine_of_name n in
-        go (m :: acc) rest
-    in
-    go [] names
 
 let workloads_of_names names =
   match names with
@@ -83,6 +57,79 @@ let cmd_list () =
        ~header:[ "Program"; "Language"; "Class"; "Description" ]
        ~align:[ Left; Left; Left; Left ] rows);
   Ok ()
+
+(* The machine lattice: aliases, grammar, and a parser fuzzer.  The
+   fuzzer asserts the spec layer's own invariant — every string yields
+   a machine or a typed error, and canonical specs round-trip — over
+   deterministically seeded lattice points and mutations of them. *)
+
+let cmd_machines_fuzz ~seed ~cases =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  for i = 0 to cases - 1 do
+    let bits = Fault.Injector.Rng.derive ~seed ~index:i in
+    (* A random lattice point's canonical spec must parse back to the
+       same machine. *)
+    (try
+       let m = Ilp.Machine.random bits in
+       let spec = Ilp.Machine.to_spec m in
+       match Ilp.Machine.of_spec spec with
+       | Ok m' when m' = m -> ()
+       | Ok m' ->
+         fail "case %d: %S reparsed as %S" i spec (Ilp.Machine.to_spec m')
+       | Error e ->
+         fail "case %d: canonical spec %S rejected: %s" i spec
+           (Pipeline_error.to_string e)
+     with e ->
+       fail "case %d: ESCAPED on canonical spec: %s" i
+         (Printexc.to_string e));
+    (* A deterministic mutation of it must yield a machine or a typed
+       error — never an exception. *)
+    let spec = Ilp.Machine.to_spec (Ilp.Machine.random bits) in
+    let mbits = Fault.Injector.Rng.derive ~seed:bits ~index:1 in
+    let mutated =
+      match mbits land 3 with
+      | 0 -> spec ^ ",bogus"
+      | 1 -> String.map (fun c -> if c = '=' then '%' else c) spec
+      | 2 -> "zz" ^ spec
+      | _ -> String.sub spec 0 ((mbits lsr 2) mod String.length spec)
+    in
+    match Ilp.Machine.of_spec mutated with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      fail "case %d: ESCAPED on mutated spec %S: %s" i mutated
+        (Printexc.to_string e)
+  done;
+  let failures = List.rev !failures in
+  Format.printf
+    "machine-spec fuzz: %d cases (seed %d): %d round-trips, %d mutations, \
+     %d failures@."
+    cases seed cases cases (List.length failures);
+  List.iter (fun f -> Format.printf "  %s@." f) failures;
+  if failures <> [] then
+    err Report
+      (Failed
+         (Printf.sprintf "%d machine-spec fuzz failures"
+            (List.length failures)))
+  else Ok ()
+
+let cmd_machines fuzz seed =
+  match fuzz with
+  | Some cases -> cmd_machines_fuzz ~seed ~cases
+  | None ->
+    let rows =
+      List.map
+        (fun (m : Ilp.Machine.t) ->
+          [ m.name; Ilp.Machine.to_spec m; Ilp.Machine.describe m ])
+        Ilp.Machine.all_paper
+    in
+    print_string
+      (Report.Table.render ~title:"Named machines (paper Table 3 order)"
+         ~header:[ "Machine"; "Spec"; "Constraints" ]
+         ~align:[ Left; Left; Left ] rows);
+    print_newline ();
+    print_endline Ilp.Machine.grammar;
+    Ok ()
 
 (* A truncated result's cell gets a star; the legend under the table
    says where and why each starred execution stopped. *)
@@ -132,7 +179,7 @@ let obs_report ~trace_out ~metrics ~prom_out obs =
 let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
     mem_words jobs trace_out metrics prom_out =
   let* ws = workloads_of_names names in
-  let* machines = machines_of_names machine_names in
+  let* machines = Ilp.Machine.of_specs machine_names in
   let header =
     "Program"
     :: List.map (fun (m : Ilp.Machine.t) -> m.name) machines
@@ -377,10 +424,14 @@ let cmd_inject names seed fault_name fuel =
   in
   go ws
 
-let cmd_fuzz names seed cases fuel jobs trace_out metrics prom_out =
+let cmd_fuzz names seed cases fuel jobs random_machines trace_out metrics
+    prom_out =
   let* ws = workloads_of_names names in
   let obs = obs_ctx trace_out metrics prom_out in
-  let* r = Harness.Fuzz.run ?fuel ~workloads:ws ?jobs ~obs ~seed ~cases () in
+  let* r =
+    Harness.Fuzz.run ?fuel ~workloads:ws ?jobs ~obs ~random_machines ~seed
+      ~cases ()
+  in
   obs_report ~trace_out ~metrics ~prom_out obs;
   Format.printf
     "fuzz: %d cases (seed %d): %d complete, %d truncated, %d structured \
@@ -442,10 +493,32 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (Table 1).")
     Term.(const (fun () -> handle (cmd_list ())) $ const ())
 
+let machines_cmd =
+  let fuzz =
+    Arg.(value & opt (some int) None & info [ "fuzz" ] ~docv:"N"
+           ~doc:"Instead of listing, fuzz the spec parser over N seeded \
+                 random machines: canonical specs must round-trip and \
+                 mutated specs must yield typed errors, never \
+                 exceptions.  Nonzero exit on any failure.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Base seed for $(b,--fuzz); same seed, same cases.")
+  in
+  Cmd.v
+    (Cmd.info "machines"
+       ~doc:"List the named machine aliases with their canonical spec \
+             strings and the machine-spec grammar.")
+    Term.(const (fun f s -> handle (cmd_machines f s)) $ fuzz $ seed)
+
 let run_cmd =
   let machines =
     Arg.(value & opt_all string [] & info [ "m"; "machine" ] ~docv:"MACHINE"
-           ~doc:"Machine model (repeatable; default: all seven).")
+           ~doc:"Machine model: a named alias (base, cd, cd-mf, sp, \
+                 sp-cd, sp-cd-mf, oracle) or a composed spec such as \
+                 $(b,sp-cd-mf,vp,window=256,fetch=4) — see the \
+                 $(b,machines) subcommand for the grammar.  Repeatable; \
+                 default: all seven paper machines.")
   in
   let no_inline =
     Arg.(value & flag & info [ "no-inline" ]
@@ -569,16 +642,22 @@ let fuzz_cmd =
            ~doc:"Number of seeded cases (cycling workloads and fault \
                  kinds).")
   in
+  let random_machines =
+    Arg.(value & flag & info [ "random-machines" ]
+           ~doc:"Analyze each case under a seeded random machine-lattice \
+                 point instead of always sp-cd-mf, fuzzing the \
+                 compositional machine model end to end.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Bulk seeded fault injection asserting the pipeline \
              invariant: every input yields a result or a structured \
              error.  Nonzero exit if any exception escapes.")
     Term.(
-      const (fun ws s c fu j tr mx pr ->
-          handle (cmd_fuzz ws s c fu j tr mx pr))
+      const (fun ws s c fu j rm tr mx pr ->
+          handle (cmd_fuzz ws s c fu j rm tr mx pr))
       $ workloads_arg $ seed_arg $ cases $ inject_fuel $ jobs_arg
-      $ trace_out_arg $ metrics_arg $ prom_out_arg)
+      $ random_machines $ trace_out_arg $ metrics_arg $ prom_out_arg)
 
 let () =
   let info =
@@ -589,7 +668,7 @@ let () =
   in
   let group =
     Cmd.group info
-      [ list_cmd; run_cmd; stats_cmd; check_cmd; disasm_cmd; blocks_cmd;
-        trace_cmd; inject_cmd; fuzz_cmd ]
+      [ list_cmd; machines_cmd; run_cmd; stats_cmd; check_cmd; disasm_cmd;
+        blocks_cmd; trace_cmd; inject_cmd; fuzz_cmd ]
   in
   exit (Cmd.eval' group)

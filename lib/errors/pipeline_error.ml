@@ -63,6 +63,7 @@ let stage_name = function
 type cause =
   | Unknown_workload of { name : string; hint : string option }
   | Unknown_machine of { name : string; hint : string option }
+  | Invalid_machine_spec of { spec : string; msg : string }
   | Unknown_fault of { name : string; hint : string option }
   | Compile_error of string
   | Vm_fault of fault_info
@@ -89,6 +90,8 @@ let pp_cause ppf = function
       pp_hint hint
   | Unknown_machine { name; hint } ->
     Format.fprintf ppf "unknown machine %S%a" name pp_hint hint
+  | Invalid_machine_spec { spec; msg } ->
+    Format.fprintf ppf "invalid machine spec %S: %s" spec msg
   | Unknown_fault { name; hint } ->
     Format.fprintf ppf "unknown fault kind %S%a" name pp_hint hint
   | Compile_error msg -> Format.fprintf ppf "compile error: %s" msg
@@ -113,8 +116,8 @@ let to_string t = Format.asprintf "%a" pp t
 let exit_code t =
   match t.cause with
   | Failed _ | Internal _ -> 1
-  | Unknown_workload _ | Unknown_machine _ | Unknown_fault _
-  | Invalid_request _ -> 2
+  | Unknown_workload _ | Unknown_machine _ | Invalid_machine_spec _
+  | Unknown_fault _ | Invalid_request _ -> 2
   | Compile_error _ -> 3
   | Vm_fault _ -> 4
   | Budget_exceeded _ -> 5

@@ -65,6 +65,9 @@ val stage_name : stage -> string
 type cause =
   | Unknown_workload of { name : string; hint : string option }
   | Unknown_machine of { name : string; hint : string option }
+  | Invalid_machine_spec of { spec : string; msg : string }
+    (** a composed machine-spec string that failed to parse; [msg] names
+        the offending item (and a "did you mean" hint when close) *)
   | Unknown_fault of { name : string; hint : string option }
   | Compile_error of string  (** lexing, parsing, sema, codegen or link *)
   | Vm_fault of fault_info

@@ -72,26 +72,36 @@ type prepared = {
   completeness : Pipeline_error.completeness;
   halted : int option;
   profile : Predict.Predictor.Profile.builder;
+  values : Predict.Predictor.Value.builder option;
 }
 
 let profile_builder info =
   Predict.Predictor.Profile.builder ~n_static:info.Ilp.Program_info.n
     ~is_cond:(Ilp.Program_info.is_cond_branch info)
 
+let value_builder info =
+  Predict.Predictor.Value.builder ~n_static:info.Ilp.Program_info.n
+    ~defs:info.Ilp.Program_info.defs
+
 (* A faulting or fuel-capped execution is a first-class outcome: the
    trace prefix is kept and analyzed, and every downstream result
    carries the truncation tag.  Nothing on this path raises. *)
 let prepare_flat ?mem_words ?(probe = Obs.Probe.vm_disabled)
-    ?(span_buf = Obs.Span.disabled) ~fuel w flat =
+    ?(span_buf = Obs.Span.disabled) ?(train_values = false) ~fuel w flat =
   let name = w.Workloads.Registry.name in
   let info = Ilp.Program_info.analyze_flat flat in
   let profile = profile_builder info in
+  (* Value training is opt-in: the observe hook runs per retired
+     instruction, so only runs whose specs actually use value
+     prediction pay for it. *)
+  let values = if train_values then Some (value_builder info) else None in
+  let observe = Option.map Predict.Predictor.Value.observe values in
   (* The one VM execution: the branch profile accumulates through a sink
-     while the trace is recorded, so the profile predictor costs no
-     extra trace pass. *)
+     (and the value profile through the observe hook) while the trace is
+     recorded, so the trained predictors cost no extra trace pass. *)
   let outcome =
     Obs.Span.with_span span_buf ~workload:name "execute" (fun () ->
-        Vm.Exec.run ?mem_words ~fuel ~probe
+        Vm.Exec.run ?mem_words ~fuel ~probe ?observe
           ~sink:(Predict.Predictor.Profile.sink profile) flat)
   in
   Counters.record_execution ~profiled:outcome.steps ();
@@ -102,10 +112,11 @@ let prepare_flat ?mem_words ?(probe = Obs.Probe.vm_disabled)
   in
   { workload = w; flat; info; trace = outcome.trace;
     steps = outcome.steps; status = outcome.status;
-    completeness = Vm.Exec.completeness_of outcome; halted; profile }
+    completeness = Vm.Exec.completeness_of outcome; halted; profile;
+    values }
 
 let prepare ?options ?mem_words ?fuel ?(obs = Obs.Ctx.disabled)
-    ?(span_buf = Obs.Span.disabled) w =
+    ?(span_buf = Obs.Span.disabled) ?train_values w =
   let name = w.Workloads.Registry.name in
   let fuel =
     match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
@@ -114,8 +125,8 @@ let prepare ?options ?mem_words ?fuel ?(obs = Obs.Ctx.disabled)
     Obs.Span.with_span span_buf ~workload:name "compile" (fun () ->
         Workloads.Registry.compile ?options w)
   in
-  prepare_flat ?mem_words ~probe:(Obs.Ctx.vm_probe obs) ~span_buf ~fuel w
-    flat
+  prepare_flat ?mem_words ~probe:(Obs.Ctx.vm_probe obs) ~span_buf
+    ?train_values ~fuel w flat
 
 let validated_mem_words ~workload = function
   | None -> Ok None
@@ -124,7 +135,7 @@ let validated_mem_words ~workload = function
     Ok (Some n)
 
 let prepare_result ?options ?mem_words ?fuel ?(obs = Obs.Ctx.disabled)
-    ?(span_buf = Obs.Span.disabled) w =
+    ?(span_buf = Obs.Span.disabled) ?train_values w =
   let name = w.Workloads.Registry.name in
   let fuel =
     match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
@@ -137,14 +148,14 @@ let prepare_result ?options ?mem_words ?fuel ?(obs = Obs.Ctx.disabled)
   Pipeline_error.guard ~workload:name Execute (fun () ->
       Ok
         (prepare_flat ?mem_words ~probe:(Obs.Ctx.vm_probe obs) ~span_buf
-           ~fuel w flat))
+           ?train_values ~fuel w flat))
 
-let prepare_source ?(fuel = 10_000_000) ~name source =
+let prepare_source ?(fuel = 10_000_000) ?train_values ~name source =
   let w =
     { Workloads.Registry.name; description = "ad hoc source"; lang = "C";
       numeric = false; source; fuel; expected_result = None }
   in
-  prepare w
+  prepare ?train_values w
 
 let profile_predictor p = Predict.Predictor.Profile.predictor p.profile
 
@@ -194,11 +205,21 @@ let resolve_predictor ~flat ~info ~profile = function
       Predict.Predictor.two_bit ~n_static:info.Ilp.Program_info.n
   | `Custom p -> p
 
-let config_of_spec ?(obs = Obs.Ctx.disabled) ~flat ~info ~profile s =
+(* Whether any spec's machine needs value-prediction training.  Used by
+   drivers to decide up front if the profiling execution should pay for
+   the observe hook. *)
+let specs_need_values specs =
+  List.exists (fun s -> s.s_machine.Ilp.Machine.value_predict) specs
+
+let config_of_spec ?(obs = Obs.Ctx.disabled) ?value_table ~flat ~info
+    ~profile s =
   let predictor = resolve_predictor ~flat ~info ~profile s.s_predictor in
+  let value_table =
+    if s.s_machine.Ilp.Machine.value_predict then value_table else None
+  in
   Ilp.Analyze.config ~inline:s.s_inline ~unroll:s.s_unroll
     ~collect_segments:s.s_segments ~mem_words:Vm.Exec.default_mem_words
-    ?step_budget:s.s_step_budget
+    ?step_budget:s.s_step_budget ?value_table
     ~probe:
       (Obs.Ctx.analyzer_probe obs ~machine:s.s_machine.Ilp.Machine.name)
     s.s_machine predictor
@@ -234,9 +255,16 @@ module Run = struct
       p specs =
     let name = p.workload.Workloads.Registry.name in
     Obs.Span.with_span span_buf ~workload:name "analyze" (fun () ->
+        (* One table shared by every vp spec; None when the preparation
+           ran without [train_values] (vp then degrades to a no-op). *)
+        let value_table =
+          if specs_need_values specs then
+            Option.map Predict.Predictor.Value.table p.values
+          else None
+        in
         let configs =
           List.map
-            (config_of_spec ~obs ~flat:p.flat ~info:p.info
+            (config_of_spec ~obs ?value_table ~flat:p.flat ~info:p.info
                ~profile:p.profile)
             specs
         in
@@ -249,18 +277,27 @@ module Run = struct
     let name = w.Workloads.Registry.name in
     let info = Ilp.Program_info.analyze_flat flat in
     let profile = profile_builder info in
+    let values =
+      if specs_need_values specs then Some (value_builder info) else None
+    in
+    let observe = Option.map Predict.Predictor.Value.observe values in
     let probe = Obs.Ctx.vm_probe obs in
-    (* Execution 1 trains the profile predictor; execution 2 streams
-       into every analysis state.  Nothing is materialized in between. *)
+    (* Execution 1 trains the profile (and, for vp specs, value)
+       predictor; execution 2 streams into every analysis state.
+       Nothing is materialized in between. *)
     let o1 =
       Obs.Span.with_span span_buf ~workload:name "execute" (fun () ->
-          Vm.Exec.run ?mem_words ~fuel ~record:false ~probe
+          Vm.Exec.run ?mem_words ~fuel ~record:false ~probe ?observe
             ~sink:(Predict.Predictor.Profile.sink profile) flat)
     in
     Counters.record_execution ~profiled:o1.steps ();
     Obs.Span.with_span span_buf ~workload:name "analyze" (fun () ->
+        let value_table =
+          Option.map Predict.Predictor.Value.table values
+        in
         let configs =
-          List.map (config_of_spec ~obs ~flat ~info ~profile) specs
+          List.map (config_of_spec ~obs ?value_table ~flat ~info ~profile)
+            specs
         in
         let sink, finish = Ilp.Analyze.sink_many configs info in
         let o2 = Vm.Exec.run ?mem_words ~fuel ~record:false ~probe ~sink flat in
@@ -314,7 +351,8 @@ module Run = struct
               let* p =
                 prepare_result ?options:cfg.options
                   ?mem_words:cfg.mem_words ?fuel:cfg.fuel ~obs:cfg.obs
-                  ~span_buf:buf w
+                  ~span_buf:buf
+                  ~train_values:(specs_need_values specs) w
               in
               Ok (on_prepared ~obs:cfg.obs ~span_buf:buf p specs))
       in
@@ -396,7 +434,8 @@ type injected = {
   i_result : Ilp.Analyze.result;
 }
 
-let inject ?fuel ?(obs = Obs.Ctx.disabled) ~seed ~kind w =
+let inject ?fuel ?(obs = Obs.Ctx.disabled)
+    ?(machine = Ilp.Machine.sp_cd_mf) ~seed ~kind w =
   let fuel =
     match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
   in
@@ -421,8 +460,8 @@ let inject ?fuel ?(obs = Obs.Ctx.disabled) ~seed ~kind w =
             ~is_backward:(Ilp.Program_info.branch_backward flat)
         in
         let cfg =
-          Ilp.Analyze.config ~mem_words:Vm.Exec.default_mem_words
-            Ilp.Machine.sp_cd_mf predictor
+          Ilp.Analyze.config ~mem_words:Vm.Exec.default_mem_words machine
+            predictor
         in
         let sink, finish = Ilp.Analyze.sink_many [ cfg ] info in
         let sink = app.Fault.Injector.wrap_sink sink in
@@ -488,7 +527,8 @@ module Fuzz = struct
     | O_escaped of escaped
 
   let run ?fuel ?(workloads = Workloads.Registry.all) ?(jobs = 1)
-      ?(obs = Obs.Ctx.disabled) ~seed ~cases () =
+      ?(obs = Obs.Ctx.disabled) ?(random_machines = false) ~seed ~cases
+      () =
     let* jobs = validate_jobs jobs in
     let wl = Array.of_list workloads in
     let kinds = Array.of_list Fault.Injector.all_kinds in
@@ -500,7 +540,14 @@ module Fuzz = struct
       let kind = kinds.(i mod n_kinds) in
       let w = wl.(i / n_kinds mod Array.length wl) in
       let case_seed = Fault.Injector.Rng.derive ~seed ~index:i in
-      match inject ?fuel ~obs ~seed:case_seed ~kind w with
+      (* With [random_machines], each case also draws a random lattice
+         point, so corrupted programs meet arbitrary machine specs —
+         the compositional model fuzzed end to end. *)
+      let machine =
+        if random_machines then Some (Ilp.Machine.random case_seed)
+        else None
+      in
+      match inject ?fuel ~obs ?machine ~seed:case_seed ~kind w with
       | Ok inj -> (
         match inj.i_result.Ilp.Analyze.completeness with
         | Pipeline_error.Complete -> O_complete

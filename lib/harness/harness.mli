@@ -83,6 +83,9 @@ type prepared = {
   halted : int option;  (** the program's return value, when it halted *)
   profile : Predict.Predictor.Profile.builder;
   (** per-branch direction counts, accumulated during execution *)
+  values : Predict.Predictor.Value.builder option;
+  (** last-value predictability counts, accumulated through the VM
+      observe hook; [None] unless prepared with [train_values] *)
 }
 
 val prepare :
@@ -91,6 +94,7 @@ val prepare :
   ?fuel:int ->
   ?obs:Obs.Ctx.t ->
   ?span_buf:Obs.Span.buffer ->
+  ?train_values:bool ->
   Workloads.Registry.t ->
   prepared
 (** Compile (optionally with if-conversion), statically analyze, and
@@ -99,7 +103,13 @@ val prepare :
     [status]/[completeness] record what happened.  Compile errors still
     raise (use {!prepare_result} for the typed-error path).  [obs]
     supplies the VM probe; [span_buf] receives ["compile"] and
-    ["execute"] spans. *)
+    ["execute"] spans.
+
+    [train_values] (default [false]) additionally trains the last-value
+    predictability profile ({!Predict.Predictor.Value}) during the same
+    execution — opt-in because the observe hook runs per retired
+    instruction; machines with the [vp] constraint analyze against this
+    profile (without it, value prediction degrades to a no-op). *)
 
 val prepare_result :
   ?options:Codegen.Compile.options ->
@@ -107,6 +117,7 @@ val prepare_result :
   ?fuel:int ->
   ?obs:Obs.Ctx.t ->
   ?span_buf:Obs.Span.buffer ->
+  ?train_values:bool ->
   Workloads.Registry.t ->
   (prepared, Pipeline_error.t) result
 (** Like {!prepare} but total: compile errors arrive as
@@ -114,7 +125,8 @@ val prepare_result :
     {!Vm.Exec.max_mem_words} as [Budget_exceeded], and any unexpected
     exception is caught by the {!Pipeline_error.guard} barrier. *)
 
-val prepare_source : ?fuel:int -> name:string -> string -> prepared
+val prepare_source :
+  ?fuel:int -> ?train_values:bool -> name:string -> string -> prepared
 (** Same for an arbitrary Mini-C source string. *)
 
 val profile_predictor : prepared -> Predict.Predictor.t
@@ -153,7 +165,15 @@ val spec :
     collection, profile prediction, no step budget. *)
 
 val spec_key : spec -> string
-(** A stable identifier for caching: machine name + knobs. *)
+(** A stable identifier for caching: machine name + knobs.  Composed
+    machines are named by their canonical spec string, so distinct
+    lattice points never collide. *)
+
+val specs_need_values : spec list -> bool
+(** Whether any spec's machine carries the value-prediction constraint
+    — i.e. whether preparation should run with [train_values].
+    {!Run.exec} derives this itself; it is exposed for drivers that
+    call {!prepare} directly (the bench store). *)
 
 (** The unified run API.  One config, one [exec], uniform per-workload
     outcomes — this subsumes the former [analyze] / [analyze_all] /
@@ -273,13 +293,14 @@ type injected = {
 val inject :
   ?fuel:int ->
   ?obs:Obs.Ctx.t ->
+  ?machine:Ilp.Machine.t ->
   seed:int ->
   kind:Fault.Injector.kind ->
   Workloads.Registry.t ->
   (injected, Pipeline_error.t) result
 (** Compile [w], apply the seeded perturbation, execute, and analyze
-    the surviving trace under one representative configuration
-    (machine [sp_cd_mf], btfn prediction — chosen because it needs no
+    the surviving trace under one configuration (default machine
+    [sp_cd_mf]; btfn prediction — chosen because it needs no
     second training execution, keeping injection to a single
     deterministic run).  Total: compile errors and anything a corrupted
     program provokes come back as [Error]; same seed, same report.
@@ -313,6 +334,7 @@ module Fuzz : sig
     ?workloads:Workloads.Registry.t list ->
     ?jobs:int ->
     ?obs:Obs.Ctx.t ->
+    ?random_machines:bool ->
     seed:int ->
     cases:int ->
     unit ->
@@ -320,9 +342,12 @@ module Fuzz : sig
   (** Run [cases] seeded injections: case [i] uses the splitmix64
       stream output {!Fault.Injector.Rng.derive}[ ~seed ~index:i],
       cycles through all fault kinds, and rotates over [workloads]
-      (default: the whole registry).  With [jobs > 1] the cases run on
-      a domain pool; because each case's seed depends only on its
-      index, the report is identical for every [jobs] value and
-      scheduling order.  [Error] only for [jobs < 1] (same typed
-      message as {!Run.exec}, via {!validate_jobs}). *)
+      (default: the whole registry).  With [random_machines] (default
+      [false]) each case also analyzes under a random machine-lattice
+      point ({!Ilp.Machine.random} of the case seed) instead of always
+      [sp_cd_mf], fuzzing the compositional model end to end.  With
+      [jobs > 1] the cases run on a domain pool; because each case's
+      seed depends only on its index, the report is identical for every
+      [jobs] value and scheduling order.  [Error] only for [jobs < 1]
+      (same typed message as {!Run.exec}, via {!validate_jobs}). *)
 end

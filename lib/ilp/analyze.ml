@@ -6,14 +6,15 @@ type config = {
   collect_segments : bool;
   mem_words : int;
   step_budget : int option;
+  value_table : bool array option;
   probe : Obs.Probe.analyzer;
 }
 
 let config ?(inline = true) ?(unroll = true) ?(collect_segments = false)
-    ?(mem_words = 1024) ?step_budget ?(probe = Obs.Probe.analyzer_disabled)
-    machine predictor =
+    ?(mem_words = 1024) ?step_budget ?value_table
+    ?(probe = Obs.Probe.analyzer_disabled) machine predictor =
   { machine; inline; unroll; predictor; collect_segments; mem_words;
-    step_budget; probe }
+    step_budget; value_table; probe }
 
 type segment = {
   length : int;
@@ -119,6 +120,9 @@ module State = struct
     k_oracle : bool;
     k_speculate : bool;
     k_segments : bool;
+    k_fetch : int;  (* instructions fetched per cycle; 0 = unlimited *)
+    k_vp : bool;  (* value prediction on, with a usable table *)
+    vp_table : bool array;  (* per-pc predictability, [k_vp] only *)
     predict : pc:int -> taken:bool -> bool;
     latencies : (Program_info.lat_class -> int) option;
     budget : int;  (* step budget, [max_int] when unbounded *)
@@ -185,6 +189,29 @@ module State = struct
 
   let create (cfg : config) (info : Program_info.t) =
     let m = cfg.machine in
+    (* The compositional machine compiles down to the same flat knobs
+       the hot loop always branched on, so the seven paper machines take
+       exactly the code path they did before the lattice existed. *)
+    let k_oracle = m.Machine.control = Machine.Oracle in
+    let k_control_dep =
+      match m.Machine.control with
+      | Machine.Control_dep | Machine.Spec_cd -> true
+      | _ -> false
+    in
+    let k_speculate =
+      match m.Machine.control with
+      | Machine.Speculative | Machine.Spec_cd -> true
+      | _ -> false
+    in
+    (* An undersized table (no training ran) turns value prediction
+       off; a full-sized one lets [do_step] read it unsafely behind the
+       pc bounds check. *)
+    let vp_table =
+      match cfg.value_table with
+      | Some t when m.Machine.value_predict && Array.length t >= info.n ->
+        t
+      | _ -> [||]
+    in
     { cfg;
       info;
       removed_mask =
@@ -197,12 +224,15 @@ module State = struct
       cjump_mask =
         (Program_info.f_computed_jump
         lor if cfg.inline then 0 else Program_info.f_ret);
-      k_control_dep = m.control_dep;
-      k_oracle = m.oracle;
-      k_speculate = m.speculate;
+      k_control_dep;
+      k_oracle;
+      k_speculate;
       k_segments = cfg.collect_segments;
+      k_fetch = (match m.Machine.fetch with Some f -> f | None -> 0);
+      k_vp = Array.length vp_table > 0;
+      vp_table;
       predict = cfg.predictor.Predict.Predictor.predict;
-      latencies = m.latencies;
+      latencies = Machine.latency_fn m;
       budget =
         (match cfg.step_budget with None -> max_int | Some b -> b);
       n_code = info.n;
@@ -450,6 +480,17 @@ module State = struct
         end
         else t
       in
+      (* Finite fetch rate: the [i]-th counted instruction cannot issue
+         before cycle [i/f + 1] — the front end delivers [f]
+         instructions per cycle.  Before the window constraint so the
+         window records true issue times. *)
+      let t =
+        if st.k_fetch > 0 then begin
+          let fmin = (st.counted / st.k_fetch) + 1 in
+          if fmin > t then fmin else t
+        end
+        else t
+      in
       (* Finite scheduling window: an instruction cannot issue before
          the one [w] earlier has issued. *)
       let window = st.window in
@@ -472,10 +513,18 @@ module State = struct
         | Some f -> f (Array.unsafe_get st.lat pc)
       in
       let completion = t + lat - 1 in
-      (* Record results. *)
+      (* Record results.  Under value prediction, a predictable
+         instruction's results count as available immediately (the
+         consumer uses the predicted value); the producer itself still
+         occupies its cycles to validate the prediction, so max_time,
+         stores and branch bookkeeping keep the real completion. *)
       let defs = Array.unsafe_get st.defs pc in
+      let def_time =
+        if st.k_vp && Array.unsafe_get st.vp_table pc then 0
+        else completion
+      in
       for k = 0 to Array.length defs - 1 do
-        Array.unsafe_set reg_time (Array.unsafe_get defs k) completion
+        Array.unsafe_set reg_time (Array.unsafe_get defs k) def_time
       done;
       if flags land Program_info.f_mem_store <> 0 then
         Mem_table.set st.mem aux completion;

@@ -13,7 +13,15 @@
     - for serializing branches on a machine with [k] flows of control,
       availability of a flow (one serializing branch per flow per
       cycle);
-    - optionally, a finite scheduling window.
+    - optionally, a finite scheduling window;
+    - optionally, a finite fetch rate: the [i]-th counted instruction
+      cannot issue before cycle [i/f + 1] on an [f]-wide machine.
+
+    A machine with the value-prediction constraint additionally breaks
+    true register data dependences on instructions a trained last-value
+    predictor marks predictable (see {!Predict.Value}): their results
+    count as available immediately, while the producer itself still
+    occupies its cycles (it must execute to validate the prediction).
 
     Simulated transformations:
 
@@ -48,6 +56,11 @@ type config = {
   (** resource guard: analyze at most this many counted instructions,
       then drop the rest of the trace and tag the result
       [Truncated Step_budget] instead of running unboundedly *)
+  value_table : bool array option;
+  (** per static pc: last-value predictable (from
+      {!Predict.Value.table}).  Consulted only when the machine has the
+      [vp] constraint; a missing or undersized table (no training ran)
+      disables value prediction rather than failing. *)
   probe : Obs.Probe.analyzer;
   (** profiling hooks: entries/counted/flushed tallies, predictor
       hits/misses, frame-stack depth high-water and a sampled depth
@@ -63,12 +76,14 @@ val config :
   ?collect_segments:bool ->
   ?mem_words:int ->
   ?step_budget:int ->
+  ?value_table:bool array ->
   ?probe:Obs.Probe.analyzer ->
   Machine.t ->
   Predict.Predictor.t ->
   config
 (** Defaults: [inline = true], [unroll = true],
-    [collect_segments = false], no step budget, probe disabled. *)
+    [collect_segments = false], no step budget, no value table, probe
+    disabled. *)
 
 (** A run of counted instructions between two consecutive mispredicted
     branches (the closing branch included).  [length] is the paper's

@@ -1,54 +1,27 @@
+type control = Blocking | Control_dep | Speculative | Spec_cd | Oracle
+
+type latency_model =
+  | Unit_lat
+  | Realistic
+  | Custom of (Program_info.lat_class -> int)
+
+type constr =
+  | Control of control
+  | Flows of int option
+  | Window of int option
+  | Fetch of int option
+  | Latency of latency_model
+  | Value_predict of bool
+
 type t = {
   name : string;
-  oracle : bool;
-  control_dep : bool;
-  speculate : bool;
+  control : control;
   flows : int option;
   window : int option;
-  latencies : (Program_info.lat_class -> int) option;
+  fetch : int option;
+  latency : latency_model;
+  value_predict : bool;
 }
-
-let make name ~oracle ~control_dep ~speculate ~flows =
-  { name; oracle; control_dep; speculate; flows; window = None;
-    latencies = None }
-
-let base =
-  make "BASE" ~oracle:false ~control_dep:false ~speculate:false
-    ~flows:(Some 1)
-
-let cd =
-  make "CD" ~oracle:false ~control_dep:true ~speculate:false ~flows:(Some 1)
-
-let cd_mf =
-  make "CD-MF" ~oracle:false ~control_dep:true ~speculate:false ~flows:None
-
-let sp =
-  make "SP" ~oracle:false ~control_dep:false ~speculate:true ~flows:(Some 1)
-
-let sp_cd =
-  make "SP-CD" ~oracle:false ~control_dep:true ~speculate:true
-    ~flows:(Some 1)
-
-let sp_cd_mf =
-  make "SP-CD-MF" ~oracle:false ~control_dep:true ~speculate:true
-    ~flows:None
-
-let oracle =
-  make "ORACLE" ~oracle:true ~control_dep:false ~speculate:false ~flows:None
-
-let all_paper = [ base; cd; cd_mf; sp; sp_cd; sp_cd_mf; oracle ]
-
-let with_window w m =
-  { m with window = Some w; name = Printf.sprintf "%s/w%d" m.name w }
-
-let with_flows flows m =
-  let suffix =
-    match flows with None -> "/mf" | Some k -> Printf.sprintf "/%df" k
-  in
-  { m with flows; name = m.name ^ suffix }
-
-let with_latencies latencies m =
-  { m with latencies = Some latencies; name = m.name ^ "/lat" }
 
 let realistic_latencies = function
   | Program_info.Lat_int -> 1
@@ -58,3 +31,300 @@ let realistic_latencies = function
   | Lat_fadd -> 3
   | Lat_fmul -> 5
   | Lat_fdiv -> 19
+
+let latency_fn m =
+  match m.latency with
+  | Unit_lat -> None
+  | Realistic -> Some realistic_latencies
+  | Custom f -> Some f
+
+(* The fully-constrained seed every spec folds over: blocking control,
+   one flow of control, everything else at the paper's ideal. *)
+let seed =
+  { name = ""; control = Blocking; flows = Some 1; window = None;
+    fetch = None; latency = Unit_lat; value_predict = false }
+
+let control_token = function
+  | Blocking -> "base"
+  | Control_dep -> "cd"
+  | Speculative -> "sp"
+  | Spec_cd -> "sp-cd"
+  | Oracle -> "oracle"
+
+(* Canonical printing: the (control, flows) pair collapses to a paper
+   alias when one exists, then the remaining items follow in a fixed
+   order so structurally equal machines always print identically. *)
+let to_spec m =
+  let buf = Buffer.create 24 in
+  let add s =
+    if Buffer.length buf > 0 then Buffer.add_char buf ',';
+    Buffer.add_string buf s
+  in
+  (match (m.control, m.flows) with
+  | Oracle, _ -> add "oracle"
+  | Control_dep, None -> add "cd-mf"
+  | Spec_cd, None -> add "sp-cd-mf"
+  | c, Some 1 -> add (control_token c)
+  | c, None ->
+    add (control_token c);
+    add "mf"
+  | c, Some k ->
+    add (control_token c);
+    add (Printf.sprintf "flows=%d" k));
+  if m.value_predict then add "vp";
+  (match m.window with
+  | Some w -> add (Printf.sprintf "window=%d" w)
+  | None -> ());
+  (match m.fetch with
+  | Some f -> add (Printf.sprintf "fetch=%d" f)
+  | None -> ());
+  (match m.latency with
+  | Unit_lat -> ()
+  | Realistic -> add "lat=real"
+  | Custom _ -> add "lat=custom");
+  Buffer.contents buf
+
+let is_alias_spec s = not (String.contains s ',' || String.contains s '=')
+
+(* Paper machines display uppercase ("SP-CD-MF"); everything else is
+   named by its canonical spec, which doubles as the harness cache key,
+   so distinct machines get distinct names. *)
+let rename m =
+  let spec = to_spec m in
+  let name =
+    if is_alias_spec spec then String.uppercase_ascii spec else spec
+  in
+  { m with name }
+
+(* Flows bound only serializing branches and the oracle serializes
+   none, so normalize the dead bound away: "oracle,flows=2" and
+   "oracle" are the same machine and must compare and print equal. *)
+let norm m =
+  let m = if m.control = Oracle then { m with flows = None } else m in
+  rename m
+
+let apply m = function
+  | Control c -> { m with control = c }
+  | Flows f -> { m with flows = f }
+  | Window w -> { m with window = w }
+  | Fetch f -> { m with fetch = f }
+  | Latency l -> { m with latency = l }
+  | Value_predict b -> { m with value_predict = b }
+
+let of_constraints cs = norm (List.fold_left apply seed cs)
+
+let constraints m =
+  [ Control m.control; Flows m.flows; Window m.window; Fetch m.fetch;
+    Latency m.latency; Value_predict m.value_predict ]
+
+let base = of_constraints [ Control Blocking ]
+let cd = of_constraints [ Control Control_dep ]
+let cd_mf = of_constraints [ Control Control_dep; Flows None ]
+let sp = of_constraints [ Control Speculative ]
+let sp_cd = of_constraints [ Control Spec_cd ]
+let sp_cd_mf = of_constraints [ Control Spec_cd; Flows None ]
+let oracle = of_constraints [ Control Oracle ]
+
+let all_paper = [ base; cd; cd_mf; sp; sp_cd; sp_cd_mf; oracle ]
+let paper_names = List.map (fun m -> m.name) all_paper
+
+let with_window w m = norm { m with window = Some w }
+let with_flows flows m = norm { m with flows }
+let with_fetch fetch m = norm { m with fetch }
+let with_value_predict value_predict m = norm { m with value_predict }
+let with_latency latency m = norm { m with latency }
+let with_latencies f m = with_latency (Custom f) m
+
+(* --- spec parsing ------------------------------------------------- *)
+
+let alias_items =
+  [ ("base", [ Control Blocking; Flows (Some 1) ]);
+    ("cd", [ Control Control_dep; Flows (Some 1) ]);
+    ("cd-mf", [ Control Control_dep; Flows None ]);
+    ("sp", [ Control Speculative; Flows (Some 1) ]);
+    ("sp-cd", [ Control Spec_cd; Flows (Some 1) ]);
+    ("sp-cd-mf", [ Control Spec_cd; Flows None ]);
+    ("oracle", [ Control Oracle; Flows None ]) ]
+
+let bare_tokens = List.map fst alias_items @ [ "mf"; "vp" ]
+let keys = [ "flows"; "window"; "fetch"; "lat" ]
+
+let grammar =
+  "A machine is a comma-separated list of constraint items, applied\n\
+   left to right over the fully-constrained seed (blocking control,\n\
+   one flow, unlimited window/fetch, unit latencies, no value\n\
+   prediction):\n\n\
+  \  spec  ::= item (\",\" item)*\n\
+  \  item  ::= base | cd | cd-mf | sp | sp-cd | sp-cd-mf | oracle\n\
+  \          | mf | vp\n\
+  \          | flows=<n> | flows=mf\n\
+  \          | window=<n> | window=inf\n\
+  \          | fetch=<n> | fetch=inf\n\
+  \          | lat=unit | lat=real\n\n\
+   Aliases set control discipline and flows; 'mf' lifts the flows\n\
+   bound; 'vp' enables last-value prediction (breaks true data\n\
+   dependences on predictable instructions).  Example:\n\
+  \  sp-cd-mf,vp,window=256,fetch=4"
+
+let parse_nat ~what v =
+  match int_of_string_opt v with
+  | Some n when n >= 1 -> Ok (Some n)
+  | Some n -> Error (Printf.sprintf "%s must be >= 1, got %d" what n)
+  | None -> Error (Printf.sprintf "%s expects a number, got %S" what v)
+
+let parse_item tok =
+  match String.index_opt tok '=' with
+  | None -> (
+    match List.assoc_opt tok alias_items with
+    | Some items -> Ok items
+    | None -> (
+      match tok with
+      | "mf" -> Ok [ Flows None ]
+      | "vp" -> Ok [ Value_predict true ]
+      | _ ->
+        let hint =
+          match Pipeline_error.suggest tok bare_tokens with
+          | Some h -> Printf.sprintf " (did you mean %S?)" h
+          | None -> ""
+        in
+        Error (Printf.sprintf "unknown item %S%s" tok hint)))
+  | Some i -> (
+    let key = String.sub tok 0 i in
+    let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+    match key with
+    | "flows" ->
+      if v = "mf" || v = "inf" then Ok [ Flows None ]
+      else
+        Result.map (fun n -> [ Flows n ]) (parse_nat ~what:"flows" v)
+    | "window" ->
+      if v = "inf" then Ok [ Window None ]
+      else
+        Result.map (fun n -> [ Window n ]) (parse_nat ~what:"window" v)
+    | "fetch" ->
+      if v = "inf" then Ok [ Fetch None ]
+      else Result.map (fun n -> [ Fetch n ]) (parse_nat ~what:"fetch" v)
+    | "lat" -> (
+      match v with
+      | "unit" -> Ok [ Latency Unit_lat ]
+      | "real" | "realistic" -> Ok [ Latency Realistic ]
+      | _ -> Error (Printf.sprintf "lat expects unit|real, got %S" v))
+    | _ ->
+      let hint =
+        match Pipeline_error.suggest key keys with
+        | Some h -> Printf.sprintf " (did you mean %S?)" h
+        | None -> ""
+      in
+      Error (Printf.sprintf "unknown key %S%s" key hint))
+
+let of_spec s =
+  let canon = String.lowercase_ascii (String.trim s) in
+  let fail msg =
+    (* A plain name that is not an alias reads as a typo'd machine
+       name; anything with commas or '=' is a malformed spec. *)
+    if is_alias_spec canon then
+      let hint = Pipeline_error.suggest canon bare_tokens in
+      Error
+        (Pipeline_error.v Pipeline_error.Lookup
+           (Pipeline_error.Unknown_machine { name = s; hint }))
+    else
+      Error
+        (Pipeline_error.v Pipeline_error.Lookup
+           (Pipeline_error.Invalid_machine_spec { spec = s; msg }))
+  in
+  if canon = "" then fail "empty spec"
+  else
+    let items = String.split_on_char ',' canon in
+    let rec go acc = function
+      | [] -> Ok (of_constraints (List.rev acc))
+      | tok :: rest -> (
+        match parse_item (String.trim tok) with
+        | Ok cs -> go (List.rev_append cs acc) rest
+        | Error msg -> fail msg)
+    in
+    go [] items
+
+let of_specs = function
+  | [] -> Ok all_paper
+  | names ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+        match of_spec n with
+        | Ok m -> go (m :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] names
+
+(* --- lattice ------------------------------------------------------ *)
+
+let control_leq a b =
+  match (a, b) with
+  | x, y when x = y -> true
+  | Blocking, _ -> true
+  | _, Oracle -> true
+  | Control_dep, Spec_cd | Speculative, Spec_cd -> true
+  | _ -> false
+
+(* None = unbounded; a smaller bound is more constrained. *)
+let bound_leq a b =
+  match (a, b) with
+  | _, None -> true
+  | None, Some _ -> false
+  | Some x, Some y -> x <= y
+
+let latency_leq a b =
+  match (a, b) with
+  | Unit_lat, Unit_lat | Realistic, Realistic -> true
+  | Custom f, Custom g -> f == g
+  | _ -> false
+
+let leq a b =
+  control_leq a.control b.control
+  && bound_leq a.flows b.flows
+  && bound_leq a.window b.window
+  && bound_leq a.fetch b.fetch
+  && latency_leq a.latency b.latency
+  && (b.value_predict || not a.value_predict)
+
+(* --- fuzz --------------------------------------------------------- *)
+
+let random bits =
+  let bit k = (bits lsr k) land 1 = 1 in
+  let control =
+    match (bits lsr 1) land 7 with
+    | 0 | 5 -> Blocking
+    | 1 -> Control_dep
+    | 2 -> Speculative
+    | 3 | 6 -> Spec_cd
+    | _ -> Oracle
+  in
+  let flows =
+    match (bits lsr 4) land 3 with
+    | 0 -> Some 1
+    | 1 -> Some (1 + ((bits lsr 6) land 7))
+    | _ -> None
+  in
+  let window =
+    if bit 9 then Some (1 lsl (3 + ((bits lsr 10) land 7))) else None
+  in
+  let fetch = if bit 13 then Some (1 + ((bits lsr 14) land 15)) else None in
+  let latency = if bit 18 then Realistic else Unit_lat in
+  let value_predict = bit 19 in
+  norm { seed with control; flows; window; fetch; latency; value_predict }
+
+let describe m =
+  let opt = function Some n -> string_of_int n | None -> "unbounded" in
+  Printf.sprintf
+    "control=%s flows=%s window=%s fetch=%s lat=%s vp=%s"
+    (match m.control with
+    | Blocking -> "blocking"
+    | Control_dep -> "cd"
+    | Speculative -> "sp"
+    | Spec_cd -> "sp+cd"
+    | Oracle -> "oracle")
+    (opt m.flows) (opt m.window) (opt m.fetch)
+    (match m.latency with
+    | Unit_lat -> "unit"
+    | Realistic -> "real"
+    | Custom _ -> "custom")
+    (if m.value_predict then "on" else "off")

@@ -1,32 +1,78 @@
-(** Abstract machine models (paper §3).
+(** Compositional abstract machine models (paper §3, extended).
 
-    A machine is described by how it relaxes control-flow constraints:
+    The paper studies seven machines; here a machine is the meet of a
+    list of {e constraint combinators}, and the seven are just named
+    points in a much larger lattice.  A constraint only ever removes
+    scheduling freedom, so composing more of them can never increase
+    the measured parallelism (see {!leq}).
 
-    - [oracle]: perfect branch prediction — no control constraints at
-      all (the ORACLE machine);
-    - [control_dep]: perfect control-dependence information — an
-      instruction waits only for branches it is control dependent on;
-    - [speculate]: speculative execution along the predicted path — only
-      {e mispredicted} branches constrain execution;
-    - [flows]: how many flows of control the machine can follow at once.
-      [Some 1] is a von Neumann uniprocessor: the serializing branches
-      (all branches without speculation, mispredicted branches with it)
-      execute one per cycle, in order.  [None] is the MF limit
-      (unbounded flows); intermediate [Some k] models a k-processor
-      machine and is an extension beyond the paper.
+    The dimensions:
 
-    [window] and [latencies] are ablation knobs, [None] for the paper's
-    idealized setting (unlimited scheduling window, unit latencies). *)
+    - {e control discipline} — how branch outcomes constrain issue:
+      blocking (every branch serializes), control-dependence, speculative
+      execution, both combined, or the oracle (no control constraints);
+    - {e flows} — how many flows of control advance per cycle.  [Some 1]
+      is a von Neumann uniprocessor; [None] is the MF limit;
+    - {e window} — finite scheduling window (paper §7 ablation);
+    - {e fetch} — instructions fetched per cycle: instruction [i] of the
+      trace cannot issue before cycle [i/f + 1] (Ramachandran & Johnson's
+      variable-fetch-rate axis);
+    - {e latency} — unit (the paper's idealization) or a realistic set;
+    - {e value prediction} — a trained last-value predictor breaks true
+      data dependences on instructions whose results are predictable
+      (Mitrevski & Gušev's axis); see {!Predict.Value}.
 
-type t = {
-  name : string;
-  oracle : bool;
-  control_dep : bool;
-  speculate : bool;
+    Machines are written and parsed as comma-separated spec strings,
+    e.g. ["sp-cd-mf,vp,window=256,fetch=4"]; the paper machines are the
+    aliases [base], [cd], [cd-mf], [sp], [sp-cd], [sp-cd-mf], [oracle]. *)
+
+(** Control discipline, from most to least constrained (except that
+    [Control_dep] and [Speculative] are incomparable). *)
+type control =
+  | Blocking  (** every conditional branch blocks everything after it *)
+  | Control_dep  (** wait only for branches we are control dependent on *)
+  | Speculative  (** only mispredicted branches constrain execution *)
+  | Spec_cd  (** speculation + control dependence combined *)
+  | Oracle  (** perfect knowledge: no control constraints at all *)
+
+type latency_model =
+  | Unit_lat  (** every instruction takes one cycle (the paper) *)
+  | Realistic  (** {!realistic_latencies} *)
+  | Custom of (Program_info.lat_class -> int)
+      (** arbitrary table; prints as [lat=custom] and is not parseable *)
+
+(** One constraint combinator.  A machine is a fold of these over the
+    fully-constrained seed (blocking control, one flow, everything else
+    idealized); later combinators override earlier ones per dimension. *)
+type constr =
+  | Control of control
+  | Flows of int option  (** [None] = unbounded (the MF limit) *)
+  | Window of int option  (** [None] = unlimited scheduling window *)
+  | Fetch of int option  (** [None] = unlimited fetch rate *)
+  | Latency of latency_model
+  | Value_predict of bool
+
+type t = private {
+  name : string;  (** display name: paper alias or canonical spec *)
+  control : control;
   flows : int option;
   window : int option;
-  latencies : (Program_info.lat_class -> int) option;
+  fetch : int option;
+  latency : latency_model;
+  value_predict : bool;
 }
+
+val of_constraints : constr list -> t
+(** Fold the combinators over the seed machine.  The result is
+    normalized (an oracle machine has no flows bound — flows only
+    constrain serializing branches, of which the oracle has none) and
+    carries its canonical name. *)
+
+val constraints : t -> constr list
+(** Decompose back into combinators such that
+    [of_constraints (constraints m) = m]. *)
+
+(** {2 The seven paper machines} *)
 
 val base : t
 val cd : t
@@ -39,12 +85,74 @@ val oracle : t
 val all_paper : t list
 (** The seven machines, in the paper's Table 3 column order. *)
 
-val with_window : int -> t -> t
+val paper_names : string list
+(** Display names of {!all_paper}, in order. *)
 
+(** {2 Spec strings} *)
+
+val to_spec : t -> string
+(** Canonical spec string.  Aliases print as themselves ([to_spec sp_cd
+    = "sp-cd"]); composed machines print their items in a fixed order so
+    equal machines always print equally.  [Custom] latency prints as the
+    non-parseable [lat=custom]. *)
+
+val of_spec : string -> (t, Pipeline_error.t) result
+(** Parse a machine name or spec string (case-insensitive).  A bare
+    paper alias resolves to the named machine; otherwise the string is
+    parsed as comma-separated constraint items:
+
+    {v
+    spec  ::= item ("," item)*
+    item  ::= base | cd | cd-mf | sp | sp-cd | sp-cd-mf | oracle
+            | mf | vp
+            | flows=<n>|mf  | window=<n>|inf
+            | fetch=<n>|inf | lat=unit|real
+    v}
+
+    Round-trip: [of_spec (to_spec m) = Ok m] for any [m] without
+    [Custom] latencies.  Failures are typed: an unknown bare name is
+    [Unknown_machine] (with a did-you-mean hint), a malformed composed
+    spec is [Invalid_machine_spec]. *)
+
+val of_specs : string list -> (t list, Pipeline_error.t) result
+(** Resolve a list of names/specs; the empty list means {!all_paper}.
+    The shared implementation behind the CLI, harness and bench. *)
+
+val grammar : string
+(** Human-readable description of the spec grammar (for [--help] and
+    the [machines] subcommand). *)
+
+val describe : t -> string
+(** One-line expansion of every dimension, e.g.
+    ["control=spec+cd flows=unbounded window=256 fetch=4 lat=unit vp=on"]. *)
+
+(** {2 Lattice order} *)
+
+val leq : t -> t -> bool
+(** [leq a b]: [a] is at least as constrained as [b] in every dimension
+    (a partial order).  Guarantees [cycles a >= cycles b] — and, since
+    latencies must agree for comparability, [parallelism a <=
+    parallelism b] — on every trace. *)
+
+(** {2 Derived helpers} *)
+
+val with_window : int -> t -> t
 val with_flows : int option -> t -> t
+val with_fetch : int option -> t -> t
+val with_value_predict : bool -> t -> t
+val with_latency : latency_model -> t -> t
 
 val with_latencies : (Program_info.lat_class -> int) -> t -> t
+(** [with_latency (Custom f)]. *)
+
+val latency_fn : t -> (Program_info.lat_class -> int) option
+(** The latency table to evaluate under, [None] for unit latencies. *)
 
 val realistic_latencies : Program_info.lat_class -> int
 (** A representative early-90s latency set: int 1, load/store 2, mul 4,
     div 16, FP add 3, FP mul 5, FP div 19. *)
+
+val random : int -> t
+(** Deterministic machine from a seed's bits — the fuzz harness draws
+    random lattice points through this.  Never produces [Custom]
+    latencies, so the result always round-trips through {!to_spec}. *)

@@ -60,6 +60,61 @@ module Profile = struct
     !acc
 end
 
+(* Last-value predictability, the value-prediction analogue of
+   [Profile]: per static instruction, does the (first) destination
+   register keep its previous value?  Trained through the VM [observe]
+   hook — trace entries carry only pc + aux, so computed values are
+   visible nowhere else — during the same profiling execution that
+   feeds the branch profile.  The analyzer then breaks true data
+   dependences on instructions the majority vote marks predictable. *)
+module Value = struct
+  type builder = {
+    def_of : int array;  (* first destination uid per pc, -1 if none *)
+    last : int array;  (* last observed value bits per pc *)
+    vhits : int array;  (* repeats of the previous value *)
+    vtotal : int array;  (* dynamic observations per pc *)
+  }
+
+  let builder ~n_static ~defs =
+    let def_of =
+      Array.init n_static (fun pc ->
+          let d = defs.(pc) in
+          if Array.length d = 0 then -1 else d.(0))
+    in
+    { def_of;
+      last = Array.make n_static 0;
+      vhits = Array.make n_static 0;
+      vtotal = Array.make n_static 0 }
+
+  let observe b ~pc ~step:_ ~regs ~fregs ~mem:_ =
+    let uid = b.def_of.(pc) in
+    if uid >= 0 then begin
+      let v =
+        if uid < 32 then regs.(uid)
+        else Int64.to_int (Int64.bits_of_float fregs.(uid - 32))
+      in
+      if b.vtotal.(pc) > 0 && b.last.(pc) = v then
+        b.vhits.(pc) <- b.vhits.(pc) + 1;
+      b.vtotal.(pc) <- b.vtotal.(pc) + 1;
+      b.last.(pc) <- v
+    end
+
+  (* Majority vote over the total - 1 predictions a last-value
+     predictor actually makes (the first instance predicts nothing),
+     mirroring [Profile.predictor]'s majority rule. *)
+  let table b =
+    Array.init (Array.length b.vtotal) (fun pc ->
+        let t = b.vtotal.(pc) in
+        t > 1 && 2 * b.vhits.(pc) > t - 1)
+
+  let dyn_defs b = Array.fold_left ( + ) 0 b.vtotal
+
+  let repeats b = Array.fold_left ( + ) 0 b.vhits
+
+  let predictable_static b =
+    Array.fold_left (fun n p -> if p then n + 1 else n) 0 (table b)
+end
+
 let profile ~n_static ~is_cond trace =
   let b = Profile.builder ~n_static ~is_cond in
   Vm.Trace.iter (Profile.feed b) trace;

@@ -57,6 +57,42 @@ module Profile : sig
       profiling trace itself. *)
 end
 
+(** Last-value predictability trainer, the value-prediction analogue of
+    {!Profile} (machines with the [vp] constraint break true data
+    dependences on instructions it marks predictable).  Values are not
+    visible in trace entries, so training hangs off the VM's [observe]
+    hook — post-retirement register files — during the same profiling
+    execution that feeds the branch profile. *)
+module Value : sig
+  type builder
+
+  val builder : n_static:int -> defs:int array array -> builder
+  (** [defs.(pc)] lists the destination register uids of static
+      instruction [pc] (unified numbering: int [r] is [r], float [f] is
+      [32 + f]); the trainer tracks the first destination. *)
+
+  val observe :
+    builder ->
+    pc:int -> step:int -> regs:int array -> fregs:float array ->
+    mem:int array -> unit
+  (** Shaped to plug directly into {!Vm.Exec.run}'s [observe]. *)
+
+  val table : builder -> bool array
+  (** Per static instruction: would a last-value predictor get the
+      majority of its predictions right?  (The first dynamic instance
+      predicts nothing; instructions observed at most once are never
+      predictable.) *)
+
+  val dyn_defs : builder -> int
+  (** Dynamic register-writing instructions observed. *)
+
+  val repeats : builder -> int
+  (** Dynamic instances that reproduced their previous value. *)
+
+  val predictable_static : builder -> int
+  (** Static instructions {!table} marks predictable. *)
+end
+
 val two_bit : n_static:int -> t
 (** Classic saturating 2-bit counter per static branch, initialized to
     weakly not-taken.  Stateful: create a fresh one per simulation. *)

@@ -12,6 +12,7 @@ let () =
       ("verify", Test_verify.suite);
       ("predict", Test_predict.suite);
       ("analyze", Test_analyze.suite);
+      ("machine", Test_machine.suite);
       ("pipeline", Test_pipeline.suite);
       ("properties", Test_props.suite);
       ("workloads", Test_workloads.suite);

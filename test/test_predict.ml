@@ -87,6 +87,78 @@ let test_profile_beats_static_on_workload () =
     (profile_rate >= taken_rate);
   Alcotest.(check bool) "profile is accurate" true (profile_rate > 70.)
 
+(* --- last-value predictability trainer --- *)
+
+let test_value_trainer_majority () =
+  (* One static instruction defining r1.  Repeating the same value is
+     predictable; alternating values are not; a single instance (no
+     prediction ever made) is not. *)
+  let observe_values b ~pc values =
+    let regs = Array.make 32 0 and fregs = Array.make 32 0. in
+    List.iter
+      (fun v ->
+        regs.(1) <- v;
+        Predict.Predictor.Value.observe b ~pc ~step:0 ~regs ~fregs
+          ~mem:[||])
+      values
+  in
+  let mk () =
+    Predict.Predictor.Value.builder ~n_static:3
+      ~defs:[| [| 1 |]; [| 1 |]; [||] |]
+  in
+  let b = mk () in
+  observe_values b ~pc:0 [ 42; 42; 42 ];
+  observe_values b ~pc:1 [ 1; 2; 3; 4 ];
+  let t = Predict.Predictor.Value.table b in
+  Alcotest.(check bool) "constant def predictable" true t.(0);
+  Alcotest.(check bool) "changing def not" false t.(1);
+  Alcotest.(check bool) "no-def pc not" false t.(2);
+  Alcotest.(check int) "dyn defs" 7 (Predict.Predictor.Value.dyn_defs b);
+  Alcotest.(check int) "repeats" 2 (Predict.Predictor.Value.repeats b);
+  Alcotest.(check int) "predictable statics" 1
+    (Predict.Predictor.Value.predictable_static b);
+  let single = mk () in
+  observe_values single ~pc:0 [ 9 ];
+  Alcotest.(check bool) "single instance not predictable" false
+    (Predict.Predictor.Value.table single).(0)
+
+let test_value_trainer_float_defs () =
+  (* Float destinations live at uid 32+f and compare by bit pattern. *)
+  let b = Predict.Predictor.Value.builder ~n_static:1 ~defs:[| [| 33 |] |] in
+  let regs = Array.make 32 0 and fregs = Array.make 32 0. in
+  List.iter
+    (fun v ->
+      fregs.(1) <- v;
+      Predict.Predictor.Value.observe b ~pc:0 ~step:0 ~regs ~fregs ~mem:[||])
+    [ 1.5; 1.5; 1.5 ];
+  Alcotest.(check bool) "constant float predictable" true
+    (Predict.Predictor.Value.table b).(0)
+
+let test_value_trainer_via_vm () =
+  (* The harness trains the profile through the VM observe hook during
+     the one profiling execution; a loop full of constant stores must
+     surface at least one predictable static instruction. *)
+  let p =
+    Harness.prepare_source ~train_values:true ~name:"vp-train"
+      {|int main(void) { int i; int s = 0;
+         for (i = 0; i < 80; i = i + 1) s = s + 0 * i + 1 - 1;
+         return s; }|}
+  in
+  match p.Harness.values with
+  | None -> Alcotest.fail "train_values did not build a value profile"
+  | Some b ->
+    Alcotest.(check int) "table sized to the program" p.info.n
+      (Array.length (Predict.Predictor.Value.table b));
+    Alcotest.(check bool) "observed dynamic defs" true
+      (Predict.Predictor.Value.dyn_defs b > 0);
+    Alcotest.(check bool) "found predictable instructions" true
+      (Predict.Predictor.Value.predictable_static b > 0)
+
+let test_value_trainer_off_by_default () =
+  let p = Harness.prepare_source ~name:"vp-off" "int main(void){return 3;}" in
+  Alcotest.(check bool) "no builder without train_values" true
+    (p.Harness.values = None)
+
 let suite =
   [ Alcotest.test_case "profile majority" `Quick test_profile_majority;
     Alcotest.test_case "profile tie" `Quick test_profile_tie_breaks_not_taken;
@@ -96,4 +168,12 @@ let suite =
     Alcotest.test_case "btfn" `Quick test_btfn;
     Alcotest.test_case "two-bit hysteresis" `Quick test_two_bit_hysteresis;
     Alcotest.test_case "profile on workload" `Quick
-      test_profile_beats_static_on_workload ]
+      test_profile_beats_static_on_workload;
+    Alcotest.test_case "value trainer majority" `Quick
+      test_value_trainer_majority;
+    Alcotest.test_case "value trainer floats" `Quick
+      test_value_trainer_float_defs;
+    Alcotest.test_case "value trainer via vm" `Quick
+      test_value_trainer_via_vm;
+    Alcotest.test_case "value trainer off by default" `Quick
+      test_value_trainer_off_by_default ]

@@ -211,6 +211,34 @@ let test_perfect_prediction_sp_between () =
   in
   List.iter check (Lazy.force prepared_small)
 
+(* Value-trained copy of "branchy", so the vp dimension of the lattice
+   is live (untrained, vp machines degrade to their base point and the
+   property below would hold vacuously on that axis). *)
+let prepared_trained =
+  lazy
+    (Harness.prepare_source ~train_values:true ~name:"branchy-trained"
+       (List.assoc "branchy" small_sources))
+
+let test_lattice_monotone =
+  (* Adding a constraint combinator never speeds the schedule: for any
+     random lattice point and any relaxation of it, leq holds and the
+     more constrained machine takes at least as many cycles. *)
+  QCheck.Test.make ~name:"lattice order bounds cycles" ~count:60
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      let open Ilp.Machine in
+      let ma = random a in
+      let relaxations =
+        [ Window None; Fetch None; Flows None; Value_predict true;
+          Control Oracle ]
+      in
+      let chosen =
+        List.filteri (fun i _ -> (b lsr i) land 1 = 1) relaxations
+      in
+      let mb = of_constraints (constraints ma @ chosen) in
+      let p = Lazy.force prepared_trained in
+      leq ma mb && cycles p ma >= cycles p mb)
+
 let gen_random_program = Gen_minic.gen_program
 
 let test_random_program_invariants =
@@ -243,4 +271,5 @@ let suite =
       test_oracle_equals_data_chain;
     Alcotest.test_case "perfect prediction" `Quick
       test_perfect_prediction_sp_between;
+    QCheck_alcotest.to_alcotest test_lattice_monotone;
     QCheck_alcotest.to_alcotest test_random_program_invariants ]
