@@ -901,6 +901,73 @@ let scaling () =
        ~align:[ Right; Right; Right; Left ] rows)
 
 (* ------------------------------------------------------------------ *)
+(* Static vs dynamic: the static estimator (`Cfg.Estimate` compiled by
+   `Ilp.Static_bound`, no execution) must dominate the measured
+   parallelism for every workload x paper machine.  This is the
+   bench-side soundness assertion for the whole static layer: any cell
+   where measured > bound fails the run with a nonzero exit. *)
+
+type static_row = {
+  sb_workload : string;
+  sb_spec : string;
+  sb_bound : float;  (* infinity = statically unbounded *)
+  sb_measured : float;
+  sb_sound : bool;
+}
+
+let static_rows : static_row list ref = ref []
+let static_failed = ref false
+
+let static_vs_dynamic () =
+  let rows =
+    List.map
+      (fun (w : Workloads.Registry.t) ->
+        let est =
+          match Harness.estimate ~machines w with
+          | Ok e -> e
+          | Error e -> failwith (Pipeline_error.to_string e)
+        in
+        let cells =
+          List.map2
+            (fun spec (b : Ilp.Static_bound.t) ->
+              let r = get w spec in
+              let measured = r.Ilp.Analyze.parallelism in
+              let sound = measured <= b.bound +. 1e-9 in
+              static_rows :=
+                { sb_workload = w.Workloads.Registry.name;
+                  sb_spec = b.spec;
+                  sb_bound = b.bound;
+                  sb_measured = measured;
+                  sb_sound = sound }
+                :: !static_rows;
+              if not sound then begin
+                static_failed := true;
+                Printf.sprintf "%s > %s !" (fnum measured)
+                  (Ilp.Static_bound.value_to_string b.bound)
+              end
+              else
+                Printf.sprintf "%s / %s" (fnum measured)
+                  (Ilp.Static_bound.value_to_string b.bound))
+            spec7 est.Harness.e_bounds
+        in
+        w.Workloads.Registry.name :: cells)
+      Workloads.Registry.all
+  in
+  static_rows := List.rev !static_rows;
+  print_string
+    (Report.Table.render
+       ~title:
+         "Static vs dynamic: measured parallelism / static bound (sound \
+          iff measured <= bound; `unbounded` = no static limit)"
+       ~header:("Program" :: machine_names)
+       ~align:(Left :: List.map (fun _ -> Report.Table.Right) machines)
+       rows);
+  if !static_failed then
+    Format.printf
+      "STATIC BOUND VIOLATION: a measured parallelism exceeded its static \
+       bound (see ! cells above)@."
+
+(* ------------------------------------------------------------------ *)
 (* Experiment registry: each entry declares the (workload, spec)
    results it reads, so the driver can compute the union before any
    workload is prepared. *)
@@ -965,6 +1032,8 @@ let experiments =
     exp "ablation-guarded"
       ~needs:(fun () -> for_non_numeric [ sp_segments_spec ])
       ablation_guarded;
+    exp "static-vs-dynamic" ~needs:(fun () -> for_all spec7)
+      static_vs_dynamic;
     exp "microbench" microbench;
     exp "scaling" scaling ]
 
@@ -1019,7 +1088,8 @@ let documented_keys =
     "experiments"; "instructions_requested"; "instructions_per_s";
     "span_ns"; "metrics"; "value";
     "lattice"; "spec"; "window"; "fetch"; "value_predict";
-    "parallelism_hmean" ]
+    "parallelism_hmean";
+    "static_bounds"; "bound"; "measured"; "sound" ]
 
 let key k =
   if not (List.mem k documented_keys) then begin
@@ -1135,6 +1205,22 @@ let write_json path timings =
           (key "fetch") (opt r.lt_fetch)
           (key "value_predict") r.lt_vp
           (key "parallelism_hmean") r.lt_hmean
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    p "  ],\n");
+  (match !static_rows with
+  | [] -> ()
+  | rows ->
+    p "  %s: [\n" (key "static_bounds");
+    List.iteri
+      (fun i r ->
+        p "    { %s: \"%s\", %s: \"%s\", %s: %s, %s: %.4f, %s: %b }%s\n"
+          (key "name") (json_escape r.sb_workload)
+          (key "spec") (json_escape r.sb_spec)
+          (key "bound")
+          (if r.sb_bound = infinity then "null"
+           else Printf.sprintf "%.4f" r.sb_bound)
+          (key "measured") r.sb_measured (key "sound") r.sb_sound
           (if i = List.length rows - 1 then "" else ","))
       rows;
     p "  ],\n");
@@ -1297,7 +1383,7 @@ let run_experiments selected =
     (Harness.Counters.passes ())
     (Harness.Counters.analyzed () / 1_000_000)
     (resolved_jobs ());
-  if !scaling_failed then exit 1
+  if !scaling_failed || !static_failed then exit 1
 
 let usage () =
   prerr_endline

@@ -5,7 +5,8 @@
      machines    machine aliases, the spec grammar, and a spec fuzzer
      run         parallelism limits for chosen workloads and machines
      stats       branch statistics (Table 2) and misprediction distances
-     check       static verifier (and dynamic trace cross-validation)
+     check       static diagnostic passes (and dynamic cross-validation)
+     estimate    static parallelism bounds, no execution
      disasm      compiled assembly of a workload, flag-annotated
      blocks      basic blocks, control dependences and loops
      trace       the head of a dynamic trace
@@ -343,39 +344,218 @@ let cmd_blocks name =
     cfg.loops.loops;
   Ok ()
 
-let cmd_check names fuel dynamic warnings_too =
+(* Minimal JSON string for the CLI-level wrappers (the engine renders
+   its own report objects). *)
+let json_str buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let cmd_check names fuel dynamic warnings_too strict disabled fmt trace_out
+    metrics prom_out =
   let* ws = workloads_of_names names in
+  let config =
+    { Cfg.Engine.default_config with disabled; strict }
+  in
+  let obs = obs_ctx trace_out metrics prom_out in
   let failed = ref false in
-  List.iter
-    (fun w ->
-      let r = Harness.check ?fuel ~dynamic w in
-      let rep = r.Harness.c_report in
-      if dynamic then
-        Format.printf "%-10s %d errors, %d warnings; dynamic: %d entries \
-                       checked, %d violations%s@."
-          r.c_workload rep.Cfg.Verify.n_errors rep.Cfg.Verify.n_warnings
-          r.c_dyn_entries r.c_dyn_total
-          (match r.c_status with
-          | Some (Vm.Exec.Halted _) | None -> ""
-          | Some s -> Printf.sprintf " [%s]" (Vm.Exec.status_string s))
-      else
-        Format.printf "%-10s %d errors, %d warnings@." r.c_workload
-          rep.Cfg.Verify.n_errors rep.Cfg.Verify.n_warnings;
-      List.iter
-        (fun d -> Format.printf "  %a@." Cfg.Verify.pp_diag d)
-        (Cfg.Verify.errors rep);
-      if warnings_too then
+  let results =
+    List.map
+      (fun w ->
+        let r = Harness.check ~config ~obs ?fuel ~dynamic w in
+        if r.Harness.c_engine.Cfg.Engine.n_errors > 0 || r.c_dyn_total > 0
+        then failed := true;
+        r)
+      ws
+  in
+  (match fmt with
+  | `Json ->
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"workloads\":[";
+    List.iteri
+      (fun i (r : Harness.check_result) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf "{\"workload\":";
+        json_str buf r.c_workload;
+        Buffer.add_string buf ",\"report\":";
+        Cfg.Engine.render_json buf r.c_engine;
+        if dynamic then begin
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\"dynamic\":{\"entries\":%d,\"violations\":%d,\"status\":"
+               r.c_dyn_entries r.c_dyn_total);
+          json_str buf
+            (match r.c_status with
+            | Some s -> Vm.Exec.status_string s
+            | None -> "");
+          Buffer.add_string buf "}"
+        end;
+        Buffer.add_string buf "}")
+      results;
+    Buffer.add_string buf "]}\n";
+    print_string (Buffer.contents buf)
+  | `Text ->
+    List.iter
+      (fun (r : Harness.check_result) ->
+        let rep = r.Harness.c_engine in
+        if dynamic then
+          Format.printf "%-10s %d errors, %d warnings; dynamic: %d entries \
+                         checked, %d violations%s@."
+            r.c_workload rep.Cfg.Engine.n_errors rep.Cfg.Engine.n_warnings
+            r.c_dyn_entries r.c_dyn_total
+            (match r.c_status with
+            | Some (Vm.Exec.Halted _) | None -> ""
+            | Some s -> Printf.sprintf " [%s]" (Vm.Exec.status_string s))
+        else
+          Format.printf "%-10s %d errors, %d warnings@." r.c_workload
+            rep.Cfg.Engine.n_errors rep.Cfg.Engine.n_warnings;
         List.iter
-          (fun d -> Format.printf "  %a@." Cfg.Verify.pp_diag d)
-          (Cfg.Verify.warnings rep);
-      List.iter
-        (fun (v : Cfg.Verify.Dynamic.violation) ->
-          Format.printf "  violation at entry %d (pc %d): %s@." v.index v.pc
-            v.message)
-        r.c_dyn_violations;
-      if rep.Cfg.Verify.n_errors > 0 || r.c_dyn_total > 0 then failed := true)
-    ws;
+          (fun (d : Cfg.Engine.diag) ->
+            if d.d_severity = Cfg.Engine.Error || warnings_too then
+              Format.printf "  %a@." Cfg.Engine.pp_diag d)
+          rep.Cfg.Engine.diags;
+        List.iter
+          (fun (v : Cfg.Verify.Dynamic.violation) ->
+            Format.printf "  violation at entry %d (pc %d): %s@." v.index
+              v.pc v.message)
+          r.c_dyn_violations)
+      results);
+  obs_report ~trace_out ~metrics ~prom_out obs;
   if !failed then err Report (Failed "verification failed") else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Static parallelism estimates (no execution). *)
+
+let bound_cell (b : Ilp.Static_bound.t) =
+  Ilp.Static_bound.value_to_string b.bound
+  ^ match b.limiting with Some l -> " (" ^ l ^ ")" | None -> ""
+
+let estimate_json buf (es : Harness.estimated list) =
+  Buffer.add_string buf "{\"workloads\":[";
+  List.iteri
+    (fun i (e : Harness.estimated) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let est = e.e_est in
+      let d, l, x, u = Cfg.Classify.counts est.Cfg.Estimate.classes in
+      Buffer.add_string buf "{\"workload\":";
+      json_str buf e.e_workload;
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\"branches\":{\"decided\":%d,\"loop_exit\":%d,\"data\":%d,\
+            \"unreachable\":%d},\"max_run\":"
+           d l x u);
+      (match est.Cfg.Estimate.max_run with
+      | Cfg.Estimate.Finite m -> Buffer.add_string buf (string_of_int m)
+      | Cfg.Estimate.Unbounded -> Buffer.add_string buf "null");
+      Buffer.add_string buf ",\"bounds\":[";
+      List.iteri
+        (fun j (b : Ilp.Static_bound.t) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf "{\"spec\":";
+          json_str buf b.spec;
+          Buffer.add_string buf ",\"bound\":";
+          if b.bound = infinity then Buffer.add_string buf "null"
+          else Buffer.add_string buf (Printf.sprintf "%g" b.bound);
+          Buffer.add_string buf ",\"limiting\":";
+          (match b.limiting with
+          | Some l -> json_str buf l
+          | None -> Buffer.add_string buf "null");
+          Buffer.add_string buf "}")
+        e.e_bounds;
+      Buffer.add_string buf "]}")
+    es;
+  Buffer.add_string buf "]}\n"
+
+let cmd_estimate names machine_names no_inline no_unroll detail fmt =
+  let* ws = workloads_of_names names in
+  let* machines = Ilp.Machine.of_specs machine_names in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest ->
+      let* e =
+        Harness.estimate ~inline:(not no_inline) ~unroll:(not no_unroll)
+          ~machines w
+      in
+      collect (e :: acc) rest
+  in
+  let* es = collect [] ws in
+  (match fmt with
+  | `Json ->
+    let buf = Buffer.create 4096 in
+    estimate_json buf es;
+    print_string (Buffer.contents buf)
+  | `Text ->
+    let header =
+      "Program" :: List.map (fun (m : Ilp.Machine.t) -> m.name) machines
+    in
+    let rows =
+      List.map
+        (fun (e : Harness.estimated) ->
+          e.e_workload :: List.map bound_cell e.e_bounds)
+        es
+    in
+    print_string
+      (Report.Table.render
+         ~title:"Static parallelism bounds (no execution)"
+         ~header
+         ~align:(Left :: List.map (fun _ -> Report.Table.Right) machines)
+         rows);
+    print_newline ();
+    let facts =
+      List.map
+        (fun (e : Harness.estimated) ->
+          let est = e.e_est in
+          let d, l, x, u = Cfg.Classify.counts est.Cfg.Estimate.classes in
+          [ e.e_workload; string_of_int d; string_of_int l;
+            string_of_int x; string_of_int u;
+            Cfg.Estimate.bound_to_string est.Cfg.Estimate.max_run ])
+        es
+    in
+    print_string
+      (Report.Table.render ~title:"Static facts"
+         ~header:
+           [ "Program"; "Decided"; "Loop-exit"; "Data-dep"; "Unreach";
+             "Max run M" ]
+         ~align:[ Left; Right; Right; Right; Right; Right ]
+         facts);
+    if detail then
+      List.iter
+        (fun (e : Harness.estimated) ->
+          Format.printf "@.%s procedures:@." e.e_workload;
+          Array.iter
+            (fun (p : Cfg.Estimate.proc_facts) ->
+              Format.printf
+                "  %-16s counted=%-5d height=%-4d head=%s thru=%s tail=%s \
+                 runs=%s@."
+                p.pf_name p.pf_counted p.pf_height
+                (Cfg.Estimate.bound_to_string p.pf_head)
+                (match p.pf_thru with
+                | Some b -> Cfg.Estimate.bound_to_string b
+                | None -> "-")
+                (Cfg.Estimate.bound_to_string p.pf_tail)
+                (Cfg.Estimate.bound_to_string p.pf_runs))
+            e.e_est.Cfg.Estimate.procs;
+          List.iter
+            (fun (l : Cfg.Estimate.loop_facts) ->
+              Format.printf
+                "  loop header=%-4d blocks=%-3d counted=%-4d trip=%s@."
+                l.lf_header l.lf_blocks l.lf_counted
+                (match l.lf_trip with
+                | Some t -> string_of_int t
+                | None -> "unbounded"))
+            e.e_est.Cfg.Estimate.loops)
+        es);
+  Ok ()
 
 let cmd_trace name count =
   let* w = Workloads.Registry.find_result name in
@@ -489,6 +669,13 @@ let prom_out_arg =
          ~doc:"Write the metrics in Prometheus text exposition format to \
                $(docv).")
 
+let format_arg =
+  Arg.(value
+       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: $(b,text) (human tables) or $(b,json) \
+                 (machine-parseable, one object on stdout).")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (Table 1).")
     Term.(const (fun () -> handle (cmd_list ())) $ const ())
@@ -583,13 +770,57 @@ let check_cmd =
     Arg.(value & flag & info [ "warnings" ]
            ~doc:"Print warnings as well as errors.")
   in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Promote warnings to errors: any diagnostic fails the \
+                 check.")
+  in
+  let disable =
+    Arg.(value & opt_all string [] & info [ "disable" ] ~docv:"PASS"
+           ~doc:"Skip a diagnostic pass by name (repeatable), e.g. \
+                 $(b,--disable unreachable-block).")
+  in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Run the static verifier over workloads; nonzero exit on any \
-             error or dynamic violation.")
+       ~doc:"Run the static diagnostic passes over workloads; nonzero \
+             exit on any error or dynamic violation (with $(b,--strict), \
+             on any diagnostic at all).")
     Term.(
-      const (fun ws f d v -> handle (cmd_check ws f d v))
-      $ workloads_arg $ fuel $ dynamic $ warnings_too)
+      const (fun ws f d v s dis fmt tr mx pr ->
+          handle (cmd_check ws f d v s dis fmt tr mx pr))
+      $ workloads_arg $ fuel $ dynamic $ warnings_too $ strict $ disable
+      $ format_arg $ trace_out_arg $ metrics_arg $ prom_out_arg)
+
+let estimate_cmd =
+  let machines =
+    Arg.(value & opt_all string [] & info [ "m"; "machine" ] ~docv:"MACHINE"
+           ~doc:"Machine model to bound (alias or composed spec; \
+                 repeatable; default: all seven paper machines).")
+  in
+  let no_inline =
+    Arg.(value & flag & info [ "no-inline" ]
+           ~doc:"Bound without the perfect-inlining assumption.")
+  in
+  let no_unroll =
+    Arg.(value & flag & info [ "no-unroll" ]
+           ~doc:"Bound without the perfect-unrolling assumption.")
+  in
+  let detail =
+    Arg.(value & flag & info [ "detail" ]
+           ~doc:"Also print per-procedure run summaries and per-loop trip \
+                 bounds.")
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Bound oracle parallelism statically — no execution: branch \
+             classification (SCCP-decided / known-trip loop exits / \
+             data-dependent), the maximum breaker-free run M, and the \
+             per-machine bound min(fetch, control) compiled from them.")
+    Term.(
+      const (fun ws ms ni nu d fmt ->
+          handle (cmd_estimate ws ms ni nu d fmt))
+      $ workloads_arg $ machines $ no_inline $ no_unroll $ detail
+      $ format_arg)
 
 let name_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
@@ -668,7 +899,8 @@ let () =
   in
   let group =
     Cmd.group info
-      [ list_cmd; machines_cmd; run_cmd; stats_cmd; check_cmd; disasm_cmd;
-        blocks_cmd; trace_cmd; inject_cmd; fuzz_cmd ]
+      [ list_cmd; machines_cmd; run_cmd; stats_cmd; check_cmd;
+        estimate_cmd; disasm_cmd; blocks_cmd; trace_cmd; inject_cmd;
+        fuzz_cmd ]
   in
   exit (Cmd.eval' group)

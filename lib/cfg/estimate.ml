@@ -1,0 +1,565 @@
+type bound = Finite of int | Unbounded
+
+(* Saturation guard: trip-count products can explode; anything past
+   this is as good as unbounded (and saying "unbounded" is always
+   sound for an upper bound). *)
+let sat = 1 lsl 42
+
+let b_add a b =
+  match (a, b) with
+  | Finite a, Finite b when a + b <= sat -> Finite (a + b)
+  | _ -> Unbounded
+
+let b_mul a b =
+  match (a, b) with
+  | Finite 0, _ | _, Finite 0 -> Finite 0
+  | Finite a, Finite b when a <= sat / b -> Finite (a * b)
+  | _ -> Unbounded
+
+let b_max a b =
+  match (a, b) with
+  | Finite a, Finite b -> Finite (max a b)
+  | _ -> Unbounded
+
+let bound_to_string = function
+  | Finite n -> string_of_int n
+  | Unbounded -> "unbounded"
+
+let bound_to_float = function
+  | Finite n -> float_of_int n
+  | Unbounded -> infinity
+
+type block_facts = { bf_counted : int; bf_height : int }
+
+type loop_facts = {
+  lf_header : int;
+  lf_blocks : int;
+  lf_counted : int;
+  lf_trip : int option;
+  lf_induction : int list;
+}
+
+type proc_facts = {
+  pf_proc : int;
+  pf_name : string;
+  pf_counted : int;
+  pf_height : int;
+  pf_head : bound;
+  pf_thru : bound option;
+  pf_tail : bound;
+  pf_runs : bound;
+}
+
+type t = {
+  inline : bool;
+  unroll : bool;
+  analysis : Analysis.t;
+  sccp : Sccp.t array;
+  classes : Classify.t;
+  blocks : block_facts array;
+  loops : loop_facts list;
+  procs : proc_facts array;
+  max_run : bound;
+}
+
+(* Counted = survives the analyzer's removal rules (Analyze.removed_mask
+   mirrored on the instruction stream). *)
+let counted_pc (code : int Risc.Insn.t array) overhead ~inline ~unroll pc =
+  let insn = code.(pc) in
+  match Risc.Insn.kind insn with
+  | Stop -> false
+  | Call | Ret -> not inline
+  | Plain | Cond_branch | Jump | Computed_jump ->
+    (not (inline && Risc.Insn.writes_sp insn))
+    && not (unroll && overhead.(pc))
+
+(* Breakers serialize blocking/control-dependent machines: counted
+   conditional branches, computed jumps, and returns when not inlined
+   (Analyze's is_cbr/is_cjump). *)
+let breaker_pc code overhead ~inline ~unroll pc =
+  counted_pc code overhead ~inline ~unroll pc
+  &&
+  match Risc.Insn.kind code.(pc) with
+  | Cond_branch | Computed_jump -> true
+  | Ret -> not inline
+  | Plain | Jump | Call | Stop -> false
+
+(* ------------------------------------------------------------------ *)
+(* Tarjan SCC.  Output is in topological order of the condensation
+   (sources first). *)
+
+let strongly_connected ~n ~succs =
+  let index = Array.make n (-1) and low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and out = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      (succs v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strong v
+  done;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Per-procedure run summaries. *)
+
+type summ = { s_head : bound; s_thru : bound option; s_tail : bound;
+              s_runs : bound }
+
+let summ_zero =
+  { s_head = Finite 0; s_thru = None; s_tail = Finite 0;
+    s_runs = Finite 0 }
+
+let summ_unbounded =
+  { s_head = Unbounded; s_thru = Some Unbounded; s_tail = Unbounded;
+    s_runs = Unbounded }
+
+(* One procedure's run summary, given summaries for its callees.
+
+   The run graph R keeps only executable blocks and edges, drops
+   out-edges of breaker blocks (a run ends at its breaker) and of call
+   blocks whose callee always breaks.  Any walk in R is a potential
+   run; cyclic SCCs are bounded by the trip counts of the natural
+   loops whose back edges lie inside the SCC (residual cycles after
+   removing those back edges mean the walk length is unbounded). *)
+let summarize (a : Analysis.t) ~proc ~(sc : Sccp.t) ~weight ~brk ~call_of
+    ~ret_block ~trips ~get_summ =
+  let view = a.views.(proc) in
+  let n = View.n view in
+  let exec l = Sccp.executable sc l in
+  let thru_of c = (get_summ c).s_thru in
+  let run_out l =
+    if (not (exec l)) || brk.(l) then []
+    else
+      match call_of.(l) with
+      | Some c when thru_of c = None -> []
+      | _ ->
+        Array.to_list view.succs.(l)
+        |> List.filter (fun d ->
+               exec d && Sccp.edge_executable sc ~src:l ~dst:d)
+  in
+  let sccs = strongly_connected ~n ~succs:run_out in
+  let n_sccs = List.length sccs in
+  let scc_of = Array.make n (-1) in
+  List.iteri (fun i ns -> List.iter (fun v -> scc_of.(v) <- i) ns) sccs;
+  let sccs = Array.of_list sccs in
+  (* loops of this procedure, in local ids *)
+  let proc_loops =
+    List.filter_map
+      (fun (loop : Loops.loop) ->
+        if a.graph.blocks.(loop.header).proc <> proc then None
+        else
+          match View.local view loop.header with
+          | None -> None
+          | Some hl ->
+            let body =
+              List.filter_map (View.local view) loop.body
+            in
+            let latches =
+              List.filter_map (View.local view) loop.latches
+            in
+            Some
+              (hl, latches, body,
+               Hashtbl.find_opt trips loop.header))
+      a.loops.loops
+  in
+  (* per-SCC weight *)
+  let w_scc = Array.make n_sccs (Finite 0) in
+  let die_extra = Array.make n_sccs (Finite 0) in
+  let has_die = Array.make n_sccs false in
+  Array.iteri
+    (fun i members ->
+      let in_scc v = scc_of.(v) = i in
+      let cyclic =
+        match members with
+        | [ v ] -> List.exists (( = ) v) (run_out v)
+        | _ -> true
+      in
+      let block_weight v =
+        let base = Finite weight.(v) in
+        match call_of.(v) with
+        | Some c when List.exists in_scc (run_out v) -> (
+          (* the call's fall edge stays in the SCC: the callee's
+             through-weight is collected on every traversal *)
+          match thru_of c with
+          | Some w -> b_add base w
+          | None -> base)
+        | _ -> base
+      in
+      (if not cyclic then
+         w_scc.(i) <- block_weight (List.hd members)
+       else begin
+         (* back edges of trip-bounded loops inside this SCC *)
+         let s_loops =
+           List.filter
+             (fun (hl, latches, _, _) ->
+               in_scc hl
+               && List.exists
+                    (fun latch ->
+                      in_scc latch
+                      && List.exists (( = ) hl) (run_out latch))
+                    latches)
+             proc_loops
+         in
+         let removable =
+           List.filter (fun (_, _, _, trip) -> trip <> None) s_loops
+         in
+         let removed u v =
+           List.exists
+             (fun (hl, latches, _, _) ->
+               v = hl && List.mem u latches)
+             removable
+         in
+         (* residual cycle check: colors 0 white / 1 grey / 2 black *)
+         let color = Array.make n 0 in
+         let cyclic_residual = ref false in
+         let rec dfs v =
+           color.(v) <- 1;
+           List.iter
+             (fun w ->
+               if in_scc w && not (removed v w) then
+                 if color.(w) = 1 then cyclic_residual := true
+                 else if color.(w) = 0 then dfs w)
+             (run_out v);
+           color.(v) <- 2
+         in
+         List.iter (fun v -> if color.(v) = 0 then dfs v) members;
+         if !cyclic_residual then w_scc.(i) <- Unbounded
+         else
+           w_scc.(i) <-
+             List.fold_left
+               (fun acc v ->
+                 let mult =
+                   List.fold_left
+                     (fun m (_, _, body, trip) ->
+                       if List.mem v body then
+                         b_mul m (Finite (Option.get trip))
+                       else m)
+                     (Finite 1) removable
+                 in
+                 b_add acc (b_mul mult (block_weight v)))
+               (Finite 0) members
+       end);
+      (* a run can end by entering a callee and breaking inside it *)
+      List.iter
+        (fun v ->
+          match call_of.(v) with
+          | Some c ->
+            has_die.(i) <- true;
+            die_extra.(i) <- b_max die_extra.(i) (get_summ c).s_head
+          | None -> ())
+        members)
+    sccs;
+  (* condensation edges, with callee-through weights and tail-resume
+     starting prefixes on call edges *)
+  let cond_edges = ref [] in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun w ->
+        if scc_of.(v) <> scc_of.(w) then begin
+          let ew, tail_start =
+            match call_of.(v) with
+            | Some c -> (
+              let ts = (get_summ c).s_tail in
+              match thru_of c with
+              | Some tw -> (tw, ts)
+              | None -> (Finite 0, ts))
+            | None -> (Finite 0, Finite 0)
+          in
+          cond_edges :=
+            (scc_of.(v), scc_of.(w), ew, tail_start) :: !cond_edges
+        end)
+      (run_out v)
+  done;
+  let cond_edges = !cond_edges in
+  let out_edges = Array.make n_sccs [] in
+  List.iter
+    (fun (s, d, ew, ts) -> out_edges.(s) <- (d, ew, ts) :: out_edges.(s))
+    cond_edges;
+  (* best run weight ending in each SCC, free start anywhere *)
+  let best_end = Array.make n_sccs (Finite 0) in
+  let in_acc = Array.make n_sccs (Finite 0) in
+  for s = 0 to n_sccs - 1 do
+    (* topological order: sources first *)
+    best_end.(s) <- b_add w_scc.(s) in_acc.(s);
+    List.iter
+      (fun (d, ew, ts) ->
+        in_acc.(d) <- b_max in_acc.(d) (b_add best_end.(s) ew);
+        in_acc.(d) <- b_max in_acc.(d) ts)
+      out_edges.(s)
+  done;
+  (* entry-anchored run weight (head / through) *)
+  let entry_scc = scc_of.(0) in
+  let from_entry = Array.make n_sccs None in
+  from_entry.(entry_scc) <- Some (Finite 0);
+  let f_val = Array.make n_sccs None in
+  for s = 0 to n_sccs - 1 do
+    (match from_entry.(s) with
+    | Some acc -> f_val.(s) <- Some (b_add w_scc.(s) acc)
+    | None -> ());
+    match f_val.(s) with
+    | None -> ()
+    | Some fv ->
+      List.iter
+        (fun (d, ew, _) ->
+          let cand = b_add fv ew in
+          from_entry.(d) <-
+            (match from_entry.(d) with
+            | None -> Some cand
+            | Some old -> Some (b_max old cand)))
+        out_edges.(s)
+  done;
+  (* fold into the summary *)
+  let head = ref (Finite 0) and runs = ref (Finite 0) in
+  let thru = ref None and tail = ref (Finite 0) in
+  for s = 0 to n_sccs - 1 do
+    let ends = best_end.(s) in
+    runs := b_max !runs ends;
+    if has_die.(s) then runs := b_max !runs (b_add ends die_extra.(s));
+    match f_val.(s) with
+    | None -> ()
+    | Some fv ->
+      head := b_max !head fv;
+      if has_die.(s) then head := b_max !head (b_add fv die_extra.(s))
+  done;
+  for v = 0 to n - 1 do
+    (* returns a caller's run survives: executable, non-breaking *)
+    if ret_block.(v) && exec v && not brk.(v) then begin
+      let s = scc_of.(v) in
+      tail := b_max !tail best_end.(s);
+      match f_val.(s) with
+      | Some fv ->
+        thru :=
+          (match !thru with
+          | None -> Some fv
+          | Some old -> Some (b_max old fv))
+      | None -> ()
+    end
+  done;
+  { s_head = !head; s_thru = !thru; s_tail = !tail; s_runs = !runs }
+
+(* ------------------------------------------------------------------ *)
+
+let block_height (g : Graph.t) is_counted b =
+  let blk = g.blocks.(b) in
+  let h = Array.make Risc.Reg.n_unified 0 in
+  let hmax = ref 0 in
+  for pc = blk.start to blk.stop - 1 do
+    if is_counted pc then begin
+      let insn = g.flat.code.(pc) in
+      let hh =
+        1
+        + List.fold_left
+            (fun acc u -> max acc h.(u))
+            0 (Risc.Insn.uses insn)
+      in
+      List.iter (fun d -> h.(d) <- hh) (Dataflow.def_regs insn);
+      if hh > !hmax then hmax := hh
+    end
+  done;
+  !hmax
+
+let compute ?(inline = true) ?(unroll = true) (a : Analysis.t) =
+  let g = a.graph in
+  let code = g.flat.code in
+  let overhead = a.loops.overhead in
+  let sccp = Sccp.run a in
+  let classes = Classify.classify a ~sccp in
+  let is_counted = counted_pc code overhead ~inline ~unroll in
+  let is_breaker = breaker_pc code overhead ~inline ~unroll in
+  let n_procs = Array.length a.views in
+  (* per-proc, per-local-block: counted weight, breaker, call target,
+     ret terminator *)
+  let weight = Array.map (fun v -> Array.make (View.n v) 0) a.views in
+  let brk = Array.map (fun v -> Array.make (View.n v) false) a.views in
+  let call_of = Array.map (fun v -> Array.make (View.n v) None) a.views in
+  let ret_block = Array.map (fun v -> Array.make (View.n v) false) a.views in
+  Array.iteri
+    (fun p view ->
+      for l = 0 to View.n view - 1 do
+        let blk = View.block view l in
+        let w = ref 0 in
+        for pc = blk.start to blk.stop - 1 do
+          if is_counted pc then incr w
+        done;
+        weight.(p).(l) <- !w;
+        if blk.stop > blk.start then begin
+          let term = blk.stop - 1 in
+          brk.(p).(l) <- is_breaker term;
+          (match code.(term) with
+          | Risc.Insn.Jal tgt -> call_of.(p).(l) <- Some g.flat.proc_of.(tgt)
+          | _ -> ());
+          match Risc.Insn.kind code.(term) with
+          | Ret -> ret_block.(p).(l) <- true
+          | _ -> ()
+        end
+      done)
+    a.views;
+  (* call graph over executable call blocks *)
+  let callees = Array.make n_procs [] in
+  Array.iteri
+    (fun p view ->
+      for l = 0 to View.n view - 1 do
+        match call_of.(p).(l) with
+        | Some c when Sccp.executable sccp.(p) l ->
+          if not (List.mem c callees.(p)) then callees.(p) <- c :: callees.(p)
+        | _ -> ()
+      done)
+    a.views;
+  let summs = Array.make n_procs summ_zero in
+  let summarize_proc p =
+    summarize a ~proc:p ~sc:sccp.(p) ~weight:weight.(p) ~brk:brk.(p)
+      ~call_of:call_of.(p) ~ret_block:ret_block.(p) ~trips:classes.trips
+      ~get_summ:(fun c -> summs.(c))
+  in
+  (* bottom-up over the call graph; recursive SCCs get a bounded
+     fixpoint iteration from the zero summary, degrading to unbounded
+     if they fail to stabilize *)
+  let proc_sccs =
+    strongly_connected ~n:n_procs ~succs:(fun p -> callees.(p))
+  in
+  List.iter
+    (fun members ->
+      match members with
+      | [ p ] when not (List.mem p callees.(p)) ->
+        summs.(p) <- summarize_proc p
+      | _ ->
+        let size = List.length members in
+        let rec iterate k =
+          if k > (2 * size) + 2 then
+            List.iter (fun p -> summs.(p) <- summ_unbounded) members
+          else begin
+            let changed = ref false in
+            List.iter
+              (fun p ->
+                let s = summarize_proc p in
+                if s <> summs.(p) then begin
+                  summs.(p) <- s;
+                  changed := true
+                end)
+              members;
+            if !changed then iterate (k + 1)
+          end
+        in
+        iterate 0)
+    (List.rev proc_sccs);
+  (* procedures actually reachable from the entry along executable
+     call edges *)
+  let entry_proc = g.flat.proc_of.(g.flat.entry_pc) in
+  let reachable = Array.make n_procs false in
+  let rec reach p =
+    if not reachable.(p) then begin
+      reachable.(p) <- true;
+      List.iter reach callees.(p)
+    end
+  in
+  reach entry_proc;
+  let max_run =
+    let m = ref (Finite 0) in
+    for p = 0 to n_procs - 1 do
+      if reachable.(p) then m := b_max !m summs.(p).s_runs
+    done;
+    !m
+  in
+  (* informational facts *)
+  let blocks =
+    Array.init
+      (Array.length g.blocks)
+      (fun b ->
+        let blk = g.blocks.(b) in
+        let c = ref 0 in
+        for pc = blk.start to blk.stop - 1 do
+          if is_counted pc then incr c
+        done;
+        { bf_counted = !c; bf_height = block_height g is_counted b })
+  in
+  let loops =
+    List.map
+      (fun (loop : Loops.loop) ->
+        let c =
+          List.fold_left
+            (fun acc b -> acc + blocks.(b).bf_counted)
+            0 loop.body
+        in
+        { lf_header = loop.header;
+          lf_blocks = List.length loop.body;
+          lf_counted = c;
+          lf_trip = Hashtbl.find_opt classes.trips loop.header;
+          lf_induction = loop.induction })
+      a.loops.loops
+  in
+  let procs =
+    Array.init n_procs (fun p ->
+        let view = a.views.(p) in
+        let counted =
+          Array.fold_left
+            (fun acc b -> acc + blocks.(b).bf_counted)
+            0 view.blocks
+        in
+        (* blocks on every complete activation: they dominate every
+           executable exit (return or halt) *)
+        let exits = ref [] in
+        for l = 0 to View.n view - 1 do
+          if Sccp.executable sccp.(p) l then begin
+            let blk = View.block view l in
+            if blk.stop > blk.start then
+              match Risc.Insn.kind code.(blk.stop - 1) with
+              | Ret | Stop -> exits := l :: !exits
+              | _ -> ()
+          end
+        done;
+        let mandatory l =
+          Sccp.executable sccp.(p) l
+          &&
+          match !exits with
+          | [] -> l = 0
+          | es -> List.for_all (fun e -> Dom.dominates view.dom l e) es
+        in
+        let height = ref 0 in
+        for l = 0 to View.n view - 1 do
+          if mandatory l then
+            height :=
+              max !height blocks.(View.global view l).bf_height
+        done;
+        { pf_proc = p;
+          pf_name = g.flat.proc_names.(p);
+          pf_counted = counted;
+          pf_height = !height;
+          pf_head = summs.(p).s_head;
+          pf_thru = summs.(p).s_thru;
+          pf_tail = summs.(p).s_tail;
+          pf_runs = summs.(p).s_runs })
+  in
+  { inline; unroll; analysis = a; sccp; classes; blocks; loops; procs;
+    max_run }
+
+let counted t ~pc =
+  counted_pc t.analysis.graph.flat.code t.analysis.loops.overhead
+    ~inline:t.inline ~unroll:t.unroll pc
+
+let breaker t ~pc =
+  breaker_pc t.analysis.graph.flat.code t.analysis.loops.overhead
+    ~inline:t.inline ~unroll:t.unroll pc

@@ -1,0 +1,93 @@
+(** Machine-independent static parallelism facts.
+
+    The dynamic analyzer measures parallelism as [seq_cycles /
+    max_time]; the quantities that let a machine spec be bounded
+    without executing are computed here, on the SCCP-pruned CFG:
+
+    - {e counted weights}: how many instructions of each block survive
+      the removal rules the analyzer applies (halt always; calls,
+      returns and sp adjustments under perfect inlining; loop overhead
+      under perfect unrolling) — the same rules, recomputed from the
+      instruction stream and {!Loops.t.overhead};
+    - {e breakers}: counted instructions that serialize blocking /
+      control-dependent machines — conditional branches, computed
+      jumps, and returns when not inlining;
+    - {e M, the maximum breaker-free run}: the largest number of
+      counted instructions any execution can retire between two
+      consecutive breakers.  Computed interprocedurally: per-procedure
+      head/through/tail run summaries composed bottom-up over the call
+      graph (bounded fixpoint iteration inside recursive SCCs), with
+      breaker-free CFG cycles admitted only when {!Classify} bounds
+      their trip count — anything else makes the run unbounded;
+    - per-block dataflow heights and per-loop/per-procedure critical
+      path floors (informational lower bounds, not used in the upper
+      bound).
+
+    [Ilp.Static_bound] compiles these facts against an [Ilp.Machine]
+    lattice point. *)
+
+type bound = Finite of int | Unbounded
+
+val bound_to_string : bound -> string
+(** ["123"] or ["unbounded"]. *)
+
+val bound_to_float : bound -> float
+(** [infinity] for {!Unbounded}. *)
+
+type block_facts = {
+  bf_counted : int;  (** counted instructions in the block *)
+  bf_height : int;
+  (** longest register-dependence chain among the counted
+      instructions, unit latency — a critical-path floor for the block
+      on machines without value prediction *)
+}
+
+type loop_facts = {
+  lf_header : int;  (** global block id *)
+  lf_blocks : int;
+  lf_counted : int;
+  lf_trip : int option;  (** max header visits per activation, if bounded *)
+  lf_induction : int list;
+}
+
+type proc_facts = {
+  pf_proc : int;
+  pf_name : string;
+  pf_counted : int;  (** counted instructions in the procedure *)
+  pf_height : int;
+  (** max height over blocks executing on every complete activation *)
+  pf_head : bound;
+  (** longest breaker-free run from procedure entry (including runs
+      that die inside callees) *)
+  pf_thru : bound option;
+  (** breaker-free entry-to-return traversal weight; [None] when every
+      such path meets a breaker, i.e. a caller's run never survives a
+      call to this procedure *)
+  pf_tail : bound;
+  (** longest breaker-free run ending at a return *)
+  pf_runs : bound;  (** max breaker-free run anywhere inside *)
+}
+
+type t = {
+  inline : bool;
+  unroll : bool;
+  analysis : Analysis.t;
+  sccp : Sccp.t array;
+  classes : Classify.t;
+  blocks : block_facts array;  (** per global block id *)
+  loops : loop_facts list;
+  procs : proc_facts array;  (** per procedure *)
+  max_run : bound;
+  (** M: max counted breaker-free run over every execution reachable
+      from the entry procedure *)
+}
+
+val compute : ?inline:bool -> ?unroll:bool -> Analysis.t -> t
+(** Defaults [inline = true], [unroll = true], matching
+    [Ilp.Analyze.config]. *)
+
+val counted : t -> pc:int -> bool
+(** Does this instruction survive the removal rules? *)
+
+val breaker : t -> pc:int -> bool
+(** Counted and serializes blocking/control-dependent machines. *)

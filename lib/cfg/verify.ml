@@ -1,4 +1,4 @@
-type severity = Error | Warning
+type severity = Engine.severity = Error | Warning
 
 type kind =
   | Bad_branch_target
@@ -11,6 +11,7 @@ type kind =
   | Uninit_read
   | Maybe_uninit_read
   | Unreachable_block
+  | Sccp_unreachable
   | Dead_store
 
 let kind_name = function
@@ -24,7 +25,17 @@ let kind_name = function
   | Uninit_read -> "uninit-read"
   | Maybe_uninit_read -> "maybe-uninit-read"
   | Unreachable_block -> "unreachable-block"
+  | Sccp_unreachable -> "sccp-unreachable"
   | Dead_store -> "dead-store"
+
+let all_kinds =
+  [ Bad_branch_target; Bad_jtab_target; Bad_call_target;
+    Fallthrough_off_end; Ret_discipline; Sp_discipline; Sp_imbalance;
+    Uninit_read; Maybe_uninit_read; Unreachable_block; Sccp_unreachable;
+    Dead_store ]
+
+let kind_of_name n =
+  List.find_opt (fun k -> kind_name k = n) all_kinds
 
 type diag = {
   pc : int;
@@ -46,7 +57,8 @@ let severity_of = function
   | Fallthrough_off_end | Ret_discipline | Sp_discipline | Sp_imbalance
   | Uninit_read ->
     Error
-  | Maybe_uninit_read | Unreachable_block | Dead_store -> Warning
+  | Maybe_uninit_read | Unreachable_block | Sccp_unreachable | Dead_store ->
+    Warning
 
 let pp_diag ppf d =
   Format.fprintf ppf "%s: pc %d (block %d) [%s]: %s | %s"
@@ -67,203 +79,329 @@ let save_protocol_read (insn : int Risc.Insn.t) r =
     base = Risc.Reg.sp && r = Risc.Reg.uid_of_float fsrc
   | _ -> false
 
-let check (a : Analysis.t) =
-  let g = a.graph in
-  let flat = g.flat in
-  let code = flat.code in
-  let diags = ref [] in
-  let add ~pc ~kind message =
-    let block = if pc >= 0 && pc < Array.length code then g.block_of.(pc) else -1 in
-    let disasm =
-      if pc >= 0 && pc < Array.length code then
-        Format.asprintf "%a" Risc.Insn.pp_resolved code.(pc)
-      else "<no instruction>"
-    in
-    diags :=
-      { pc; block; severity = severity_of kind; kind; message; disasm }
-      :: !diags
-  in
-  let proc_starts = Hashtbl.create 16 in
+(* ------------------------------------------------------------------ *)
+(* The passes.  Each diagnostic class is one registered {!Engine.pass};
+   expensive shared analyses come memoized from the engine context. *)
+
+let each_proc (ctx : Engine.ctx) f =
+  let a = ctx.Engine.analysis in
+  let flat = a.graph.flat in
   Array.iteri
-    (fun p (start, _) -> Hashtbl.replace proc_starts start p)
-    flat.proc_bounds;
-  let entry_proc = flat.proc_of.(flat.entry_pc) in
-  let check_proc proc =
-    let v = a.views.(proc) in
-    let start, stop = flat.proc_bounds.(proc) in
-    let in_proc t = t >= start && t < stop in
-    let sp_clean = ref true in
-    (* Control-transfer targets and stack-pointer write shapes. *)
-    for pc = start to stop - 1 do
-      (match (code.(pc) : int Risc.Insn.t) with
-      | B (_, _, _, t) | Bi (_, _, _, t) | J t ->
-        if not (in_proc t) then
-          add ~pc ~kind:Bad_branch_target
-            (Printf.sprintf "target %d outside procedure %s [%d,%d)" t
-               flat.proc_names.(proc) start stop)
-      | Jtab (_, table) ->
-        Array.iteri
-          (fun i t ->
-            if not (in_proc t) then
-              add ~pc ~kind:Bad_jtab_target
-                (Printf.sprintf
-                   "table entry %d: target %d outside procedure %s [%d,%d)" i
-                   t flat.proc_names.(proc) start stop))
-          table
-      | Jal t ->
-        if not (Hashtbl.mem proc_starts t) then
-          add ~pc ~kind:Bad_call_target
-            (Printf.sprintf "call target %d is not a procedure entry" t)
-      | Jr r ->
-        if r <> Risc.Reg.ra then
-          add ~pc ~kind:Ret_discipline
-            (Format.asprintf "return through %a instead of %a" pp_uid r
-               pp_uid Risc.Reg.ra)
-      | _ -> ());
-      if Risc.Insn.writes_sp code.(pc) then begin
-        match (code.(pc) : int Risc.Insn.t) with
-        | Alui ((Add | Sub), rd, rs, _)
-          when rd = Risc.Reg.sp && rs = Risc.Reg.sp ->
-          ()
-        | _ ->
-          sp_clean := false;
-          add ~pc ~kind:Sp_discipline
-            "stack pointer written by something other than a constant \
-             adjustment"
-      end
-    done;
-    (* Falling off the end of the procedure. *)
-    if stop > start then begin
-      let pc = stop - 1 in
-      match Risc.Insn.kind code.(pc) with
-      | Plain | Cond_branch | Call ->
-        add ~pc ~kind:Fallthrough_off_end
-          (Printf.sprintf "procedure %s can fall through its last \
-                           instruction" flat.proc_names.(proc))
-      | Jump | Computed_jump | Ret | Stop -> ()
-    end;
-    (* Stack discipline: constant frame offsets must agree at joins and
-       return to zero at every exit.  Skipped when sp is written in a
-       shape we cannot track. *)
-    if !sp_clean && View.n v > 0 then begin
-      let n_local = View.n v in
-      let delta = Array.make n_local 0 in
-      for l = 0 to n_local - 1 do
-        View.iter_insns v l (fun _ insn ->
-            match (insn : int Risc.Insn.t) with
-            | Alui (Add, rd, rs, c) when rd = Risc.Reg.sp && rs = Risc.Reg.sp
-              ->
-              delta.(l) <- delta.(l) + c
-            | Alui (Sub, rd, rs, c) when rd = Risc.Reg.sp && rs = Risc.Reg.sp
-              ->
-              delta.(l) <- delta.(l) - c
-            | _ -> ())
-      done;
-      let offset = Array.make n_local min_int in
-      let reported = Array.make n_local false in
-      offset.(0) <- 0;
-      let stack = ref [ 0 ] in
-      while !stack <> [] do
-        match !stack with
-        | [] -> ()
-        | l :: rest ->
-          stack := rest;
-          let out = offset.(l) + delta.(l) in
-          let b = View.block v l in
-          (match Graph.terminator g (View.global v l) with
-          | Some insn when Risc.Insn.kind insn = Ret && out <> 0 ->
-            add ~pc:(b.stop - 1) ~kind:Sp_imbalance
-              (Printf.sprintf "returns with stack offset %d" out)
-          | _ -> ());
-          Array.iter
-            (fun s ->
-              if offset.(s) = min_int then begin
-                offset.(s) <- out;
-                stack := s :: !stack
-              end
-              else if offset.(s) <> out && not reported.(s) then begin
-                reported.(s) <- true;
-                add ~pc:(View.block v s).start ~kind:Sp_imbalance
-                  (Printf.sprintf
-                     "stack offset %d from one path, %d from another"
-                     offset.(s) out)
-              end)
-            v.succs.(l)
-      done
-    end;
-    (* Unreachable blocks. *)
-    for l = 0 to View.n v - 1 do
-      if not (View.reachable v l) then
-        add ~pc:(View.block v l).start ~kind:Unreachable_block
-          (Printf.sprintf "block %d is unreachable from the %s entry"
-             (View.global v l) flat.proc_names.(proc))
-    done;
-    (* Uninitialized reads, on reachable blocks only. *)
-    let assumed =
-      let open Risc in
-      if proc = entry_proc then [ Reg.sp ]
-      else
-        Reg.sp :: Reg.ra
-        :: (List.init Reg.n_arg_regs Reg.arg
-           @ List.init 4 (fun i -> Reg.uid_of_float (Reg.farg i)))
-    in
-    let uninit = Dataflow.Uninit.compute v ~assumed in
-    let reported_uninit = Hashtbl.create 16 in
-    for l = 0 to View.n v - 1 do
-      if View.reachable v l then
-        Dataflow.Uninit.iter_block uninit ~l (fun pc insn ~may ~must ->
-            List.iter
-              (fun r ->
-                if
-                  (not (save_protocol_read insn r))
-                  && not (Hashtbl.mem reported_uninit (pc, r))
-                then
-                  if Dataflow.Bits.mem must r then begin
-                    Hashtbl.replace reported_uninit (pc, r) ();
-                    add ~pc ~kind:Uninit_read
-                      (Format.asprintf "%a is read but never written on any \
-                                        path here" pp_uid r)
-                  end
-                  else if Dataflow.Bits.mem may r then begin
-                    Hashtbl.replace reported_uninit (pc, r) ();
-                    add ~pc ~kind:Maybe_uninit_read
-                      (Format.asprintf "%a may be uninitialized here" pp_uid
-                         r)
-                  end)
-              (Risc.Insn.uses insn))
-    done;
-    (* Dead stores (definitions never read), on reachable blocks only;
-       calls are skipped — their definitions are interprocedural. *)
-    let live = Dataflow.Liveness.compute v in
-    for l = 0 to View.n v - 1 do
-      if View.reachable v l then begin
-        let b = View.block v l in
-        let cur = Dataflow.Bits.copy (Dataflow.Liveness.live_out live ~l) in
-        for pc = b.stop - 1 downto b.start do
-          let insn = code.(pc) in
-          (match Risc.Insn.kind insn with
-          | Plain ->
-            List.iter
-              (fun r ->
-                if not (Dataflow.Bits.mem cur r) then
-                  add ~pc ~kind:Dead_store
-                    (Format.asprintf "%a is written but never read" pp_uid r))
-              (Risc.Insn.defs insn)
-          | _ -> ());
-          List.iter (Dataflow.Bits.unset cur) (Dataflow.def_regs insn);
-          List.iter (Dataflow.Bits.set cur) (Dataflow.Liveness.use_regs insn)
-        done
-      end
-    done
-  in
-  for proc = 0 to Array.length flat.proc_bounds - 1 do
-    check_proc proc
+    (fun proc (start, stop) -> f a flat proc a.views.(proc) start stop)
+    flat.proc_bounds
+
+let pass name kind help run =
+  { Engine.p_name = name;
+    p_help = help;
+    p_severity = severity_of kind;
+    p_run = run }
+
+let branch_target_pass =
+  pass "bad-branch-target" Bad_branch_target
+    "branch or jump targets must stay inside their procedure"
+    (fun ctx ~emit ->
+      each_proc ctx
+        (fun (a : Analysis.t) flat proc _v start stop ->
+          ignore a;
+          for pc = start to stop - 1 do
+            match (flat.code.(pc) : int Risc.Insn.t) with
+            | B (_, _, _, t) | Bi (_, _, _, t) | J t ->
+              if not (t >= start && t < stop) then
+                emit ~pc
+                  (Printf.sprintf "target %d outside procedure %s [%d,%d)" t
+                     flat.proc_names.(proc) start stop)
+            | _ -> ()
+          done))
+
+let jtab_target_pass =
+  pass "bad-jtab-target" Bad_jtab_target
+    "jump-table entries must stay inside their procedure"
+    (fun ctx ~emit ->
+      each_proc ctx
+        (fun _a flat proc _v start stop ->
+          for pc = start to stop - 1 do
+            match (flat.code.(pc) : int Risc.Insn.t) with
+            | Jtab (_, table) ->
+              Array.iteri
+                (fun i t ->
+                  if not (t >= start && t < stop) then
+                    emit ~pc
+                      (Printf.sprintf
+                         "table entry %d: target %d outside procedure %s \
+                          [%d,%d)"
+                         i t flat.proc_names.(proc) start stop))
+                table
+            | _ -> ()
+          done))
+
+let call_target_pass =
+  pass "bad-call-target" Bad_call_target
+    "calls must target a procedure entry"
+    (fun ctx ~emit ->
+      let flat = ctx.Engine.analysis.graph.flat in
+      let proc_starts = Hashtbl.create 16 in
+      Array.iteri
+        (fun p (start, _) -> Hashtbl.replace proc_starts start p)
+        flat.proc_bounds;
+      Array.iteri
+        (fun pc insn ->
+          match (insn : int Risc.Insn.t) with
+          | Jal t ->
+            if not (Hashtbl.mem proc_starts t) then
+              emit ~pc
+                (Printf.sprintf "call target %d is not a procedure entry" t)
+          | _ -> ())
+        flat.code)
+
+let ret_discipline_pass =
+  pass "ret-discipline" Ret_discipline "returns must go through ra"
+    (fun ctx ~emit ->
+      Array.iteri
+        (fun pc insn ->
+          match (insn : int Risc.Insn.t) with
+          | Jr r when r <> Risc.Reg.ra ->
+            emit ~pc
+              (Format.asprintf "return through %a instead of %a" pp_uid r
+                 pp_uid Risc.Reg.ra)
+          | _ -> ())
+        ctx.Engine.analysis.graph.flat.code)
+
+(* The shape sp-imbalance can track: every sp write is a constant
+   adjustment.  sp-discipline reports the violations; sp-imbalance
+   skips procedures that have any. *)
+let sp_clean code start stop =
+  let clean = ref true in
+  for pc = start to stop - 1 do
+    if Risc.Insn.writes_sp code.(pc) then
+      match (code.(pc) : int Risc.Insn.t) with
+      | Alui ((Add | Sub), rd, rs, _)
+        when rd = Risc.Reg.sp && rs = Risc.Reg.sp ->
+        ()
+      | _ -> clean := false
   done;
-  let diags = List.sort (fun a b -> compare (a.pc, a.kind) (b.pc, b.kind)) !diags in
-  let n_errors =
-    List.length (List.filter (fun d -> d.severity = Error) diags)
+  !clean
+
+let sp_discipline_pass =
+  pass "sp-discipline" Sp_discipline
+    "the stack pointer moves only by constant adjustments"
+    (fun ctx ~emit ->
+      Array.iteri
+        (fun pc insn ->
+          if Risc.Insn.writes_sp insn then
+            match (insn : int Risc.Insn.t) with
+            | Alui ((Add | Sub), rd, rs, _)
+              when rd = Risc.Reg.sp && rs = Risc.Reg.sp ->
+              ()
+            | _ ->
+              emit ~pc
+                "stack pointer written by something other than a constant \
+                 adjustment")
+        ctx.Engine.analysis.graph.flat.code)
+
+let fallthrough_pass =
+  pass "fallthrough-off-end" Fallthrough_off_end
+    "procedures must not fall through their last instruction"
+    (fun ctx ~emit ->
+      each_proc ctx
+        (fun _a flat proc _v start stop ->
+          if stop > start then
+            let pc = stop - 1 in
+            match Risc.Insn.kind flat.code.(pc) with
+            | Plain | Cond_branch | Call ->
+              emit ~pc
+                (Printf.sprintf
+                   "procedure %s can fall through its last instruction"
+                   flat.proc_names.(proc))
+            | Jump | Computed_jump | Ret | Stop -> ()))
+
+let sp_imbalance_pass =
+  pass "sp-imbalance" Sp_imbalance
+    "constant frame offsets agree at joins and return to zero at exits"
+    (fun ctx ~emit ->
+      each_proc ctx
+        (fun (a : Analysis.t) flat _proc v start stop ->
+          let code = flat.code in
+          if sp_clean code start stop && View.n v > 0 then begin
+            let n_local = View.n v in
+            let delta = Array.make n_local 0 in
+            for l = 0 to n_local - 1 do
+              View.iter_insns v l (fun _ insn ->
+                  match (insn : int Risc.Insn.t) with
+                  | Alui (Add, rd, rs, c)
+                    when rd = Risc.Reg.sp && rs = Risc.Reg.sp ->
+                    delta.(l) <- delta.(l) + c
+                  | Alui (Sub, rd, rs, c)
+                    when rd = Risc.Reg.sp && rs = Risc.Reg.sp ->
+                    delta.(l) <- delta.(l) - c
+                  | _ -> ())
+            done;
+            let offset = Array.make n_local min_int in
+            let reported = Array.make n_local false in
+            offset.(0) <- 0;
+            let stack = ref [ 0 ] in
+            while !stack <> [] do
+              match !stack with
+              | [] -> ()
+              | l :: rest ->
+                stack := rest;
+                let out = offset.(l) + delta.(l) in
+                let b = View.block v l in
+                (match Graph.terminator a.graph (View.global v l) with
+                | Some insn when Risc.Insn.kind insn = Ret && out <> 0 ->
+                  emit ~pc:(b.stop - 1)
+                    (Printf.sprintf "returns with stack offset %d" out)
+                | _ -> ());
+                Array.iter
+                  (fun s ->
+                    if offset.(s) = min_int then begin
+                      offset.(s) <- out;
+                      stack := s :: !stack
+                    end
+                    else if offset.(s) <> out && not reported.(s) then begin
+                      reported.(s) <- true;
+                      emit ~pc:(View.block v s).start
+                        (Printf.sprintf
+                           "stack offset %d from one path, %d from another"
+                           offset.(s) out)
+                    end)
+                  v.succs.(l)
+            done
+          end))
+
+let unreachable_pass =
+  pass "unreachable-block" Unreachable_block
+    "blocks unreachable from the procedure entry"
+    (fun ctx ~emit ->
+      each_proc ctx
+        (fun _a flat proc v _start _stop ->
+          for l = 0 to View.n v - 1 do
+            if not (View.reachable v l) then
+              emit ~pc:(View.block v l).start
+                (Printf.sprintf "block %d is unreachable from the %s entry"
+                   (View.global v l) flat.proc_names.(proc))
+          done))
+
+let sccp_unreachable_pass =
+  pass "sccp-unreachable" Sccp_unreachable
+    "blocks CFG-reachable but pruned by conditional constant propagation"
+    (fun ctx ~emit ->
+      let sccp = Lazy.force ctx.Engine.sccp in
+      each_proc ctx
+        (fun _a flat proc v _start _stop ->
+          for l = 0 to View.n v - 1 do
+            if View.reachable v l && not (Sccp.executable sccp.(proc) l)
+            then
+              emit ~pc:(View.block v l).start
+                (Printf.sprintf
+                   "block %d of %s is CFG-reachable but constant conditions \
+                    prune every path to it"
+                   (View.global v l) flat.proc_names.(proc))
+          done))
+
+(* The uninitialized-read facts are shared by the must (error) and may
+   (warning) passes through the memoized context. *)
+let iter_uninit_reads ctx proc v ~f =
+  let uninit = (Lazy.force ctx.Engine.uninit).(proc) in
+  for l = 0 to View.n v - 1 do
+    if View.reachable v l then
+      Dataflow.Uninit.iter_block uninit ~l (fun pc insn ~may ~must ->
+          List.iter
+            (fun r ->
+              if not (save_protocol_read insn r) then f pc r ~may ~must)
+            (Risc.Insn.uses insn))
+  done
+
+let uninit_pass =
+  pass "uninit-read" Uninit_read
+    "registers read but never written on any path"
+    (fun ctx ~emit ->
+      each_proc ctx
+        (fun _a _flat proc v _start _stop ->
+          iter_uninit_reads ctx proc v ~f:(fun pc r ~may:_ ~must ->
+              if Dataflow.Bits.mem must r then
+                emit ~pc
+                  (Format.asprintf
+                     "%a is read but never written on any path here" pp_uid r))))
+
+let maybe_uninit_pass =
+  pass "maybe-uninit-read" Maybe_uninit_read
+    "registers uninitialized on some path"
+    (fun ctx ~emit ->
+      each_proc ctx
+        (fun _a _flat proc v _start _stop ->
+          iter_uninit_reads ctx proc v ~f:(fun pc r ~may ~must ->
+              if Dataflow.Bits.mem may r && not (Dataflow.Bits.mem must r)
+              then
+                emit ~pc
+                  (Format.asprintf "%a may be uninitialized here" pp_uid r))))
+
+let dead_store_pass =
+  pass "dead-store" Dead_store "registers written but never read"
+    (fun ctx ~emit ->
+      each_proc ctx
+        (fun _a flat proc v _start _stop ->
+          let code = flat.code in
+          let live = (Lazy.force ctx.Engine.liveness).(proc) in
+          for l = 0 to View.n v - 1 do
+            if View.reachable v l then begin
+              let b = View.block v l in
+              let cur =
+                Dataflow.Bits.copy (Dataflow.Liveness.live_out live ~l)
+              in
+              for pc = b.stop - 1 downto b.start do
+                let insn = code.(pc) in
+                (match Risc.Insn.kind insn with
+                | Plain ->
+                  List.iter
+                    (fun r ->
+                      if not (Dataflow.Bits.mem cur r) then
+                        emit ~pc
+                          (Format.asprintf "%a is written but never read"
+                             pp_uid r))
+                    (Risc.Insn.defs insn)
+                | _ -> ());
+                List.iter (Dataflow.Bits.unset cur) (Dataflow.def_regs insn);
+                List.iter (Dataflow.Bits.set cur)
+                  (Dataflow.Liveness.use_regs insn)
+              done
+            end
+          done))
+
+let passes =
+  [ branch_target_pass; jtab_target_pass; call_target_pass;
+    fallthrough_pass; ret_discipline_pass; sp_discipline_pass;
+    sp_imbalance_pass; uninit_pass; maybe_uninit_pass; unreachable_pass;
+    sccp_unreachable_pass; dead_store_pass ]
+
+(* Compatibility shim: an engine report over these passes, re-sorted
+   into the original (pc, kind) order and retyped. *)
+let of_engine (er : Engine.report) =
+  let diags =
+    List.map
+      (fun (d : Engine.diag) ->
+        let kind =
+          match kind_of_name d.d_pass with
+          | Some k -> k
+          | None -> invalid_arg ("Verify.check: unknown pass " ^ d.d_pass)
+        in
+        { pc = d.d_pc;
+          block = d.d_block;
+          severity = d.d_severity;
+          kind;
+          message = d.d_message;
+          disasm = d.d_disasm })
+      er.Engine.diags
   in
-  { diags; n_errors; n_warnings = List.length diags - n_errors }
+  let diags =
+    List.stable_sort
+      (fun a b -> compare (a.pc, a.kind) (b.pc, b.kind))
+      diags
+  in
+  { diags;
+    n_errors = er.Engine.n_errors;
+    n_warnings = er.Engine.n_warnings }
+
+let check (a : Analysis.t) = of_engine (Engine.run passes a)
 
 let errors r = List.filter (fun d -> d.severity = Error) r.diags
 let warnings r = List.filter (fun d -> d.severity = Warning) r.diags

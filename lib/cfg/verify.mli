@@ -21,7 +21,7 @@
     loop activation (the value checks need the interpreter's [observe]
     hook). *)
 
-type severity = Error | Warning
+type severity = Engine.severity = Error | Warning
 
 type kind =
   | Bad_branch_target  (** branch or jump target outside its procedure *)
@@ -34,6 +34,9 @@ type kind =
   | Uninit_read  (** register read but never written on any path *)
   | Maybe_uninit_read  (** register uninitialized on some path (warning) *)
   | Unreachable_block  (** block unreachable from the procedure entry (warning) *)
+  | Sccp_unreachable
+    (** block CFG-reachable but pruned by conditional constant
+        propagation (warning) *)
   | Dead_store  (** register written but never read (warning) *)
 
 type diag = {
@@ -51,11 +54,28 @@ type report = {
   n_warnings : int;
 }
 
+val passes : Engine.pass list
+(** Every diagnostic class as a registered engine pass (one per
+    {!kind}, same kebab-case names), for callers that want per-pass
+    configuration, JSON output or observability via {!Engine.run}. *)
+
 val check : Analysis.t -> report
+(** Runs every pass of {!passes} under {!Engine.default_config} and
+    presents the result in the historical shape, sorted by (pc, kind). *)
+
+val of_engine : Engine.report -> report
+(** Retype an engine report over {!passes} into the historical shape
+    (for callers that ran the engine themselves, e.g. with a custom
+    configuration). *)
 
 val errors : report -> diag list
 val warnings : report -> diag list
 val kind_name : kind -> string
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name} (pass names are kind names). *)
+
+val severity_of : kind -> severity
 val pp_diag : Format.formatter -> diag -> unit
 
 val save_protocol_read : int Risc.Insn.t -> int -> bool

@@ -372,16 +372,22 @@ end
 type check_result = {
   c_workload : string;
   c_report : Cfg.Verify.report;
+  c_engine : Cfg.Engine.report;
   c_status : Vm.Exec.status option;
   c_dyn_entries : int;
   c_dyn_total : int;
   c_dyn_violations : Cfg.Verify.Dynamic.violation list;
 }
 
-let check ?options ?fuel ?(dynamic = false) w =
+let check ?options ?config ?(obs = Obs.Ctx.disabled) ?fuel
+    ?(dynamic = false) w =
   let flat = Workloads.Registry.compile ?options w in
   let a = Cfg.Analysis.analyze flat in
-  let report = Cfg.Verify.check a in
+  let engine =
+    Cfg.Engine.run ~obs ?config ~workload:w.Workloads.Registry.name
+      Cfg.Verify.passes a
+  in
+  let report = Cfg.Verify.of_engine engine in
   if dynamic then begin
     let fuel =
       match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
@@ -395,6 +401,7 @@ let check ?options ?fuel ?(dynamic = false) w =
     Counters.record_execution ();
     { c_workload = w.Workloads.Registry.name;
       c_report = report;
+      c_engine = engine;
       c_status = Some outcome.status;
       c_dyn_entries = Cfg.Verify.Dynamic.entries d;
       c_dyn_total = Cfg.Verify.Dynamic.n_violations d;
@@ -403,10 +410,32 @@ let check ?options ?fuel ?(dynamic = false) w =
   else
     { c_workload = w.Workloads.Registry.name;
       c_report = report;
+      c_engine = engine;
       c_status = None;
       c_dyn_entries = 0;
       c_dyn_total = 0;
       c_dyn_violations = [] }
+
+type estimated = {
+  e_workload : string;
+  e_est : Cfg.Estimate.t;
+  e_info : Ilp.Program_info.t;
+  e_bounds : Ilp.Static_bound.t list;
+}
+
+let estimate ?options ?inline ?unroll ~machines w =
+  let name = w.Workloads.Registry.name in
+  let* flat = Workloads.Registry.compile_result ?options w in
+  Pipeline_error.guard ~workload:name Analyze (fun () ->
+      let a = Cfg.Analysis.analyze flat in
+      let info = Ilp.Program_info.of_flat flat a in
+      let est = Cfg.Estimate.compute ?inline ?unroll a in
+      Ok
+        { e_workload = name;
+          e_est = est;
+          e_info = info;
+          e_bounds =
+            List.map (fun m -> Ilp.Static_bound.compile est info m) machines })
 
 let branch_stats p =
   let dyn = Predict.Predictor.Profile.dyn_branches p.profile in

@@ -251,7 +251,10 @@ end
     trace cross-validation) over one workload. *)
 type check_result = {
   c_workload : string;
-  c_report : Cfg.Verify.report;  (** static diagnostics *)
+  c_report : Cfg.Verify.report;  (** static diagnostics, historical shape *)
+  c_engine : Cfg.Engine.report;
+  (** the same diagnostics as the engine produced them: (proc, pc,
+      class) order, effective severities, per-pass timings *)
   c_status : Vm.Exec.status option;
   (** how the dynamic execution ended ([None] if static only) *)
   c_dyn_entries : int;  (** trace entries checked dynamically (0 if static only) *)
@@ -262,15 +265,40 @@ type check_result = {
 
 val check :
   ?options:Codegen.Compile.options ->
+  ?config:Cfg.Engine.config ->
+  ?obs:Obs.Ctx.t ->
   ?fuel:int ->
   ?dynamic:bool ->
   Workloads.Registry.t ->
   check_result
-(** Compile a workload and run {!Cfg.Verify.check} over it.  With
-    [~dynamic:true] the program is also executed (up to [fuel]
-    instructions, default the workload's own budget) with
+(** Compile a workload and run every {!Cfg.Verify.passes} pass through
+    {!Cfg.Engine.run} over it ([config] selects passes, severity
+    overrides and strict mode; [obs] records per-pass spans and
+    metrics).  With [~dynamic:true] the program is also executed (up
+    to [fuel] instructions, default the workload's own budget) with
     {!Cfg.Verify.Dynamic} attached as trace sink and observe hook,
     cross-checking every retired instruction against the static facts. *)
+
+(** Static parallelism estimate for one workload: the
+    machine-independent facts plus the per-machine compiled bounds. *)
+type estimated = {
+  e_workload : string;
+  e_est : Cfg.Estimate.t;
+  e_info : Ilp.Program_info.t;
+  e_bounds : Ilp.Static_bound.t list;  (** one per requested machine *)
+}
+
+val estimate :
+  ?options:Codegen.Compile.options ->
+  ?inline:bool ->
+  ?unroll:bool ->
+  machines:Ilp.Machine.t list ->
+  Workloads.Registry.t ->
+  (estimated, Pipeline_error.t) result
+(** Compile a workload (no execution) and bound its oracle parallelism
+    statically: {!Cfg.Estimate.compute} under the given
+    inlining/unrolling assumptions (default both on, matching
+    {!spec}), then {!Ilp.Static_bound.compile} per machine. *)
 
 val branch_stats : prepared -> Ilp.Stats.branch_stats
 (** Table 2 statistics, derived from the execution-time profile counts

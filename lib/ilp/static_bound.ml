@@ -1,0 +1,59 @@
+type component = { c_name : string; c_value : float }
+
+type t = {
+  spec : string;
+  bound : float;
+  limiting : string option;
+  components : component list;
+}
+
+let max_latency (info : Program_info.t) (m : Machine.t) =
+  match Machine.latency_fn m with
+  | None -> 1
+  | Some f ->
+    let lmax = ref 1 in
+    Array.iter (fun cls -> lmax := max !lmax (f cls)) info.lat;
+    !lmax
+
+let compile (est : Cfg.Estimate.t) (info : Program_info.t)
+    (m : Machine.t) =
+  let lmax = float_of_int (max_latency info m) in
+  let mrun = Cfg.Estimate.bound_to_float est.max_run in
+  let fetch =
+    match m.fetch with
+    | Some f -> float_of_int f *. lmax
+    | None -> infinity
+  in
+  let control =
+    match (m.control, m.flows) with
+    | Machine.Blocking, _ -> mrun *. lmax
+    | Control_dep, Some k -> float_of_int (k + 1) *. mrun *. lmax
+    | Control_dep, None | Speculative, _ | Spec_cd, _ | Oracle, _ ->
+      infinity
+  in
+  (* the analyzer's window never forces progress (it bounds issue
+     times against issue times), so it cannot bound parallelism *)
+  let window = infinity in
+  let components =
+    [ { c_name = "fetch"; c_value = fetch };
+      { c_name = "control"; c_value = control };
+      { c_name = "window"; c_value = window } ]
+  in
+  let bound, limiting =
+    List.fold_left
+      (fun (b, l) c ->
+        if c.c_value < b then (c.c_value, Some c.c_name) else (b, l))
+      (infinity, None) components
+  in
+  { spec = Machine.to_spec m; bound; limiting; components }
+
+let value_to_string v =
+  if v = infinity then "unbounded"
+  else if Float.is_integer v then string_of_int (int_of_float v)
+  else Printf.sprintf "%.1f" v
+
+let pp ppf t =
+  Format.fprintf ppf "%s: bound %s" t.spec (value_to_string t.bound);
+  match t.limiting with
+  | Some l -> Format.fprintf ppf " (%s-limited)" l
+  | None -> ()

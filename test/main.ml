@@ -10,11 +10,14 @@ let () =
       ("cfg", Test_cfg.suite);
       ("dataflow", Test_dataflow.suite);
       ("verify", Test_verify.suite);
+      ("sccp", Test_sccp.suite);
+      ("engine", Test_engine.suite);
       ("predict", Test_predict.suite);
       ("analyze", Test_analyze.suite);
       ("machine", Test_machine.suite);
       ("pipeline", Test_pipeline.suite);
       ("properties", Test_props.suite);
+      ("estimate", Test_estimate.suite);
       ("workloads", Test_workloads.suite);
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);

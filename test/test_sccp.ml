@@ -1,0 +1,212 @@
+(* Sparse conditional constant propagation and branch classification:
+   the lattice, decided branches, executability pruning, clobbering,
+   and loop trip bounds on hand-built programs. *)
+
+module I = Risc.Insn
+module P = Asm.Program
+module R = Risc.Reg
+
+let check ty = Alcotest.check ty
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let analysis_of (prog : P.t) = Cfg.Analysis.analyze (P.resolve prog)
+
+let main_halt body = { P.name = "main"; body = body @ [ P.Ins I.Halt ] }
+
+let prog ?(procs = []) main_body =
+  { P.procs = main_halt main_body :: procs; data = []; entry = "main" }
+
+(* pc of the first conditional branch in the flat code *)
+let first_branch (a : Cfg.Analysis.t) =
+  let code = a.graph.flat.code in
+  let rec go pc =
+    if pc >= Array.length code then Alcotest.fail "no branch in program"
+    else
+      match I.kind code.(pc) with
+      | I.Cond_branch -> pc
+      | _ -> go (pc + 1)
+  in
+  go 0
+
+let test_meet () =
+  let open Cfg.Sccp in
+  check bool "top/c" true (meet Top (Const 3) = Const 3);
+  check bool "c/c same" true (meet (Const 3) (Const 3) = Const 3);
+  check bool "c/c diff" true (meet (Const 3) (Const 4) = Bot);
+  check bool "bot absorbs" true (meet Bot (Const 3) = Bot);
+  check bool "top neutral" true (meet Top Top = Top)
+
+(* A branch whose operands are VM-computable constants folds, and the
+   untaken side becomes unexecutable. *)
+let test_decided_branch () =
+  let a =
+    analysis_of
+      (prog
+         [ P.Ins (I.Li (8, 4));
+           P.Ins (I.Li (9, 4));
+           P.Ins (I.Bi (I.Eq, 8, 4, "yes"));
+           P.Ins (I.Li (10, 111));  (* fallthrough: dead *)
+           P.Label "yes";
+           P.Ins (I.Li (10, 222)) ])
+  in
+  let sccp = Cfg.Sccp.run a in
+  let pc = first_branch a in
+  check bool "decided taken" true
+    (Cfg.Sccp.decided_branch sccp.(0) ~pc = Some true);
+  check int "one decided branch" 1 (Cfg.Sccp.n_decided sccp.(0));
+  (* the fallthrough block is in the view but not executable *)
+  let v = a.views.(0) in
+  let dead = ref 0 in
+  for l = 0 to Cfg.View.n v - 1 do
+    if Cfg.View.reachable v l && not (Cfg.Sccp.executable sccp.(0) l) then
+      incr dead
+  done;
+  check bool "some reachable block pruned" true (!dead > 0);
+  (* classification agrees *)
+  let classes = Cfg.Classify.classify a ~sccp in
+  match Cfg.Classify.find classes ~pc with
+  | Some { b_class = Cfg.Classify.Decided true; _ } -> ()
+  | _ -> Alcotest.fail "branch not classified Decided true"
+
+(* The entry procedure starts from the VM's zero-initialized register
+   file, so a test against an unwritten register folds. *)
+let test_entry_zeroed () =
+  let a =
+    analysis_of
+      (prog
+         [ P.Ins (I.Bi (I.Eq, 8, 0, "zero"));  (* r8 = 0 at entry *)
+           P.Ins (I.Li (9, 1));
+           P.Label "zero";
+           P.Ins (I.Li (9, 2)) ])
+  in
+  let sccp = Cfg.Sccp.run a in
+  check bool "entry-zero decided" true
+    (Cfg.Sccp.decided_branch sccp.(0) ~pc:(first_branch a) = Some true)
+
+(* A call clobbers the caller-saved bank: a constant in a caller-saved
+   register does not survive, so the branch stays undecided. *)
+let test_call_clobbers () =
+  let a =
+    analysis_of
+      (prog
+         ~procs:
+           [ { P.name = "f";
+               body = [ P.Ins (I.Li (8, 7)); P.Ins (I.Jr R.ra) ] } ]
+         [ P.Ins (I.Li (8, 4));
+           P.Ins (I.Jal "f");
+           P.Ins (I.Bi (I.Eq, 8, 4, "yes"));
+           P.Ins (I.Li (10, 111));
+           P.Label "yes";
+           P.Ins (I.Li (10, 222)) ])
+  in
+  let sccp = Cfg.Sccp.run a in
+  check bool "clobbered branch undecided" true
+    (Cfg.Sccp.decided_branch sccp.(0) ~pc:(first_branch a) = None)
+
+(* Loads have no memory lattice: a condition on a loaded value is Bot,
+   hence data-dependent. *)
+let test_load_is_bot () =
+  let a =
+    analysis_of
+      (prog
+         [ P.Ins (I.Lw (8, R.sp, 0));
+           P.Ins (I.Bi (I.Eq, 8, 0, "yes"));
+           P.Ins (I.Li (10, 111));
+           P.Label "yes";
+           P.Ins (I.Li (10, 222)) ])
+  in
+  let sccp = Cfg.Sccp.run a in
+  let pc = first_branch a in
+  check bool "loaded condition undecided" true
+    (Cfg.Sccp.decided_branch sccp.(0) ~pc = None);
+  let classes = Cfg.Classify.classify a ~sccp in
+  match Cfg.Classify.find classes ~pc with
+  | Some { b_class = Cfg.Classify.Data_dependent; _ } -> ()
+  | _ -> Alcotest.fail "branch not classified Data_dependent"
+
+(* A counted loop: i = 0; do { ...; i++ } while (i < 10).  The exit
+   branch tests the induction register against a constant with a
+   SCCP-known initial value, so it gets a trip bound of 10 plus the
+   two-iteration safety margin. *)
+let counted_loop_prog n =
+  prog
+    [ P.Ins (I.Li (8, 0));
+      P.Label "loop";
+      P.Ins (I.Alu (I.Add, 9, 9, 8));
+      P.Ins (I.Alui (I.Add, 8, 8, 1));
+      P.Ins (I.Bi (I.Lt, 8, n, "loop")) ]
+
+let test_loop_trip () =
+  let a = analysis_of (counted_loop_prog 10) in
+  let sccp = Cfg.Sccp.run a in
+  let classes = Cfg.Classify.classify a ~sccp in
+  match Cfg.Classify.find classes ~pc:(first_branch a) with
+  | Some { b_class = Cfg.Classify.Loop_exit k; _ } ->
+    check bool "trip bound covers the 10 iterations" true (k >= 10);
+    check bool "trip bound is tight-ish (margin <= 2)" true (k <= 12)
+  | Some _ -> Alcotest.fail "loop branch not classified Loop_exit"
+  | None -> Alcotest.fail "loop branch not found"
+
+(* The dynamic truth for the same loop: the VM executes the header
+   exactly 10 times, within the static bound. *)
+let test_loop_trip_dynamic () =
+  let a = analysis_of (counted_loop_prog 10) in
+  let sccp = Cfg.Sccp.run a in
+  let classes = Cfg.Classify.classify a ~sccp in
+  let flat = a.graph.flat in
+  let outcome = Vm.Exec.run ~fuel:1000 flat in
+  (* count executions of the branch pc *)
+  let pc_b = first_branch a in
+  let visits = ref 0 in
+  for i = 0 to Vm.Trace.length outcome.trace - 1 do
+    if Vm.Trace.pc outcome.trace i = pc_b then incr visits
+  done;
+  check int "vm runs the loop 10 times" 10 !visits;
+  match Cfg.Classify.find classes ~pc:pc_b with
+  | Some { b_class = Cfg.Classify.Loop_exit k; _ } ->
+    check bool "dynamic visits within static trip bound" true (!visits <= k)
+  | _ -> Alcotest.fail "loop branch not classified Loop_exit"
+
+(* Registry workloads: every procedure analyzes without raising, and
+   executable implies reachable (pruning only shrinks the CFG). *)
+let test_workloads_consistent () =
+  List.iter
+    (fun (w : Workloads.Registry.t) ->
+      let flat = Workloads.Registry.compile w in
+      let a = Cfg.Analysis.analyze flat in
+      let sccp = Cfg.Sccp.run a in
+      Array.iteri
+        (fun p t ->
+          let v = a.views.(p) in
+          for l = 0 to Cfg.View.n v - 1 do
+            if Cfg.Sccp.executable t l then
+              check bool
+                (Printf.sprintf "%s proc %d block %d: executable => \
+                                 reachable" w.name p l)
+                true (Cfg.View.reachable v l)
+          done)
+        sccp;
+      (* classification totals add up to the number of branches *)
+      let classes = Cfg.Classify.classify a ~sccp in
+      let d, l, x, u = Cfg.Classify.counts classes in
+      check int
+        (w.name ^ ": class totals cover all branches")
+        (Array.length classes.Cfg.Classify.branches)
+        (d + l + x + u))
+    Workloads.Registry.all
+
+let suite =
+  [ Alcotest.test_case "lattice meet" `Quick test_meet;
+    Alcotest.test_case "constant branch is decided" `Quick
+      test_decided_branch;
+    Alcotest.test_case "entry registers are zeroed" `Quick
+      test_entry_zeroed;
+    Alcotest.test_case "calls clobber caller-saved" `Quick
+      test_call_clobbers;
+    Alcotest.test_case "loads are unknown" `Quick test_load_is_bot;
+    Alcotest.test_case "counted loop trip bound" `Quick test_loop_trip;
+    Alcotest.test_case "trip bound holds dynamically" `Quick
+      test_loop_trip_dynamic;
+    Alcotest.test_case "workloads: pruning and class totals" `Slow
+      test_workloads_consistent ]
