@@ -968,6 +968,242 @@ let static_vs_dynamic () =
        bound (see ! cells above)@."
 
 (* ------------------------------------------------------------------ *)
+(* Serve soak: an in-process `ilp-limits serve` daemon under sustained
+   mixed load — healthy analyses (several workloads, cache hits and
+   misses), injected faults, millisecond deadlines, quota violations,
+   unknown names — fired from concurrent client threads through the
+   retrying client, with a small queue so backpressure actually sheds.
+   The robustness assertions (any violation exits the bench nonzero):
+   every request draws exactly one well-typed response, no client ever
+   sees an I/O failure or malformed reply, the sampled queue depth
+   never exceeds the configured bound, and the server drains cleanly
+   at the end.  p50/p99 latency of the healthy requests, the shed
+   rate, and the cache split land in BENCH_results.json. *)
+
+type serve_soak = {
+  sv_requests : int;
+  sv_ok : int;
+  sv_typed_errors : int;
+  sv_shed : int;  (* server-side count of requests shed at the queue *)
+  sv_retries : int;  (* extra client attempts beyond the first *)
+  sv_p50_ms : float;
+  sv_p99_ms : float;
+  sv_max_queue_depth : int;  (* sampled; must stay <= the limit *)
+  sv_queue_limit : int;
+  sv_cache_hits : int;
+  sv_cache_misses : int;
+  sv_jobs : int;
+  sv_wall_s : float;
+}
+
+let serve_soak_result : serve_soak option ref = ref None
+
+let serve_failed = ref false
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let soak_stat json name =
+  match Option.bind (Serve.Jsonx.member name json) Serve.Jsonx.to_int with
+  | Some v -> v
+  | None -> 0
+
+let serve_soak () =
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ilp-soak-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let jobs = max 2 (resolved_jobs ()) in
+  (* 12 client threads against a queue of 4: more outstanding work than
+     the queue and pool can hold, so the shed path genuinely fires and
+     the retrying client has to absorb it. *)
+  let queue_limit = 4 in
+  let cfg =
+    Serve.Server.config ~jobs ~queue_limit ~cache_capacity:16
+      ~max_fuel:10_000_000 ~retry_after_ms:5
+      ~registry:(Obs.Metrics.create ()) ~socket_path ()
+  in
+  match Serve.Server.start cfg with
+  | Error e ->
+    serve_failed := true;
+    Format.printf "serve-soak: server failed to start: %s@." e
+  | Ok server ->
+    let t0 = now_s () in
+    let addr = Serve.Client.Unix_sock socket_path in
+    let n_threads = 12 and per_thread = 45 in
+    let total = n_threads * per_thread in
+    let ok = Atomic.make 0
+    and typed = Atomic.make 0
+    and malformed = Atomic.make 0
+    and io_failed = Atomic.make 0
+    and retries = Atomic.make 0 in
+    let lat_mutex = Mutex.create () in
+    let latencies = ref [] in
+    let healthy =
+      [| "eqntott"; "awk"; "ccom"; "latex"; "irsim"; "espresso" |]
+    in
+    (* Request r's shape is a pure function of r, so the soak replays
+       exactly; r mod 10 picks the mix (6 healthy : 1 injected :
+       1 deadline : 1 over-quota : 1 unknown). *)
+    let payload_of r =
+      let open Serve.Protocol in
+      match r mod 10 with
+      | 6 ->
+        analyze ~workload:"awk" ~machines:[ "sp-cd-mf" ] ~fuel:200_000
+          ~inject:("bit-flip", r) ()
+      | 7 ->
+        analyze ~workload:"gcc" ~machines:[ "sp-cd-mf" ] ~fuel:400_000
+          ~deadline_ms:1 ()
+      | 8 -> analyze ~workload:"eqntott" ~fuel:10_000_001 ()
+      | 9 -> analyze ~workload:"no-such-program" ()
+      | k ->
+        analyze
+          ~workload:healthy.((r / 10 + k) mod Array.length healthy)
+          ~machines:[ "sp-cd-mf" ] ~fuel:200_000 ()
+    in
+    let worker tid () =
+      for i = 0 to per_thread - 1 do
+        let r = (tid * per_thread) + i in
+        let a = payload_of r in
+        let make_payload ~id = Serve.Protocol.analyze_request ~id a in
+        let q0 = now_s () in
+        match
+          Serve.Client.call_retry ~attempts:8 ~base_ms:5 ~seed:r addr
+            ~make_payload
+        with
+        | Error _ -> Atomic.incr io_failed
+        | Ok { o_response; o_attempts } ->
+          ignore (Atomic.fetch_and_add retries (o_attempts - 1));
+          if o_response.Serve.Protocol.r_ok then begin
+            Atomic.incr ok;
+            if r mod 10 < 6 then begin
+              let ms = (now_s () -. q0) *. 1000. in
+              Mutex.lock lat_mutex;
+              latencies := ms :: !latencies;
+              Mutex.unlock lat_mutex
+            end
+          end
+          else if o_response.Serve.Protocol.r_error_cause <> None then
+            Atomic.incr typed
+          else Atomic.incr malformed
+      done
+    in
+    (* A sampler thread scrapes stats while the load runs: the highest
+       queue depth it ever sees is the bounded-backpressure witness. *)
+    let soak_done = Atomic.make false in
+    let max_depth = Atomic.make 0 in
+    let rec raise_to a v =
+      let cur = Atomic.get a in
+      if v > cur && not (Atomic.compare_and_set a cur v) then raise_to a v
+    in
+    let sampler () =
+      while not (Atomic.get soak_done) do
+        (match Serve.Client.connect addr with
+        | Error _ -> ()
+        | Ok conn ->
+          (match Serve.Client.call conn (Serve.Protocol.stats_request ~id:1)
+           with
+          | Ok json -> raise_to max_depth (soak_stat json "queue_depth")
+          | Error _ -> ());
+          Serve.Client.close conn);
+        Unix.sleepf 0.004
+      done
+    in
+    let sampler_t = Thread.create sampler () in
+    let workers = List.init n_threads (fun tid -> Thread.create (worker tid) ()) in
+    List.iter Thread.join workers;
+    Atomic.set soak_done true;
+    Thread.join sampler_t;
+    (* Final scrape before the server goes away. *)
+    let shed, cache_hits, cache_misses, requests =
+      match Serve.Client.connect addr with
+      | Error _ -> (0, 0, 0, 0)
+      | Ok conn ->
+        let r =
+          match
+            Serve.Client.call conn (Serve.Protocol.stats_request ~id:1)
+          with
+          | Ok json ->
+            ( soak_stat json "shed",
+              soak_stat json "cache_hits",
+              soak_stat json "cache_misses",
+              soak_stat json "requests" )
+          | Error _ -> (0, 0, 0, 0)
+        in
+        Serve.Client.close conn;
+        r
+    in
+    Serve.Server.stop server;
+    let wall = now_s () -. t0 in
+    let lats = Array.of_list !latencies in
+    Array.sort compare lats;
+    let soak =
+      { sv_requests = total;
+        sv_ok = Atomic.get ok;
+        sv_typed_errors = Atomic.get typed;
+        sv_shed = shed;
+        sv_retries = Atomic.get retries;
+        sv_p50_ms = percentile lats 0.50;
+        sv_p99_ms = percentile lats 0.99;
+        sv_max_queue_depth = Atomic.get max_depth;
+        sv_queue_limit = queue_limit;
+        sv_cache_hits = cache_hits;
+        sv_cache_misses = cache_misses;
+        sv_jobs = jobs;
+        sv_wall_s = wall }
+    in
+    serve_soak_result := Some soak;
+    let violations = ref [] in
+    if Atomic.get io_failed > 0 then
+      violations :=
+        Printf.sprintf "%d client I/O failures" (Atomic.get io_failed)
+        :: !violations;
+    if Atomic.get malformed > 0 then
+      violations :=
+        Printf.sprintf "%d untyped error responses" (Atomic.get malformed)
+        :: !violations;
+    if soak.sv_ok + soak.sv_typed_errors <> total then
+      violations :=
+        Printf.sprintf "%d of %d requests unanswered"
+          (total - soak.sv_ok - soak.sv_typed_errors)
+          total
+        :: !violations;
+    if soak.sv_max_queue_depth > queue_limit then
+      violations :=
+        Printf.sprintf "queue depth %d exceeded limit %d"
+          soak.sv_max_queue_depth queue_limit
+        :: !violations;
+    if !violations <> [] then begin
+      serve_failed := true;
+      List.iter
+        (fun v -> Format.printf "SERVE SOAK VIOLATION: %s@." v)
+        !violations
+    end;
+    print_string
+      (Report.Table.render
+         ~title:
+           (Printf.sprintf
+              "Serve soak: %d mixed requests, %d client threads, jobs=%d, \
+               queue limit %d (server saw %d requests incl. stats scrapes)"
+              total n_threads jobs queue_limit requests)
+         ~header:[ "measure"; "value" ]
+         ~align:[ Left; Right ]
+         [ [ "ok responses"; string_of_int soak.sv_ok ];
+           [ "typed errors"; string_of_int soak.sv_typed_errors ];
+           [ "shed at the queue"; string_of_int soak.sv_shed ];
+           [ "client retries"; string_of_int soak.sv_retries ];
+           [ "healthy p50"; Printf.sprintf "%.1f ms" soak.sv_p50_ms ];
+           [ "healthy p99"; Printf.sprintf "%.1f ms" soak.sv_p99_ms ];
+           [ "max queue depth seen";
+             string_of_int soak.sv_max_queue_depth ];
+           [ "cache hits / misses";
+             Printf.sprintf "%d / %d" cache_hits cache_misses ];
+           [ "wall"; Printf.sprintf "%.2f s" wall ] ])
+
+(* ------------------------------------------------------------------ *)
 (* Experiment registry: each entry declares the (workload, spec)
    results it reads, so the driver can compute the union before any
    workload is prepared. *)
@@ -1034,6 +1270,7 @@ let experiments =
       ablation_guarded;
     exp "static-vs-dynamic" ~needs:(fun () -> for_all spec7)
       static_vs_dynamic;
+    exp "serve-soak" serve_soak;
     exp "microbench" microbench;
     exp "scaling" scaling ]
 
@@ -1089,7 +1326,10 @@ let documented_keys =
     "span_ns"; "metrics"; "value";
     "lattice"; "spec"; "window"; "fetch"; "value_predict";
     "parallelism_hmean";
-    "static_bounds"; "bound"; "measured"; "sound" ]
+    "static_bounds"; "bound"; "measured"; "sound";
+    "serve_soak"; "requests"; "ok"; "typed_errors"; "shed"; "shed_rate";
+    "retries"; "p50_ms"; "p99_ms"; "max_queue_depth"; "queue_limit";
+    "cache_hits"; "cache_misses" ]
 
 let key k =
   if not (List.mem k documented_keys) then begin
@@ -1224,6 +1464,30 @@ let write_json path timings =
           (if i = List.length rows - 1 then "" else ","))
       rows;
     p "  ],\n");
+  (match !serve_soak_result with
+  | None -> ()
+  | Some s ->
+    p "  %s: {\n" (key "serve_soak");
+    p "    %s: %d, %s: %d, %s: %d, %s: %d,\n" (key "requests")
+      s.sv_requests (key "ok") s.sv_ok (key "typed_errors")
+      s.sv_typed_errors (key "shed") s.sv_shed;
+    (* shed / every analyze submission (first tries + retries): the
+       fraction of attempts the full queue turned away *)
+    p "    %s: %.4f, %s: %d,\n" (key "shed_rate")
+      (if s.sv_requests + s.sv_retries > 0 then
+         float_of_int s.sv_shed
+         /. float_of_int (s.sv_requests + s.sv_retries)
+       else 0.)
+      (key "retries") s.sv_retries;
+    p "    %s: %.3f, %s: %.3f,\n" (key "p50_ms") s.sv_p50_ms (key "p99_ms")
+      s.sv_p99_ms;
+    p "    %s: %d, %s: %d,\n" (key "max_queue_depth") s.sv_max_queue_depth
+      (key "queue_limit") s.sv_queue_limit;
+    p "    %s: %d, %s: %d,\n" (key "cache_hits") s.sv_cache_hits
+      (key "cache_misses") s.sv_cache_misses;
+    p "    %s: %d, %s: %.3f\n" (key "jobs") s.sv_jobs (key "wall_s")
+      s.sv_wall_s;
+    p "  },\n");
   p "  %s: {\n" (key "totals");
   p "    %s: %d,\n" (key "vm_executions") (Harness.Counters.executions ());
   p "    %s: %d,\n" (key "trace_passes") (Harness.Counters.passes ());
@@ -1383,7 +1647,7 @@ let run_experiments selected =
     (Harness.Counters.passes ())
     (Harness.Counters.analyzed () / 1_000_000)
     (resolved_jobs ());
-  if !scaling_failed || !static_failed then exit 1
+  if !scaling_failed || !static_failed || !serve_failed then exit 1
 
 let usage () =
   prerr_endline

@@ -12,11 +12,14 @@
      trace       the head of a dynamic trace
      inject      run one seeded fault through the pipeline
      fuzz        bulk seeded fault injection (pipeline invariant check)
+     serve       long-running analysis daemon (framed JSON over a socket)
+     client      one request against a running serve daemon
 
    Every command returns (unit, Pipeline_error.t) result; the error's
    cause class selects the process exit code (see Pipeline_error.exit_code):
    1 generic/internal, 2 unknown name or bad request, 3 compile error,
-   4 VM fault, 5 resource budget. *)
+   4 VM fault, 5 resource budget, 6 deadline, 7 overloaded,
+   8 rejected by the admission estimate. *)
 
 let ( let* ) = Result.bind
 
@@ -178,7 +181,7 @@ let obs_report ~trace_out ~metrics ~prom_out obs =
   end
 
 let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
-    mem_words jobs trace_out metrics prom_out =
+    mem_words deadline_ms jobs trace_out metrics prom_out =
   let* ws = workloads_of_names names in
   let* machines = Ilp.Machine.of_specs machine_names in
   let header =
@@ -204,8 +207,8 @@ let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
      table is identical for every --jobs value. *)
   let stream = stream || (jobs > 1 && List.length ws > 1) in
   let cfg =
-    Harness.Run.config ~jobs ?fuel ?step_budget ?mem_words ~stream ~obs
-      specs
+    Harness.Run.config ~jobs ?fuel ?step_budget ?mem_words ?deadline_ms
+      ~stream ~obs specs
   in
   let* items = Harness.Run.exec cfg ws in
   let* per_workload =
@@ -604,8 +607,31 @@ let cmd_inject names seed fault_name fuel =
   in
   go ws
 
-let cmd_fuzz names seed cases fuel jobs random_machines trace_out metrics
-    prom_out =
+(* With --serve the fuzzer switches target: instead of seeded faults
+   through the in-process pipeline, it fires mutated frames at a live
+   daemon (Wire_fuzz) and asserts the serve analogue of the same
+   invariant — every frame draws a typed error or a clean close, never
+   a hang, and the server answers a ping afterwards. *)
+let cmd_wire_fuzz ~socket ~seed ~cases =
+  let r = Serve.Wire_fuzz.run ~cases ~seed (Serve.Client.Unix_sock socket) in
+  Format.printf
+    "wire fuzz: %d cases (seed %d): %d structured errors, %d ok replies, \
+     %d closed, %d hung, %d unexpected ok, alive=%b@."
+    r.Serve.Wire_fuzz.cases seed r.structured r.ok_replies r.closed r.hung
+    r.unexpected_ok r.alive;
+  if Serve.Wire_fuzz.passed r then Ok ()
+  else
+    err Report
+      (Failed
+         (Printf.sprintf
+            "wire fuzz violations (%d hung, %d unexpected ok, alive=%b)"
+            r.Serve.Wire_fuzz.hung r.unexpected_ok r.alive))
+
+let cmd_fuzz names seed cases fuel jobs random_machines serve_sock trace_out
+    metrics prom_out =
+  match serve_sock with
+  | Some socket -> cmd_wire_fuzz ~socket ~seed ~cases
+  | None ->
   let* ws = workloads_of_names names in
   let obs = obs_ctx trace_out metrics prom_out in
   let* r =
@@ -631,6 +657,208 @@ let cmd_fuzz names seed cases fuel jobs random_machines trace_out metrics
          (Printf.sprintf "%d exceptions escaped the pipeline barrier"
             (List.length r.escaped)))
   else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Analysis as a service: the serve daemon and its client. *)
+
+module Protocol = Serve.Protocol
+module Jsonx = Serve.Jsonx
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> err Lookup (Invalid_request "--tcp wants HOST:PORT")
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 -> Ok (host, p)
+    | _ ->
+      err Lookup
+        (Invalid_request (Printf.sprintf "--tcp: bad port %S" port)))
+
+let parse_admission = function
+  | "off" -> Ok Serve.Server.Admit_off
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i -> (
+      let mode = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match (mode, float_of_string_opt v) with
+      | "reject", Some c when c > 0. -> Ok (Serve.Server.Admit_reject c)
+      | "budget", Some c when c > 0. -> Ok (Serve.Server.Admit_budget c)
+      | _ ->
+        err Lookup
+          (Invalid_request
+             (Printf.sprintf
+                "--admit: %S is not off, reject:CEILING or budget:CEILING"
+                s)))
+    | None ->
+      err Lookup
+        (Invalid_request
+           (Printf.sprintf
+              "--admit: %S is not off, reject:CEILING or budget:CEILING" s)))
+
+let serve_once cfg =
+  match Serve.Server.start cfg with
+  | Error e -> err Report (Failed ("serve: " ^ e))
+  | Ok t ->
+    let drain _ = Serve.Server.drain t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+    Printf.printf "ilp-limits: serving on %s%s (jobs=%d queue=%d)\n%!"
+      cfg.Serve.Server.socket_path
+      (match cfg.Serve.Server.tcp with
+      | Some (h, p) -> Printf.sprintf " and %s:%d" h p
+      | None -> "")
+      cfg.Serve.Server.jobs cfg.Serve.Server.queue_limit;
+    Serve.Server.wait t;
+    Ok ()
+
+(* Crash-only supervision: the parent only forks, waits and restarts;
+   the server itself always runs in a disposable child.  SIGTERM and
+   SIGINT are forwarded to the child (whose handler drains) and stop
+   the restart loop; any other exit is logged and restarted with a
+   capped backoff. *)
+let supervise cfg =
+  let stopping = ref false in
+  let child = ref 0 in
+  let forward sg = fun _ ->
+    stopping := true;
+    if !child > 0 then try Unix.kill !child sg with Unix.Unix_error _ -> ()
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (forward Sys.sigterm));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (forward Sys.sigint));
+  let rec waitpid pid =
+    match Unix.waitpid [] pid with
+    | _, status -> status
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid pid
+  in
+  let rec loop restarts =
+    if !stopping then Ok ()
+    else
+      match Unix.fork () with
+      | 0 ->
+        child := 0;
+        Stdlib.exit
+          (match serve_once cfg with
+          | Ok () -> 0
+          | Error e ->
+            prerr_endline ("ilp-limits: " ^ Pipeline_error.to_string e);
+            Pipeline_error.exit_code e)
+      | pid -> (
+        child := pid;
+        let status = waitpid pid in
+        child := 0;
+        match status with
+        | Unix.WEXITED 0 -> Ok ()
+        | _ when !stopping -> Ok ()
+        | status ->
+          Printf.eprintf "ilp-limits: server %s; restart %d\n%!"
+            (let signal_name sg =
+               if sg = Sys.sigkill then "SIGKILL"
+               else if sg = Sys.sigsegv then "SIGSEGV"
+               else if sg = Sys.sigabrt then "SIGABRT"
+               else if sg = Sys.sigbus then "SIGBUS"
+               else string_of_int sg
+             in
+             match status with
+            | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+            | Unix.WSIGNALED sg ->
+              Printf.sprintf "killed by signal %s" (signal_name sg)
+            | Unix.WSTOPPED sg ->
+              Printf.sprintf "stopped by signal %s" (signal_name sg))
+            (restarts + 1);
+          Unix.sleepf (min 2.0 (0.1 *. float_of_int (1 lsl min restarts 4)));
+          loop (restarts + 1))
+  in
+  loop 0
+
+let cmd_serve socket tcp jobs queue_limit cache_capacity admit max_fuel
+    max_step_budget default_deadline_ms idle_timeout_ms retry_after_ms
+    supervise_flag =
+  let* admission = parse_admission admit in
+  let* tcp =
+    match tcp with
+    | None -> Ok None
+    | Some s ->
+      let* hp = parse_host_port s in
+      Ok (Some hp)
+  in
+  let cfg =
+    Serve.Server.config ?tcp ?jobs ?queue_limit ?cache_capacity ~admission
+      ?max_fuel ?max_step_budget ?default_deadline_ms ?idle_timeout_ms
+      ?retry_after_ms ~socket_path:socket ()
+  in
+  if supervise_flag then supervise cfg else serve_once cfg
+
+let client_addr socket tcp =
+  match tcp with
+  | None -> Ok (Serve.Client.Unix_sock socket)
+  | Some s ->
+    let* h, p = parse_host_port s in
+    Ok (Serve.Client.Tcp (h, p))
+
+(* The client prints the response object verbatim (metrics unwrap to
+   the exposition text) and exits with the error's own [code] field, so
+   scripting against a remote daemon sees the same exit discipline as
+   the in-process commands. *)
+let cmd_client op socket tcp workload source_file machines fuel step_budget
+    mem_words deadline_ms inject_kind seed attempts base_ms =
+  let* addr = client_addr socket tcp in
+  let* make_payload =
+    match op with
+    | `Ping -> Ok (fun ~id -> Protocol.ping_request ~id)
+    | `Stats -> Ok (fun ~id -> Protocol.stats_request ~id)
+    | `Metrics -> Ok (fun ~id -> Protocol.metrics_request ~id)
+    | `Analyze ->
+      let* source =
+        match source_file with
+        | None -> Ok None
+        | Some path -> (
+          match In_channel.with_open_bin path In_channel.input_all with
+          | s -> Ok (Some s)
+          | exception Sys_error e -> err Lookup (Invalid_request e))
+      in
+      let* () =
+        if workload = None && source = None then
+          err Lookup
+            (Invalid_request "analyze wants --workload or --source-file")
+        else Ok ()
+      in
+      let inject = Option.map (fun k -> (k, seed)) inject_kind in
+      let a =
+        Protocol.analyze ?source ~machines ?fuel ?step_budget ?mem_words
+          ?deadline_ms ?inject ?workload ()
+      in
+      Ok (fun ~id -> Protocol.analyze_request ~id a)
+  in
+  match Serve.Client.call_retry ~attempts ~base_ms ~seed addr ~make_payload with
+  | Error e -> err Report (Failed ("client: " ^ e))
+  | Ok { o_response = r; o_attempts } ->
+    if attempts > 1 && o_attempts > 1 then
+      Printf.eprintf "ilp-limits: answered after %d attempts\n%!" o_attempts;
+    if r.Protocol.r_ok then begin
+      (match
+         (op, Option.bind (Jsonx.member "metrics" r.r_body) Jsonx.to_str)
+       with
+      | `Metrics, Some text -> print_string text
+      | _ -> print_endline (Jsonx.to_string r.r_body));
+      Ok ()
+    end
+    else begin
+      print_endline (Jsonx.to_string r.r_body);
+      let code =
+        match
+          Option.bind
+            (Option.bind (Jsonx.member "error" r.r_body)
+               (Jsonx.member "code"))
+            Jsonx.to_int
+        with
+        | Some c when c > 0 -> c
+        | _ -> 1
+      in
+      Stdlib.exit code
+    end
 
 (* ------------------------------------------------------------------ *)
 
@@ -736,14 +964,21 @@ let run_cmd =
            ~doc:"VM data memory size in words (guarded; requests beyond \
                  the cap exit with code 5).")
   in
+  let deadline_ms =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Wall-clock budget per workload.  Forces the streaming \
+                 path so the clock covers analysis too; expiry degrades \
+                 to a typed deadline error (exit code 6), never a hung \
+                 run.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Measure parallelism limits (Table 3).")
     Term.(
-      const (fun ws ms ni nu f s sb mw j tr mx pr ->
-          handle (cmd_run ws ms ni nu f s sb mw j tr mx pr))
+      const (fun ws ms ni nu f s sb mw dl j tr mx pr ->
+          handle (cmd_run ws ms ni nu f s sb mw dl j tr mx pr))
       $ workloads_arg $ machines $ no_inline $ no_unroll $ fuel $ stream
-      $ step_budget $ mem_words $ jobs_arg $ trace_out_arg $ metrics_arg
-      $ prom_out_arg)
+      $ step_budget $ mem_words $ deadline_ms $ jobs_arg $ trace_out_arg
+      $ metrics_arg $ prom_out_arg)
 
 let stats_cmd =
   let fuel =
@@ -879,16 +1114,169 @@ let fuzz_cmd =
                  point instead of always sp-cd-mf, fuzzing the \
                  compositional machine model end to end.")
   in
+  let serve_sock =
+    Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"SOCKET"
+           ~doc:"Fuzz the wire instead of the pipeline: fire mutated \
+                 frames (torn headers, oversized declarations, garbage, \
+                 bad shapes) at the daemon on this Unix socket and \
+                 require a typed error or clean close for every one — \
+                 no hangs, no ok-to-garbage, server alive afterwards.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Bulk seeded fault injection asserting the pipeline \
              invariant: every input yields a result or a structured \
              error.  Nonzero exit if any exception escapes.")
     Term.(
-      const (fun ws s c fu j rm tr mx pr ->
-          handle (cmd_fuzz ws s c fu j rm tr mx pr))
+      const (fun ws s c fu j rm sv tr mx pr ->
+          handle (cmd_fuzz ws s c fu j rm sv tr mx pr))
       $ workloads_arg $ seed_arg $ cases $ inject_fuel $ jobs_arg
-      $ random_machines $ trace_out_arg $ metrics_arg $ prom_out_arg)
+      $ random_machines $ serve_sock $ trace_out_arg $ metrics_arg
+      $ prom_out_arg)
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/ilp-limits.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path.")
+
+let tcp_arg ~doc = Arg.(value & opt (some string) None
+                        & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let serve_cmd =
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains executing requests (default: the \
+                 runtime's recommended count).")
+  in
+  let queue_limit =
+    Arg.(value & opt (some int) None & info [ "queue-limit" ] ~docv:"N"
+           ~doc:"Backpressure bound: admitted requests waiting for a \
+                 domain beyond this are shed with a typed overloaded \
+                 error and a retry hint (default 64).")
+  in
+  let cache =
+    Arg.(value & opt (some int) None & info [ "cache" ] ~docv:"N"
+           ~doc:"Compiled-program LRU capacity (default 32).")
+  in
+  let admit =
+    Arg.(value & opt string "off" & info [ "admit" ] ~docv:"MODE"
+           ~doc:"Admission control: $(b,off), $(b,reject:CEILING) \
+                 (refuse requests the static estimator prices above \
+                 CEILING — unbounded breaker-free runs price as \
+                 infinity), or $(b,budget:CEILING) (clamp their fuel \
+                 and step budget instead).")
+  in
+  let max_fuel =
+    Arg.(value & opt (some int) None & info [ "max-fuel" ] ~docv:"N"
+           ~doc:"Per-request fuel quota ceiling (default 100M).")
+  in
+  let max_step_budget =
+    Arg.(value & opt (some int) None & info [ "max-step-budget" ] ~docv:"N"
+           ~doc:"Per-request analysis-step ceiling (default 100M).")
+  in
+  let deadline =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Default wall-clock deadline applied to requests that \
+                 name none.")
+  in
+  let idle =
+    Arg.(value & opt (some int) None & info [ "idle-timeout-ms" ] ~docv:"MS"
+           ~doc:"Self-drain after this long with no connections and no \
+                 work.")
+  in
+  let retry_after =
+    Arg.(value & opt (some int) None & info [ "retry-after-ms" ] ~docv:"MS"
+           ~doc:"Backoff hint carried by overloaded responses (default \
+                 50).")
+  in
+  let supervise =
+    Arg.(value & flag & info [ "supervise" ]
+           ~doc:"Crash-only operation: run the server in a child process \
+                 and restart it (capped backoff) on any abnormal exit; \
+                 SIGTERM/SIGINT drain the child and stop the loop.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve analysis requests over a Unix-domain socket (and \
+             optionally TCP): framed JSON in, a result or a typed error \
+             out — with per-request quotas and deadlines, static \
+             admission control, bounded-queue backpressure, a \
+             compiled-program cache, and graceful drain on \
+             SIGTERM/SIGINT.")
+    Term.(
+      const (fun s t j q c a mf msb d i ra sup ->
+          handle (cmd_serve s t j q c a mf msb d i ra sup))
+      $ socket_arg
+      $ tcp_arg ~doc:"Also listen on HOST:PORT."
+      $ jobs $ queue_limit $ cache $ admit $ max_fuel $ max_step_budget
+      $ deadline $ idle $ retry_after $ supervise)
+
+let client_cmd =
+  let op =
+    let ops =
+      [ ("ping", `Ping); ("stats", `Stats); ("metrics", `Metrics);
+        ("analyze", `Analyze) ]
+    in
+    Arg.(required & pos 0 (some (enum ops)) None & info [] ~docv:"OP"
+           ~doc:"One of $(b,ping), $(b,stats), $(b,metrics), \
+                 $(b,analyze).")
+  in
+  let workload =
+    Arg.(value & opt (some string) None & info [ "w"; "workload" ]
+           ~docv:"NAME" ~doc:"Workload to analyze (registry name).")
+  in
+  let source_file =
+    Arg.(value & opt (some string) None & info [ "source-file" ]
+           ~docv:"FILE"
+           ~doc:"Analyze ad-hoc Mini-C source read from $(docv) instead \
+                 of a registry workload.")
+  in
+  let machines =
+    Arg.(value & opt_all string [] & info [ "m"; "machine" ] ~docv:"MACHINE"
+           ~doc:"Machine spec (repeatable; default: the paper seven).")
+  in
+  let fuel =
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+           ~doc:"Per-request instruction budget.")
+  in
+  let step_budget =
+    Arg.(value & opt (some int) None & info [ "step-budget" ] ~docv:"N"
+           ~doc:"Per-request analysis-step budget.")
+  in
+  let mem_words =
+    Arg.(value & opt (some int) None & info [ "mem-words" ] ~docv:"N"
+           ~doc:"VM data memory size in words.")
+  in
+  let deadline =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request wall-clock deadline.")
+  in
+  let inject =
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"KIND"
+           ~doc:"Seeded fault to inject server-side (with $(b,--seed)).")
+  in
+  let attempts =
+    Arg.(value & opt int 5 & info [ "retries" ] ~docv:"N"
+           ~doc:"Connection attempts before giving up; overloaded \
+                 responses retry with the server's hint plus seeded \
+                 exponential backoff.")
+  in
+  let base_ms =
+    Arg.(value & opt int 10 & info [ "retry-base-ms" ] ~docv:"MS"
+           ~doc:"Base of the exponential backoff between retries.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running serve daemon and print the \
+             response; remote typed errors map to the same exit codes \
+             as local ones.")
+    Term.(
+      const (fun o s t w sf m f sb mw d i sd a b ->
+          handle (cmd_client o s t w sf m f sb mw d i sd a b))
+      $ op $ socket_arg
+      $ tcp_arg ~doc:"Connect over TCP instead of the Unix socket."
+      $ workload $ source_file $ machines $ fuel $ step_budget $ mem_words
+      $ deadline $ inject $ seed_arg $ attempts $ base_ms)
 
 let () =
   let info =
@@ -901,6 +1289,6 @@ let () =
     Cmd.group info
       [ list_cmd; machines_cmd; run_cmd; stats_cmd; check_cmd;
         estimate_cmd; disasm_cmd; blocks_cmd; trace_cmd; inject_cmd;
-        fuzz_cmd ]
+        fuzz_cmd; serve_cmd; client_cmd ]
   in
   exit (Cmd.eval' group)

@@ -69,6 +69,9 @@ type cause =
   | Vm_fault of fault_info
   | Budget_exceeded of { what : string; limit : int; requested : int }
   | Invalid_request of string
+  | Deadline_exceeded of { budget_ms : int; elapsed_ms : int }
+  | Overloaded of { depth : int; limit : int; retry_after_ms : int }
+  | Rejected_by_estimate of { spec : string; estimate : float; ceiling : float }
   | Failed of string
   | Internal of string
 
@@ -100,6 +103,21 @@ let pp_cause ppf = function
     Format.fprintf ppf "%s budget exceeded: requested %d, cap %d" what
       requested limit
   | Invalid_request msg -> Format.fprintf ppf "invalid request: %s" msg
+  | Deadline_exceeded { budget_ms; elapsed_ms } ->
+    Format.fprintf ppf
+      "deadline exceeded: %d ms budget, %d ms elapsed" budget_ms elapsed_ms
+  | Overloaded { depth; limit; retry_after_ms } ->
+    Format.fprintf ppf
+      "overloaded: request queue full (%d/%d); retry after %d ms" depth
+      limit retry_after_ms
+  | Rejected_by_estimate { spec; estimate; ceiling } ->
+    Format.fprintf ppf
+      "rejected by static estimate: %s estimated work %s exceeds \
+       ceiling %.0f"
+      spec
+      (if estimate = infinity then "unbounded"
+       else Printf.sprintf "%.0f" estimate)
+      ceiling
   | Failed msg -> Format.fprintf ppf "%s" msg
   | Internal msg ->
     Format.fprintf ppf "internal error (escaped exception): %s" msg
@@ -121,6 +139,109 @@ let exit_code t =
   | Compile_error _ -> 3
   | Vm_fault _ -> 4
   | Budget_exceeded _ -> 5
+  | Deadline_exceeded _ -> 6
+  | Overloaded _ -> 7
+  | Rejected_by_estimate _ -> 8
+
+let cause_name t =
+  match t.cause with
+  | Unknown_workload _ -> "unknown_workload"
+  | Unknown_machine _ -> "unknown_machine"
+  | Invalid_machine_spec _ -> "invalid_machine_spec"
+  | Unknown_fault _ -> "unknown_fault"
+  | Compile_error _ -> "compile_error"
+  | Vm_fault _ -> "vm_fault"
+  | Budget_exceeded _ -> "budget_exceeded"
+  | Invalid_request _ -> "invalid_request"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Overloaded _ -> "overloaded"
+  | Rejected_by_estimate _ -> "rejected_by_estimate"
+  | Failed _ -> "failed"
+  | Internal _ -> "internal"
+
+(* JSON rendering: the wire shape every server error response carries.
+   Kept here so the one place that defines causes also defines their
+   serialization — a new cause fails to compile until it renders. *)
+let json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_json buf t =
+  let field name value =
+    json_string buf name;
+    Buffer.add_char buf ':';
+    value ()
+  in
+  let str name s = field name (fun () -> json_string buf s) in
+  let int name i = field name (fun () -> Buffer.add_string buf (string_of_int i)) in
+  let sep () = Buffer.add_char buf ',' in
+  Buffer.add_char buf '{';
+  str "cause" (cause_name t);
+  sep ();
+  int "code" (exit_code t);
+  sep ();
+  str "stage" (stage_name t.stage);
+  (match t.workload with
+  | Some w ->
+    sep ();
+    str "workload" w
+  | None -> ());
+  sep ();
+  str "message" (to_string t);
+  (* cause-specific structured payload, so clients never parse the
+     human message *)
+  (match t.cause with
+  | Deadline_exceeded { budget_ms; elapsed_ms } ->
+    sep ();
+    int "budget_ms" budget_ms;
+    sep ();
+    int "elapsed_ms" elapsed_ms
+  | Overloaded { depth; limit; retry_after_ms } ->
+    sep ();
+    int "depth" depth;
+    sep ();
+    int "limit" limit;
+    sep ();
+    int "retry_after_ms" retry_after_ms
+  | Rejected_by_estimate { spec; estimate; ceiling } ->
+    sep ();
+    str "spec" spec;
+    sep ();
+    field "estimate" (fun () ->
+        Buffer.add_string buf
+          (if estimate = infinity then "null"
+           else Printf.sprintf "%.0f" estimate));
+    sep ();
+    field "ceiling" (fun () ->
+        Buffer.add_string buf (Printf.sprintf "%.0f" ceiling))
+  | Budget_exceeded { what; limit; requested } ->
+    sep ();
+    str "what" what;
+    sep ();
+    int "limit" limit;
+    sep ();
+    int "requested" requested
+  | Vm_fault f ->
+    sep ();
+    str "fault_kind" (fault_kind_name f.f_kind);
+    sep ();
+    int "pc" f.f_pc;
+    sep ();
+    int "step" f.f_step
+  | _ -> ());
+  Buffer.add_char buf '}'
 
 (* Damerau-Levenshtein distance (transposition counts as one edit, so
    "akw" suggests "awk"); small strings only. *)

@@ -76,6 +76,17 @@ type cause =
   | Budget_exceeded of { what : string; limit : int; requested : int }
     (** a resource guard refused the request up front *)
   | Invalid_request of string  (** malformed arguments *)
+  | Deadline_exceeded of { budget_ms : int; elapsed_ms : int }
+    (** the request's wall-clock deadline expired (enforced through the
+        VM observe hook and at stage boundaries); the work done so far
+        is discarded but the process, domain and connection survive *)
+  | Overloaded of { depth : int; limit : int; retry_after_ms : int }
+    (** load shed: the bounded request queue was full; [retry_after_ms]
+        is the server's backoff hint *)
+  | Rejected_by_estimate of { spec : string; estimate : float; ceiling : float }
+    (** admission control: the static parallelism estimator priced the
+        request above the configured ceiling before any execution
+        ([estimate] is [infinity] when the bound is unbounded) *)
   | Failed of string  (** a command-level failure (verification, fuzz) *)
   | Internal of string
     (** the last-resort barrier: an exception caught at the pipeline
@@ -99,7 +110,23 @@ val exit_code : t -> int
     2 = unknown name or invalid request,
     3 = compile error,
     4 = VM fault,
-    5 = resource budget exceeded. *)
+    5 = resource budget exceeded,
+    6 = wall-clock deadline exceeded,
+    7 = overloaded (load shed),
+    8 = rejected by the static estimate (admission control). *)
+
+val cause_name : t -> string
+(** Stable lower-snake tag of the cause class ("deadline_exceeded",
+    "overloaded", ...) — the wire protocol's error discriminator. *)
+
+val to_json : Buffer.t -> t -> unit
+(** Append the error as one JSON object: [cause], [code], [stage],
+    optional [workload], human [message], plus cause-specific structured
+    fields (e.g. [retry_after_ms] for [Overloaded]) so clients never
+    parse the message text. *)
+
+val json_string : Buffer.t -> string -> unit
+(** Append [s] JSON-quoted (shared by the serve protocol renderers). *)
 
 val suggest : string -> string list -> string option
 (** [suggest name candidates] is the nearest candidate by edit distance

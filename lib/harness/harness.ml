@@ -75,6 +75,32 @@ type prepared = {
   values : Predict.Predictor.Value.builder option;
 }
 
+(* Compose two optional VM observe hooks (first, then second). *)
+let chain_observe a b =
+  match (a, b) with
+  | None, o | o, None -> o
+  | Some f, Some g ->
+    Some
+      (fun ~pc ~step ~regs ~fregs ~mem ->
+        f ~pc ~step ~regs ~fregs ~mem;
+        g ~pc ~step ~regs ~fregs ~mem)
+
+let deadline_observe = function
+  | None -> None
+  | Some d -> Some (Obs.Deadline.observe d)
+
+(* The deadline barrier: [Obs.Deadline.Expired] raised anywhere inside
+   [f] (the observe hook mid-execution, a [check] at a stage boundary)
+   degrades to the typed error instead of escaping — sits {e inside}
+   the [Pipeline_error.guard], so expiry is never misfiled as
+   [Internal]. *)
+let deadline_guard ?workload stage f =
+  try f () with
+  | Obs.Deadline.Expired { budget_ms; elapsed_ms } ->
+    Error
+      (Pipeline_error.v ?workload stage
+         (Deadline_exceeded { budget_ms; elapsed_ms }))
+
 let profile_builder info =
   Predict.Predictor.Profile.builder ~n_static:info.Ilp.Program_info.n
     ~is_cond:(Ilp.Program_info.is_cond_branch info)
@@ -87,7 +113,8 @@ let value_builder info =
    trace prefix is kept and analyzed, and every downstream result
    carries the truncation tag.  Nothing on this path raises. *)
 let prepare_flat ?mem_words ?(probe = Obs.Probe.vm_disabled)
-    ?(span_buf = Obs.Span.disabled) ?(train_values = false) ~fuel w flat =
+    ?(span_buf = Obs.Span.disabled) ?(train_values = false) ?deadline
+    ~fuel w flat =
   let name = w.Workloads.Registry.name in
   let info = Ilp.Program_info.analyze_flat flat in
   let profile = profile_builder info in
@@ -95,7 +122,11 @@ let prepare_flat ?mem_words ?(probe = Obs.Probe.vm_disabled)
      instruction, so only runs whose specs actually use value
      prediction pay for it. *)
   let values = if train_values then Some (value_builder info) else None in
-  let observe = Option.map Predict.Predictor.Value.observe values in
+  let observe =
+    chain_observe
+      (Option.map Predict.Predictor.Value.observe values)
+      (deadline_observe deadline)
+  in
   (* The one VM execution: the branch profile accumulates through a sink
      (and the value profile through the observe hook) while the trace is
      recorded, so the trained predictors cost no extra trace pass. *)
@@ -135,7 +166,7 @@ let validated_mem_words ~workload = function
     Ok (Some n)
 
 let prepare_result ?options ?mem_words ?fuel ?(obs = Obs.Ctx.disabled)
-    ?(span_buf = Obs.Span.disabled) ?train_values w =
+    ?(span_buf = Obs.Span.disabled) ?train_values ?deadline w =
   let name = w.Workloads.Registry.name in
   let fuel =
     match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
@@ -146,9 +177,11 @@ let prepare_result ?options ?mem_words ?fuel ?(obs = Obs.Ctx.disabled)
         Workloads.Registry.compile_result ?options w)
   in
   Pipeline_error.guard ~workload:name Execute (fun () ->
-      Ok
-        (prepare_flat ?mem_words ~probe:(Obs.Ctx.vm_probe obs) ~span_buf
-           ?train_values ~fuel w flat))
+      deadline_guard ~workload:name Execute (fun () ->
+          Option.iter Obs.Deadline.check deadline;
+          Ok
+            (prepare_flat ?mem_words ~probe:(Obs.Ctx.vm_probe obs) ~span_buf
+               ?train_values ?deadline ~fuel w flat)))
 
 let prepare_source ?(fuel = 10_000_000) ?train_values ~name source =
   let w =
@@ -239,12 +272,14 @@ module Run = struct
     mem_words : int option;
     options : Codegen.Compile.options option;
     stream : bool;
+    deadline_ms : int option;
     obs : Obs.Ctx.t;
   }
 
   let config ?(jobs = 1) ?fuel ?step_budget ?mem_words ?options
-      ?(stream = false) ?(obs = Obs.Ctx.disabled) specs =
-    { specs; jobs; fuel; step_budget; mem_words; options; stream; obs }
+      ?(stream = false) ?deadline_ms ?(obs = Obs.Ctx.disabled) specs =
+    { specs; jobs; fuel; step_budget; mem_words; options; stream;
+      deadline_ms; obs }
 
   type item = {
     it_workload : Workloads.Registry.t;
@@ -273,24 +308,36 @@ module Run = struct
         Ilp.Analyze.run_many ~completeness:p.completeness configs p.info
           p.trace)
 
-  let stream_flat ?mem_words ~obs ~span_buf ~fuel w flat specs =
+  (* Returns the per-spec results plus how the analyzed execution
+     ended — the serve reply needs steps and status, the table paths
+     only the results. *)
+  let stream_flat_full ?mem_words ?deadline ~obs ~span_buf ~fuel w flat
+      specs =
     let name = w.Workloads.Registry.name in
     let info = Ilp.Program_info.analyze_flat flat in
     let profile = profile_builder info in
     let values =
       if specs_need_values specs then Some (value_builder info) else None
     in
-    let observe = Option.map Predict.Predictor.Value.observe values in
+    let observe =
+      chain_observe
+        (Option.map Predict.Predictor.Value.observe values)
+        (deadline_observe deadline)
+    in
     let probe = Obs.Ctx.vm_probe obs in
     (* Execution 1 trains the profile (and, for vp specs, value)
        predictor; execution 2 streams into every analysis state.
-       Nothing is materialized in between. *)
+       Nothing is materialized in between.  A deadline rides the
+       observe hook of both executions — and because analysis happens
+       {e inside} execution 2's retirement path, the wall-clock guard
+       covers the analyzer too, which a materialized scan would not. *)
     let o1 =
       Obs.Span.with_span span_buf ~workload:name "execute" (fun () ->
           Vm.Exec.run ?mem_words ~fuel ~record:false ~probe ?observe
             ~sink:(Predict.Predictor.Profile.sink profile) flat)
     in
     Counters.record_execution ~profiled:o1.steps ();
+    Option.iter Obs.Deadline.check deadline;
     Obs.Span.with_span span_buf ~workload:name "analyze" (fun () ->
         let value_table =
           Option.map Predict.Predictor.Value.table values
@@ -300,12 +347,24 @@ module Run = struct
             specs
         in
         let sink, finish = Ilp.Analyze.sink_many configs info in
-        let o2 = Vm.Exec.run ?mem_words ~fuel ~record:false ~probe ~sink flat in
+        let o2 =
+          Vm.Exec.run ?mem_words ~fuel ~record:false ~probe
+            ?observe:(deadline_observe deadline) ~sink flat
+        in
         Counters.record_execution ();
         Counters.record_pass ~entries:o2.steps ~states:(List.length specs);
-        finish ~completeness:(Vm.Exec.completeness_of o2) ())
+        ( finish ~completeness:(Vm.Exec.completeness_of o2) (),
+          o2.steps, o2.status ))
 
-  let stream_result ?options ?mem_words ?fuel ~obs ~span_buf w specs =
+  let stream_flat ?mem_words ?deadline ~obs ~span_buf ~fuel w flat specs =
+    let results, _, _ =
+      stream_flat_full ?mem_words ?deadline ~obs ~span_buf ~fuel w flat
+        specs
+    in
+    results
+
+  let stream_result ?options ?mem_words ?fuel ?deadline ~obs ~span_buf w
+      specs =
     let name = w.Workloads.Registry.name in
     let fuel =
       match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
@@ -316,7 +375,10 @@ module Run = struct
           Workloads.Registry.compile_result ?options w)
     in
     Pipeline_error.guard ~workload:name Execute (fun () ->
-        Ok (stream_flat ?mem_words ~obs ~span_buf ~fuel w flat specs))
+        deadline_guard ~workload:name Execute (fun () ->
+            Option.iter Obs.Deadline.check deadline;
+            Ok (stream_flat ?mem_words ?deadline ~obs ~span_buf ~fuel w flat
+                  specs)))
 
   (* Parallel fan-out: each workload's whole pipeline — compile,
      execute, analyze every spec — is one pool task with its own VM
@@ -342,11 +404,19 @@ module Run = struct
     let task (i, w) =
       let name = w.Workloads.Registry.name in
       let buf = Obs.Ctx.task_buffer cfg.obs ~index:i ~label:name in
+      (* Each workload gets the full wall-clock budget, armed when its
+         own pipeline starts.  A deadline forces the streaming path:
+         analysis then happens inside the observed execution, so the
+         guard covers it — a materialized scan would run unclocked. *)
+      let deadline =
+        Option.map (fun budget_ms -> Obs.Deadline.start ~budget_ms)
+          cfg.deadline_ms
+      in
       let outcome =
         Pipeline_error.guard ~workload:name Execute (fun () ->
-            if cfg.stream then
+            if cfg.stream || deadline <> None then
               stream_result ?options:cfg.options ?mem_words:cfg.mem_words
-                ?fuel:cfg.fuel ~obs:cfg.obs ~span_buf:buf w specs
+                ?fuel:cfg.fuel ?deadline ~obs:cfg.obs ~span_buf:buf w specs
             else
               let* p =
                 prepare_result ?options:cfg.options
@@ -367,6 +437,118 @@ module Run = struct
       Ok
         (Stdx.Pool.with_pool ~jobs (fun pool ->
              Stdx.Pool.map_list pool task indexed))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Request-shaped entry point: one workload, per-request quotas, an
+   optional precompiled program (cache hit) and an optional seeded
+   fault — the unit of work the serve daemon executes.  Always streams,
+   so a wall-clock deadline covers execution {e and} analysis. *)
+
+module Request = struct
+  type reply = {
+    r_flat : Asm.Program.flat;
+    r_results : Ilp.Analyze.result list;
+    r_steps : int;
+    r_status : Vm.Exec.status;
+  }
+
+  (* The seeded-fault variant of the request body: single execution,
+     btfn prediction (no training pass), analysis streamed through the
+     injector's wrapped sink, deadline chained onto the injector's own
+     observe hook. *)
+  let exec_injected ~obs ~deadline ~mem_words ~fuel ~machine ~seed ~kind
+      flat =
+    let metrics =
+      if Obs.Ctx.enabled obs then Some (Obs.Ctx.metrics obs) else None
+    in
+    let app = Fault.Injector.plan ?metrics ~seed ~fuel kind flat in
+    let dflat = app.Fault.Injector.flat in
+    let info = Ilp.Program_info.analyze_flat dflat in
+    let predictor =
+      Predict.Predictor.backward_taken
+        ~is_backward:(Ilp.Program_info.branch_backward dflat)
+    in
+    let cfg =
+      Ilp.Analyze.config
+        ~mem_words:
+          (Option.value mem_words ~default:Vm.Exec.default_mem_words)
+        machine predictor
+    in
+    let sink, finish = Ilp.Analyze.sink_many [ cfg ] info in
+    let sink = app.Fault.Injector.wrap_sink sink in
+    let observe =
+      chain_observe app.Fault.Injector.observe (deadline_observe deadline)
+    in
+    let outcome =
+      Vm.Exec.run ?mem_words ~fuel:app.Fault.Injector.fuel ~record:false
+        ~sink ~probe:(Obs.Ctx.vm_probe obs) ?observe dflat
+    in
+    Counters.record_execution ();
+    let analyzed_entries =
+      match !(app.Fault.Injector.cut) with
+      | Some f -> f.Pipeline_error.f_step
+      | None -> outcome.steps
+    in
+    Counters.record_pass ~entries:analyzed_entries ~states:1;
+    let completeness =
+      match !(app.Fault.Injector.cut) with
+      | Some f -> Pipeline_error.Truncated f
+      | None -> Vm.Exec.completeness_of outcome
+    in
+    { r_flat = flat;
+      r_results = finish ~completeness ();
+      r_steps = outcome.steps;
+      r_status = outcome.status }
+
+  let exec ?(obs = Obs.Ctx.disabled) ?(span_buf = Obs.Span.disabled) ?flat
+      ?fuel ?step_budget ?mem_words ?deadline_ms ?inject ~specs w =
+    let name = w.Workloads.Registry.name in
+    let fuel =
+      match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
+    in
+    let specs =
+      (* a spec without its own budget inherits the request's *)
+      List.map
+        (fun s ->
+          match (s.s_step_budget, step_budget) with
+          | None, (Some _ as b) -> { s with s_step_budget = b }
+          | _ -> s)
+        specs
+    in
+    let* mem_words = validated_mem_words ~workload:name mem_words in
+    (* The clock starts before compilation: a cache miss spends budget
+       compiling, a hit keeps it all for execution. *)
+    let deadline =
+      Option.map (fun budget_ms -> Obs.Deadline.start ~budget_ms)
+        deadline_ms
+    in
+    let* flat =
+      match flat with
+      | Some f -> Ok f
+      | None ->
+        Obs.Span.with_span span_buf ~workload:name "compile" (fun () ->
+            Workloads.Registry.compile_result w)
+    in
+    Pipeline_error.guard ~workload:name Execute (fun () ->
+        deadline_guard ~workload:name Execute (fun () ->
+            Option.iter Obs.Deadline.check deadline;
+            match inject with
+            | Some (kind, seed) ->
+              let machine =
+                match specs with
+                | s :: _ -> s.s_machine
+                | [] -> Ilp.Machine.sp_cd_mf
+              in
+              Ok
+                (exec_injected ~obs ~deadline ~mem_words ~fuel ~machine
+                   ~seed ~kind flat)
+            | None ->
+              let r_results, r_steps, r_status =
+                Run.stream_flat_full ?mem_words ?deadline ~obs ~span_buf
+                  ~fuel w flat specs
+              in
+              Ok { r_flat = flat; r_results; r_steps; r_status }))
 end
 
 type check_result = {
@@ -423,19 +605,22 @@ type estimated = {
   e_bounds : Ilp.Static_bound.t list;
 }
 
-let estimate ?options ?inline ?unroll ~machines w =
-  let name = w.Workloads.Registry.name in
-  let* flat = Workloads.Registry.compile_result ?options w in
-  Pipeline_error.guard ~workload:name Analyze (fun () ->
+let estimate_flat ?inline ?unroll ~machines ~workload flat =
+  Pipeline_error.guard ~workload Analyze (fun () ->
       let a = Cfg.Analysis.analyze flat in
       let info = Ilp.Program_info.of_flat flat a in
       let est = Cfg.Estimate.compute ?inline ?unroll a in
       Ok
-        { e_workload = name;
+        { e_workload = workload;
           e_est = est;
           e_info = info;
           e_bounds =
             List.map (fun m -> Ilp.Static_bound.compile est info m) machines })
+
+let estimate ?options ?inline ?unroll ~machines w =
+  let name = w.Workloads.Registry.name in
+  let* flat = Workloads.Registry.compile_result ?options w in
+  estimate_flat ?inline ?unroll ~machines ~workload:name flat
 
 let branch_stats p =
   let dyn = Predict.Predictor.Profile.dyn_branches p.profile in

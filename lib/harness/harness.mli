@@ -118,12 +118,22 @@ val prepare_result :
   ?obs:Obs.Ctx.t ->
   ?span_buf:Obs.Span.buffer ->
   ?train_values:bool ->
+  ?deadline:Obs.Deadline.t ->
   Workloads.Registry.t ->
   (prepared, Pipeline_error.t) result
 (** Like {!prepare} but total: compile errors arrive as
     [Error { cause = Compile_error _; _ }], [mem_words] beyond
     {!Vm.Exec.max_mem_words} as [Budget_exceeded], and any unexpected
-    exception is caught by the {!Pipeline_error.guard} barrier. *)
+    exception is caught by the {!Pipeline_error.guard} barrier.
+
+    [deadline] arms the wall-clock guard: {!Obs.Deadline.observe} rides
+    the VM observe hook, and expiry — mid-execution or at a stage
+    boundary — degrades to a typed [Deadline_exceeded] error (exit
+    code 6), never an exception.  Note the deadline covers the
+    {e execution} only; analysis of a materialized trace runs
+    unclocked.  Deadline-bounded analysis goes through the streaming
+    path ({!Run.config}[.deadline_ms], {!Request.exec}), where analysis
+    happens inside the observed execution. *)
 
 val prepare_source :
   ?fuel:int -> ?train_values:bool -> name:string -> string -> prepared
@@ -192,6 +202,12 @@ module Run : sig
     stream : bool;
     (** [false]: materialize each trace (one execution + one scan);
         [true]: stream (two executions, O(program) memory) *)
+    deadline_ms : int option;
+    (** per-workload wall-clock budget.  Setting it forces the
+        streaming path (so the clock covers analysis too); each
+        workload's deadline is armed when its own pipeline starts, and
+        expiry yields that workload's typed [Deadline_exceeded] error
+        (exit code 6) — the batch continues. *)
     obs : Obs.Ctx.t;  (** observability context; {!Obs.Ctx.disabled}
                           costs the hot loops one bool test *)
   }
@@ -203,12 +219,13 @@ module Run : sig
     ?mem_words:int ->
     ?options:Codegen.Compile.options ->
     ?stream:bool ->
+    ?deadline_ms:int ->
     ?obs:Obs.Ctx.t ->
     spec list ->
     config
   (** Defaults: sequential ([jobs = 1]), workload fuel, no step budget,
-      default VM memory, no compile options, materialized trace,
-      observability disabled. *)
+      default VM memory, no compile options, materialized trace, no
+      deadline, observability disabled. *)
 
   (** One workload's outcome: the full result-per-spec list, or that
       workload's typed error.  A failure never aborts the batch. *)
@@ -245,6 +262,53 @@ module Run : sig
       (results in spec order, completeness-tagged).  This is the
       materialized analysis half of {!exec}, exposed for drivers that
       cache {!prepared} values across spec sets (the bench store). *)
+end
+
+(** Request-shaped entry point: one workload, per-request quotas, an
+    optional precompiled program, an optional seeded fault — the unit
+    of work the [ilp-limits serve] daemon executes per request.
+    Always streams (analysis runs inside the observed execution), so
+    the wall-clock deadline covers execution {e and} analysis. *)
+module Request : sig
+  type reply = {
+    r_flat : Asm.Program.flat;
+    (** the compiled program actually analyzed — callers (the serve
+        compiled-program cache) key it by source hash and feed it back
+        as [?flat] on the next hit *)
+    r_results : Ilp.Analyze.result list;  (** one per spec, spec order *)
+    r_steps : int;  (** instructions the analyzed execution retired *)
+    r_status : Vm.Exec.status;  (** how that execution ended *)
+  }
+
+  val exec :
+    ?obs:Obs.Ctx.t ->
+    ?span_buf:Obs.Span.buffer ->
+    ?flat:Asm.Program.flat ->
+    ?fuel:int ->
+    ?step_budget:int ->
+    ?mem_words:int ->
+    ?deadline_ms:int ->
+    ?inject:Fault.Injector.kind * int ->
+    specs:spec list ->
+    Workloads.Registry.t ->
+    (reply, Pipeline_error.t) result
+  (** Execute one request.  Total: every failure mode is a typed
+      {!Pipeline_error.t} — compile errors, quota violations
+      ([Budget_exceeded]), wall-clock expiry ([Deadline_exceeded],
+      armed {e before} compilation so a cache miss pays for its own
+      compile), VM faults, and anything unexpected via the
+      {!Pipeline_error.guard} barrier.
+
+      [flat] short-circuits compilation (cache hit); determinism
+      contract: a cached reply is bit-identical to a fresh one because
+      compilation is deterministic and everything downstream depends
+      only on [flat].  [step_budget] is inherited by specs that carry
+      none, exactly as in {!Run.exec}.
+
+      [inject (kind, seed)] runs the deterministically perturbed
+      pipeline instead: single execution, btfn prediction (no training
+      pass), the first spec's machine (default [sp_cd_mf]), the
+      injector's observe hook chained with the deadline's. *)
 end
 
 (** Outcome of running the static verifier (and optionally the dynamic
@@ -299,6 +363,17 @@ val estimate :
     statically: {!Cfg.Estimate.compute} under the given
     inlining/unrolling assumptions (default both on, matching
     {!spec}), then {!Ilp.Static_bound.compile} per machine. *)
+
+val estimate_flat :
+  ?inline:bool ->
+  ?unroll:bool ->
+  machines:Ilp.Machine.t list ->
+  workload:string ->
+  Asm.Program.flat ->
+  (estimated, Pipeline_error.t) result
+(** {!estimate} on an already-compiled program — the admission-control
+    path for the serve daemon's compiled-program cache, where a hit
+    must not recompile just to be costed. *)
 
 val branch_stats : prepared -> Ilp.Stats.branch_stats
 (** Table 2 statistics, derived from the execution-time profile counts

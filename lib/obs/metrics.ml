@@ -85,6 +85,11 @@ let rec set_max g v =
   let cur = Atomic.get g.g_v in
   if v > cur && not (Atomic.compare_and_set g.g_v cur v) then set_max g v
 
+(* Last-write-wins: for live values (queue depth, tasks in flight) a
+   scrape should see the current level, not the high-water mark.
+   Deterministic pipelines must keep using [set_max]. *)
+let set g v = Atomic.set g.g_v v
+
 let gauge_value g = Atomic.get g.g_v
 
 let histogram t ?(help = "") ~buckets name =

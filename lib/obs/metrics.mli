@@ -54,6 +54,12 @@ val set_max : gauge -> int -> unit
 (** Raise the gauge to [v] if [v] is larger (atomic compare-and-swap
     loop; max is commutative, preserving parallel determinism). *)
 
+val set : gauge -> int -> unit
+(** Overwrite the gauge with the current level (last write wins).  For
+    {e live} server gauges — queue depth, tasks in flight — where a
+    scrape wants the present value.  Not commutative: pipelines that
+    promise jobs=N determinism must use {!set_max} instead. *)
+
 val gauge_value : gauge -> int
 
 (** {1 Histograms} — fixed upper-bound buckets. *)

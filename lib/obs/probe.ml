@@ -84,3 +84,32 @@ let make_vm ?(sample_every = 4096) registry =
 let vm_disabled = make_vm null_registry
 
 let vm ?sample_every registry = make_vm ?sample_every registry
+
+(* The domain-pool probe (ROADMAP item 2): a callback Stdx.Pool invokes
+   on every queue transition.  High-water gauges stay commutative (max),
+   so jobs=N snapshots remain deterministic; live levels for scrapes
+   come from [Stdx.Pool.stats] or the serve layer's own gauges. *)
+let pool registry =
+  let submitted =
+    Metrics.counter registry ~help:"tasks submitted to the domain pool"
+      "pool_tasks_submitted_total"
+  in
+  let completed =
+    Metrics.counter registry ~help:"tasks completed by the domain pool"
+      "pool_tasks_completed_total"
+  in
+  let depth_hw =
+    Metrics.gauge registry ~help:"pool queue depth high-water"
+      "pool_queue_depth_highwater"
+  in
+  let in_flight_hw =
+    Metrics.gauge registry ~help:"pool tasks-in-flight high-water"
+      "pool_tasks_in_flight_highwater"
+  in
+  fun event ~depth ~in_flight ->
+    Metrics.set_max depth_hw depth;
+    Metrics.set_max in_flight_hw in_flight;
+    match event with
+    | `Submit -> Metrics.incr submitted
+    | `Start -> ()
+    | `Finish -> Metrics.incr completed

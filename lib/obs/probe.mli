@@ -54,3 +54,14 @@ val vm_disabled : vm
 val vm : ?sample_every:int -> Metrics.t -> vm
 (** Register the VM instruments.  [sample_every] (default 4096) is
     rounded up to a power of two. *)
+
+val pool :
+  Metrics.t ->
+  [ `Submit | `Start | `Finish ] -> depth:int -> in_flight:int -> unit
+(** Register the domain-pool instruments and return the probe callback
+    {!Stdx.Pool.set_probe} expects: [pool_tasks_submitted_total] /
+    [pool_tasks_completed_total] counters plus
+    [pool_queue_depth_highwater] / [pool_tasks_in_flight_highwater]
+    max-gauges (commutative, so a jobs=N snapshot is deterministic).
+    The callback runs under the pool mutex: it must stay non-blocking
+    and never re-enter the pool — atomic metric updates qualify. *)

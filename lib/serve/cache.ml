@@ -1,0 +1,78 @@
+type 'a entry = {
+  value : 'a;
+  mutable stamp : int;
+}
+
+type 'a t = {
+  mutex : Mutex.t;
+  capacity : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+}
+
+let create ~capacity =
+  let capacity = max 1 capacity in
+  { mutex = Mutex.create ();
+    capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0 }
+
+let find t key =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+      t.tick <- t.tick + 1;
+      e.stamp <- t.tick;
+      t.hits <- t.hits + 1;
+      Some e.value
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.tbl;
+  match !victim with
+  | Some (k, _) -> Hashtbl.remove t.tbl k
+  | None -> ()
+
+let add t key value =
+  Mutex.lock t.mutex;
+  t.tick <- t.tick + 1;
+  (match Hashtbl.find_opt t.tbl key with
+  | Some e -> e.stamp <- t.tick
+  | None ->
+    if Hashtbl.length t.tbl >= t.capacity then evict_oldest t;
+    Hashtbl.replace t.tbl key { value; stamp = t.tick });
+  Mutex.unlock t.mutex
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    { size = Hashtbl.length t.tbl;
+      capacity = t.capacity;
+      hits = t.hits;
+      misses = t.misses }
+  in
+  Mutex.unlock t.mutex;
+  s

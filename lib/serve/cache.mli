@@ -1,0 +1,34 @@
+(** Small thread-safe LRU cache, keyed by string.
+
+    The serve daemon keys compiled programs by the [Digest] of their
+    Mini-C source, so a repeat request skips the whole front end and
+    its wall-clock deadline pays for execution only.  Determinism
+    contract (asserted by the tests): compilation is a pure function
+    of the source, so a cache hit feeds {!Harness.Request.exec}
+    exactly the program a fresh compile would — cached and fresh
+    replies are byte-identical.
+
+    Eviction is least-recently-{e used} (a [find] refreshes).  With
+    small capacities the O(capacity) eviction scan is irrelevant next
+    to a single compile. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] clamped to at least 1. *)
+
+val find : 'a t -> string -> 'a option
+(** Refreshes recency; counts a hit or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or refresh) a binding, evicting the least recently used
+    entry when over capacity. *)
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+}
+
+val stats : 'a t -> stats

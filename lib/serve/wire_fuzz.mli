@@ -1,0 +1,54 @@
+(** Wire-level fuzzing of a live server: the serve analogue of the
+    pipeline fuzz invariant, one layer down.
+
+    Each seeded case opens a fresh connection and fires one mutated
+    frame — torn length prefix, body shorter than declared, oversized
+    declaration, non-UTF-8 payload, random bytes, truncated JSON,
+    wrong shapes, duplicate ids — then classifies what came back.
+    Acceptable outcomes are a {e typed error response} or (for frames
+    torn mid-transmission, where no response can be framed) a clean
+    close.  A hang (no reply within the timeout) or an [ok:true]
+    answer to garbage is a violation; so is the server being dead
+    afterwards (the report's final liveness ping).
+
+    Like {!Harness.Fuzz}, case [i]'s behaviour is a pure function of
+    [(seed, i)] via the splitmix64 stream, so every run reproduces. *)
+
+type kind =
+  | Truncated_header  (** fewer than 4 prefix bytes, then close *)
+  | Truncated_body  (** declares N bytes, sends fewer, then closes *)
+  | Oversized  (** declares a length beyond {!Protocol.max_frame} *)
+  | Empty  (** zero-length payload *)
+  | Non_utf8  (** framed payload with invalid UTF-8 bytes *)
+  | Garbage  (** framed random bytes *)
+  | Bad_json  (** framed, UTF-8, but truncated JSON *)
+  | Wrong_shape  (** valid JSON of the wrong shape (no id / bad op) *)
+  | Duplicate_id  (** two valid pings sharing one id *)
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+
+type report = {
+  cases : int;
+  structured : int;  (** typed error responses *)
+  ok_replies : int;  (** [ok:true] replies (duplicate-id first halves) *)
+  closed : int;  (** connection closed without a reply (torn frames) *)
+  hung : int;  (** no reply within the timeout — must be 0 *)
+  unexpected_ok : int;
+      (** [ok:true] where a refusal was required — must be 0 *)
+  alive : bool;  (** post-run liveness ping succeeded — must be true *)
+}
+
+val passed : report -> bool
+(** [hung = 0 && unexpected_ok = 0 && alive]. *)
+
+val run :
+  ?timeout_ms:int ->
+  ?cases:int ->
+  seed:int ->
+  Client.addr ->
+  report
+(** Fire [cases] (default 64) mutated frames, cycling through
+    {!all_kinds}, each on its own connection; [timeout_ms] (default
+    2000) bounds every reply wait. *)

@@ -1,5 +1,15 @@
 type task = unit -> unit
 
+type probe =
+  [ `Submit | `Start | `Finish ] -> depth:int -> in_flight:int -> unit
+
+type stats = {
+  depth : int;
+  in_flight : int;
+  submitted : int;
+  completed : int;
+}
+
 type t = {
   mutex : Mutex.t;
   (* signaled when a task is queued or [stop] is set *)
@@ -8,9 +18,23 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   jobs : int;
+  (* queue-depth / tasks-in-flight instrumentation: all counters are
+     guarded by [mutex] (every transition already holds it), and the
+     optional probe fires inside the same critical section so its
+     depth/in-flight arguments are exact, never torn. *)
+  mutable in_flight : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable probe : probe option;
 }
 
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let notify t event =
+  match t.probe with
+  | None -> ()
+  | Some f ->
+    f event ~depth:(Queue.length t.queue) ~in_flight:t.in_flight
 
 (* Tasks are pre-wrapped by [map_array] and never raise; a worker loops
    until shutdown. *)
@@ -20,7 +44,10 @@ let rec worker_loop t =
     if t.stop then None
     else
       match Queue.take_opt t.queue with
-      | Some task -> Some task
+      | Some task ->
+        t.in_flight <- t.in_flight + 1;
+        notify t `Start;
+        Some task
       | None ->
         Condition.wait t.work t.mutex;
         next ()
@@ -30,6 +57,11 @@ let rec worker_loop t =
   | Some task ->
     Mutex.unlock t.mutex;
     task ();
+    Mutex.lock t.mutex;
+    t.in_flight <- t.in_flight - 1;
+    t.completed <- t.completed + 1;
+    notify t `Finish;
+    Mutex.unlock t.mutex;
     worker_loop t
 
 let create ?jobs () =
@@ -42,13 +74,33 @@ let create ?jobs () =
       queue = Queue.create ();
       stop = false;
       workers = [];
-      jobs }
+      jobs;
+      in_flight = 0;
+      submitted = 0;
+      completed = 0;
+      probe = None }
   in
   t.workers <-
     List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
 let jobs t = t.jobs
+
+let set_probe t probe =
+  Mutex.lock t.mutex;
+  t.probe <- probe;
+  Mutex.unlock t.mutex
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    { depth = Queue.length t.queue;
+      in_flight = t.in_flight;
+      submitted = t.submitted;
+      completed = t.completed }
+  in
+  Mutex.unlock t.mutex;
+  s
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -63,7 +115,33 @@ let map_array t f arr =
   let n = Array.length arr in
   if t.stop then invalid_arg "Pool.map_array: pool is shut down";
   if n = 0 then [||]
-  else if t.jobs = 1 || n = 1 then Array.map f arr
+  else if t.jobs = 1 || n = 1 then begin
+    (* Inline path: no queue, but the work still counts.  The probe
+       sees each task start and finish so in-flight reaches 1, and
+       submitted/completed totals match the pooled path. *)
+    Array.map
+      (fun x ->
+        Mutex.lock t.mutex;
+        t.submitted <- t.submitted + 1;
+        notify t `Submit;
+        t.in_flight <- t.in_flight + 1;
+        notify t `Start;
+        Mutex.unlock t.mutex;
+        let r =
+          match f x with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock t.mutex;
+        t.in_flight <- t.in_flight - 1;
+        t.completed <- t.completed + 1;
+        notify t `Finish;
+        Mutex.unlock t.mutex;
+        match r with
+        | Ok v -> v
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      arr
+  end
   else begin
     let results = Array.make n None in
     (* guarded by t.mutex *)
@@ -83,7 +161,9 @@ let map_array t f arr =
     in
     Mutex.lock t.mutex;
     for i = 0 to n - 1 do
-      Queue.add (run_one i) t.queue
+      Queue.add (run_one i) t.queue;
+      t.submitted <- t.submitted + 1;
+      notify t `Submit
     done;
     Condition.broadcast t.work;
     (* The submitter helps: run queued tasks (possibly of a nested
@@ -92,9 +172,14 @@ let map_array t f arr =
     let rec help () =
       match Queue.take_opt t.queue with
       | Some task ->
+        t.in_flight <- t.in_flight + 1;
+        notify t `Start;
         Mutex.unlock t.mutex;
         task ();
         Mutex.lock t.mutex;
+        t.in_flight <- t.in_flight - 1;
+        t.completed <- t.completed + 1;
+        notify t `Finish;
         if !remaining > 0 then help ()
       | None -> ()
     in

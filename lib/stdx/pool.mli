@@ -23,6 +23,23 @@
 
 type t
 
+type probe =
+  [ `Submit | `Start | `Finish ] -> depth:int -> in_flight:int -> unit
+(** Queue-transition callback: fired when a task is enqueued, dequeued
+    for execution, and completed, with the exact queue depth and
+    tasks-in-flight count at that instant (measured inside the pool's
+    critical section).  This is the backpressure signal the serve
+    daemon and {!Obs.Probe.pool} consume.  The callback runs with the
+    pool mutex held: it must be non-blocking and must not re-enter the
+    pool. *)
+
+type stats = {
+  depth : int;  (** tasks queued, not yet started *)
+  in_flight : int;  (** tasks currently executing on some domain *)
+  submitted : int;  (** tasks ever enqueued (monotonic) *)
+  completed : int;  (** tasks ever finished (monotonic) *)
+}
+
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], floored at 1.  The default
     for every [--jobs auto] surface. *)
@@ -35,6 +52,15 @@ val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 (** Total parallelism: worker domains plus the submitting domain. *)
+
+val set_probe : t -> probe option -> unit
+(** Install (or clear) the queue-transition probe.  The inline
+    [jobs = 1] path fires it too — submitted/completed totals are
+    identical whatever the pool width. *)
+
+val stats : t -> stats
+(** A consistent snapshot of the pool's queue depth, in-flight count
+    and lifetime totals (taken under the pool mutex). *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array t f arr] applies [f] to every element, tasks running on

@@ -21,4 +21,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
-      ("report", Test_report.suite) ]
+      ("report", Test_report.suite);
+      ("serve", Test_serve.suite) ]

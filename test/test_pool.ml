@@ -86,6 +86,59 @@ let test_shutdown () =
   | exception Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* The queue-transition probe and its Obs wiring: submitted/completed
+   totals are exact, the high-water gauges stay within the pool's
+   physical bounds, and the pool is quiescent after a batch. *)
+
+let metric name snaps =
+  List.find_map
+    (fun (s : Obs.Metrics.snap) -> if s.name = name then Some s.value else None)
+    snaps
+
+let test_probe_gauges () =
+  let reg = Obs.Metrics.create () in
+  let n = 40 in
+  Stdx.Pool.with_pool ~jobs:3 (fun pool ->
+      Stdx.Pool.set_probe pool (Some (Obs.Probe.pool reg));
+      ignore
+        (Stdx.Pool.map_array pool (fun i -> i * i) (Array.init n (fun i -> i)));
+      let st = Stdx.Pool.stats pool in
+      Alcotest.(check int) "queue drained" 0 st.Stdx.Pool.depth;
+      Alcotest.(check int) "nothing in flight" 0 st.Stdx.Pool.in_flight;
+      Alcotest.(check int) "submitted total" n st.Stdx.Pool.submitted;
+      Alcotest.(check int) "completed total" n st.Stdx.Pool.completed);
+  let snaps = Obs.Metrics.snapshot reg in
+  (match (metric "pool_tasks_submitted_total" snaps,
+          metric "pool_tasks_completed_total" snaps) with
+  | Some (Obs.Metrics.Counter s), Some (Obs.Metrics.Counter c) ->
+    Alcotest.(check int) "submitted counter" n s;
+    Alcotest.(check int) "completed counter" n c
+  | _ -> Alcotest.fail "pool counters missing");
+  match (metric "pool_queue_depth_highwater" snaps,
+         metric "pool_tasks_in_flight_highwater" snaps) with
+  | Some (Obs.Metrics.Gauge d), Some (Obs.Metrics.Gauge f) ->
+    (* the first submit observes depth 1 before any worker pops *)
+    Alcotest.(check bool) "depth high-water within queue bounds" true
+      (d >= 1 && d <= n);
+    Alcotest.(check bool) "in-flight high-water within pool width" true
+      (f >= 1 && f <= 3)
+  | _ -> Alcotest.fail "pool gauges missing"
+
+let test_probe_inline_jobs_one () =
+  (* the jobs=1 inline path fires the probe too: totals are identical
+     whatever the pool width *)
+  let reg = Obs.Metrics.create () in
+  Stdx.Pool.with_pool ~jobs:1 (fun pool ->
+      Stdx.Pool.set_probe pool (Some (Obs.Probe.pool reg));
+      ignore (Stdx.Pool.map_list pool (fun x -> x + 1) [ 1; 2; 3 ]);
+      let st = Stdx.Pool.stats pool in
+      Alcotest.(check int) "submitted inline" 3 st.Stdx.Pool.submitted;
+      Alcotest.(check int) "completed inline" 3 st.Stdx.Pool.completed);
+  match metric "pool_tasks_completed_total" (Obs.Metrics.snapshot reg) with
+  | Some (Obs.Metrics.Counter 3) -> ()
+  | _ -> Alcotest.fail "inline path missed the probe"
+
+(* ------------------------------------------------------------------ *)
 (* Parallel fan-out determinism: Run.exec (streaming) at 4 domains
    against the sequential path, all ten workloads, all seven
    machines. *)
@@ -206,6 +259,10 @@ let suite =
     Alcotest.test_case "nested maps don't deadlock" `Quick test_nested_maps;
     Alcotest.test_case "shutdown is idempotent and final" `Quick
       test_shutdown;
+    Alcotest.test_case "probe gauges track the queue" `Quick
+      test_probe_gauges;
+    Alcotest.test_case "probe fires on the inline path" `Quick
+      test_probe_inline_jobs_one;
     Alcotest.test_case "Run.exec stream: jobs=4 == sequential" `Slow
       test_streaming_all_deterministic;
     Alcotest.test_case "fuzz: jobs=4 == jobs=1" `Slow
