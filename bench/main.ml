@@ -901,6 +901,121 @@ let scaling () =
        ~align:[ Right; Right; Right; Left ] rows)
 
 (* ------------------------------------------------------------------ *)
+(* Segment-scaling: intra-trace parallelism on ONE workload.  The
+   `scaling` experiment above parallelizes across workloads, which a
+   single-workload run cannot use; this one shards gcc's trace into
+   segments (DESIGN.md §15) and runs the same seven-machine sweep at
+   1, 2 and 4 domains.  Like `scaling` it doubles as a determinism
+   assertion: every segmented point must reproduce the un-segmented
+   sequential run bit-for-bit — results, completeness tags, counter
+   deltas — or the process exits nonzero.  Wall times are honest: on a
+   machine without idle cores the speedup column will show < 1 (the
+   decode/stitch split adds work); the column exists to be read, not
+   to flatter. *)
+
+(* stride policy for the segmented points; --segment-steps overrides *)
+let segment_override : Harness.segmenting ref = ref `Auto
+
+type segment_point = {
+  sg_jobs : int;
+  sg_domains : int;  (* domains that actually hosted decode/stitch work *)
+  sg_segments : int;  (* pipeline_segments_total delta for this point *)
+  sg_wall_s : float;
+  sg_identical : bool;  (* results and counter deltas match jobs=1 *)
+}
+
+let segment_points : segment_point list ref = ref []
+
+(* wall of the un-segmented sequential reference run — the denominator
+   of every honest speedup figure this experiment reports *)
+let segment_seq_wall = ref 0.
+
+let segment_failed = ref false
+
+let segment_scaling () =
+  let w = Workloads.Registry.find "gcc" in
+  let timed ~jobs ~segmenting =
+    let e0 = Harness.Counters.entries () in
+    let s0 = Harness.Counters.state_entries () in
+    let x0 = Harness.Counters.executions () in
+    let g0 = Harness.Counters.segments () in
+    let t0 = now_s () in
+    let cfg =
+      Harness.Run.config ~jobs ?fuel:!fuel_override ~stream:true
+        ~segment_steps:segmenting spec7
+    in
+    let rs =
+      match Harness.Run.exec cfg [ w ] with
+      | Ok items -> List.map (fun it -> it.Harness.Run.it_outcome) items
+      | Error _ -> assert false (* jobs >= 1 by construction *)
+    in
+    let wall = now_s () -. t0 in
+    ( rs,
+      wall,
+      ( Harness.Counters.entries () - e0,
+        Harness.Counters.state_entries () - s0,
+        Harness.Counters.executions () - x0 ),
+      Harness.Counters.segments () - g0 )
+  in
+  (* The reference: the ordinary un-segmented sequential pipeline. *)
+  let seq, seq_wall, seq_counts, _ = timed ~jobs:1 ~segmenting:`Off in
+  segment_seq_wall := seq_wall;
+  let points =
+    List.sort_uniq compare [ 1; 2; 4; resolved_jobs () ]
+  in
+  segment_points := [];
+  List.iter
+    (fun jobs ->
+      let par, wall, counts, segs =
+        timed ~jobs ~segmenting:!segment_override
+      in
+      (* Structural equality covers every result field; the counter
+         tuple (entries, state entries, executions) excludes the
+         segment counter, which only the segmented runs advance. *)
+      let identical = par = seq && counts = seq_counts in
+      if not identical then begin
+        segment_failed := true;
+        Format.printf
+          "SEGMENT-SCALING FAILURE: --jobs %d segmented run diverged \
+           from the sequential run@."
+          jobs
+      end;
+      (* Honest utilization: one workload offers [max specs segments]
+         concurrent tasks (decode per segment, stitch per config), so
+         more domains than that stay idle. *)
+      let domains =
+        min jobs (max (List.length spec7) (max 1 segs))
+      in
+      segment_points :=
+        !segment_points
+        @ [ { sg_jobs = jobs; sg_domains = domains; sg_segments = segs;
+              sg_wall_s = wall; sg_identical = identical } ])
+    points;
+  let rows =
+    List.map
+      (fun q ->
+        [ string_of_int q.sg_jobs;
+          string_of_int q.sg_domains;
+          string_of_int q.sg_segments;
+          Printf.sprintf "%.3f" q.sg_wall_s;
+          Printf.sprintf "%.2fx" (seq_wall /. q.sg_wall_s);
+          (if q.sg_identical then "yes" else "NO") ])
+      !segment_points
+  in
+  print_string
+    (Report.Table.render
+       ~title:
+         (Printf.sprintf
+            "Segment scaling: gcc x %d machines, intra-trace sharding \
+             (seq baseline %.3f s, %d domains available)"
+            (List.length machines) seq_wall
+            (Stdx.Pool.recommended_jobs ()))
+       ~header:
+         [ "jobs"; "domains used"; "segments"; "wall s"; "speedup vs seq";
+           "identical" ]
+       ~align:[ Right; Right; Right; Right; Right; Left ] rows)
+
+(* ------------------------------------------------------------------ *)
 (* Static vs dynamic: the static estimator (`Cfg.Estimate` compiled by
    `Ilp.Static_bound`, no execution) must dominate the measured
    parallelism for every workload x paper machine.  This is the
@@ -1272,12 +1387,15 @@ let experiments =
       static_vs_dynamic;
     exp "serve-soak" serve_soak;
     exp "microbench" microbench;
-    exp "scaling" scaling ]
+    exp "scaling" scaling;
+    exp "segment-scaling" segment_scaling ]
 
-(* [scaling] re-executes every workload three times over, so it only
-   runs when asked for by name. *)
+(* The scaling experiments re-execute workloads per point, so they only
+   run when asked for by name. *)
 let default_experiments =
-  List.filter (fun e -> e.name <> "scaling") experiments
+  List.filter
+    (fun e -> e.name <> "scaling" && e.name <> "segment-scaling")
+    experiments
 
 (* ------------------------------------------------------------------ *)
 (* Driver: union the needs, run each experiment timed, dump JSON. *)
@@ -1319,6 +1437,7 @@ let documented_keys =
     "analysis_phase"; "domains_used"; "wall_s"; "task_wall_sum_s";
     "overlap_parallelism"; "instructions_analyzed";
     "scaling"; "speedup_vs_seq"; "identical_to_seq";
+    "segment_scaling"; "segments_total"; "segment_steps";
     "totals"; "vm_executions"; "trace_passes"; "trace_entries_scanned";
     "workloads"; "name"; "status"; "steps"; "returned"; "completeness";
     "stages"; "compile_ns"; "execute_ns"; "analyze_ns";
@@ -1429,6 +1548,31 @@ let write_json path timings =
           (key "speedup_vs_seq")
           (if q.sc_wall_s > 0. then seq_wall /. q.sc_wall_s else 1.)
           (key "identical_to_seq") q.sc_identical
+          (if i = List.length ps - 1 then "" else ","))
+      ps;
+    p "  ],\n");
+  (match !segment_points with
+  | [] -> ()
+  | ps ->
+    (* denominator: the un-segmented sequential reference run *)
+    let seq_wall = !segment_seq_wall in
+    p "  %s: [\n" (key "segment_scaling");
+    List.iteri
+      (fun i q ->
+        p
+          "    { %s: %d, %s: %d, %s: %d, %s: %s, %s: %.3f, %s: %.2f, \
+           %s: %b }%s\n"
+          (key "jobs") q.sg_jobs (key "domains_used") q.sg_domains
+          (key "segments_total") q.sg_segments
+          (key "segment_steps")
+          (match !segment_override with
+          | `Auto -> "\"auto\""
+          | `Steps n -> string_of_int n
+          | `Off -> "\"off\"")
+          (key "wall_s") q.sg_wall_s
+          (key "speedup_vs_seq")
+          (if q.sg_wall_s > 0. then seq_wall /. q.sg_wall_s else 1.)
+          (key "identical_to_seq") q.sg_identical
           (if i = List.length ps - 1 then "" else ","))
       ps;
     p "  ],\n");
@@ -1647,13 +1791,15 @@ let run_experiments selected =
     (Harness.Counters.passes ())
     (Harness.Counters.analyzed () / 1_000_000)
     (resolved_jobs ());
-  if !scaling_failed || !static_failed || !serve_failed then exit 1
+  if !scaling_failed || !segment_failed || !static_failed || !serve_failed
+  then exit 1
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--fuel N] [--jobs N] [--metrics] [--trace-out FILE] \
-     [--list] [experiment ...]\n\
-     With no experiment names, runs everything except `scaling`.";
+    "usage: main.exe [--fuel N] [--jobs N] [--segment-steps N|auto] \
+     [--metrics] [--trace-out FILE] [--list] [experiment ...]\n\
+     With no experiment names, runs everything except `scaling` and \
+     `segment-scaling`.";
   exit 1
 
 let () =
@@ -1680,13 +1826,22 @@ let () =
           exit (Pipeline_error.exit_code e))
       | None -> usage ());
       parse names rest
+    | "--segment-steps" :: s :: rest ->
+      (match s with
+      | "auto" -> segment_override := `Auto
+      | _ -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> segment_override := `Steps n
+        | _ -> usage ()));
+      parse names rest
     | "--metrics" :: rest ->
       metrics_flag := true;
       parse names rest
     | "--trace-out" :: f :: rest ->
       trace_out := Some f;
       parse names rest
-    | ("--fuel" | "--jobs" | "--trace-out") :: [] -> usage ()
+    | ("--fuel" | "--jobs" | "--trace-out" | "--segment-steps") :: [] ->
+      usage ()
     | name :: rest -> parse (name :: names) rest
   in
   let names = parse [] args in

@@ -46,6 +46,21 @@ let fault_of_name name =
          { name;
            hint = Pipeline_error.suggest name Fault.Injector.kind_names })
 
+(* --segment-steps N|auto → the harness segmenting policy (typed
+   Invalid_request on anything else, exit code 2 like a bad --jobs). *)
+let segmenting_of_flag = function
+  | None -> Ok `Off
+  | Some "auto" -> Ok `Auto
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok (`Steps n)
+    | _ ->
+      err Execute
+        (Invalid_request
+           (Printf.sprintf
+              "segment-steps must be a positive integer or \"auto\" (got %S)"
+              s)))
+
 (* ------------------------------------------------------------------ *)
 
 let cmd_list () =
@@ -181,9 +196,10 @@ let obs_report ~trace_out ~metrics ~prom_out obs =
   end
 
 let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
-    mem_words deadline_ms jobs trace_out metrics prom_out =
+    mem_words deadline_ms jobs segment_steps trace_out metrics prom_out =
   let* ws = workloads_of_names names in
   let* machines = Ilp.Machine.of_specs machine_names in
+  let* segment_steps = segmenting_of_flag segment_steps in
   let header =
     "Program"
     :: List.map (fun (m : Ilp.Machine.t) -> m.name) machines
@@ -208,7 +224,7 @@ let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
   let stream = stream || (jobs > 1 && List.length ws > 1) in
   let cfg =
     Harness.Run.config ~jobs ?fuel ?step_budget ?mem_words ?deadline_ms
-      ~stream ~obs specs
+      ~stream ~obs ~segment_steps specs
   in
   let* items = Harness.Run.exec cfg ws in
   let* per_workload =
@@ -627,16 +643,16 @@ let cmd_wire_fuzz ~socket ~seed ~cases =
             "wire fuzz violations (%d hung, %d unexpected ok, alive=%b)"
             r.Serve.Wire_fuzz.hung r.unexpected_ok r.alive))
 
-let cmd_fuzz names seed cases fuel jobs random_machines serve_sock trace_out
-    metrics prom_out =
+let cmd_fuzz names seed cases fuel jobs random_machines segments serve_sock
+    trace_out metrics prom_out =
   match serve_sock with
   | Some socket -> cmd_wire_fuzz ~socket ~seed ~cases
   | None ->
   let* ws = workloads_of_names names in
   let obs = obs_ctx trace_out metrics prom_out in
   let* r =
-    Harness.Fuzz.run ?fuel ~workloads:ws ?jobs ~obs ~random_machines ~seed
-      ~cases ()
+    Harness.Fuzz.run ?fuel ~workloads:ws ?jobs ~obs ~random_machines
+      ~segments ~seed ~cases ()
   in
   obs_report ~trace_out ~metrics ~prom_out obs;
   Format.printf
@@ -775,8 +791,9 @@ let supervise cfg =
 
 let cmd_serve socket tcp jobs queue_limit cache_capacity admit max_fuel
     max_step_budget default_deadline_ms idle_timeout_ms retry_after_ms
-    supervise_flag =
+    segment_steps supervise_flag =
   let* admission = parse_admission admit in
+  let* segment_steps = segmenting_of_flag segment_steps in
   let* tcp =
     match tcp with
     | None -> Ok None
@@ -787,7 +804,7 @@ let cmd_serve socket tcp jobs queue_limit cache_capacity admit max_fuel
   let cfg =
     Serve.Server.config ?tcp ?jobs ?queue_limit ?cache_capacity ~admission
       ?max_fuel ?max_step_budget ?default_deadline_ms ?idle_timeout_ms
-      ?retry_after_ms ~socket_path:socket ()
+      ?retry_after_ms ~segment_steps ~socket_path:socket ()
   in
   if supervise_flag then supervise cfg else serve_once cfg
 
@@ -880,6 +897,17 @@ let jobs_arg =
                runtime's recommended domain count; 1 keeps everything \
                on the calling domain).  Output is bit-identical for \
                every value of N.")
+
+let segment_steps_arg =
+  Arg.(value & opt (some string) None
+       & info [ "segment-steps" ] ~docv:"N|auto"
+           ~doc:"Shard each workload's trace into $(docv)-instruction \
+                 segments analyzed in parallel across the $(b,--jobs) \
+                 domains (decode concurrently, stitch \
+                 deterministically), so even a single workload \
+                 saturates the pool.  $(b,auto) derives the stride from \
+                 trace length and jobs.  Results are bit-identical to \
+                 the un-segmented run.")
 
 let trace_out_arg =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
@@ -974,11 +1002,11 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Measure parallelism limits (Table 3).")
     Term.(
-      const (fun ws ms ni nu f s sb mw dl j tr mx pr ->
-          handle (cmd_run ws ms ni nu f s sb mw dl j tr mx pr))
+      const (fun ws ms ni nu f s sb mw dl j ss tr mx pr ->
+          handle (cmd_run ws ms ni nu f s sb mw dl j ss tr mx pr))
       $ workloads_arg $ machines $ no_inline $ no_unroll $ fuel $ stream
-      $ step_budget $ mem_words $ deadline_ms $ jobs_arg $ trace_out_arg
-      $ metrics_arg $ prom_out_arg)
+      $ step_budget $ mem_words $ deadline_ms $ jobs_arg
+      $ segment_steps_arg $ trace_out_arg $ metrics_arg $ prom_out_arg)
 
 let stats_cmd =
   let fuel =
@@ -1114,6 +1142,14 @@ let fuzz_cmd =
                  point instead of always sp-cd-mf, fuzzing the \
                  compositional machine model end to end.")
   in
+  let segments =
+    Arg.(value & flag & info [ "segments" ]
+           ~doc:"Differential mode: also analyze every perturbed trace \
+                 through the segmented (intra-trace parallel) path, \
+                 with a per-case segment stride drawn from the seed \
+                 stream, and treat any divergence from the sequential \
+                 result as an escaped invariant violation.")
+  in
   let serve_sock =
     Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"SOCKET"
            ~doc:"Fuzz the wire instead of the pipeline: fire mutated \
@@ -1128,11 +1164,11 @@ let fuzz_cmd =
              invariant: every input yields a result or a structured \
              error.  Nonzero exit if any exception escapes.")
     Term.(
-      const (fun ws s c fu j rm sv tr mx pr ->
-          handle (cmd_fuzz ws s c fu j rm sv tr mx pr))
+      const (fun ws s c fu j rm sg sv tr mx pr ->
+          handle (cmd_fuzz ws s c fu j rm sg sv tr mx pr))
       $ workloads_arg $ seed_arg $ cases $ inject_fuel $ jobs_arg
-      $ random_machines $ serve_sock $ trace_out_arg $ metrics_arg
-      $ prom_out_arg)
+      $ random_machines $ segments $ serve_sock $ trace_out_arg
+      $ metrics_arg $ prom_out_arg)
 
 let socket_arg =
   Arg.(value & opt string "/tmp/ilp-limits.sock"
@@ -1189,6 +1225,15 @@ let serve_cmd =
            ~doc:"Backoff hint carried by overloaded responses (default \
                  50).")
   in
+  let segment_steps =
+    Arg.(value & opt (some string) None
+         & info [ "segment-steps" ] ~docv:"N|auto"
+             ~doc:"Shard each request's trace into $(docv)-instruction \
+                   segments fanned out across idle worker domains \
+                   (replies stay bit-identical to un-segmented \
+                   analysis; $(b,auto) derives the stride from trace \
+                   length and pool width).")
+  in
   let supervise =
     Arg.(value & flag & info [ "supervise" ]
            ~doc:"Crash-only operation: run the server in a child process \
@@ -1204,12 +1249,12 @@ let serve_cmd =
              compiled-program cache, and graceful drain on \
              SIGTERM/SIGINT.")
     Term.(
-      const (fun s t j q c a mf msb d i ra sup ->
-          handle (cmd_serve s t j q c a mf msb d i ra sup))
+      const (fun s t j q c a mf msb d i ra ss sup ->
+          handle (cmd_serve s t j q c a mf msb d i ra ss sup))
       $ socket_arg
       $ tcp_arg ~doc:"Also listen on HOST:PORT."
       $ jobs $ queue_limit $ cache $ admit $ max_fuel $ max_step_budget
-      $ deadline $ idle $ retry_after $ supervise)
+      $ deadline $ idle $ retry_after $ segment_steps $ supervise)
 
 let client_cmd =
   let op =

@@ -26,11 +26,17 @@ module Counters = struct
       ~help:"trace entries consumed by sink-trained profile passes"
       "pipeline_profiled_entries_total"
 
+  let n_segments =
+    Obs.Metrics.counter Obs.Metrics.global
+      ~help:"trace segments decoded by segmented analysis"
+      "pipeline_segments_total"
+
   let executions () = Obs.Metrics.counter_value n_executions
   let passes () = Obs.Metrics.counter_value n_passes
   let entries () = Obs.Metrics.counter_value n_entries
   let state_entries () = Obs.Metrics.counter_value n_state_entries
   let profiled_entries () = Obs.Metrics.counter_value n_profiled_entries
+  let segments () = Obs.Metrics.counter_value n_segments
 
   let record_execution ?(profiled = 0) () =
     Obs.Metrics.incr n_executions;
@@ -41,6 +47,8 @@ module Counters = struct
     Obs.Metrics.add n_entries entries;
     Obs.Metrics.add n_state_entries (entries * states)
 
+  let record_segments n = Obs.Metrics.add n_segments n
+
   (* Total instruction-analysis events: every entry consumed by a
      sink-trained profile plus every (entry, analysis state) pair scanned
      by the trace analyzers.  This is the figure BENCH_results.json
@@ -50,7 +58,7 @@ module Counters = struct
   let reset () =
     List.iter Obs.Metrics.reset_counter
       [ n_executions; n_passes; n_entries; n_state_entries;
-        n_profiled_entries ]
+        n_profiled_entries; n_segments ]
 end
 
 let ( let* ) = Result.bind
@@ -258,10 +266,123 @@ let config_of_spec ?(obs = Obs.Ctx.disabled) ?value_table ~flat ~info
     s.s_machine predictor
 
 (* ------------------------------------------------------------------ *)
-(* The one run entry point: every driver — CLI, bench, tests — builds a
-   [Run.config] and calls [Run.exec].  The former half-dozen analyze / run
-   variants collapse into the [stream] bit (materialize the trace, or
-   stream it) and the [jobs] count (sequential, or pool fan-out). *)
+(* Intra-trace segmentation (DESIGN.md §15): how a run decides whether
+   to shard one workload's trace across domains, and how heterogeneous
+   spec lists are partitioned into decode-compatible groups. *)
+
+type segmenting = [ `Off | `Auto | `Steps of int ]
+
+let resolve_segment_steps ~trace_len ~jobs = function
+  | `Off -> None
+  | `Steps n -> Some (max 1 n)
+  | `Auto ->
+    (* Auto only engages when there are domains to feed; an explicit
+       stride is honored even sequentially (the deterministic
+       reference path tests and the fuzzer exercise). *)
+    if jobs <= 1 then None
+    else Some (Ilp.Segmented.auto_steps ~trace_len ~jobs)
+
+(* Once-per-process stderr warning for the --jobs dead-weight edge:
+   more domains than parallelizable tasks, and no segmentation to
+   soak up the extras. *)
+let jobs_warned = Atomic.make false
+
+let warn_dead_jobs ~jobs ~tasks =
+  if not (Atomic.exchange jobs_warned true) then
+    Printf.eprintf
+      "warning: --jobs %d exceeds the %d parallelizable task(s); extra \
+       domains stay idle (use --segment-steps to parallelize within a \
+       trace)\n%!"
+      jobs tasks
+
+(* One segment decode serves every spec whose masks and predictor
+   behavior agree: same inline/unroll and the same (stateless)
+   predictor kind.  Stateful kinds (2-bit) land in their own group and
+   fall back to the sequential fan-out. *)
+let seg_group_key s =
+  Printf.sprintf "i%c|u%c|%s"
+    (if s.s_inline then '1' else '0')
+    (if s.s_unroll then '1' else '0')
+    (match s.s_predictor with
+    | `Profile -> "profile"
+    | `Perfect -> "perfect"
+    | `Btfn -> "btfn"
+    | `Two_bit -> "2bit"
+    | `Custom p -> "custom:" ^ p.Predict.Predictor.name)
+
+(* The segmented analysis fan-out over one stream of trace entries:
+   specs are partitioned into decode-compatible groups (positions
+   remembered), each group gets a segmented sink — or the plain
+   [sink_many] when its configs are not segmentable — and the stream
+   is teed into all of them.  [finish] stitches every group and
+   scatters results back into spec order, so callers see exactly the
+   [run_many] contract.  Works identically over a live VM execution
+   (streaming) or a materialized trace ([Vm.Trace.feed]). *)
+let segmented_sinks ?pool ?(obs = Obs.Ctx.disabled)
+    ?(span_index_base = 0) ?(workload = "") ?check ~segment_steps specs
+    configs info =
+  let spec_arr = Array.of_list specs in
+  let cfg_arr = Array.of_list configs in
+  let n = Array.length spec_arr in
+  let tbl = Hashtbl.create 7 in
+  Array.iteri
+    (fun i s ->
+      let k = seg_group_key s in
+      let prev = try Hashtbl.find tbl k with Not_found -> [] in
+      Hashtbl.replace tbl k (i :: prev))
+    spec_arr;
+  let groups =
+    Hashtbl.fold (fun _ ps acc -> List.rev ps :: acc) tbl []
+    |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+  in
+  (* Per group: result positions, its sink, and a finish yielding
+     (results in group order, segments decoded). *)
+  let members =
+    List.mapi
+      (fun g positions ->
+        let cfgs = List.map (fun i -> cfg_arr.(i)) positions in
+        if Ilp.Segmented.compatible cfgs then
+          let sink, finish =
+            Ilp.Segmented.sink ?pool ~obs
+              ~span_index_base:(span_index_base + (g * 10_000_000))
+              ~workload ?check ~segment_steps cfgs info
+          in
+          ( positions,
+            sink,
+            fun ?completeness () ->
+              let o = finish ?completeness () in
+              (o.Ilp.Segmented.results, o.Ilp.Segmented.segments) )
+        else
+          (* Not decode-sharable (stateful predictor): this group's
+             states advance directly on the stream, exactly the
+             sequential path. *)
+          let sink, finish = Ilp.Analyze.sink_many cfgs info in
+          ( positions,
+            sink,
+            fun ?completeness () -> (finish ?completeness (), 0) ))
+      groups
+  in
+  let sink =
+    match members with
+    | [ (_, s, _) ] -> s
+    | _ ->
+      List.fold_left
+        (fun acc (_, s, _) -> Vm.Trace.tee acc s)
+        Vm.Trace.null_sink members
+  in
+  let finish ?completeness () =
+    let out = Array.make n None in
+    let total_segments = ref 0 in
+    List.iter
+      (fun (positions, _, fin) ->
+        let results, segs = fin ?completeness () in
+        total_segments := !total_segments + segs;
+        List.iter2 (fun i r -> out.(i) <- Some r) positions results)
+      members;
+    Counters.record_segments !total_segments;
+    Array.to_list (Array.map Option.get out)
+  in
+  (sink, finish)
 
 module Run = struct
   type config = {
@@ -274,12 +395,14 @@ module Run = struct
     stream : bool;
     deadline_ms : int option;
     obs : Obs.Ctx.t;
+    segment_steps : segmenting;
   }
 
   let config ?(jobs = 1) ?fuel ?step_budget ?mem_words ?options
-      ?(stream = false) ?deadline_ms ?(obs = Obs.Ctx.disabled) specs =
+      ?(stream = false) ?deadline_ms ?(obs = Obs.Ctx.disabled)
+      ?(segment_steps = `Off) specs =
     { specs; jobs; fuel; step_budget; mem_words; options; stream;
-      deadline_ms; obs }
+      deadline_ms; obs; segment_steps }
 
   type item = {
     it_workload : Workloads.Registry.t;
@@ -287,7 +410,7 @@ module Run = struct
   }
 
   let on_prepared ?(obs = Obs.Ctx.disabled) ?(span_buf = Obs.Span.disabled)
-      p specs =
+      ?pool ?(segmenting = `Off) ?(jobs = 1) ?(task_index = 0) p specs =
     let name = p.workload.Workloads.Registry.name in
     Obs.Span.with_span span_buf ~workload:name "analyze" (fun () ->
         (* One table shared by every vp spec; None when the preparation
@@ -305,14 +428,27 @@ module Run = struct
         in
         Counters.record_pass ~entries:(Vm.Trace.length p.trace)
           ~states:(List.length specs);
-        Ilp.Analyze.run_many ~completeness:p.completeness configs p.info
-          p.trace)
+        match
+          resolve_segment_steps ~trace_len:(Vm.Trace.length p.trace) ~jobs
+            segmenting
+        with
+        | None ->
+          Ilp.Analyze.run_many ~completeness:p.completeness configs p.info
+            p.trace
+        | Some segment_steps ->
+          let sink, finish =
+            segmented_sinks ?pool ~obs
+              ~span_index_base:((task_index + 1) * 100_000_000)
+              ~workload:name ~segment_steps specs configs p.info
+          in
+          Vm.Trace.feed p.trace sink;
+          finish ~completeness:p.completeness ())
 
   (* Returns the per-spec results plus how the analyzed execution
      ended — the serve reply needs steps and status, the table paths
      only the results. *)
-  let stream_flat_full ?mem_words ?deadline ~obs ~span_buf ~fuel w flat
-      specs =
+  let stream_flat_full ?mem_words ?deadline ?pool ?(segmenting = `Off)
+      ?(jobs = 1) ?(task_index = 0) ~obs ~span_buf ~fuel w flat specs =
     let name = w.Workloads.Registry.name in
     let info = Ilp.Program_info.analyze_flat flat in
     let profile = profile_builder info in
@@ -346,7 +482,22 @@ module Run = struct
           List.map (config_of_spec ~obs ?value_table ~flat ~info ~profile)
             specs
         in
-        let sink, finish = Ilp.Analyze.sink_many configs info in
+        (* The profiling execution retired exactly the entries the
+           analysis execution will (same program, fuel, memory), so
+           [o1.steps] is the exact trace length for auto-sizing. *)
+        let sink, finish =
+          match
+            resolve_segment_steps ~trace_len:o1.steps ~jobs segmenting
+          with
+          | None ->
+            let sink, fin = Ilp.Analyze.sink_many configs info in
+            (sink, fun ?completeness () -> fin ?completeness ())
+          | Some segment_steps ->
+            let check () = Option.iter Obs.Deadline.check deadline in
+            segmented_sinks ?pool ~obs
+              ~span_index_base:((task_index + 1) * 100_000_000)
+              ~workload:name ~check ~segment_steps specs configs info
+        in
         let o2 =
           Vm.Exec.run ?mem_words ~fuel ~record:false ~probe
             ?observe:(deadline_observe deadline) ~sink flat
@@ -356,15 +507,16 @@ module Run = struct
         ( finish ~completeness:(Vm.Exec.completeness_of o2) (),
           o2.steps, o2.status ))
 
-  let stream_flat ?mem_words ?deadline ~obs ~span_buf ~fuel w flat specs =
+  let stream_flat ?mem_words ?deadline ?pool ?segmenting ?jobs ?task_index
+      ~obs ~span_buf ~fuel w flat specs =
     let results, _, _ =
-      stream_flat_full ?mem_words ?deadline ~obs ~span_buf ~fuel w flat
-        specs
+      stream_flat_full ?mem_words ?deadline ?pool ?segmenting ?jobs
+        ?task_index ~obs ~span_buf ~fuel w flat specs
     in
     results
 
-  let stream_result ?options ?mem_words ?fuel ?deadline ~obs ~span_buf w
-      specs =
+  let stream_result ?options ?mem_words ?fuel ?deadline ?pool ?segmenting
+      ?jobs ?task_index ~obs ~span_buf w specs =
     let name = w.Workloads.Registry.name in
     let fuel =
       match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
@@ -377,8 +529,9 @@ module Run = struct
     Pipeline_error.guard ~workload:name Execute (fun () ->
         deadline_guard ~workload:name Execute (fun () ->
             Option.iter Obs.Deadline.check deadline;
-            Ok (stream_flat ?mem_words ?deadline ~obs ~span_buf ~fuel w flat
-                  specs)))
+            Ok
+              (stream_flat ?mem_words ?deadline ?pool ?segmenting ?jobs
+                 ?task_index ~obs ~span_buf ~fuel w flat specs)))
 
   (* Parallel fan-out: each workload's whole pipeline — compile,
      execute, analyze every spec — is one pool task with its own VM
@@ -401,7 +554,7 @@ module Run = struct
           | _ -> s)
         cfg.specs
     in
-    let task (i, w) =
+    let task ?pool (i, w) =
       let name = w.Workloads.Registry.name in
       let buf = Obs.Ctx.task_buffer cfg.obs ~index:i ~label:name in
       (* Each workload gets the full wall-clock budget, armed when its
@@ -416,7 +569,9 @@ module Run = struct
         Pipeline_error.guard ~workload:name Execute (fun () ->
             if cfg.stream || deadline <> None then
               stream_result ?options:cfg.options ?mem_words:cfg.mem_words
-                ?fuel:cfg.fuel ?deadline ~obs:cfg.obs ~span_buf:buf w specs
+                ?fuel:cfg.fuel ?deadline ?pool
+                ~segmenting:cfg.segment_steps ~jobs ~task_index:i
+                ~obs:cfg.obs ~span_buf:buf w specs
             else
               let* p =
                 prepare_result ?options:cfg.options
@@ -424,19 +579,35 @@ module Run = struct
                   ~span_buf:buf
                   ~train_values:(specs_need_values specs) w
               in
-              Ok (on_prepared ~obs:cfg.obs ~span_buf:buf p specs))
+              Ok
+                (on_prepared ~obs:cfg.obs ~span_buf:buf ?pool
+                   ~segmenting:cfg.segment_steps ~jobs ~task_index:i p
+                   specs))
       in
       { it_workload = w; it_outcome = outcome }
     in
     let indexed = List.mapi (fun i w -> (i, w)) ws in
+    let seg_on = cfg.segment_steps <> `Off in
+    let n_tasks = List.length indexed in
+    if (not seg_on) && n_tasks > 0 && jobs > n_tasks then
+      warn_dead_jobs ~jobs ~tasks:n_tasks;
     match indexed with
     | [] -> Ok []
-    | [ iw ] -> Ok [ task iw ]
-    | _ when jobs = 1 -> Ok (List.map task indexed)
-    | _ ->
+    | _ when jobs = 1 || ((not seg_on) && n_tasks = 1) ->
+      Ok (List.map (fun iw -> task iw) indexed)
+    | _ when not seg_on ->
       Ok
         (Stdx.Pool.with_pool ~jobs (fun pool ->
-             Stdx.Pool.map_list pool task indexed))
+             Stdx.Pool.map_list pool (fun iw -> task iw) indexed))
+    | _ ->
+      (* Segmentation wants the pool inside every task (decode +
+         stitch fan-out), including the single-workload case — the
+         whole point of intra-trace sharding.  Nested submissions are
+         safe: the pool's submitters and awaiters help drain the
+         queue. *)
+      Ok
+        (Stdx.Pool.with_pool ~jobs (fun pool ->
+             Stdx.Pool.map_list pool (fun iw -> task ~pool iw) indexed))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -502,7 +673,11 @@ module Request = struct
       r_status = outcome.status }
 
   let exec ?(obs = Obs.Ctx.disabled) ?(span_buf = Obs.Span.disabled) ?flat
-      ?fuel ?step_budget ?mem_words ?deadline_ms ?inject ~specs w =
+      ?fuel ?step_budget ?mem_words ?deadline_ms ?inject ?pool
+      ?(segment_steps = `Off) ~specs w =
+    let jobs =
+      match pool with Some p -> Stdx.Pool.jobs p | None -> 1
+    in
     let name = w.Workloads.Registry.name in
     let fuel =
       match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
@@ -545,8 +720,9 @@ module Request = struct
                    ~seed ~kind flat)
             | None ->
               let r_results, r_steps, r_status =
-                Run.stream_flat_full ?mem_words ?deadline ~obs ~span_buf
-                  ~fuel w flat specs
+                Run.stream_flat_full ?mem_words ?deadline ?pool
+                  ~segmenting:segment_steps ~jobs ~obs ~span_buf ~fuel w
+                  flat specs
               in
               Ok { r_flat = flat; r_results; r_steps; r_status }))
 end
@@ -708,6 +884,71 @@ let inject ?fuel ?(obs = Obs.Ctx.disabled)
               i_result = r }
         | _ -> assert false)
 
+(* The segmented-vs-sequential differential on a perturbed pipeline:
+   run the injected execution once, materializing exactly the stream
+   the analyzer would have seen (the injector's sink wrapper applies
+   its cut to the buffer), then analyze that buffer both ways and
+   compare results structurally.  Returns the sequential result (for
+   the usual completeness tally) plus the verdict. *)
+let inject_compare ?fuel ?(obs = Obs.Ctx.disabled)
+    ?(machine = Ilp.Machine.sp_cd_mf) ~seed ~kind ~segment_steps w =
+  let fuel =
+    match fuel with Some f -> f | None -> w.Workloads.Registry.fuel
+  in
+  match Workloads.Registry.compile_result w with
+  | Error e -> Error e
+  | Ok flat ->
+    let metrics =
+      if Obs.Ctx.enabled obs then Some (Obs.Ctx.metrics obs) else None
+    in
+    let app = Fault.Injector.plan ?metrics ~seed ~fuel kind flat in
+    Pipeline_error.guard ~workload:w.Workloads.Registry.name Analyze
+      (fun () ->
+        let flat = app.Fault.Injector.flat in
+        let info = Ilp.Program_info.analyze_flat flat in
+        let predictor =
+          Predict.Predictor.backward_taken
+            ~is_backward:(Ilp.Program_info.branch_backward flat)
+        in
+        let cfg =
+          Ilp.Analyze.config ~mem_words:Vm.Exec.default_mem_words machine
+            predictor
+        in
+        let buf = Vm.Trace.create () in
+        let sink = app.Fault.Injector.wrap_sink (Vm.Trace.buffer_sink buf) in
+        let outcome =
+          Vm.Exec.run ~fuel:app.Fault.Injector.fuel ~record:false ~sink
+            ~probe:(Obs.Ctx.vm_probe obs)
+            ?observe:app.Fault.Injector.observe flat
+        in
+        Counters.record_execution ();
+        let completeness =
+          match !(app.Fault.Injector.cut) with
+          | Some f -> Pipeline_error.Truncated f
+          | None -> Vm.Exec.completeness_of outcome
+        in
+        Counters.record_pass ~entries:(Vm.Trace.length buf) ~states:1;
+        let seq =
+          Ilp.Analyze.run_many ~completeness [ cfg ] info buf
+        in
+        Counters.record_pass ~entries:(Vm.Trace.length buf) ~states:1;
+        let seg =
+          Ilp.Segmented.run ~completeness ~segment_steps [ cfg ] info buf
+        in
+        Counters.record_segments seg.Ilp.Segmented.segments;
+        match (seq, seg.Ilp.Segmented.results) with
+        | [ r ], [ r' ] ->
+          Ok
+            ( { i_workload = w.Workloads.Registry.name;
+                i_kind = kind;
+                i_seed = seed;
+                i_description = app.Fault.Injector.description;
+                i_status = outcome.status;
+                i_steps = outcome.steps;
+                i_result = r },
+              r = r' )
+        | _ -> assert false)
+
 (* ------------------------------------------------------------------ *)
 (* Fuzz driver: the pipeline invariant, checked in bulk.  Every seeded
    case must yield either a result or a structured error; an exception
@@ -741,8 +982,8 @@ module Fuzz = struct
     | O_escaped of escaped
 
   let run ?fuel ?(workloads = Workloads.Registry.all) ?(jobs = 1)
-      ?(obs = Obs.Ctx.disabled) ?(random_machines = false) ~seed ~cases
-      () =
+      ?(obs = Obs.Ctx.disabled) ?(random_machines = false)
+      ?(segments = false) ~seed ~cases () =
     let* jobs = validate_jobs jobs in
     let wl = Array.of_list workloads in
     let kinds = Array.of_list Fault.Injector.all_kinds in
@@ -761,18 +1002,54 @@ module Fuzz = struct
         if random_machines then Some (Ilp.Machine.random case_seed)
         else None
       in
-      match inject ?fuel ~obs ?machine ~seed:case_seed ~kind w with
-      | Ok inj -> (
-        match inj.i_result.Ilp.Analyze.completeness with
-        | Pipeline_error.Complete -> O_complete
-        | Pipeline_error.Truncated _ -> O_truncated)
-      | Error { Pipeline_error.cause = Internal _; _ } -> O_internal
-      | Error _ -> O_structured
-      | exception e ->
-        O_escaped
-          { e_seed = case_seed; e_kind = kind;
-            e_workload = w.Workloads.Registry.name;
-            e_exn = Printexc.to_string e }
+      if segments then begin
+        (* Differential mode: segmented analysis must reproduce the
+           sequential result bit for bit on the perturbed pipeline.
+           The segment stride is itself fuzzed, drawn from the same
+           seed stream as the case (a second derive index keeps it
+           independent of the fault plan). *)
+        let segment_steps =
+          1 + (Fault.Injector.Rng.derive ~seed:case_seed ~index:997 land 0xFFF)
+        in
+        match
+          inject_compare ?fuel ~obs ?machine ~seed:case_seed ~kind
+            ~segment_steps w
+        with
+        | Ok (inj, identical) ->
+          if not identical then
+            O_escaped
+              { e_seed = case_seed; e_kind = kind;
+                e_workload = w.Workloads.Registry.name;
+                e_exn =
+                  Printf.sprintf
+                    "segmented analysis diverged from sequential \
+                     (segment_steps=%d)"
+                    segment_steps }
+          else (
+            match inj.i_result.Ilp.Analyze.completeness with
+            | Pipeline_error.Complete -> O_complete
+            | Pipeline_error.Truncated _ -> O_truncated)
+        | Error { Pipeline_error.cause = Internal _; _ } -> O_internal
+        | Error _ -> O_structured
+        | exception e ->
+          O_escaped
+            { e_seed = case_seed; e_kind = kind;
+              e_workload = w.Workloads.Registry.name;
+              e_exn = Printexc.to_string e }
+      end
+      else
+        match inject ?fuel ~obs ?machine ~seed:case_seed ~kind w with
+        | Ok inj -> (
+          match inj.i_result.Ilp.Analyze.completeness with
+          | Pipeline_error.Complete -> O_complete
+          | Pipeline_error.Truncated _ -> O_truncated)
+        | Error { Pipeline_error.cause = Internal _; _ } -> O_internal
+        | Error _ -> O_structured
+        | exception e ->
+          O_escaped
+            { e_seed = case_seed; e_kind = kind;
+              e_workload = w.Workloads.Registry.name;
+              e_exn = Printexc.to_string e }
     in
     let outcomes =
       if jobs > 1 && cases > 1 then

@@ -62,6 +62,12 @@ module Counters : sig
   (** Total instruction-analysis events:
       [profiled_entries () + state_entries ()]. *)
 
+  val segments : unit -> int
+  (** Trace segments decoded by segmented (intra-trace parallel)
+      analysis — [pipeline_segments_total].  Zero when every analysis
+      ran un-segmented.  Obs-independent, so the bench can report
+      honest segment counts without enabling a context. *)
+
   val reset : unit -> unit
 end
 
@@ -185,6 +191,16 @@ val specs_need_values : spec list -> bool
     {!Run.exec} derives this itself; it is exposed for drivers that
     call {!prepare} directly (the bench store). *)
 
+(** Intra-trace segmentation policy (DESIGN.md §15).  [`Off]: each
+    workload's trace is analyzed sequentially (parallelism across
+    workloads only).  [`Steps n]: shard every trace into [n]-entry
+    segments, decode them concurrently, stitch deterministically.
+    [`Auto]: derive the stride from trace length and jobs via
+    {!Ilp.Segmented.auto_steps} ([`Off] when [jobs <= 1], where
+    segmentation only adds overhead).  Results are bit-identical
+    across all three for every machine spec. *)
+type segmenting = [ `Off | `Auto | `Steps of int ]
+
 (** The unified run API.  One config, one [exec], uniform per-workload
     outcomes — this subsumes the former [analyze] / [analyze_all] /
     [analyze_specs] / [run_streaming] / [run_streaming_result] /
@@ -210,6 +226,13 @@ module Run : sig
         (exit code 6) — the batch continues. *)
     obs : Obs.Ctx.t;  (** observability context; {!Obs.Ctx.disabled}
                           costs the hot loops one bool test *)
+    segment_steps : segmenting;
+    (** intra-trace sharding policy.  Anything but [`Off] makes
+        [jobs > 1] parallelize {e within} each workload's trace
+        (segment decode + per-config stitch fan-out), so a single
+        workload saturates the pool; [`Off] parallelizes across
+        workloads only (and warns once when [jobs] exceeds the
+        workload count). *)
   }
 
   val config :
@@ -221,11 +244,12 @@ module Run : sig
     ?stream:bool ->
     ?deadline_ms:int ->
     ?obs:Obs.Ctx.t ->
+    ?segment_steps:segmenting ->
     spec list ->
     config
   (** Defaults: sequential ([jobs = 1]), workload fuel, no step budget,
       default VM memory, no compile options, materialized trace, no
-      deadline, observability disabled. *)
+      deadline, observability disabled, no segmentation. *)
 
   (** One workload's outcome: the full result-per-spec list, or that
       workload's typed error.  A failure never aborts the batch. *)
@@ -255,13 +279,23 @@ module Run : sig
   val on_prepared :
     ?obs:Obs.Ctx.t ->
     ?span_buf:Obs.Span.buffer ->
+    ?pool:Stdx.Pool.t ->
+    ?segmenting:segmenting ->
+    ?jobs:int ->
+    ?task_index:int ->
     prepared ->
     spec list ->
     Ilp.Analyze.result list
   (** Fan specs out over a {e single} pass of an already-prepared trace
       (results in spec order, completeness-tagged).  This is the
       materialized analysis half of {!exec}, exposed for drivers that
-      cache {!prepared} values across spec sets (the bench store). *)
+      cache {!prepared} values across spec sets (the bench store).
+
+      [segmenting] (default [`Off]) shards the trace per DESIGN.md §15;
+      [jobs] (default 1) feeds [`Auto] stride resolution, [pool] hosts
+      the decode/stitch tasks (absent: every stage runs inline, same
+      results), and [task_index] namespaces the per-segment span
+      buffers so concurrent workloads never collide. *)
 end
 
 (** Request-shaped entry point: one workload, per-request quotas, an
@@ -289,6 +323,8 @@ module Request : sig
     ?mem_words:int ->
     ?deadline_ms:int ->
     ?inject:Fault.Injector.kind * int ->
+    ?pool:Stdx.Pool.t ->
+    ?segment_steps:segmenting ->
     specs:spec list ->
     Workloads.Registry.t ->
     (reply, Pipeline_error.t) result
@@ -308,7 +344,14 @@ module Request : sig
       [inject (kind, seed)] runs the deterministically perturbed
       pipeline instead: single execution, btfn prediction (no training
       pass), the first spec's machine (default [sp_cd_mf]), the
-      injector's observe hook chained with the deadline's. *)
+      injector's observe hook chained with the deadline's.
+
+      [segment_steps] (default [`Off]) analyzes via the segmented path
+      of DESIGN.md §15, with decode/stitch tasks on [pool] (absent:
+      inline; [`Auto] stride resolution uses the pool's width).
+      Deadline expiry still lands as [Deadline_exceeded]: the check
+      hook runs per segment on every domain and propagates through the
+      futures. *)
 end
 
 (** Outcome of running the static verifier (and optionally the dynamic
@@ -438,6 +481,7 @@ module Fuzz : sig
     ?jobs:int ->
     ?obs:Obs.Ctx.t ->
     ?random_machines:bool ->
+    ?segments:bool ->
     seed:int ->
     cases:int ->
     unit ->
@@ -449,6 +493,11 @@ module Fuzz : sig
       [false]) each case also analyzes under a random machine-lattice
       point ({!Ilp.Machine.random} of the case seed) instead of always
       [sp_cd_mf], fuzzing the compositional model end to end.  With
+      [segments] (default [false]) every case additionally runs the
+      segmented-vs-sequential differential: the perturbed trace is
+      analyzed both ways under a per-case segment stride drawn from
+      the same seed stream (1–4096), and any divergence is an
+      invariant violation reported through [escaped].  With
       [jobs > 1] the cases run on a domain pool; because each case's
       seed depends only on its index, the report is identical for every
       [jobs] value and scheduling order.  [Error] only for [jobs < 1]

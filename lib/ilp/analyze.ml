@@ -16,6 +16,50 @@ let config ?(inline = true) ?(unroll = true) ?(collect_segments = false)
   { machine; inline; unroll; predictor; collect_segments; mem_words;
     step_budget; value_table; probe }
 
+(* Per-config masks over the packed Program_info flags.  Shared between
+   the sequential state and the segment decoder so both classify
+   entries with exactly the same tests. *)
+let removed_mask_of (cfg : config) =
+  Program_info.f_stop
+  lor (if cfg.inline then
+         Program_info.f_call lor Program_info.f_ret
+         lor Program_info.f_sp_adjust
+       else 0)
+  lor if cfg.unroll then Program_info.f_loop_overhead else 0
+
+let cjump_mask_of (cfg : config) =
+  Program_info.f_computed_jump
+  lor if cfg.inline then 0 else Program_info.f_ret
+
+(* Decoded-entry bits: the static instruction's Program_info flags
+   (bits 0..9) plus two markers the state-free classification adds.
+   [b_mispred] — this dynamic conditional branch is mispredicted by the
+   config's predictor.  [b_invalid] — the pc lies outside the code
+   segment; classification must not raise (a step budget may cut the
+   trace before the bad entry is ever consumed), so the error is
+   recorded and re-raised only when the entry is applied. *)
+let b_mispred = 1024
+let b_invalid = 2048
+
+let classify ~n_code ~flags ~removed_mask ~predict ~pc ~aux =
+  if pc < 0 || pc >= n_code then b_invalid
+  else begin
+    let f = Array.unsafe_get flags pc in
+    if f land removed_mask <> 0 then f
+    else if f land Program_info.f_cond_branch <> 0 then begin
+      let taken = aux = 1 in
+      if predict ~pc ~taken <> taken then f lor b_mispred else f
+    end
+    else f
+  end
+
+let decoder (cfg : config) (info : Program_info.t) =
+  let n_code = info.Program_info.n in
+  let flags = info.Program_info.flags in
+  let removed_mask = removed_mask_of cfg in
+  let predict = cfg.predictor.Predict.Predictor.predict in
+  fun ~pc ~aux -> classify ~n_code ~flags ~removed_mask ~predict ~pc ~aux
+
 type segment = {
   length : int;
   cycles : int;
@@ -214,16 +258,8 @@ module State = struct
     in
     { cfg;
       info;
-      removed_mask =
-        (Program_info.f_stop
-        lor (if cfg.inline then
-               Program_info.f_call lor Program_info.f_ret
-               lor Program_info.f_sp_adjust
-             else 0)
-        lor if cfg.unroll then Program_info.f_loop_overhead else 0);
-      cjump_mask =
-        (Program_info.f_computed_jump
-        lor if cfg.inline then 0 else Program_info.f_ret);
+      removed_mask = removed_mask_of cfg;
+      cjump_mask = cjump_mask_of cfg;
       k_control_dep;
       k_oracle;
       k_speculate;
@@ -323,13 +359,18 @@ module State = struct
     in
     go 0 st.ctx_seq st.ctx_time st.ctx_mchain
 
-  (* One bounds check on the trace-supplied [pc] proves every
-     per-instruction table access below, so the rest of the step reads
-     unsafely.  (A pc outside the code segment raised Invalid_argument
-     from the first table read before; it still raises, just with a
-     better message.) *)
-  let do_step st ~pc ~aux =
-    if pc < 0 || pc >= st.n_code then
+  (* The per-entry transition, split from classification: [bits] is
+     the entry's decoded word — the static flags plus the
+     [b_mispred]/[b_invalid] markers — computed by {!classify} against
+     this config's masks and predictor.  The sequential [step]
+     classifies and applies in one call; segmented analysis classifies
+     whole segments concurrently and replays [do_step] here in trace
+     order, so both paths execute the identical transition sequence.
+     [classify]'s bounds check on the trace-supplied [pc] (surfacing
+     as [b_invalid]) proves every per-instruction table access below,
+     so the rest of the step reads unsafely. *)
+  let do_step st ~pc ~aux ~bits =
+    if bits land b_invalid <> 0 then
       invalid_arg "Analyze.step: pc outside the code segment";
     if st.prof_on then begin
       st.p_entries <- st.p_entries + 1;
@@ -339,7 +380,7 @@ module State = struct
         Obs.Metrics.observe st.probe.Obs.Probe.a_frame_depth st.stack_len
       end
     end;
-    let flags = Array.unsafe_get st.flags pc in
+    let flags = bits in
     let blk = Array.unsafe_get st.block_of pc in
     if flags land Program_info.f_block_start <> 0 then begin
       st.seq_counter <- st.seq_counter + 1;
@@ -441,9 +482,7 @@ module State = struct
       let mispred =
         if is_cbr then begin
           st.dyn_branches <- st.dyn_branches + 1;
-          let taken = aux = 1 in
-          let predicted = st.predict ~pc ~taken in
-          let m = predicted <> taken in
+          let m = bits land b_mispred <> 0 in
           if m then st.p_cbr_mispred <- st.p_cbr_mispred + 1;
           m
         end
@@ -574,7 +613,28 @@ module State = struct
             (Pipeline_error.fault ~pc ~step:st.counted
                ~detail:(Printf.sprintf "analysis step budget %d" st.budget)
                Pipeline_error.Step_budget)
-      else do_step st ~pc ~aux
+      else
+        do_step st ~pc ~aux
+          ~bits:
+            (classify ~n_code:st.n_code ~flags:st.flags
+               ~removed_mask:st.removed_mask ~predict:st.predict ~pc ~aux)
+
+  (* Same budget guard, pre-classified entry.  The segment stitcher
+     replays decoded entries through this in trace order; because the
+     budget is checked before [bits] is consulted, entries decoded
+     past a budget cut (including invalid-pc markers) are dropped
+     exactly as the sequential path drops them unclassified. *)
+  let step_bits st ~pc ~aux ~bits =
+    match st.budget_hit with
+    | Some _ -> st.p_flushed <- st.p_flushed + 1
+    | None ->
+      if st.counted >= st.budget then
+        st.budget_hit <-
+          Some
+            (Pipeline_error.fault ~pc ~step:st.counted
+               ~detail:(Printf.sprintf "analysis step budget %d" st.budget)
+               Pipeline_error.Step_budget)
+      else do_step st ~pc ~aux ~bits
 
   let finish ?(completeness = Pipeline_error.Complete) st =
     if st.prof_on then begin

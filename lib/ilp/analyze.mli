@@ -85,6 +85,19 @@ val config :
     [collect_segments = false], no step budget, no value table, probe
     disabled. *)
 
+val decoder : config -> Program_info.t -> pc:int -> aux:int -> int
+(** State-free per-entry classification: the returned word packs the
+    static instruction's {!Program_info} flags plus a
+    mispredicted-branch marker (from the config's predictor) and an
+    invalid-pc marker.  Classification depends only on the config's
+    [inline]/[unroll] masks and its predictor — for a {e stateless}
+    predictor it is pure in [(pc, aux)], so entries may be classified
+    in any order (concurrently, per segment) and replayed through
+    {!State.step_bits} in trace order.  An out-of-range pc does not
+    raise here: the marker defers the [Invalid_argument] to the apply
+    step, preserving sequential semantics when a step budget cuts the
+    trace first. *)
+
 (** A run of counted instructions between two consecutive mispredicted
     branches (the closing branch included).  [length] is the paper's
     misprediction distance; [length/cycles] its degree of parallelism. *)
@@ -121,6 +134,16 @@ module State : sig
   val step : t -> pc:int -> aux:int -> unit
   (** Consume one trace entry.  Entries must arrive in trace order.
       Entries past the config's [step_budget] are dropped. *)
+
+  val step_bits : t -> pc:int -> aux:int -> bits:int -> unit
+  (** [step] with the entry's classification precomputed by the
+      {!decoder} of a config with the same [inline]/[unroll] settings
+      and a predictor with identical behavior.  The per-entry
+      transition is the same code path as [step] — feeding every entry
+      of a trace through [step_bits] in order yields results
+      bit-identical to [step].  This is the replay half of segmented
+      analysis: decode segments concurrently, then apply here in trace
+      order. *)
 
   val finish : ?completeness:Pipeline_error.completeness -> t -> result
   (** Close the analysis (flushing a trailing inter-misprediction

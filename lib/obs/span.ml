@@ -35,6 +35,7 @@ let active b = b.b_active
 let label b = b.b_label
 
 let now () = Monotonic_clock.now ()
+let now_ns = now
 
 let with_span b ?(workload = "") ?(machine = "") stage f =
   if not b.b_active then f ()

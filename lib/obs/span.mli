@@ -37,6 +37,11 @@ val span :
 
 val dur_ns : span -> int64
 
+val now_ns : unit -> int64
+(** The raw monotonic clock spans are stamped with — for callers that
+    need a duration without opening a span (e.g. the segment
+    stitch-wait histogram). *)
+
 type buffer
 
 val buffer : ?label:string -> unit -> buffer

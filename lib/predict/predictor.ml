@@ -1,15 +1,20 @@
 type t = {
   name : string;
   predict : pc:int -> taken:bool -> bool;
+  stateful : bool;
 }
 
-let perfect = { name = "perfect"; predict = (fun ~pc:_ ~taken -> taken) }
+let perfect =
+  { name = "perfect"; predict = (fun ~pc:_ ~taken -> taken);
+    stateful = false }
 
 let always_taken =
-  { name = "always-taken"; predict = (fun ~pc:_ ~taken:_ -> true) }
+  { name = "always-taken"; predict = (fun ~pc:_ ~taken:_ -> true);
+    stateful = false }
 
 let backward_taken ~is_backward =
-  { name = "btfn"; predict = (fun ~pc ~taken:_ -> is_backward pc) }
+  { name = "btfn"; predict = (fun ~pc ~taken:_ -> is_backward pc);
+    stateful = false }
 
 (* Streaming profile accumulation: per-static-branch direction counts,
    fed one trace entry at a time (e.g. straight from the VM through a
@@ -42,7 +47,8 @@ module Profile = struct
           2 * b.taken_count.(pc) > b.total_count.(pc))
     in
     { name = "profile";
-      predict = (fun ~pc ~taken:_ -> predicted_taken.(pc)) }
+      predict = (fun ~pc ~taken:_ -> predicted_taken.(pc));
+      stateful = false }
 
   let dyn_branches b = Array.fold_left ( + ) 0 b.total_count
 
@@ -129,7 +135,7 @@ let two_bit ~n_static =
     else counters.(pc) <- max 0 (counters.(pc) - 1);
     prediction
   in
-  { name = "2-bit"; predict }
+  { name = "2-bit"; predict; stateful = true }
 
 type stats = {
   branches : int;

@@ -15,6 +15,12 @@ type t = {
   (** [predict ~pc ~taken] is the predicted direction for this dynamic
       instance; [taken] is the actual outcome, provided so that dynamic
       predictors can train themselves after predicting. *)
+  stateful : bool;
+  (** [true] when [predict] mutates internal state (its answers depend
+      on call order, e.g. {!two_bit}).  Stateless predictors are pure
+      in [pc]/[taken], so their predictions may be computed out of
+      order — the property segmented analysis needs to pre-decode
+      trace segments concurrently. *)
 }
 
 val perfect : t

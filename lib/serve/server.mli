@@ -54,6 +54,11 @@ type config = {
       (** self-drain after this long with no connections and no work *)
   retry_after_ms : int;  (** hint carried by [Overloaded] responses *)
   registry : Obs.Metrics.t;  (** serve_* metrics land here *)
+  segment_steps : Harness.segmenting;
+      (** intra-trace segmentation for request analysis (DESIGN.md
+          §15).  Anything but [`Off] lets a single large request fan
+          its trace across idle pool domains — results stay
+          bit-identical, so cached and fresh replies still agree. *)
 }
 
 val config :
@@ -68,6 +73,7 @@ val config :
   ?idle_timeout_ms:int ->
   ?retry_after_ms:int ->
   ?registry:Obs.Metrics.t ->
+  ?segment_steps:Harness.segmenting ->
   socket_path:string ->
   unit ->
   config
@@ -75,7 +81,7 @@ val config :
     [queue_limit] = 64, [cache_capacity] = 32, admission off,
     [max_fuel] = 100_000_000, [max_step_budget] = 100_000_000, no
     default deadline, no idle timeout, [retry_after_ms] = 50,
-    [registry] = {!Obs.Metrics.global}. *)
+    [registry] = {!Obs.Metrics.global}, segmentation off. *)
 
 type t
 

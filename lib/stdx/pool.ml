@@ -200,6 +200,123 @@ let map_array t f arr =
 
 let map_list t f l = Array.to_list (map_array t f (Array.of_list l))
 
+(* Futures: single-shot boxes with their own mutex/condition so a
+   waiter never contends with the pool's queue lock while sleeping. *)
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : 'a future_state;
+}
+
+and 'a future_state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+let async t f =
+  if t.stop then invalid_arg "Pool.async: pool is shut down";
+  let fut =
+    { f_mutex = Mutex.create ();
+      f_cond = Condition.create ();
+      f_state = Pending }
+  in
+  let run () =
+    let r =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.f_mutex;
+    fut.f_state <- r;
+    Condition.broadcast fut.f_cond;
+    Mutex.unlock fut.f_mutex
+  in
+  if t.jobs = 1 then begin
+    (* Inline path, mirroring [map_array]: the task runs at submit
+       time so [await] never blocks, and the probe counters match the
+       pooled path.  Exceptions stay boxed until [await]. *)
+    Mutex.lock t.mutex;
+    t.submitted <- t.submitted + 1;
+    notify t `Submit;
+    t.in_flight <- t.in_flight + 1;
+    notify t `Start;
+    Mutex.unlock t.mutex;
+    run ();
+    Mutex.lock t.mutex;
+    t.in_flight <- t.in_flight - 1;
+    t.completed <- t.completed + 1;
+    notify t `Finish;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    Mutex.lock t.mutex;
+    Queue.add run t.queue;
+    t.submitted <- t.submitted + 1;
+    notify t `Submit;
+    Condition.signal t.work;
+    Mutex.unlock t.mutex
+  end;
+  fut
+
+let poll fut =
+  Mutex.lock fut.f_mutex;
+  let s = fut.f_state in
+  Mutex.unlock fut.f_mutex;
+  match s with Pending -> false | Done _ | Failed _ -> true
+
+let await t fut =
+  let state () =
+    Mutex.lock fut.f_mutex;
+    let s = fut.f_state in
+    Mutex.unlock fut.f_mutex;
+    s
+  in
+  let finish = function
+    | Done v -> v
+    | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Pending -> assert false
+  in
+  match state () with
+  | (Done _ | Failed _) as s -> finish s
+  | Pending ->
+    (* Help: drain queued tasks (ours or anyone's) while the future is
+       pending, exactly like [map_array]'s submitting domain, so a
+       task awaiting another task on a narrow pool cannot deadlock. *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      match Queue.take_opt t.queue with
+      | Some task ->
+        t.in_flight <- t.in_flight + 1;
+        notify t `Start;
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        t.in_flight <- t.in_flight - 1;
+        t.completed <- t.completed + 1;
+        notify t `Finish;
+        Mutex.unlock t.mutex;
+        (match state () with
+        | (Done _ | Failed _) as s -> finish s
+        | Pending -> help ())
+      | None ->
+        Mutex.unlock t.mutex;
+        (* Queue empty: the future's task is running on another
+           domain.  Sleep on the future's own condition. *)
+        Mutex.lock fut.f_mutex;
+        let rec wait () =
+          match fut.f_state with
+          | Pending ->
+            Condition.wait fut.f_cond fut.f_mutex;
+            wait ()
+          | (Done _ | Failed _) as s -> s
+        in
+        let s = wait () in
+        Mutex.unlock fut.f_mutex;
+        finish s
+    in
+    help ()
+
 let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -73,6 +73,31 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map_array} over a list. *)
 
+type 'a future
+(** A single-shot result box for one task submitted with {!async}. *)
+
+val async : t -> (unit -> 'a) -> 'a future
+(** [async t f] enqueues [f] on the pool and returns immediately with
+    a future for its result.  On a [jobs = 1] pool the task runs
+    inline at submit time (the sequential path, bit-for-bit), so
+    {!await} never blocks.  A task that raises never kills a worker:
+    the exception is boxed in the future and re-raised by {!await}.
+    Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : t -> 'a future -> 'a
+(** [await t fut] returns the future's value, re-raising (with its
+    original backtrace) if the task failed.  While the future is
+    pending the caller {e helps}: it drains queued tasks — its own or
+    any other submitter's — exactly like [map_array]'s submitting
+    domain, so tasks awaiting other tasks on a narrow pool cannot
+    deadlock.  Only when the queue is empty (the awaited task is
+    running on another domain) does it sleep on the future's own
+    condition variable. *)
+
+val poll : 'a future -> bool
+(** [poll fut] is [true] once the future is resolved (value or
+    exception).  Never blocks, never helps. *)
+
 val shutdown : t -> unit
 (** Stop the workers and join their domains.  Idempotent.  Submitting
     to a pool after [shutdown] raises [Invalid_argument]. *)

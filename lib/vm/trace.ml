@@ -48,3 +48,63 @@ let iter f t =
 let feed t s =
   iter s.on_entry t;
   s.on_close ()
+
+(* Segments: fixed-stride slices of a trace, each owning plain int
+   arrays so a filled segment can be handed to another domain without
+   sharing the growing Vec backing store (whose [push] may reallocate
+   under the producer's feet). *)
+
+type seg = {
+  seg_index : int;
+  seg_base : int;
+  seg_len : int;
+  seg_pcs : int array;
+  seg_auxs : int array;
+}
+
+let segmenting_sink ~steps ~emit =
+  if steps < 1 then invalid_arg "Trace.segmenting_sink: steps must be >= 1";
+  let index = ref 0 in
+  let base = ref 0 in
+  let len = ref 0 in
+  let pcs = ref (Array.make steps 0) in
+  let auxs = ref (Array.make steps 0) in
+  let flush () =
+    if !len > 0 then begin
+      emit
+        { seg_index = !index;
+          seg_base = !base;
+          seg_len = !len;
+          seg_pcs = !pcs;
+          seg_auxs = !auxs };
+      incr index;
+      base := !base + !len;
+      len := 0;
+      pcs := Array.make steps 0;
+      auxs := Array.make steps 0
+    end
+  in
+  { on_entry =
+      (fun ~pc ~aux ->
+        let i = !len in
+        !pcs.(i) <- pc;
+        !auxs.(i) <- aux;
+        len := i + 1;
+        if i + 1 = steps then flush ());
+    on_close = flush }
+
+let segments ~steps t =
+  if steps < 1 then invalid_arg "Trace.segments: steps must be >= 1";
+  let n = length t in
+  let count = (n + steps - 1) / steps in
+  Array.init count (fun k ->
+      let base = k * steps in
+      let len = min steps (n - base) in
+      let pcs = Array.make len 0 in
+      let auxs = Array.make len 0 in
+      for i = 0 to len - 1 do
+        Array.unsafe_set pcs i (Stdx.Vec.unsafe_get t.pcs (base + i));
+        Array.unsafe_set auxs i (Stdx.Vec.unsafe_get t.auxs (base + i))
+      done;
+      { seg_index = k; seg_base = base; seg_len = len;
+        seg_pcs = pcs; seg_auxs = auxs })

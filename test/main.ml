@@ -16,6 +16,7 @@ let () =
       ("analyze", Test_analyze.suite);
       ("machine", Test_machine.suite);
       ("pipeline", Test_pipeline.suite);
+      ("segmented", Test_segmented.suite);
       ("properties", Test_props.suite);
       ("estimate", Test_estimate.suite);
       ("workloads", Test_workloads.suite);

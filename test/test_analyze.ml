@@ -36,7 +36,8 @@ let mk_trace entries =
 let scripted_predictor wrong =
   { Predict.Predictor.name = "scripted";
     predict =
-      (fun ~pc ~taken -> if List.mem pc wrong then not taken else taken) }
+      (fun ~pc ~taken -> if List.mem pc wrong then not taken else taken);
+    stateful = false }
 
 let run ?(machine = Ilp.Machine.oracle) ?(wrong = []) ?(unroll = true)
     ?(inline = true) info trace =

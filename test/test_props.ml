@@ -183,7 +183,8 @@ let test_oracle_equals_data_chain () =
   (* The oracle schedule must not depend on the predictor. *)
   let _, p = List.hd (Lazy.force prepared_small) in
   let bad = { Predict.Predictor.name = "always-wrong";
-              predict = (fun ~pc:_ ~taken -> not taken) } in
+              predict = (fun ~pc:_ ~taken -> not taken);
+              stateful = false } in
   let with_profile = analyze p Ilp.Machine.oracle in
   let with_bad = analyze ~predictor:(`Custom bad) p Ilp.Machine.oracle in
   Alcotest.(check int) "oracle ignores predictor" with_profile.cycles
