@@ -46,20 +46,11 @@ let fault_of_name name =
          { name;
            hint = Pipeline_error.suggest name Fault.Injector.kind_names })
 
-(* --segment-steps N|auto → the harness segmenting policy (typed
-   Invalid_request on anything else, exit code 2 like a bad --jobs). *)
-let segmenting_of_flag = function
-  | None -> Ok `Off
-  | Some "auto" -> Ok `Auto
-  | Some s -> (
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> Ok (`Steps n)
-    | _ ->
-      err Execute
-        (Invalid_request
-           (Printf.sprintf
-              "segment-steps must be a positive integer or \"auto\" (got %S)"
-              s)))
+(* The parallelism flags (--jobs / --segment-steps / --scheduler) are
+   declared and validated once in Cli.Parallel, shared with serve and
+   the bench; every malformed value is a typed Invalid_request, exit
+   code 2. *)
+let segmenting_of_flag = Cli.Parallel.segmenting_of_flag
 
 (* ------------------------------------------------------------------ *)
 
@@ -196,10 +187,12 @@ let obs_report ~trace_out ~metrics ~prom_out obs =
   end
 
 let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
-    mem_words deadline_ms jobs segment_steps trace_out metrics prom_out =
+    mem_words deadline_ms jobs segment_steps scheduler trace_out metrics
+    prom_out =
   let* ws = workloads_of_names names in
   let* machines = Ilp.Machine.of_specs machine_names in
   let* segment_steps = segmenting_of_flag segment_steps in
+  let* scheduler = Cli.Parallel.scheduler_of_flag scheduler in
   let header =
     "Program"
     :: List.map (fun (m : Ilp.Machine.t) -> m.name) machines
@@ -211,9 +204,7 @@ let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
           ?step_budget m)
       machines
   in
-  let jobs =
-    match jobs with Some j -> j | None -> Stdx.Pool.recommended_jobs ()
-  in
+  let jobs = Cli.Parallel.resolve_jobs jobs in
   let obs = obs_ctx trace_out metrics prom_out in
   (* Every path fans all machines out over a single trace scan.
      --stream additionally never materializes the trace, so the budget
@@ -223,8 +214,8 @@ let cmd_run names machine_names no_inline no_unroll fuel stream step_budget
      table is identical for every --jobs value. *)
   let stream = stream || (jobs > 1 && List.length ws > 1) in
   let cfg =
-    Harness.Run.config ~jobs ?fuel ?step_budget ?mem_words ?deadline_ms
-      ~stream ~obs ~segment_steps specs
+    Harness.Run.config ~jobs ~scheduler ?fuel ?step_budget ?mem_words
+      ?deadline_ms ~stream ~obs ~segment_steps specs
   in
   let* items = Harness.Run.exec cfg ws in
   let* per_workload =
@@ -643,16 +634,17 @@ let cmd_wire_fuzz ~socket ~seed ~cases =
             "wire fuzz violations (%d hung, %d unexpected ok, alive=%b)"
             r.Serve.Wire_fuzz.hung r.unexpected_ok r.alive))
 
-let cmd_fuzz names seed cases fuel jobs random_machines segments serve_sock
-    trace_out metrics prom_out =
+let cmd_fuzz names seed cases fuel jobs scheduler random_machines segments
+    serve_sock trace_out metrics prom_out =
   match serve_sock with
   | Some socket -> cmd_wire_fuzz ~socket ~seed ~cases
   | None ->
   let* ws = workloads_of_names names in
+  let* scheduler = Cli.Parallel.scheduler_of_flag scheduler in
   let obs = obs_ctx trace_out metrics prom_out in
   let* r =
-    Harness.Fuzz.run ?fuel ~workloads:ws ?jobs ~obs ~random_machines
-      ~segments ~seed ~cases ()
+    Harness.Fuzz.run ?fuel ~workloads:ws ?jobs ~scheduler ~obs
+      ~random_machines ~segments ~seed ~cases ()
   in
   obs_report ~trace_out ~metrics ~prom_out obs;
   Format.printf
@@ -789,11 +781,12 @@ let supervise cfg =
   in
   loop 0
 
-let cmd_serve socket tcp jobs queue_limit cache_capacity admit max_fuel
-    max_step_budget default_deadline_ms idle_timeout_ms retry_after_ms
-    segment_steps supervise_flag =
+let cmd_serve socket tcp jobs scheduler queue_limit cache_capacity admit
+    max_fuel max_step_budget default_deadline_ms idle_timeout_ms
+    retry_after_ms segment_steps supervise_flag =
   let* admission = parse_admission admit in
   let* segment_steps = segmenting_of_flag segment_steps in
+  let* scheduler = Cli.Parallel.scheduler_of_flag scheduler in
   let* tcp =
     match tcp with
     | None -> Ok None
@@ -802,9 +795,9 @@ let cmd_serve socket tcp jobs queue_limit cache_capacity admit max_fuel
       Ok (Some hp)
   in
   let cfg =
-    Serve.Server.config ?tcp ?jobs ?queue_limit ?cache_capacity ~admission
-      ?max_fuel ?max_step_budget ?default_deadline_ms ?idle_timeout_ms
-      ?retry_after_ms ~segment_steps ~socket_path:socket ()
+    Serve.Server.config ?tcp ?jobs ~scheduler ?queue_limit ?cache_capacity
+      ~admission ?max_fuel ?max_step_budget ?default_deadline_ms
+      ?idle_timeout_ms ?retry_after_ms ~segment_steps ~socket_path:socket ()
   in
   if supervise_flag then supervise cfg else serve_once cfg
 
@@ -891,23 +884,9 @@ let workloads_arg =
   Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME"
          ~doc:"Workload to use (repeatable; default: all).")
 
-let jobs_arg =
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Worker domains for the parallel fan-out (default: the \
-               runtime's recommended domain count; 1 keeps everything \
-               on the calling domain).  Output is bit-identical for \
-               every value of N.")
-
-let segment_steps_arg =
-  Arg.(value & opt (some string) None
-       & info [ "segment-steps" ] ~docv:"N|auto"
-           ~doc:"Shard each workload's trace into $(docv)-instruction \
-                 segments analyzed in parallel across the $(b,--jobs) \
-                 domains (decode concurrently, stitch \
-                 deterministically), so even a single workload \
-                 saturates the pool.  $(b,auto) derives the stride from \
-                 trace length and jobs.  Results are bit-identical to \
-                 the un-segmented run.")
+let jobs_arg = Cli.Parallel.jobs_arg
+let scheduler_arg = Cli.Parallel.scheduler_arg
+let segment_steps_arg = Cli.Parallel.segment_steps_arg ()
 
 let trace_out_arg =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
@@ -1002,11 +981,12 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Measure parallelism limits (Table 3).")
     Term.(
-      const (fun ws ms ni nu f s sb mw dl j ss tr mx pr ->
-          handle (cmd_run ws ms ni nu f s sb mw dl j ss tr mx pr))
+      const (fun ws ms ni nu f s sb mw dl j ss sch tr mx pr ->
+          handle (cmd_run ws ms ni nu f s sb mw dl j ss sch tr mx pr))
       $ workloads_arg $ machines $ no_inline $ no_unroll $ fuel $ stream
       $ step_budget $ mem_words $ deadline_ms $ jobs_arg
-      $ segment_steps_arg $ trace_out_arg $ metrics_arg $ prom_out_arg)
+      $ segment_steps_arg $ scheduler_arg $ trace_out_arg $ metrics_arg
+      $ prom_out_arg)
 
 let stats_cmd =
   let fuel =
@@ -1164,11 +1144,11 @@ let fuzz_cmd =
              invariant: every input yields a result or a structured \
              error.  Nonzero exit if any exception escapes.")
     Term.(
-      const (fun ws s c fu j rm sg sv tr mx pr ->
-          handle (cmd_fuzz ws s c fu j rm sg sv tr mx pr))
+      const (fun ws s c fu j sch rm sg sv tr mx pr ->
+          handle (cmd_fuzz ws s c fu j sch rm sg sv tr mx pr))
       $ workloads_arg $ seed_arg $ cases $ inject_fuel $ jobs_arg
-      $ random_machines $ segments $ serve_sock $ trace_out_arg
-      $ metrics_arg $ prom_out_arg)
+      $ scheduler_arg $ random_machines $ segments $ serve_sock
+      $ trace_out_arg $ metrics_arg $ prom_out_arg)
 
 let socket_arg =
   Arg.(value & opt string "/tmp/ilp-limits.sock"
@@ -1179,11 +1159,6 @@ let tcp_arg ~doc = Arg.(value & opt (some string) None
                         & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
 
 let serve_cmd =
-  let jobs =
-    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Worker domains executing requests (default: the \
-                 runtime's recommended count).")
-  in
   let queue_limit =
     Arg.(value & opt (some int) None & info [ "queue-limit" ] ~docv:"N"
            ~doc:"Backpressure bound: admitted requests waiting for a \
@@ -1226,13 +1201,13 @@ let serve_cmd =
                  50).")
   in
   let segment_steps =
-    Arg.(value & opt (some string) None
-         & info [ "segment-steps" ] ~docv:"N|auto"
-             ~doc:"Shard each request's trace into $(docv)-instruction \
-                   segments fanned out across idle worker domains \
-                   (replies stay bit-identical to un-segmented \
-                   analysis; $(b,auto) derives the stride from trace \
-                   length and pool width).")
+    Cli.Parallel.segment_steps_arg
+      ~doc:
+        "Shard each request's trace into $(docv)-instruction segments \
+         fanned out across idle worker domains (replies stay \
+         bit-identical to un-segmented analysis; $(b,auto) derives the \
+         stride from trace length and pool width)."
+      ()
   in
   let supervise =
     Arg.(value & flag & info [ "supervise" ]
@@ -1249,12 +1224,13 @@ let serve_cmd =
              compiled-program cache, and graceful drain on \
              SIGTERM/SIGINT.")
     Term.(
-      const (fun s t j q c a mf msb d i ra ss sup ->
-          handle (cmd_serve s t j q c a mf msb d i ra ss sup))
+      const (fun s t j sch q c a mf msb d i ra ss sup ->
+          handle (cmd_serve s t j sch q c a mf msb d i ra ss sup))
       $ socket_arg
       $ tcp_arg ~doc:"Also listen on HOST:PORT."
-      $ jobs $ queue_limit $ cache $ admit $ max_fuel $ max_step_budget
-      $ deadline $ idle $ retry_after $ segment_steps $ supervise)
+      $ jobs_arg $ scheduler_arg $ queue_limit $ cache $ admit $ max_fuel
+      $ max_step_budget $ deadline $ idle $ retry_after $ segment_steps
+      $ supervise)
 
 let client_cmd =
   let op =

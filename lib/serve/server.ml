@@ -7,6 +7,7 @@ type config = {
   socket_path : string;
   tcp : (string * int) option;
   jobs : int;
+  scheduler : Stdx.Pool.scheduler;
   queue_limit : int;
   cache_capacity : int;
   admission : admission;
@@ -19,7 +20,8 @@ type config = {
   segment_steps : Harness.segmenting;
 }
 
-let config ?tcp ?jobs ?(queue_limit = 64) ?(cache_capacity = 32)
+let config ?tcp ?jobs ?(scheduler = Stdx.Pool.default_scheduler)
+    ?(queue_limit = 64) ?(cache_capacity = 32)
     ?(admission = Admit_off) ?(max_fuel = 100_000_000)
     ?(max_step_budget = 100_000_000) ?default_deadline_ms ?idle_timeout_ms
     ?(retry_after_ms = 50) ?(registry = Obs.Metrics.global)
@@ -27,9 +29,9 @@ let config ?tcp ?jobs ?(queue_limit = 64) ?(cache_capacity = 32)
   let jobs =
     match jobs with Some j -> max 1 j | None -> Stdx.Pool.recommended_jobs ()
   in
-  { socket_path; tcp; jobs; queue_limit; cache_capacity; admission;
-    max_fuel; max_step_budget; default_deadline_ms; idle_timeout_ms;
-    retry_after_ms; registry; segment_steps }
+  { socket_path; tcp; jobs; scheduler; queue_limit; cache_capacity;
+    admission; max_fuel; max_step_budget; default_deadline_ms;
+    idle_timeout_ms; retry_after_ms; registry; segment_steps }
 
 (* One client connection.  [c_pending] counts replies still owed by
    pool jobs; the reader thread waits for it to reach zero before
@@ -347,9 +349,11 @@ let handle_stats t conn ~id =
        ~cache_misses:cs.misses ~draining:(draining t))
 
 let handle_metrics t conn ~id =
-  (* refresh the live gauges right before the scrape *)
+  (* refresh the live gauges right before the scrape; pool gauges go
+     through the one named registration in Obs.Probe *)
   Obs.Metrics.set t.m_queue_depth (Rqueue.length t.queue);
   Obs.Metrics.set t.m_in_flight (Atomic.get t.in_flight);
+  Obs.Probe.pool_stats t.cfg.registry (Stdx.Pool.stats t.pool);
   let buf = Buffer.create 4096 in
   Obs.Export.prometheus buf (Obs.Metrics.snapshot t.cfg.registry);
   Obs.Metrics.incr t.m_ok;
@@ -596,7 +600,7 @@ let start cfg =
         wake_r;
         wake_w;
         queue = Rqueue.create ~limit:cfg.queue_limit;
-        pool = Stdx.Pool.create ~jobs:cfg.jobs ();
+        pool = Stdx.Pool.create ~scheduler:cfg.scheduler ~jobs:cfg.jobs ();
         cache = Cache.create ~capacity:cfg.cache_capacity;
         obs = Obs.Ctx.create ~registry:r ();
         flag_draining = Atomic.make false;
